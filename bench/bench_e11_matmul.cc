@@ -1,0 +1,106 @@
+// E11 — Distributed matrix multiplication on serverless (paper §5.1,
+// Werner et al. [181]).
+// Claims: Strassen/blocked MATMUL parallelizes over lambdas with
+// intermediates in ephemeral storage; speedup grows with matrix size as
+// compute amortizes the invocation overhead.
+#include <benchmark/benchmark.h>
+
+#include "analytics/matmul.h"
+#include "bench_util.h"
+#include "common/stats.h"
+
+namespace taureau {
+namespace {
+
+using analytics::Matrix;
+using analytics::MatmulStats;
+using analytics::MultiplyNaive;
+using analytics::MultiplyStrassen;
+using analytics::ServerlessBlockedMultiply;
+using analytics::ServerlessStrassen;
+using analytics::TaskCostModel;
+
+void RunExperiment() {
+  const TaskCostModel model{.invoke_overhead_us = 50 * kMillisecond,
+                            .compute_us_per_unit = 0.02,  // us per MAC
+                            .memory_mb = 1024};
+
+  // Part 1: size sweep — blocked (4x4 grid) and Strassen vs one machine.
+  {
+    bench::Table table({"n", "serial", "blocked 4x4", "strassen-7",
+                        "blocked speedup", "max |err| vs naive"});
+    for (uint32_t n : {128u, 256u, 512u, 1024u}) {
+      Rng rng(n);
+      Matrix a = Matrix::Random(n, n, &rng);
+      Matrix b = Matrix::Random(n, n, &rng);
+      MatmulStats blocked_stats, strassen_stats;
+      auto blocked = ServerlessBlockedMultiply(a, b, 4, model, &blocked_stats);
+      auto strassen = ServerlessStrassen(a, b, model, &strassen_stats, 64);
+      double err = 0.0;
+      if (n <= 256) {  // exact check affordable at small sizes
+        auto naive = MultiplyNaive(a, b);
+        err = blocked->MaxAbsDiff(*naive);
+        err = std::max(err, strassen->MaxAbsDiff(*naive));
+      }
+      table.AddRow(
+          {bench::FmtInt(n),
+           FormatDuration(double(blocked_stats.serial_time_us)),
+           FormatDuration(double(blocked_stats.makespan_us)),
+           FormatDuration(double(strassen_stats.makespan_us)),
+           bench::Fmt("%.1fx", double(blocked_stats.serial_time_us) /
+                                   double(blocked_stats.makespan_us)),
+           n <= 256 ? bench::Fmt("%.1e", err) : "(skipped)"});
+    }
+    table.Print("E11a: serverless MATMUL size sweep (50ms invoke overhead, "
+                "ephemeral-store intermediates)");
+  }
+
+  // Part 2: grid-granularity ablation at n=512 — the parallelism/overhead
+  // tradeoff ([181]'s key observation).
+  {
+    Rng rng(512);
+    Matrix a = Matrix::Random(512, 512, &rng);
+    Matrix b = Matrix::Random(512, 512, &rng);
+    bench::Table table({"grid", "tasks", "makespan", "ephemeral bytes",
+                        "cost"});
+    for (uint32_t grid : {1u, 2u, 4u, 8u, 16u}) {
+      MatmulStats stats;
+      auto c = ServerlessBlockedMultiply(a, b, grid, model, &stats);
+      (void)c;
+      table.AddRow({std::to_string(grid) + "x" + std::to_string(grid),
+                    bench::FmtInt(int64_t(stats.tasks)),
+                    FormatDuration(double(stats.makespan_us)),
+                    FormatBytes(double(stats.ephemeral_bytes)),
+                    stats.cost.ToString()});
+    }
+    table.Print("E11b: task-granularity ablation at n=512 — finer grids "
+                "parallelize until overhead + shuffle dominate");
+  }
+}
+
+void BM_NaiveMultiply(benchmark::State& state) {
+  const uint32_t n = uint32_t(state.range(0));
+  Rng rng(n);
+  Matrix a = Matrix::Random(n, n, &rng);
+  Matrix b = Matrix::Random(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiplyNaive(a, b));
+  }
+}
+BENCHMARK(BM_NaiveMultiply)->Arg(64)->Arg(128);
+
+void BM_StrassenMultiply(benchmark::State& state) {
+  const uint32_t n = uint32_t(state.range(0));
+  Rng rng(n);
+  Matrix a = Matrix::Random(n, n, &rng);
+  Matrix b = Matrix::Random(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiplyStrassen(a, b, 32));
+  }
+}
+BENCHMARK(BM_StrassenMultiply)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

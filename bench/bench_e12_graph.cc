@@ -1,0 +1,118 @@
+// E12 — Serverless graph processing (paper §5.1, Toader et al. [173]).
+// Claims: Pregel supersteps map to waves of lambdas with message state in
+// an ephemeral store; worker parallelism cuts superstep makespan; message
+// volume drives the ephemeral-state footprint.
+#include <benchmark/benchmark.h>
+
+#include <limits>
+
+#include "analytics/graph.h"
+#include "bench_util.h"
+#include "common/stats.h"
+
+namespace taureau {
+namespace {
+
+using analytics::Graph;
+using analytics::PageRankProgram;
+using analytics::PregelConfig;
+using analytics::RunPregel;
+using analytics::SsspProgram;
+using analytics::WccProgram;
+
+void RunExperiment() {
+  // Part 1: graph-size sweep, PageRank, 8 workers.
+  {
+    bench::Table table({"vertices", "edges", "supersteps", "messages",
+                        "msg bytes", "makespan", "cost"});
+    for (uint32_t n : {1000u, 10000u, 100000u}) {
+      auto g = Graph::RandomPowerLaw(n, 4, n);
+      std::vector<double> ranks;
+      auto stats = RunPregel(
+          g, [&](uint32_t) { return 1.0 / n; }, PageRankProgram(n, 10),
+          PregelConfig{.num_workers = 8, .max_supersteps = 12}, &ranks);
+      table.AddRow({FormatCount(double(n)),
+                    FormatCount(double(g.num_edges())),
+                    bench::FmtInt(int64_t(stats->supersteps)),
+                    FormatCount(double(stats->total_messages)),
+                    FormatBytes(double(stats->message_bytes)),
+                    FormatDuration(double(stats->makespan_us)),
+                    stats->cost.ToString()});
+    }
+    table.Print("E12a: PageRank (10 iters) on power-law graphs — 8 workers, "
+                "message state through the ephemeral store");
+  }
+
+  // Part 2: worker-count sweep at fixed graph.
+  {
+    auto g = Graph::RandomPowerLaw(50000, 4, 77);
+    bench::Table table({"workers", "makespan", "speedup vs 1", "cost"});
+    SimDuration base = 0;
+    for (uint32_t w : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      std::vector<double> ranks;
+      auto stats = RunPregel(
+          g, [&](uint32_t) { return 1.0 / g.num_vertices; },
+          PageRankProgram(g.num_vertices, 10),
+          PregelConfig{.num_workers = w, .max_supersteps = 12}, &ranks);
+      if (w == 1) base = stats->makespan_us;
+      table.AddRow({bench::FmtInt(w),
+                    FormatDuration(double(stats->makespan_us)),
+                    bench::Fmt("%.1fx", double(base) /
+                                            double(stats->makespan_us)),
+                    stats->cost.ToString()});
+    }
+    table.Print("E12b: PageRank worker scaling (50K vertices) — per-superstep "
+                "barriers bound the speedup");
+  }
+
+  // Part 3: algorithm comparison on the same graph.
+  {
+    auto g = Graph::RandomPowerLaw(20000, 4, 99);
+    const double inf = std::numeric_limits<double>::infinity();
+    bench::Table table({"algorithm", "supersteps", "messages", "makespan"});
+    struct Algo {
+      const char* name;
+      std::function<double(uint32_t)> init;
+      analytics::ComputeFn program;
+    };
+    std::vector<Algo> algos;
+    algos.push_back({"pagerank-10",
+                     [&](uint32_t) { return 1.0 / g.num_vertices; },
+                     PageRankProgram(g.num_vertices, 10)});
+    algos.push_back({"sssp",
+                     [&](uint32_t v) { return v == 0 ? 0.0 : inf; },
+                     SsspProgram()});
+    algos.push_back({"wcc", [](uint32_t v) { return double(v); },
+                     WccProgram()});
+    for (auto& algo : algos) {
+      std::vector<double> values;
+      auto stats = RunPregel(g, algo.init, algo.program,
+                             PregelConfig{.num_workers = 8,
+                                          .max_supersteps = 50},
+                             &values);
+      table.AddRow({algo.name, bench::FmtInt(int64_t(stats->supersteps)),
+                    FormatCount(double(stats->total_messages)),
+                    FormatDuration(double(stats->makespan_us))});
+    }
+    table.Print("E12c: algorithm mix on a 20K-vertex power-law graph");
+  }
+}
+
+void BM_PregelSuperstep(benchmark::State& state) {
+  auto g = Graph::RandomPowerLaw(uint32_t(state.range(0)), 4, 55);
+  for (auto _ : state) {
+    std::vector<double> ranks;
+    benchmark::DoNotOptimize(
+        RunPregel(g, [&](uint32_t) { return 1.0 / g.num_vertices; },
+                  PageRankProgram(g.num_vertices, 2),
+                  PregelConfig{.num_workers = 4, .max_supersteps = 3},
+                  &ranks));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PregelSuperstep)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

@@ -1,0 +1,110 @@
+// E13 — Serverless ML training (paper §5.2: parameter servers [94],
+// straggler-resilient optimization [73, 104, 132]).
+// Claims: data-parallel SGD scales across lambdas; stragglers dominate
+// synchronous rounds; redundant computation buys back the tail at extra
+// cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "ml/dataset.h"
+#include "ml/hyperparam.h"
+#include "ml/training.h"
+
+namespace taureau {
+namespace {
+
+using ml::Dataset;
+using ml::RedundancyScheme;
+using ml::TrainConfig;
+using ml::TrainLogistic;
+
+void RunExperiment() {
+  const auto data = Dataset::GenerateLogistic(20000, 20, 0.05, 67);
+
+  // Part 1: worker scaling (no stragglers).
+  {
+    bench::Table table({"workers", "makespan", "speedup", "accuracy",
+                        "cost"});
+    SimDuration base = 0;
+    for (uint32_t w : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      auto stats = TrainLogistic(data, TrainConfig{.num_workers = w,
+                                                   .rounds = 20});
+      if (w == 1) base = stats->makespan_us;
+      table.AddRow({bench::FmtInt(w),
+                    FormatDuration(double(stats->makespan_us)),
+                    bench::Fmt("%.1fx", double(base) /
+                                            double(stats->makespan_us)),
+                    bench::Fmt("%.3f", stats->train_accuracy),
+                    stats->cost.ToString()});
+    }
+    table.Print("E13a: parameter-server SGD scaling — 20K x 20 logistic "
+                "regression, 20 rounds");
+  }
+
+  // Part 2: straggler sensitivity + redundancy ablation.
+  {
+    bench::Table table({"straggler prob", "scheme", "makespan",
+                        "straggler penalty", "invocations", "cost"});
+    for (double p : {0.0, 0.1, 0.3}) {
+      for (auto scheme : {RedundancyScheme::kNone,
+                          RedundancyScheme::kReplication}) {
+        TrainConfig cfg{.num_workers = 16, .rounds = 20,
+                        .straggler_prob = p, .redundancy = scheme,
+                        .replication = 2};
+        auto stats = TrainLogistic(data, cfg);
+        table.AddRow(
+            {bench::Fmt("%.1f", p),
+             scheme == RedundancyScheme::kNone ? "uncoded" : "2x-replicated",
+             FormatDuration(double(stats->makespan_us)),
+             FormatDuration(double(stats->straggler_penalty_us)),
+             bench::FmtInt(int64_t(stats->worker_invocations)),
+             stats->cost.ToString()});
+      }
+    }
+    table.Print("E13b: straggler mitigation — redundancy buys latency with "
+                "money (16 workers)");
+  }
+
+  // Part 3: hyperparameter search strategies (Seneca-style concurrency).
+  {
+    const auto small = Dataset::GenerateLogistic(4000, 10, 0.05, 71);
+    bench::Table table({"strategy", "trials", "waves", "makespan",
+                        "serial time", "best accuracy", "cost"});
+    for (auto strategy : {ml::SearchStrategy::kGrid,
+                          ml::SearchStrategy::kRandom,
+                          ml::SearchStrategy::kSuccessiveHalving}) {
+      ml::SearchConfig cfg;
+      cfg.strategy = strategy;
+      cfg.rounds = 16;
+      cfg.workers_per_trial = 4;
+      auto stats = ml::HyperparamSearch(small, cfg);
+      table.AddRow({std::string(ml::SearchStrategyName(strategy)),
+                    bench::FmtInt(int64_t(stats->trials)),
+                    bench::FmtInt(int64_t(stats->waves)),
+                    FormatDuration(double(stats->makespan_us)),
+                    FormatDuration(double(stats->serial_time_us)),
+                    bench::Fmt("%.3f", stats->best.score),
+                    stats->cost.ToString()});
+    }
+    table.Print("E13c: hyperparameter tuning — concurrent serverless trials "
+                "vs one machine");
+  }
+}
+
+void BM_GradientShard(benchmark::State& state) {
+  const auto data = Dataset::GenerateLogistic(size_t(state.range(0)), 20,
+                                              0.05, 5);
+  std::vector<double> w(21, 0.1), grad;
+  for (auto _ : state) {
+    ml::LogisticGradient(data, 0, data.size(), w, 1e-4, &grad);
+    benchmark::DoNotOptimize(grad);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GradientShard)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

@@ -1,0 +1,142 @@
+// E14 — Serverless inference and the cold-start problem (paper §5.2:
+// Ishakian et al. [112], TrIMS [88]).
+// Claims: warm inference latency is acceptable; cold starts dominated by
+// model loading; a persistent GPU/CPU/local/cloud model store recovers
+// near-warm latency.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ml/inference.h"
+
+namespace taureau {
+namespace {
+
+using ml::DefaultTiers;
+using ml::ModelInfo;
+using ml::ModelStore;
+using ml::Tier;
+using ml::TierName;
+
+void RunExperiment() {
+  // Part 1: model-size sweep — cold vs warm vs always-cold baseline.
+  {
+    bench::Table table({"model size", "first (cold)", "second (warm)",
+                        "always-cold baseline", "warm speedup"});
+    for (uint64_t mb : {5ull, 50ull, 150ull, 500ull}) {
+      ModelStore store;
+      (void)store.RegisterModel(
+          {"m", mb << 20, /*compute_us=*/8 * kMillisecond});
+      const auto cold = store.Infer("m");
+      const auto warm = store.Infer("m");
+      const auto baseline = store.InferColdBaseline("m");
+      table.AddRow({FormatBytes(double(mb << 20)),
+                    FormatDuration(double(cold->latency_us)),
+                    FormatDuration(double(warm->latency_us)),
+                    FormatDuration(double(baseline->latency_us)),
+                    bench::Fmt("%.0fx", double(baseline->latency_us) /
+                                            double(warm->latency_us))});
+    }
+    table.Print("E14a: inference latency by model size — the cold-start tax "
+                "is model loading ([112])");
+  }
+
+  // Part 2: multi-model serving under a Zipf request mix with a bounded
+  // GPU tier — hit-tier distribution and latency percentiles.
+  {
+    bench::Table table({"gpu capacity", "gpu hits", "cpu hits", "ssd hits",
+                        "cloud hits", "p50", "p99"});
+    for (uint64_t gpu_gb : {1ull, 4ull, 16ull}) {
+      auto tiers = DefaultTiers();
+      tiers[0].capacity_bytes = gpu_gb << 30;
+      ModelStore store(tiers);
+      const int models = 50;
+      Rng rng(83);
+      for (int m = 0; m < models; ++m) {
+        (void)store.RegisterModel(
+            {"model-" + std::to_string(m),
+             uint64_t(rng.NextInt(50, 400)) << 20, 5 * kMillisecond});
+      }
+      ZipfGenerator zipf(models, 0.9);
+      Histogram lat;
+      for (int i = 0; i < 5000; ++i) {
+        auto r = store.Infer("model-" + std::to_string(zipf.Next(&rng)));
+        lat.Add(double(r->latency_us));
+      }
+      const auto& s = store.stats();
+      table.AddRow({FormatBytes(double(gpu_gb << 30)),
+                    bench::FmtInt(int64_t(s.hits_by_tier[0])),
+                    bench::FmtInt(int64_t(s.hits_by_tier[1])),
+                    bench::FmtInt(int64_t(s.hits_by_tier[2])),
+                    bench::FmtInt(int64_t(s.hits_by_tier[3])),
+                    FormatDuration(lat.P50()), FormatDuration(lat.P99())});
+    }
+    table.Print("E14b: 50 models, Zipf(0.9) requests — tiered store hit "
+                "distribution vs GPU capacity (TrIMS [88])");
+  }
+
+  // Part 3: tiered store vs no store over a whole workload.
+  {
+    ModelStore tiered;
+    ModelStore no_store;
+    Rng rng(89);
+    const int models = 20;
+    for (int m = 0; m < models; ++m) {
+      const uint64_t size = uint64_t(rng.NextInt(100, 300)) << 20;
+      (void)tiered.RegisterModel(
+          {"m" + std::to_string(m), size, 5 * kMillisecond});
+      (void)no_store.RegisterModel(
+          {"m" + std::to_string(m), size, 5 * kMillisecond});
+    }
+    ZipfGenerator zipf(models, 0.9);
+    long double tiered_total = 0, baseline_total = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const std::string m = "m" + std::to_string(zipf.Next(&rng));
+      tiered_total += double(tiered.Infer(m)->latency_us);
+      baseline_total += double(no_store.InferColdBaseline(m)->latency_us);
+    }
+    bench::Table table({"serving mode", "total latency (2000 reqs)",
+                        "mean", "bytes loaded"});
+    table.AddRow({"tiered model store",
+                  FormatDuration(double(tiered_total)),
+                  FormatDuration(double(tiered_total) / 2000),
+                  FormatBytes(double(tiered.stats().bytes_loaded))});
+    table.AddRow({"cold per-request (no store)",
+                  FormatDuration(double(baseline_total)),
+                  FormatDuration(double(baseline_total) / 2000),
+                  FormatBytes(double(no_store.stats().bytes_loaded))});
+    table.Print("E14c: workload-level comparison — persistent model store vs "
+                "per-request loading");
+  }
+}
+
+void BM_TieredInferHot(benchmark::State& state) {
+  ModelStore store;
+  (void)store.RegisterModel({"m", 100ull << 20, 5 * kMillisecond});
+  (void)store.Infer("m");  // promote
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Infer("m"));
+  }
+}
+BENCHMARK(BM_TieredInferHot);
+
+void BM_TieredInferChurn(benchmark::State& state) {
+  auto tiers = DefaultTiers();
+  tiers[0].capacity_bytes = 1ull << 30;
+  ModelStore store(tiers);
+  for (int m = 0; m < 32; ++m) {
+    (void)store.RegisterModel(
+        {"m" + std::to_string(m), 200ull << 20, 5 * kMillisecond});
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Infer("m" + std::to_string(i++ % 32)));
+  }
+}
+BENCHMARK(BM_TieredInferChurn);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

@@ -1,0 +1,204 @@
+// E16 — The mergeable-sketch family for serverless analytics (paper §5.1).
+// Claims: sketches summarize streams in bounded memory with bounded error,
+// and merge across partitions — exactly the shape serverless reducers need.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/rng.h"
+#include "sketch/bloom.h"
+#include "sketch/countmin.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/quantiles.h"
+#include "sketch/spacesaving.h"
+
+namespace taureau {
+namespace {
+
+void RunExperiment() {
+  // Part 1: space/accuracy frontier per sketch on a 1M-event Zipf stream.
+  {
+    const int n = 1000000;
+    Rng rng(91);
+    ZipfGenerator zipf(100000, 1.05);
+    std::vector<uint64_t> stream(n);
+    std::map<uint64_t, uint64_t> exact_counts;
+    for (int i = 0; i < n; ++i) {
+      stream[i] = zipf.Next(&rng);
+      ++exact_counts[stream[i]];
+    }
+    const uint64_t distinct = exact_counts.size();
+
+    bench::Table table({"sketch", "config", "memory", "error metric",
+                        "observed error"});
+    // HyperLogLog cardinality.
+    for (uint32_t prec : {8u, 12u, 16u}) {
+      sketch::HyperLogLog hll(prec);
+      for (uint64_t e : stream) hll.Add("k" + std::to_string(e));
+      const double rel =
+          std::abs(hll.Estimate() - double(distinct)) / double(distinct);
+      table.AddRow({"hyperloglog", "p=" + std::to_string(prec),
+                    FormatBytes(double(hll.MemoryBytes())),
+                    "relative cardinality error", bench::Fmt("%.4f", rel)});
+    }
+    // Count-Min point queries (mean over the 100 hottest).
+    for (uint32_t width : {256u, 4096u, 65536u}) {
+      sketch::CountMinSketch cm(4, width);
+      for (uint64_t e : stream) cm.Add("k" + std::to_string(e));
+      std::vector<std::pair<uint64_t, uint64_t>> hot(exact_counts.begin(),
+                                                     exact_counts.end());
+      std::sort(hot.begin(), hot.end(), [](auto& a, auto& b) {
+        return a.second > b.second;
+      });
+      double mean_rel = 0;
+      for (int i = 0; i < 100; ++i) {
+        const uint64_t est = cm.EstimateCount("k" + std::to_string(hot[i].first));
+        mean_rel += double(est - hot[i].second) / double(hot[i].second);
+      }
+      table.AddRow({"count-min", "4x" + std::to_string(width),
+                    FormatBytes(double(cm.MemoryBytes())),
+                    "mean rel. overcount (hot 100)",
+                    bench::Fmt("%.4f", mean_rel / 100)});
+    }
+    // GK quantiles.
+    for (double eps : {0.05, 0.01, 0.001}) {
+      sketch::GKQuantiles gk(eps);
+      for (uint64_t e : stream) gk.Add(double(e));
+      std::vector<uint64_t> sorted = stream;
+      std::sort(sorted.begin(), sorted.end());
+      double worst_rank_err = 0;
+      for (double q : {0.5, 0.9, 0.99}) {
+        const double est = gk.Quantile(q);
+        const auto it = std::lower_bound(sorted.begin(), sorted.end(),
+                                         uint64_t(est));
+        const double actual_rank =
+            double(it - sorted.begin()) / double(sorted.size());
+        worst_rank_err = std::max(worst_rank_err, std::abs(actual_rank - q));
+      }
+      table.AddRow({"gk-quantiles", bench::Fmt("eps=%.3f", eps),
+                    FormatBytes(double(gk.TupleCount() * 24)),
+                    "worst rank error", bench::Fmt("%.4f", worst_rank_err)});
+    }
+    // SpaceSaving recall of the true top-20.
+    for (size_t cap : {64u, 256u, 1024u}) {
+      sketch::SpaceSaving ss(cap);
+      for (uint64_t e : stream) ss.Add("k" + std::to_string(e));
+      std::vector<std::pair<uint64_t, uint64_t>> hot(exact_counts.begin(),
+                                                     exact_counts.end());
+      std::sort(hot.begin(), hot.end(), [](auto& a, auto& b) {
+        return a.second > b.second;
+      });
+      int found = 0;
+      for (int i = 0; i < 20; ++i) {
+        if (ss.EstimateCount("k" + std::to_string(hot[i].first)) > 0) ++found;
+      }
+      table.AddRow({"space-saving", "k=" + std::to_string(cap),
+                    FormatBytes(double(cap * 40)), "top-20 recall",
+                    bench::Fmt("%.2f", found / 20.0)});
+    }
+    table.Print("E16a: space/accuracy frontier — 1M Zipf(1.05) events over "
+                "100K keys");
+  }
+
+  // Part 2: merge property — sharded sketches == monolithic sketch.
+  {
+    bench::Table table({"sketch", "shards", "sharded==whole?"});
+    const int n = 200000, shards = 16;
+    Rng rng(97);
+    ZipfGenerator zipf(5000, 1.0);
+    std::vector<std::string> stream;
+    stream.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      stream.push_back("k" + std::to_string(zipf.Next(&rng)));
+    }
+    {
+      sketch::HyperLogLog whole(12);
+      std::vector<sketch::HyperLogLog> parts(shards, sketch::HyperLogLog(12));
+      for (int i = 0; i < n; ++i) {
+        whole.Add(stream[i]);
+        parts[i % shards].Add(stream[i]);
+      }
+      sketch::HyperLogLog merged = parts[0];
+      for (int s = 1; s < shards; ++s) (void)merged.Merge(parts[s]);
+      table.AddRow({"hyperloglog", bench::FmtInt(shards),
+                    merged.Estimate() == whole.Estimate() ? "identical"
+                                                          : "DIFFERENT"});
+    }
+    {
+      sketch::CountMinSketch whole(4, 1024);
+      std::vector<sketch::CountMinSketch> parts(
+          shards, sketch::CountMinSketch(4, 1024));
+      for (int i = 0; i < n; ++i) {
+        whole.Add(stream[i]);
+        parts[i % shards].Add(stream[i]);
+      }
+      sketch::CountMinSketch merged = parts[0];
+      for (int s = 1; s < shards; ++s) (void)merged.Merge(parts[s]);
+      bool same = true;
+      for (int k = 0; k < 200; ++k) {
+        const std::string key = "k" + std::to_string(k);
+        if (merged.EstimateCount(key) != whole.EstimateCount(key)) same = false;
+      }
+      table.AddRow({"count-min", bench::FmtInt(shards),
+                    same ? "identical" : "DIFFERENT"});
+    }
+    {
+      sketch::BloomFilter whole(1 << 16, 5);
+      std::vector<sketch::BloomFilter> parts(
+          shards, sketch::BloomFilter(1 << 16, 5));
+      for (int i = 0; i < n; ++i) {
+        whole.Add(stream[i]);
+        parts[i % shards].Add(stream[i]);
+      }
+      sketch::BloomFilter merged = parts[0];
+      for (int s = 1; s < shards; ++s) (void)merged.Merge(parts[s]);
+      bool same = true;
+      for (int k = 0; k < 5000; ++k) {
+        const std::string key = "k" + std::to_string(k);
+        if (merged.MayContain(key) != whole.MayContain(key)) same = false;
+      }
+      table.AddRow({"bloom", bench::FmtInt(shards),
+                    same ? "identical" : "DIFFERENT"});
+    }
+    table.Print("E16b: mergeability — 16 serverless shards merge to the "
+                "monolithic sketch");
+  }
+}
+
+void BM_HllAdd(benchmark::State& state) {
+  sketch::HyperLogLog hll(uint32_t(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    hll.Add("key-" + std::to_string(i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HllAdd)->Arg(12)->Arg(16);
+
+void BM_GkAdd(benchmark::State& state) {
+  sketch::GKQuantiles gk(0.01);
+  Rng rng(3);
+  for (auto _ : state) {
+    gk.Add(rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GkAdd);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  sketch::SpaceSaving ss(size_t(state.range(0)));
+  Rng rng(5);
+  ZipfGenerator zipf(100000, 1.0);
+  for (auto _ : state) {
+    ss.Add("k" + std::to_string(zipf.Next(&rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

@@ -1,0 +1,192 @@
+// E17 — The paper's §6 "look forward", implemented: predictive
+// pre-warming (SLA guarantees), dedicated tenancy (security), hardware
+// heterogeneity (GPU placement), and Pulsar tiered storage.
+#include <benchmark/benchmark.h>
+
+#include "baas/blob_store.h"
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "faas/platform.h"
+#include "faas/prewarmer.h"
+#include "pubsub/bookkeeper.h"
+#include "sim/simulation.h"
+#include "workload/arrivals.h"
+
+namespace taureau {
+namespace {
+
+void RunExperiment() {
+  // Part 1: reactive keep-alive vs predictive pre-warming under bursts.
+  {
+    auto run = [](bool prewarm) {
+      sim::Simulation sim;
+      cluster::Cluster cl(64, {32000, 65536});
+      faas::FaasConfig cfg;
+      cfg.keep_alive_us = 2 * kMinute;
+      faas::FaasPlatform platform(&sim, &cl, cfg);
+      faas::FunctionSpec spec;
+      spec.name = "fn";
+      spec.demand = {200, 256};
+      spec.exec = {faas::ExecTimeModel::Kind::kFixed, 40 * kMillisecond, 0,
+                   0};
+      spec.init_us = 200 * kMillisecond;
+      (void)platform.RegisterFunction(spec);
+      faas::PrewarmerConfig pcfg;
+      pcfg.tick_us = kSecond;
+      pcfg.alpha = 0.5;
+      pcfg.provision_window_us = 3 * kSecond;
+      faas::Prewarmer pw(&sim, &platform, "fn", pcfg);
+      if (prewarm) pw.Start();
+      Rng rng(31);
+      workload::BurstyArrivals arrivals(3.0, 20.0, kMinute, 15 * kSecond);
+      for (SimTime t : arrivals.Generate(10 * kMinute, &rng)) {
+        sim.ScheduleAt(t, [&pw] { pw.Invoke("", nullptr); });
+      }
+      sim.RunUntil(11 * kMinute);
+      pw.Stop();
+      sim.Run();
+      return platform.metrics();
+    };
+    const auto reactive = run(false);
+    const auto predictive = run(true);
+    bench::Table table({"policy", "cold starts", "e2e p50", "e2e p99",
+                        "container GB-hours (incl. idle)"});
+    auto row = [&](const char* name, const faas::PlatformMetrics& m) {
+      table.AddRow({name, bench::FmtInt(int64_t(m.cold_starts)),
+                    FormatDuration(m.e2e_latency_us.P50()),
+                    FormatDuration(m.e2e_latency_us.P99()),
+                    bench::Fmt("%.3f", double(m.container_mb_us) / 1024.0 /
+                                           double(kHour))});
+    };
+    row("reactive (keep-alive only)", reactive);
+    row("predictive (EWMA pre-warming)", predictive);
+    table.Print("E17a: bursty traffic (3 rps base, 20x bursts) — forecasting "
+                "buys latency with idle memory (§6 SLA / BARISTA [75])");
+  }
+
+  // Part 2: dedicated tenancy — the utilization price of side-channel
+  // isolation (§6 Security).
+  {
+    bench::Table table({"placement", "units placed", "machines used",
+                        "co-resident tenant pairs", "avg utilization"});
+    for (bool dedicated : {false, true}) {
+      cluster::Cluster cl(32, {16000, 32768});
+      Rng rng(37);
+      int64_t placed = 0;
+      for (int i = 0; i < 300; ++i) {
+        const std::string tenant = "tenant-" + std::to_string(i % 12);
+        const cluster::ResourceVector demand{
+            int64_t(rng.NextInt(500, 2000)), int64_t(rng.NextInt(256, 2048))};
+        auto r = dedicated
+                     ? cl.AllocateIsolated(cluster::IsolationLevel::kLambda,
+                                           demand,
+                                           cluster::PlacementPolicy::kFirstFit,
+                                           tenant)
+                     : cl.Allocate(cluster::IsolationLevel::kLambda, demand,
+                                   cluster::PlacementPolicy::kFirstFit,
+                                   tenant);
+        if (r.ok()) ++placed;
+      }
+      const auto stats = cl.Stats();
+      table.AddRow({dedicated ? "dedicated tenancy" : "shared (default)",
+                    bench::FmtInt(placed),
+                    bench::FmtInt(int64_t(stats.machines_in_use)),
+                    bench::FmtInt(int64_t(cl.CoResidentTenantPairs())),
+                    bench::Fmt("%.3f", stats.avg_utilization)});
+    }
+    table.Print("E17b: 12 tenants x 300 functions on 32 machines — isolation "
+                "vs consolidation (§6 Security)");
+  }
+
+  // Part 3: hardware heterogeneity — GPU demand on a mixed fleet.
+  {
+    std::vector<cluster::ResourceVector> fleet;
+    for (int i = 0; i < 12; ++i) fleet.push_back({32000, 65536, 0});
+    for (int i = 0; i < 4; ++i) fleet.push_back({32000, 65536, 4});
+    cluster::Cluster cl(fleet);
+    int64_t gpu_placed = 0, gpu_rejected = 0, cpu_placed = 0;
+    Rng rng(41);
+    for (int i = 0; i < 200; ++i) {
+      const bool wants_gpu = rng.NextBool(0.25);
+      const cluster::ResourceVector demand{1000, 2048, wants_gpu ? 1 : 0};
+      auto r = cl.Allocate(cluster::IsolationLevel::kLambda, demand,
+                           cluster::PlacementPolicy::kBestFit,
+                           wants_gpu ? "ml" : "web");
+      if (wants_gpu) {
+        r.ok() ? ++gpu_placed : ++gpu_rejected;
+      } else if (r.ok()) {
+        ++cpu_placed;
+      }
+    }
+    bench::Table table({"metric", "value"});
+    table.AddRow({"GPU machines / total", "4 / 16 (16 devices)"});
+    table.AddRow({"GPU functions placed", bench::FmtInt(gpu_placed)});
+    table.AddRow({"GPU functions rejected (devices exhausted)",
+                  bench::FmtInt(gpu_rejected)});
+    table.AddRow({"CPU functions placed", bench::FmtInt(cpu_placed)});
+    table.AddRow({"cross-tenant co-residency pairs",
+                  bench::FmtInt(int64_t(cl.CoResidentTenantPairs()))});
+    table.Print("E17c: GPU-demanding lambdas on a heterogeneous fleet "
+                "(§6 Hardware Heterogeneity)");
+  }
+
+  // Part 4: Pulsar tiered storage — bookie footprint before/after offload.
+  {
+    pubsub::BookKeeper bk(6);
+    baas::BlobStore cold;
+    std::vector<pubsub::LedgerId> ledgers;
+    const std::string payload(1024, 'x');
+    for (int l = 0; l < 8; ++l) {
+      auto ledger = bk.CreateLedger(3, 2, 2);
+      for (int e = 0; e < 500; ++e) {
+        (void)bk.Append(*ledger, payload, 0);
+      }
+      (void)bk.CloseLedger(*ledger);
+      ledgers.push_back(*ledger);
+    }
+    uint64_t hot_before = 0;
+    for (size_t b = 0; b < bk.bookie_count(); ++b) {
+      hot_before += bk.bookie(pubsub::BookieId(b)).bytes_stored();
+    }
+    // Offload the 6 oldest ledgers.
+    for (size_t i = 0; i + 2 < ledgers.size(); ++i) {
+      (void)bk.OffloadLedger(ledgers[i], &cold);
+    }
+    uint64_t hot_after = 0;
+    for (size_t b = 0; b < bk.bookie_count(); ++b) {
+      hot_after += bk.bookie(pubsub::BookieId(b)).bytes_stored();
+    }
+    bench::Table table({"metric", "value"});
+    table.AddRow({"bookie bytes before offload",
+                  FormatBytes(double(hot_before))});
+    table.AddRow({"bookie bytes after offloading 6/8 ledgers",
+                  FormatBytes(double(hot_after))});
+    table.AddRow({"cold-store bytes", FormatBytes(double(cold.total_bytes()))});
+    table.AddRow({"oldest entry still readable",
+                  bk.Read(ledgers[0], 0).ok() ? "yes (from cold tier)"
+                                              : "NO"});
+    table.Print("E17d: tiered storage — closed ledgers offload to the blob "
+                "store, bookies shrink, reads keep working (§4.3)");
+  }
+}
+
+void BM_PrewarmBatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    cluster::Cluster cl(32, {32000, 65536});
+    faas::FaasPlatform platform(&sim, &cl, faas::FaasConfig{});
+    faas::FunctionSpec spec;
+    spec.name = "fn";
+    spec.exec = {faas::ExecTimeModel::Kind::kFixed, kMillisecond, 0, 0};
+    (void)platform.RegisterFunction(spec);
+    benchmark::DoNotOptimize(platform.Prewarm("fn", size_t(state.range(0))));
+    sim.Run();
+  }
+}
+BENCHMARK(BM_PrewarmBatch)->Arg(16)->Arg(128);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

@@ -1,0 +1,111 @@
+// E18 — Serverless Monte Carlo / "supercomputing" (paper §5 intro + [82]):
+// embarrassingly parallel sampling is the best case for lambda fan-out;
+// speedup approaches the worker count once compute amortizes the
+// invocation overhead.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analytics/montecarlo.h"
+#include "bench_util.h"
+#include "common/stats.h"
+
+namespace taureau {
+namespace {
+
+void RunExperiment() {
+  // Part 1: worker scaling for a fixed pi workload.
+  {
+    bench::Table table({"workers", "estimate", "std err", "makespan",
+                        "speedup", "cost"});
+    for (uint32_t w : {1u, 4u, 16u, 64u, 256u}) {
+      analytics::MonteCarloConfig cfg;
+      cfg.num_workers = w;
+      cfg.task_model.compute_us_per_unit = 0.2;
+      auto stats = analytics::EstimatePi(5000000, cfg);
+      table.AddRow({bench::FmtInt(w), bench::Fmt("%.5f", stats->estimate),
+                    bench::Fmt("%.5f", stats->std_error),
+                    FormatDuration(double(stats->makespan_us)),
+                    bench::Fmt("%.1fx", stats->Speedup()),
+                    stats->cost.ToString()});
+    }
+    table.Print("E18a: pi over 5M samples — lambda fan-out scaling");
+  }
+
+  // Part 2: sample-size sweep at 64 workers (accuracy/cost frontier).
+  {
+    bench::Table table({"paths", "option price", "95% CI half-width",
+                        "makespan", "cost"});
+    analytics::AsianOption option;
+    option.volatility = 0.25;
+    option.strike = 105;
+    for (uint64_t paths : {uint64_t(10000), uint64_t(100000),
+                           uint64_t(1000000)}) {
+      analytics::MonteCarloConfig cfg;
+      cfg.num_workers = 64;
+      auto stats = analytics::PriceAsianOption(option, paths, cfg);
+      table.AddRow({FormatCount(double(paths)),
+                    bench::Fmt("%.4f", stats->estimate),
+                    bench::Fmt("%.4f", 1.96 * stats->std_error),
+                    FormatDuration(double(stats->makespan_us)),
+                    stats->cost.ToString()});
+    }
+    table.Print("E18b: Asian option pricing — accuracy scales with paths at "
+                "near-constant makespan (64 lambdas)");
+  }
+
+  // Part 3: overhead-amortization crossover — tiny workloads do not
+  // benefit from fan-out.
+  {
+    bench::Table table({"samples", "1 worker", "64 workers",
+                        "64-worker speedup"});
+    for (uint64_t n : {uint64_t(10000), uint64_t(100000), uint64_t(1000000),
+                       uint64_t(10000000)}) {
+      analytics::MonteCarloConfig one;
+      one.num_workers = 1;
+      one.task_model.compute_us_per_unit = 0.2;
+      analytics::MonteCarloConfig many = one;
+      many.num_workers = 64;
+      auto s1 = analytics::EstimatePi(n, one);
+      auto s64 = analytics::EstimatePi(n, many);
+      table.AddRow({FormatCount(double(n)),
+                    FormatDuration(double(s1->makespan_us)),
+                    FormatDuration(double(s64->makespan_us)),
+                    bench::Fmt("%.1fx", double(s1->makespan_us) /
+                                            double(s64->makespan_us))});
+    }
+    table.Print("E18c: fan-out crossover — invocation overhead dominates "
+                "small jobs");
+  }
+}
+
+void BM_PiSampling(benchmark::State& state) {
+  Rng rng(7);
+  double acc = 0;
+  for (auto _ : state) {
+    const double x = rng.NextDouble(-1, 1);
+    const double y = rng.NextDouble(-1, 1);
+    acc += (x * x + y * y <= 1.0) ? 4.0 : 0.0;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PiSampling);
+
+void BM_GbmPath(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    double s = 100.0;
+    for (int t = 0; t < 64; ++t) {
+      s *= std::exp(0.0005 + 0.025 * rng.NextGaussian());
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_GbmPath);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

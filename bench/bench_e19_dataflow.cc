@@ -1,0 +1,115 @@
+// E19 — Ripple-style declarative dataflow (paper §4.1 [117]): a
+// single-machine-looking pipeline compiled onto serverless stages, with
+// narrow-op fusion and ephemeral-state shuffles.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "analytics/dataflow.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace taureau {
+namespace {
+
+using analytics::Dataflow;
+using analytics::DataflowConfig;
+
+std::vector<std::string> MakeLog(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(500, 0.9);
+  std::vector<std::string> log;
+  log.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    log.push_back("user-" + std::to_string(zipf.Next(&rng)) + " " +
+                  std::to_string(rng.NextInt(1, 500)) + "ms " +
+                  (rng.NextBool(0.05) ? "ERROR" : "OK"));
+  }
+  return log;
+}
+
+Dataflow ErrorsByUser(const std::vector<std::string>& log) {
+  // The single-machine-looking program: filter errors, count per user.
+  return Dataflow::FromRecords(log)
+      .Filter([](const std::string& line) {
+        return line.find("ERROR") != std::string::npos;
+      })
+      .KeyBy([](const std::string& line) {
+        return line.substr(0, line.find(' '));
+      })
+      .Map([](const std::string&) { return std::string("1"); })
+      .ReduceByKey([](const std::string& a, const std::string& b) {
+        return std::to_string(std::stoi(a) + std::stoi(b));
+      })
+      .Sort();
+}
+
+void RunExperiment() {
+  // Part 1: worker scaling on a log-analytics pipeline.
+  {
+    const auto log = MakeLog(200000, 127);
+    const auto pipeline = ErrorsByUser(log);
+    bench::Table table({"workers", "stages", "shuffles", "makespan",
+                        "speedup vs serial", "cost"});
+    for (uint32_t w : {1u, 4u, 16u, 64u}) {
+      auto stats = pipeline.Run(DataflowConfig{.num_workers = w});
+      table.AddRow({bench::FmtInt(w), bench::FmtInt(int64_t(stats->stages)),
+                    bench::FmtInt(int64_t(stats->shuffles)),
+                    FormatDuration(double(stats->makespan_us)),
+                    bench::Fmt("%.1fx", double(stats->serial_time_us) /
+                                            double(stats->makespan_us)),
+                    stats->cost.ToString()});
+    }
+    table.Print("E19a: filter->keyBy->count->sort over 200K log lines — the "
+                "same program, scaled by a config knob");
+  }
+
+  // Part 2: fusion ablation — narrow chains cost one stage regardless of
+  // operator count.
+  {
+    const auto log = MakeLog(50000, 131);
+    bench::Table table({"narrow ops chained", "stages", "makespan"});
+    for (int chain : {1, 3, 6}) {
+      Dataflow df = Dataflow::FromRecords(log);
+      for (int c = 0; c < chain; ++c) {
+        df = df.Map([](const std::string& v) { return v; });
+      }
+      auto stats = df.Run(DataflowConfig{.num_workers = 16});
+      table.AddRow({bench::FmtInt(chain),
+                    bench::FmtInt(int64_t(stats->stages)),
+                    FormatDuration(double(stats->makespan_us))});
+    }
+    table.Print("E19b: operator fusion — chaining narrow ops never adds "
+                "lambda waves (compute grows, stages don't)");
+  }
+
+  // Part 3: input scaling at fixed parallelism.
+  {
+    bench::Table table({"records", "makespan", "shuffle volume", "cost"});
+    for (size_t n : {size_t(10000), size_t(100000), size_t(1000000)}) {
+      const auto log = MakeLog(n, 137);
+      auto stats = ErrorsByUser(log).Run(DataflowConfig{.num_workers = 32});
+      table.AddRow({FormatCount(double(n)),
+                    FormatDuration(double(stats->makespan_us)),
+                    FormatBytes(double(stats->shuffle_bytes)),
+                    stats->cost.ToString()});
+    }
+    table.Print("E19c: input scaling at 32 workers");
+  }
+}
+
+void BM_DataflowWordcount(benchmark::State& state) {
+  const auto log = MakeLog(size_t(state.range(0)), 11);
+  const auto pipeline = ErrorsByUser(log);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Run(DataflowConfig{.num_workers = 8}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataflowWordcount)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

@@ -1,0 +1,68 @@
+// E1 — The virtualization evolution (paper §2.1):
+//   bare metal -> VM -> container -> lambda.
+// Claim: each rung cuts startup latency and raises per-machine density.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cluster/virtualization.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace taureau {
+namespace {
+
+using cluster::DefaultStartupModel;
+using cluster::IsolationLevel;
+using cluster::IsolationLevelName;
+using cluster::MaxDensity;
+using cluster::ResourceVector;
+
+void RunExperiment() {
+  const ResourceVector machine{32000, 131072};  // 32 cores / 128 GB
+  const ResourceVector unit{100, 700};          // memory-heavy web worker
+
+  bench::Table table({"isolation level", "median startup", "p99 startup",
+                      "per-unit overhead", "max density/machine"});
+  for (IsolationLevel level :
+       {IsolationLevel::kBareMetal, IsolationLevel::kVirtualMachine,
+        IsolationLevel::kContainer, IsolationLevel::kLambda}) {
+    const auto model = DefaultStartupModel(level);
+    Rng rng(1);
+    Histogram startup;
+    for (int i = 0; i < 20000; ++i) {
+      startup.Add(double(model.SampleStartup(&rng)));
+    }
+    table.AddRow({std::string(IsolationLevelName(level)),
+                  FormatDuration(startup.P50()), FormatDuration(startup.P99()),
+                  FormatBytes(double(model.overhead_mb) * 1024 * 1024),
+                  bench::FmtInt(MaxDensity(level, machine, unit))});
+  }
+  table.Print(
+      "E1: virtualization evolution — startup latency & density "
+      "(100mCPU/700MB units on a 32-core/128GB machine)");
+}
+
+void BM_SampleStartup(benchmark::State& state) {
+  const auto model = DefaultStartupModel(
+      static_cast<IsolationLevel>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SampleStartup(&rng));
+  }
+}
+BENCHMARK(BM_SampleStartup)->DenseRange(0, 3);
+
+void BM_MaxDensity(benchmark::State& state) {
+  const ResourceVector machine{32000, 131072};
+  const ResourceVector unit{100, 700};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaxDensity(IsolationLevel::kLambda, machine, unit));
+  }
+}
+BENCHMARK(BM_MaxDensity);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

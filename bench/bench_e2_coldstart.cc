@@ -1,0 +1,125 @@
+// E2 — Cold vs warm starts and the keep-alive frontier (paper §5.2 [112]).
+// Claims: cold starts add significant overhead vs warm execution; longer
+// keep-alive trades idle memory for fewer cold starts.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "faas/platform.h"
+#include "sim/simulation.h"
+#include "workload/arrivals.h"
+
+namespace taureau {
+namespace {
+
+struct RunResult {
+  faas::PlatformMetrics metrics;
+  double cold_fraction;
+  double memory_gb_hours;
+};
+
+RunResult RunWorkload(double rate_per_sec, SimDuration keep_alive,
+                      SimTime horizon) {
+  sim::Simulation sim;
+  cluster::Cluster cl(64, {32000, 65536});
+  faas::FaasConfig cfg;
+  cfg.keep_alive_us = keep_alive;
+  cfg.max_concurrency = 5000;
+  faas::FaasPlatform platform(&sim, &cl, cfg);
+  faas::FunctionSpec spec;
+  spec.name = "handler";
+  spec.demand = {200, 256};
+  spec.exec = {faas::ExecTimeModel::Kind::kLogNormal, 40 * kMillisecond, 0.4,
+               0};
+  spec.init_us = 150 * kMillisecond;
+  platform.RegisterFunction(spec);
+
+  Rng rng(11);
+  workload::PoissonArrivals arrivals(rate_per_sec);
+  for (SimTime t : arrivals.Generate(horizon, &rng)) {
+    sim.ScheduleAt(t, [&platform] { platform.Invoke("handler", "", nullptr); });
+  }
+  sim.Run();
+
+  RunResult out;
+  out.metrics = platform.metrics();
+  const double starts =
+      double(out.metrics.cold_starts + out.metrics.warm_starts);
+  out.cold_fraction =
+      starts > 0 ? double(out.metrics.cold_starts) / starts : 0;
+  out.memory_gb_hours = double(out.metrics.container_mb_us) / 1024.0 /
+                        double(kHour);
+  return out;
+}
+
+void RunExperiment() {
+  const SimTime horizon = 30 * kMinute;
+
+  // Part 1: cold vs warm latency decomposition at a steady rate.
+  {
+    auto r = RunWorkload(2.0, 10 * kMinute, horizon);
+    bench::Table table({"metric", "value"});
+    table.AddRow({"invocations", bench::FmtInt(int64_t(r.metrics.invocations))});
+    table.AddRow({"cold starts", bench::FmtInt(int64_t(r.metrics.cold_starts))});
+    table.AddRow({"warm starts", bench::FmtInt(int64_t(r.metrics.warm_starts))});
+    table.AddRow({"startup p50 (cold incl.)",
+                  FormatDuration(r.metrics.startup_latency_us.P50())});
+    table.AddRow({"startup max",
+                  FormatDuration(r.metrics.startup_latency_us.max())});
+    table.AddRow({"e2e p50", FormatDuration(r.metrics.e2e_latency_us.P50())});
+    table.AddRow({"e2e p99", FormatDuration(r.metrics.e2e_latency_us.P99())});
+    table.Print("E2a: steady 2 req/s, 10min keep-alive — latency decomposition");
+  }
+
+  // Part 2: arrival-rate sweep at fixed keep-alive.
+  {
+    bench::Table table({"rate (req/s)", "cold-start fraction", "e2e p50",
+                        "e2e p99"});
+    for (double rate : {0.01, 0.05, 0.2, 1.0, 5.0, 20.0}) {
+      auto r = RunWorkload(rate, 5 * kMinute, horizon);
+      table.AddRow({bench::Fmt("%.2f", rate),
+                    bench::Fmt("%.3f", r.cold_fraction),
+                    FormatDuration(r.metrics.e2e_latency_us.P50()),
+                    FormatDuration(r.metrics.e2e_latency_us.P99())});
+    }
+    table.Print("E2b: cold-start fraction vs arrival rate (keep-alive 5min)");
+  }
+
+  // Part 3: keep-alive ablation — latency vs idle-memory frontier.
+  {
+    bench::Table table({"keep-alive", "cold-start fraction", "e2e p99",
+                        "container GB-hours"});
+    for (SimDuration ka : {SimDuration(0), 30 * kSecond, 1 * kMinute,
+                           5 * kMinute, 10 * kMinute, 30 * kMinute}) {
+      auto r = RunWorkload(0.5, ka, horizon);
+      table.AddRow({FormatDuration(double(ka)),
+                    bench::Fmt("%.3f", r.cold_fraction),
+                    FormatDuration(r.metrics.e2e_latency_us.P99()),
+                    bench::Fmt("%.3f", r.memory_gb_hours)});
+    }
+    table.Print(
+        "E2c: keep-alive ablation at 0.5 req/s — cold starts vs idle memory");
+  }
+}
+
+void BM_InvokeWarm(benchmark::State& state) {
+  sim::Simulation sim;
+  cluster::Cluster cl(8, {32000, 65536});
+  faas::FaasPlatform platform(&sim, &cl, faas::FaasConfig{});
+  faas::FunctionSpec spec;
+  spec.name = "f";
+  spec.exec = {faas::ExecTimeModel::Kind::kFixed, kMillisecond, 0, 0};
+  platform.RegisterFunction(spec);
+  (void)platform.InvokeSync("f", "");  // warm it
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform.InvokeSync("f", ""));
+  }
+}
+BENCHMARK(BM_InvokeWarm);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

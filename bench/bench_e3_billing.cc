@@ -1,0 +1,124 @@
+// E3 — Fine-grained billing vs reserved servers (paper §2, §6).
+// Claim: "users only pay for the resources they actually use" — serverless
+// wins at low/variable utilization; reserved capacity wins at sustained
+// high utilization. This bench locates the crossover.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "faas/platform.h"
+#include "sim/simulation.h"
+#include "workload/arrivals.h"
+
+namespace taureau {
+namespace {
+
+struct CostPair {
+  Money serverless;
+  Money reserved;
+};
+
+/// Runs `rate` req/s of 100ms/512MB work for `horizon`, returning both
+/// pricing models' bills. The reserved fleet is sized to the peak rate.
+CostPair RunAt(double rate_per_sec, double peak_factor, SimTime horizon) {
+  sim::Simulation sim;
+  cluster::Cluster cl(64, {32000, 65536}, Money::FromDollars(0.0928));
+  faas::FaasConfig cfg;
+  cfg.keep_alive_us = 5 * kMinute;
+  cfg.max_concurrency = 20000;
+  faas::FaasPlatform platform(&sim, &cl, cfg);
+  faas::FunctionSpec spec;
+  spec.name = "work";
+  spec.demand = {500, 512};
+  spec.exec = {faas::ExecTimeModel::Kind::kFixed, 100 * kMillisecond, 0, 0};
+  spec.init_us = 100 * kMillisecond;
+  platform.RegisterFunction(spec);
+
+  Rng rng(13);
+  workload::PoissonArrivals arrivals(rate_per_sec);
+  for (SimTime t : arrivals.Generate(horizon, &rng)) {
+    sim.ScheduleAt(t, [&platform] { platform.Invoke("work", "", nullptr); });
+  }
+  sim.Run();
+
+  // Reserved fleet: one 32-core/64GB box serves ~64 concurrent 0.5-core
+  // requests => capacity ~640 req/s of 100ms work. Provision for peak.
+  const double peak_rate = rate_per_sec * peak_factor;
+  const size_t boxes = size_t(std::max(1.0, std::ceil(peak_rate / 640.0)));
+  return {platform.ledger().Total(), cl.ReservedCost(boxes, horizon)};
+}
+
+void RunExperiment() {
+  const SimTime horizon = 1 * kHour;
+
+  // Part 1: utilization sweep, steady load, fleet sized to the mean.
+  {
+    bench::Table table({"rate (req/s)", "serverless $/h", "reserved $/h",
+                        "winner"});
+    for (double rate : {0.01, 0.1, 1.0, 10.0, 50.0, 200.0, 640.0}) {
+      auto c = RunAt(rate, 1.0, horizon);
+      table.AddRow(
+          {bench::Fmt("%.2f", rate), bench::Fmt("%.6f", c.serverless.dollars()),
+           bench::Fmt("%.6f", c.reserved.dollars()),
+           c.serverless < c.reserved ? "serverless" : "reserved"});
+    }
+    table.Print(
+        "E3a: hourly cost vs steady load (100ms/512MB fn; reserved fleet "
+        "sized to mean)");
+  }
+
+  // Part 2: peak/mean ratio sweep — bursty apps must provision reserved
+  // fleets for the peak, which serverless never pays for.
+  {
+    bench::Table table({"peak/mean", "serverless $/h", "reserved $/h",
+                        "reserved premium"});
+    for (double peak : {1.0, 2.0, 5.0, 10.0, 50.0}) {
+      auto c = RunAt(20.0, peak, horizon);
+      table.AddRow({bench::Fmt("%.0fx", peak),
+                    bench::Fmt("%.6f", c.serverless.dollars()),
+                    bench::Fmt("%.6f", c.reserved.dollars()),
+                    bench::Fmt("%.1fx", c.reserved.dollars() /
+                                            std::max(1e-12,
+                                                     c.serverless.dollars()))});
+    }
+    table.Print(
+        "E3b: 20 req/s mean with peak-sized reserved fleet — the "
+        "pay-per-use advantage grows with burstiness");
+  }
+
+  // Part 3: billing-quantum ablation (100ms vs 1ms quanta).
+  {
+    bench::Table table({"exec time", "billed @100ms quantum",
+                        "billed @1ms quantum", "overcharge"});
+    faas::BillingLedger coarse{faas::BillingRates{}};
+    faas::BillingRates fine_rates;
+    fine_rates.quantum_us = kMillisecond;
+    faas::BillingLedger fine{fine_rates};
+    for (SimDuration exec : {3 * kMillisecond, 20 * kMillisecond,
+                             130 * kMillisecond, 1 * kSecond}) {
+      const Money c = coarse.Price(exec, 512);
+      const Money f = fine.Price(exec, 512);
+      table.AddRow({FormatDuration(double(exec)),
+                    bench::Fmt("%.9f", c.dollars()),
+                    bench::Fmt("%.9f", f.dollars()),
+                    bench::Fmt("%.2fx", c.dollars() / f.dollars())});
+    }
+    table.Print("E3c: billing-quantum ablation — finer quanta cut waste for "
+                "short functions");
+  }
+}
+
+void BM_PriceComputation(benchmark::State& state) {
+  faas::BillingLedger ledger{faas::BillingRates{}};
+  SimDuration d = 0;
+  for (auto _ : state) {
+    d = (d + 13 * kMillisecond) % kMinute;
+    benchmark::DoNotOptimize(ledger.Price(d, 512));
+  }
+}
+BENCHMARK(BM_PriceComputation);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

@@ -1,0 +1,127 @@
+// E5 — Bin-packing functions onto machines (paper §6 "SLA Guarantees"):
+// "future research may explore bin-packing techniques that pack together
+// functions... with complementary resource requirements". This bench
+// compares first-fit / best-fit / worst-fit / complementary packing on a
+// mixed CPU-heavy + memory-heavy function population.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+
+namespace taureau {
+namespace {
+
+using cluster::Cluster;
+using cluster::IsolationLevel;
+using cluster::PlacementPolicy;
+using cluster::PlacementPolicyName;
+using cluster::ResourceVector;
+
+struct PackResult {
+  size_t machines_used = 0;
+  double avg_utilization = 0;
+  double avg_imbalance = 0;
+  size_t placed = 0;
+  size_t rejected = 0;
+};
+
+PackResult Pack(PlacementPolicy policy, uint64_t seed, size_t units) {
+  Cluster cl(48, {16000, 32768});
+  Rng rng(seed);
+  PackResult out;
+  for (size_t i = 0; i < units; ++i) {
+    // Bimodal population: CPU-heavy analytics vs memory-heavy caches.
+    const bool cpu_heavy = rng.NextBool(0.5);
+    ResourceVector demand =
+        cpu_heavy
+            ? ResourceVector{int64_t(rng.NextInt(1500, 3000)),
+                             int64_t(rng.NextInt(128, 512))}
+            : ResourceVector{int64_t(rng.NextInt(100, 400)),
+                             int64_t(rng.NextInt(2048, 6144))};
+    auto r = cl.Allocate(IsolationLevel::kLambda, demand, policy,
+                         cpu_heavy ? "cpu" : "mem");
+    r.ok() ? ++out.placed : ++out.rejected;
+  }
+  const auto stats = cl.Stats();
+  out.machines_used = stats.machines_in_use;
+  out.avg_utilization = stats.avg_utilization;
+  out.avg_imbalance = stats.avg_imbalance;
+  return out;
+}
+
+void RunExperiment() {
+  {
+    bench::Table table({"policy", "placed", "rejected", "machines used",
+                        "avg dominant util", "avg cpu/mem imbalance"});
+    for (PlacementPolicy policy :
+         {PlacementPolicy::kFirstFit, PlacementPolicy::kBestFit,
+          PlacementPolicy::kWorstFit, PlacementPolicy::kComplementary}) {
+      // Average over several seeds.
+      PackResult sum;
+      const int seeds = 5;
+      for (int s = 0; s < seeds; ++s) {
+        auto r = Pack(policy, 100 + s, 400);
+        sum.machines_used += r.machines_used;
+        sum.avg_utilization += r.avg_utilization;
+        sum.avg_imbalance += r.avg_imbalance;
+        sum.placed += r.placed;
+        sum.rejected += r.rejected;
+      }
+      table.AddRow({std::string(PlacementPolicyName(policy)),
+                    bench::FmtInt(int64_t(sum.placed / seeds)),
+                    bench::FmtInt(int64_t(sum.rejected / seeds)),
+                    bench::FmtInt(int64_t(sum.machines_used / seeds)),
+                    bench::Fmt("%.3f", sum.avg_utilization / seeds),
+                    bench::Fmt("%.3f", sum.avg_imbalance / seeds)});
+    }
+    table.Print(
+        "E5: packing 400 bimodal functions (CPU-heavy vs memory-heavy) onto "
+        "48 x 16-core/32GB machines — mean of 5 seeds");
+  }
+
+  // Capacity-at-saturation ablation: keep placing until first rejection.
+  {
+    bench::Table table({"policy", "units placed before first rejection"});
+    for (PlacementPolicy policy :
+         {PlacementPolicy::kFirstFit, PlacementPolicy::kBestFit,
+          PlacementPolicy::kComplementary}) {
+      Cluster cl(16, {16000, 32768});
+      Rng rng(7);
+      int64_t placed = 0;
+      while (true) {
+        const bool cpu_heavy = rng.NextBool(0.5);
+        ResourceVector demand =
+            cpu_heavy ? ResourceVector{2000, 256} : ResourceVector{200, 4096};
+        if (!cl.Allocate(IsolationLevel::kLambda, demand, policy).ok()) break;
+        ++placed;
+      }
+      table.AddRow({std::string(PlacementPolicyName(policy)),
+                    bench::FmtInt(placed)});
+    }
+    table.Print("E5b: saturation capacity — complementary packing defers the "
+                "first rejection");
+  }
+}
+
+void BM_Allocate(benchmark::State& state) {
+  const auto policy = static_cast<PlacementPolicy>(state.range(0));
+  Cluster cl(48, {16000, 32768});
+  Rng rng(3);
+  std::vector<cluster::UnitId> units;
+  for (auto _ : state) {
+    auto r = cl.Allocate(IsolationLevel::kLambda, {500, 512}, policy);
+    if (r.ok()) {
+      units.push_back(*r);
+    } else {
+      for (auto u : units) cl.Release(u);
+      units.clear();
+    }
+  }
+}
+BENCHMARK(BM_Allocate)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

@@ -1,0 +1,157 @@
+// E8 — Jiffy vs the alternatives (paper §4.4).
+// Claims: (1) ephemeral state through a memory-block store is far faster
+// than persistent blob stores; (2) per-namespace block allocation scales a
+// tenant without touching others, while a global address space repartitions
+// everyone's data.
+#include <benchmark/benchmark.h>
+
+#include "baas/blob_store.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "jiffy/baselines.h"
+#include "jiffy/controller.h"
+#include "sim/simulation.h"
+
+namespace taureau {
+namespace {
+
+void RunExperiment() {
+  // Part 1: task-to-task state exchange latency, Jiffy vs KV vs blob.
+  {
+    bench::Table table({"object size", "jiffy put+get", "blob put+get",
+                        "blob/jiffy"});
+    sim::Simulation sim;
+    jiffy::JiffyConfig jcfg;
+    jcfg.num_memory_nodes = 8;
+    jcfg.blocks_per_node = 8192;
+    jcfg.block_size_bytes = 256 * 1024;
+    jiffy::JiffyController jc(&sim, jcfg);
+    (void)jc.CreateNamespace("/xchg", -1);
+    auto table_r = jc.CreateHashTable("/xchg", "state", 8);
+    baas::BlobStore blob;
+
+    for (size_t bytes : {size_t(1) << 10, size_t(64) << 10, size_t(1) << 20,
+                         size_t(16) << 20}) {
+      const std::string value(bytes, 'x');
+      SimDuration jiffy_us = 0, blob_us = 0;
+      const int reps = 20;
+      for (int i = 0; i < reps; ++i) {
+        const std::string key = "obj-" + std::to_string(i);
+        auto p = (*table_r)->Put(key, value);
+        std::string out;
+        auto g = (*table_r)->Get(key, &out);
+        jiffy_us += p.latency_us + g.latency_us;
+        auto bp = blob.Put(key, value);
+        auto bg = blob.Get(key, &out);
+        blob_us += bp.latency_us + bg.latency_us;
+      }
+      table.AddRow({FormatBytes(double(bytes)),
+                    FormatDuration(double(jiffy_us) / reps),
+                    FormatDuration(double(blob_us) / reps),
+                    bench::Fmt("%.1fx", double(blob_us) / double(jiffy_us))});
+    }
+    table.Print("E8a: inter-task state exchange — Jiffy blocks vs S3-style "
+                "blob store (mean of 20 ops)");
+  }
+
+  // Part 2: elasticity isolation — scale tenant A 4->8 partitions.
+  {
+    bench::Table table({"design", "bytes moved total", "tenant A moved",
+                        "tenant B moved (innocent bystander)"});
+    // Jiffy: per-namespace structures.
+    {
+      jiffy::MemoryPool pool(8, 8192, 128 * 1024);
+      jiffy::JiffyHashTable a(&pool, "A", 4), b(&pool, "B", 4);
+      const std::string value(1024, 'v');
+      for (int i = 0; i < 2000; ++i) {
+        a.Put("a-" + std::to_string(i), value);
+        b.Put("b-" + std::to_string(i), value);
+      }
+      auto rep = a.Resize(8);
+      table.AddRow({"jiffy (per-namespace blocks)",
+                    FormatBytes(double(rep->moved_bytes)),
+                    FormatBytes(double(rep->moved_bytes)), "0B"});
+    }
+    // Global address space: one shared hash space.
+    {
+      jiffy::GlobalAddressSpaceStore store(4);
+      const std::string value(1024, 'v');
+      for (int i = 0; i < 2000; ++i) {
+        store.Put("A", "a-" + std::to_string(i), value);
+        store.Put("B", "b-" + std::to_string(i), value);
+      }
+      auto rep = store.Resize(8);
+      table.AddRow(
+          {"global address space",
+           FormatBytes(double(rep->total.moved_bytes)),
+           FormatBytes(double(rep->moved_bytes_by_tenant["A"])),
+           FormatBytes(double(rep->moved_bytes_by_tenant["B"]))});
+    }
+    table.Print("E8b: scaling tenant A from 4 to 8 partitions — who pays? "
+                "(2000 x 1KB objects per tenant)");
+  }
+
+  // Part 3: memory multiplexing across short-lived applications.
+  {
+    sim::Simulation sim;
+    jiffy::JiffyConfig jcfg;
+    jcfg.num_memory_nodes = 4;
+    jcfg.blocks_per_node = 1024;
+    jcfg.block_size_bytes = 64 * 1024;
+    jiffy::JiffyController jc(&sim, jcfg);
+    const int apps = 50;
+    uint64_t sum_of_footprints = 0;
+    for (int a = 0; a < apps; ++a) {
+      const std::string path = "/app-" + std::to_string(a);
+      (void)jc.CreateNamespace(path, -1);
+      auto q = jc.CreateQueue(path, "q");
+      for (int i = 0; i < 64; ++i) {
+        (void)(*q)->Enqueue(std::string(60 * 1024, 'x'));
+      }
+      sum_of_footprints += (*q)->block_count();
+      (void)jc.RemoveNamespace(path);
+    }
+    bench::Table table({"metric", "blocks"});
+    table.AddRow({"sum of per-app peaks (dedicated provisioning)",
+                  bench::FmtInt(int64_t(sum_of_footprints))});
+    table.AddRow({"shared-pool peak (Jiffy multiplexing)",
+                  bench::FmtInt(int64_t(jc.pool().stats().peak_used_blocks))});
+    table.AddRow({"multiplexing gain",
+                  bench::Fmt("%.0fx", double(sum_of_footprints) /
+                                          double(jc.pool()
+                                                     .stats()
+                                                     .peak_used_blocks))});
+    table.Print("E8c: 50 sequential short-lived apps on one pool — "
+                "multiplexing vs per-app provisioning");
+  }
+}
+
+void BM_JiffyPut(benchmark::State& state) {
+  jiffy::MemoryPool pool(8, 65536, 128 * 1024);
+  jiffy::JiffyHashTable table(&pool, "bench", 8);
+  const std::string value(size_t(state.range(0)), 'x');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Put("key-" + std::to_string(i++ % 10000), value));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_JiffyPut)->Arg(1024)->Arg(65536);
+
+void BM_BlobPut(benchmark::State& state) {
+  baas::BlobStore blob;
+  const std::string value(size_t(state.range(0)), 'x');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        blob.Put("key-" + std::to_string(i++ % 10000), value));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_BlobPut)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

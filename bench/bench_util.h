@@ -1,0 +1,72 @@
+// Shared table-printing helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one experiment from DESIGN.md: it prints a
+// paper-style results table from the simulation, then runs google-benchmark
+// microbenchmarks of the real data structures involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace taureau::bench {
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(const std::string& title) const {
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", int(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+/// Standard bench main: run the experiment table, then microbenchmarks.
+#define TAUREAU_BENCH_MAIN(experiment_fn)              \
+  int main(int argc, char** argv) {                    \
+    experiment_fn();                                   \
+    ::benchmark::Initialize(&argc, argv);              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();             \
+    return 0;                                          \
+  }
+
+}  // namespace taureau::bench

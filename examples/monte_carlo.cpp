@@ -1,0 +1,75 @@
+// Serverless Monte Carlo (paper §5: "massively parallel applications...
+// lend themselves naturally to the serverless paradigm"; serverless
+// supercomputing [82]): estimate pi and price an Asian option across a
+// fleet of lambdas, then drive a Map-state pipeline over the results.
+//
+//   $ ./build/examples/monte_carlo
+#include <cmath>
+#include <cstdio>
+
+#include "analytics/montecarlo.h"
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "faas/platform.h"
+#include "orchestration/composition.h"
+#include "orchestration/orchestrator.h"
+#include "sim/simulation.h"
+
+using namespace taureau;
+
+int main() {
+  // --- pi, the smoke test ---------------------------------------------------
+  analytics::MonteCarloConfig cfg;
+  cfg.num_workers = 32;
+  auto pi = analytics::EstimatePi(2000000, cfg);
+  if (!pi.ok()) return 1;
+  std::printf("pi ~= %.5f +- %.5f (2M samples, 32 lambdas)\n", pi->estimate,
+              2 * pi->std_error);
+  std::printf("  makespan %s vs %s serial (%.1fx), cost %s\n",
+              FormatDuration(double(pi->makespan_us)).c_str(),
+              FormatDuration(double(pi->serial_time_us)).c_str(),
+              pi->Speedup(), pi->cost.ToString().c_str());
+
+  // --- An Asian option, the classic quant workload --------------------------
+  analytics::AsianOption option;
+  option.spot = 100;
+  option.strike = 105;
+  option.volatility = 0.25;
+  option.rate = 0.03;
+  auto price = analytics::PriceAsianOption(option, 200000, cfg);
+  if (!price.ok()) return 1;
+  std::printf("\nAsian call (S=100, K=105, vol=25%%, r=3%%, 64 steps):\n");
+  std::printf("  price %.4f +- %.4f over 200K paths, makespan %s, %.1fx "
+              "speedup, cost %s\n",
+              price->estimate, 2 * price->std_error,
+              FormatDuration(double(price->makespan_us)).c_str(),
+              price->Speedup(), price->cost.ToString().c_str());
+
+  // --- Map-state post-processing on the FaaS platform -----------------------
+  sim::Simulation sim;
+  cluster::Cluster region(16, {32000, 65536});
+  faas::FaasPlatform platform(&sim, &region, faas::FaasConfig{});
+  faas::FunctionSpec risk_check;
+  risk_check.name = "risk-check";
+  risk_check.exec = {faas::ExecTimeModel::Kind::kFixed, 15 * kMillisecond, 0,
+                     0};
+  risk_check.handler = [](const std::string& in, faas::InvocationContext&)
+      -> Result<std::string> {
+    const double value = std::stod(in);
+    return in + (value > 5.0 ? " ALERT" : " ok");
+  };
+  if (!platform.RegisterFunction(risk_check).ok()) return 1;
+  orchestration::Orchestrator orch(&sim, &platform);
+  auto pipeline =
+      orchestration::Composition::Map(
+          orchestration::Composition::Task("risk-check"));
+  auto run = orch.RunSync(pipeline, "2.1\n7.4\n3.3\n9.9");
+  if (!run.ok() || !run->status.ok()) return 1;
+  std::printf("\nMap-state risk screen over portfolio slices:\n%s\n",
+              run->output.c_str());
+  std::printf("(4 concurrent lambdas, %s end-to-end, exactly single-billed: "
+              "%s)\n",
+              FormatDuration(double(run->Makespan())).c_str(),
+              run->cost.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: stand up a FaaS platform, deploy a function, invoke it, and
+// inspect cold/warm behaviour and the bill.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "faas/platform.h"
+#include "sim/simulation.h"
+
+using namespace taureau;
+
+int main() {
+  // 1. A simulated region: 8 machines of 32 cores / 64 GB.
+  sim::Simulation sim;
+  cluster::Cluster region(8, {32000, 65536});
+
+  // 2. The serverless platform on top of it.
+  faas::FaasConfig config;
+  config.keep_alive_us = 5 * kMinute;  // idle containers linger 5 minutes
+  faas::FaasPlatform platform(&sim, &region, config);
+
+  // 3. Deploy a function: 256MB, log-normal ~30ms runtime, plus a real
+  //    handler that computes on the payload.
+  faas::FunctionSpec hello;
+  hello.name = "hello";
+  hello.demand = {250, 256};
+  hello.exec = {faas::ExecTimeModel::Kind::kLogNormal, 30 * kMillisecond,
+                0.3, 0};
+  hello.handler = [](const std::string& payload,
+                     faas::InvocationContext& ctx) -> Result<std::string> {
+    return "Hello, " + payload + "! (invocation " +
+           std::to_string(ctx.invocation_id) +
+           (ctx.cold_start ? ", cold start)" : ", warm start)");
+  };
+  if (auto s = platform.RegisterFunction(hello); !s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Invoke it a few times and watch the cold start disappear.
+  for (int i = 0; i < 3; ++i) {
+    auto result = platform.InvokeSync("hello", "taureau");
+    if (!result.ok()) {
+      std::fprintf(stderr, "invoke failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[t=%7s] %s\n",
+                FormatDuration(double(sim.Now())).c_str(),
+                result->output.c_str());
+    std::printf("           end-to-end %s (queue %s, startup %s, exec %s), "
+                "billed %s\n",
+                FormatDuration(double(result->EndToEnd())).c_str(),
+                FormatDuration(double(result->queue_us)).c_str(),
+                FormatDuration(double(result->startup_us)).c_str(),
+                FormatDuration(double(result->exec_us)).c_str(),
+                result->cost.ToString().c_str());
+  }
+
+  // 5. Platform-level metrics and the audited bill.
+  const auto& m = platform.metrics();
+  std::printf("\ninvocations=%llu cold=%llu warm=%llu, total bill %s\n",
+              (unsigned long long)m.invocations,
+              (unsigned long long)m.cold_starts,
+              (unsigned long long)m.warm_starts,
+              platform.ledger().Total().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Serverless machine learning (paper §5.2): parameter-server training with
+// straggler mitigation, hyperparameter search, and tiered-model-store
+// inference — the full train -> tune -> serve loop.
+//
+//   $ ./build/examples/serverless_ml
+#include <cstdio>
+
+#include "common/stats.h"
+#include "ml/dataset.h"
+#include "ml/hyperparam.h"
+#include "ml/inference.h"
+#include "ml/training.h"
+
+using namespace taureau;
+
+int main() {
+  // --- Train ---------------------------------------------------------------
+  auto data = ml::Dataset::GenerateLogistic(10000, 16, 0.05, 2024);
+  ml::TrainConfig train_cfg;
+  train_cfg.num_workers = 16;
+  train_cfg.rounds = 25;
+  train_cfg.straggler_prob = 0.15;  // serverless tail latency is real
+  train_cfg.redundancy = ml::RedundancyScheme::kReplication;
+  train_cfg.replication = 2;
+  auto trained = ml::TrainLogistic(data, train_cfg);
+  if (!trained.ok()) return 1;
+  std::printf("training: %u rounds on %u workers (2x-replicated shards)\n",
+              trained->rounds, train_cfg.num_workers);
+  std::printf("  accuracy %.3f, loss %.4f, makespan %s, cost %s\n",
+              trained->train_accuracy, trained->final_loss,
+              FormatDuration(double(trained->makespan_us)).c_str(),
+              trained->cost.ToString().c_str());
+  std::printf("  straggler penalty absorbed: %s across %llu invocations\n",
+              FormatDuration(double(trained->straggler_penalty_us)).c_str(),
+              (unsigned long long)trained->worker_invocations);
+
+  // --- Tune ----------------------------------------------------------------
+  ml::SearchConfig search_cfg;
+  search_cfg.strategy = ml::SearchStrategy::kSuccessiveHalving;
+  search_cfg.rounds = 16;
+  search_cfg.workers_per_trial = 4;
+  auto search = ml::HyperparamSearch(data, search_cfg);
+  if (!search.ok()) return 1;
+  std::printf("\nhyperparameter search (successive halving): %llu trials in "
+              "%llu waves\n",
+              (unsigned long long)search->trials,
+              (unsigned long long)search->waves);
+  std::printf("  best: lr=%.3g l2=%.3g -> accuracy %.3f\n",
+              search->best.learning_rate, search->best.l2,
+              search->best.score);
+  std::printf("  makespan %s vs %s if run serially (%.1fx from concurrent "
+              "lambdas), cost %s\n",
+              FormatDuration(double(search->makespan_us)).c_str(),
+              FormatDuration(double(search->serial_time_us)).c_str(),
+              double(search->serial_time_us) /
+                  double(std::max<SimDuration>(search->makespan_us, 1)),
+              search->cost.ToString().c_str());
+
+  // --- Serve ---------------------------------------------------------------
+  ml::ModelStore store;
+  (void)store.RegisterModel({"fraud-detector", 150ull << 20,
+                             6 * kMillisecond});
+  (void)store.RegisterModel({"recommender", 400ull << 20, 12 * kMillisecond});
+  std::printf("\ninference with the tiered model store (TrIMS-style):\n");
+  for (int i = 0; i < 3; ++i) {
+    auto r = store.Infer("fraud-detector");
+    if (!r.ok()) return 1;
+    std::printf("  request %d: %-9s from %s%s\n", i + 1,
+                FormatDuration(double(r->latency_us)).c_str(),
+                std::string(ml::TierName(r->served_from)).c_str(),
+                r->cold ? " (cold path)" : "");
+  }
+  auto baseline = store.InferColdBaseline("fraud-detector");
+  std::printf("  vs per-request cloud loading: %s every time\n",
+              FormatDuration(double(baseline->latency_us)).c_str());
+  return 0;
+}

@@ -1,0 +1,233 @@
+#include "analytics/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/hash.h"
+
+namespace taureau::analytics {
+
+Dataflow Dataflow::FromRecords(std::vector<std::string> records) {
+  Dataflow df;
+  df.source_ = std::make_shared<const std::vector<std::string>>(
+      std::move(records));
+  return df;
+}
+
+Dataflow Dataflow::Map(MapFn1 fn) const {
+  Dataflow next = *this;
+  Op op;
+  op.kind = OpKind::kMap;
+  op.map = std::move(fn);
+  next.ops_.push_back(std::move(op));
+  return next;
+}
+
+Dataflow Dataflow::FlatMap(FlatMapFn fn) const {
+  Dataflow next = *this;
+  Op op;
+  op.kind = OpKind::kFlatMap;
+  op.flat_map = std::move(fn);
+  next.ops_.push_back(std::move(op));
+  return next;
+}
+
+Dataflow Dataflow::Filter(FilterFn fn) const {
+  Dataflow next = *this;
+  Op op;
+  op.kind = OpKind::kFilter;
+  op.filter = std::move(fn);
+  next.ops_.push_back(std::move(op));
+  return next;
+}
+
+Dataflow Dataflow::KeyBy(KeyFn fn) const {
+  Dataflow next = *this;
+  Op op;
+  op.kind = OpKind::kKeyBy;
+  op.key_by = std::move(fn);
+  next.ops_.push_back(std::move(op));
+  return next;
+}
+
+Dataflow Dataflow::ReduceByKey(CombineFn combine) const {
+  Dataflow next = *this;
+  Op op;
+  op.kind = OpKind::kReduceByKey;
+  op.combine = std::move(combine);
+  next.ops_.push_back(std::move(op));
+  return next;
+}
+
+Dataflow Dataflow::Sort() const {
+  Dataflow next = *this;
+  Op op;
+  op.kind = OpKind::kSort;
+  next.ops_.push_back(std::move(op));
+  return next;
+}
+
+namespace {
+
+uint64_t RecordBytes(const std::vector<Record>& records) {
+  uint64_t bytes = 0;
+  for (const auto& r : records) bytes += r.key.size() + r.value.size();
+  return bytes;
+}
+
+}  // namespace
+
+Result<DataflowStats> Dataflow::Run(const DataflowConfig& config) const {
+  if (!source_) {
+    return Status::FailedPrecondition("dataflow has no source");
+  }
+  if (config.num_workers == 0) {
+    return Status::InvalidArgument("need >= 1 worker");
+  }
+  DataflowStats stats;
+  stats.input_records = source_->size();
+  JobAccounting acct;
+  acct.set_memory_mb(config.task_model.memory_mb);
+  double serial_op_records = 0;  // record-ops executed, for the baseline
+
+  std::vector<Record> data;
+  data.reserve(source_->size());
+  for (const std::string& v : *source_) data.push_back({"", v});
+
+  // Execute the plan stage by stage: consecutive narrow ops fuse into one
+  // wave of worker tasks; each wide op closes the stage with a shuffle.
+  const uint32_t W = config.num_workers;
+  size_t i = 0;
+  while (i < ops_.size()) {
+    // --- Collect the fused narrow chain [i, j).
+    size_t j = i;
+    while (j < ops_.size() && ops_[j].kind != OpKind::kReduceByKey &&
+           ops_[j].kind != OpKind::kSort) {
+      ++j;
+    }
+    if (j > i) {
+      // One wave of W tasks, each running the whole chain over its slice.
+      std::vector<Record> next;
+      next.reserve(data.size());
+      for (uint32_t w = 0; w < W; ++w) {
+        const size_t begin = data.size() * w / W;
+        const size_t end = data.size() * (w + 1) / W;
+        double ops_applied = 0;
+        for (size_t r = begin; r < end; ++r) {
+          std::vector<Record> current{std::move(data[r])};
+          for (size_t o = i; o < j && !current.empty(); ++o) {
+            const Op& op = ops_[o];
+            ops_applied += double(current.size());
+            switch (op.kind) {
+              case OpKind::kMap:
+                for (Record& rec : current) rec.value = op.map(rec.value);
+                break;
+              case OpKind::kFlatMap: {
+                std::vector<Record> expanded;
+                for (Record& rec : current) {
+                  for (std::string& out : op.flat_map(rec.value)) {
+                    expanded.push_back({rec.key, std::move(out)});
+                  }
+                }
+                current = std::move(expanded);
+                break;
+              }
+              case OpKind::kFilter:
+                current.erase(
+                    std::remove_if(current.begin(), current.end(),
+                                   [&](const Record& rec) {
+                                     return !op.filter(rec.value);
+                                   }),
+                    current.end());
+                break;
+              case OpKind::kKeyBy:
+                for (Record& rec : current) rec.key = op.key_by(rec.value);
+                break;
+              default:
+                break;
+            }
+          }
+          for (Record& rec : current) next.push_back(std::move(rec));
+        }
+        acct.AddTask(config.task_model.TaskDuration(
+            ops_applied, /*io_us=*/2 * kMillisecond));
+        serial_op_records += ops_applied;
+      }
+      acct.EndStage();
+      ++stats.stages;
+      data = std::move(next);
+      i = j;
+      continue;
+    }
+
+    // --- A wide op.
+    const Op& op = ops_[i];
+    if (op.kind == OpKind::kReduceByKey) {
+      // Shuffle: records route to W reducers by key hash; each reducer is
+      // one task that groups and combines.
+      stats.shuffle_bytes += RecordBytes(data);
+      std::vector<std::map<std::string, std::string>> groups(W);
+      std::vector<double> reducer_records(W, 0);
+      for (Record& rec : data) {
+        const uint32_t r = uint32_t(Fnv1a64(rec.key) % W);
+        reducer_records[r] += 1;
+        auto [it, inserted] =
+            groups[r].try_emplace(rec.key, std::move(rec.value));
+        if (!inserted) it->second = op.combine(it->second, rec.value);
+      }
+      std::vector<Record> next;
+      for (uint32_t r = 0; r < W; ++r) {
+        for (auto& [key, value] : groups[r]) {
+          next.push_back({key, key + "\t" + value});
+        }
+        // Ephemeral-store shuffle latency: read the reducer's share.
+        const SimDuration io =
+            SimDuration(uint64_t(reducer_records[r]) / 4) + 3 * kMillisecond;
+        acct.AddTask(
+            config.task_model.TaskDuration(reducer_records[r], io));
+        serial_op_records += reducer_records[r];
+      }
+      acct.EndStage();
+      ++stats.stages;
+      ++stats.shuffles;
+      data = std::move(next);
+    } else {  // kSort
+      stats.shuffle_bytes += RecordBytes(data);
+      // Range-partitioned sort: W tasks each sort ~n/W records; the global
+      // order is their concatenation (sampling-based splits, idealized).
+      std::sort(data.begin(), data.end(),
+                [](const Record& a, const Record& b) {
+                  if (a.key != b.key) return a.key < b.key;
+                  return a.value < b.value;
+                });
+      const double per_task = double(data.size()) / double(W);
+      const double log_n = per_task > 1 ? std::log2(per_task) : 1.0;
+      for (uint32_t w = 0; w < W; ++w) {
+        acct.AddTask(config.task_model.TaskDuration(
+            per_task * log_n / 4.0, 3 * kMillisecond));
+      }
+      serial_op_records +=
+          double(data.size()) * (data.size() > 1
+                                     ? std::log2(double(data.size())) / 4.0
+                                     : 1.0);
+      acct.EndStage();
+      ++stats.stages;
+      ++stats.shuffles;
+    }
+    ++i;
+  }
+
+  stats.output.reserve(data.size());
+  for (Record& rec : data) stats.output.push_back(std::move(rec.value));
+  stats.output_records = stats.output.size();
+  stats.makespan_us = acct.makespan_us();
+  stats.serial_time_us =
+      config.task_model.invoke_overhead_us +
+      static_cast<SimDuration>(config.task_model.compute_us_per_unit *
+                               serial_op_records);
+  stats.cost = acct.cost();
+  return stats;
+}
+
+}  // namespace taureau::analytics

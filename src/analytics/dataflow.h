@@ -1,0 +1,97 @@
+// Ripple-style declarative dataflow (paper §4.1 [117]: "programming
+// frameworks... whereby applications written for single-machine execution
+// can take advantage of the task parallelism of serverless").
+//
+// The user writes a single-machine-looking pipeline (Map / Filter / KeyBy /
+// ReduceByKey / Sort); Run() compiles it into serverless stages — narrow
+// ops fuse into one wave of lambda tasks, keyed reductions insert a shuffle
+// through Jiffy-style ephemeral state — and executes it for real while
+// accounting simulated makespan and cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/task_model.h"
+#include "common/status.h"
+
+namespace taureau::analytics {
+
+/// A record flowing through the pipeline: a value plus the key assigned by
+/// the most recent KeyBy (empty until then).
+struct Record {
+  std::string key;
+  std::string value;
+};
+
+using MapFn1 = std::function<std::string(const std::string&)>;
+using FlatMapFn = std::function<std::vector<std::string>(const std::string&)>;
+using FilterFn = std::function<bool(const std::string&)>;
+using KeyFn = std::function<std::string(const std::string&)>;
+using CombineFn =
+    std::function<std::string(const std::string&, const std::string&)>;
+
+struct DataflowConfig {
+  uint32_t num_workers = 8;
+  TaskCostModel task_model{.invoke_overhead_us = 30 * kMillisecond,
+                           .compute_us_per_unit = 2.0,  // per record per op
+                           .memory_mb = 512};
+};
+
+struct DataflowStats {
+  uint64_t input_records = 0;
+  uint64_t output_records = 0;
+  uint32_t stages = 0;          ///< Lambda waves (fused narrow chains).
+  uint32_t shuffles = 0;        ///< Wide boundaries (ReduceByKey / Sort).
+  uint64_t shuffle_bytes = 0;
+  SimDuration makespan_us = 0;
+  SimDuration serial_time_us = 0;  ///< Same ops on one worker.
+  Money cost;
+  std::vector<std::string> output;
+};
+
+/// The pipeline builder. Immutable-ish: each op appends to the plan.
+/// Plans are cheap to copy; Run() may be called repeatedly.
+class Dataflow {
+ public:
+  /// Source: an in-memory record collection.
+  static Dataflow FromRecords(std::vector<std::string> records);
+
+  /// Narrow (fusable) transforms.
+  Dataflow Map(MapFn1 fn) const;
+  Dataflow FlatMap(FlatMapFn fn) const;
+  Dataflow Filter(FilterFn fn) const;
+  /// Assigns each record's shuffle key.
+  Dataflow KeyBy(KeyFn fn) const;
+
+  /// Wide transforms (insert a shuffle).
+  /// Combines all values sharing a key with an associative combiner; the
+  /// output records are "key<TAB>combined".
+  Dataflow ReduceByKey(CombineFn combine) const;
+  /// Globally sorts records (by key when keyed, else by value).
+  Dataflow Sort() const;
+
+  /// Compiles and executes. Real data, simulated time/cost.
+  Result<DataflowStats> Run(const DataflowConfig& config = {}) const;
+
+  size_t op_count() const { return ops_.size(); }
+
+ private:
+  enum class OpKind { kMap, kFlatMap, kFilter, kKeyBy, kReduceByKey, kSort };
+  struct Op {
+    OpKind kind;
+    MapFn1 map;
+    FlatMapFn flat_map;
+    FilterFn filter;
+    KeyFn key_by;
+    CombineFn combine;
+  };
+
+  std::shared_ptr<const std::vector<std::string>> source_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace taureau::analytics

@@ -1,0 +1,227 @@
+#include "analytics/mapreduce.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace taureau::analytics {
+
+JiffyShuffle::JiffyShuffle(jiffy::JiffyController* jiffy, std::string job_path,
+                           uint32_t reducers)
+    : jiffy_(jiffy), job_path_(std::move(job_path)), reducers_(reducers) {}
+
+Status JiffyShuffle::Init() {
+  TAU_RETURN_IF_ERROR(jiffy_->CreateNamespace(job_path_ + "/shuffle"));
+  for (uint32_t r = 0; r < reducers_; ++r) {
+    auto q = jiffy_->CreateQueue(job_path_ + "/shuffle", "r" + std::to_string(r));
+    TAU_RETURN_IF_ERROR(q.status());
+  }
+  return Status::OK();
+}
+
+Status JiffyShuffle::Write(uint32_t /*mapper*/, uint32_t reducer,
+                           std::string data, SimDuration* latency_us) {
+  TAU_ASSIGN_OR_RETURN(
+      jiffy::JiffyQueue * q,
+      jiffy_->GetQueue(job_path_ + "/shuffle", "r" + std::to_string(reducer)));
+  bytes_ += data.size();
+  auto op = q->Enqueue(std::move(data));
+  if (latency_us) *latency_us = op.latency_us;
+  return op.status;
+}
+
+Status JiffyShuffle::ReadAll(uint32_t reducer, uint32_t num_mappers,
+                             std::vector<std::string>* out,
+                             SimDuration* latency_us) {
+  TAU_ASSIGN_OR_RETURN(
+      jiffy::JiffyQueue * q,
+      jiffy_->GetQueue(job_path_ + "/shuffle", "r" + std::to_string(reducer)));
+  SimDuration total = 0;
+  for (uint32_t m = 0; m < num_mappers; ++m) {
+    std::string data;
+    auto op = q->Dequeue(&data);
+    total += op.latency_us;
+    if (op.status.IsNotFound()) break;  // mapper had no data for this reducer
+    TAU_RETURN_IF_ERROR(op.status);
+    out->push_back(std::move(data));
+  }
+  if (latency_us) *latency_us = total;
+  return Status::OK();
+}
+
+BlobShuffle::BlobShuffle(baas::BlobStore* store, std::string job_prefix)
+    : store_(store), prefix_(std::move(job_prefix)) {}
+
+Status BlobShuffle::Write(uint32_t mapper, uint32_t reducer, std::string data,
+                          SimDuration* latency_us) {
+  bytes_ += data.size();
+  auto op = store_->Put(prefix_ + "/r" + std::to_string(reducer) + "/m" +
+                            std::to_string(mapper),
+                        std::move(data));
+  if (latency_us) *latency_us = op.latency_us;
+  return op.status;
+}
+
+Status BlobShuffle::ReadAll(uint32_t reducer, uint32_t num_mappers,
+                            std::vector<std::string>* out,
+                            SimDuration* latency_us) {
+  SimDuration total = 0;
+  for (uint32_t m = 0; m < num_mappers; ++m) {
+    std::string data;
+    auto op = store_->Get(prefix_ + "/r" + std::to_string(reducer) + "/m" +
+                              std::to_string(m),
+                          &data);
+    total += op.latency_us;
+    if (op.status.IsNotFound()) continue;
+    TAU_RETURN_IF_ERROR(op.status);
+    out->push_back(std::move(data));
+  }
+  if (latency_us) *latency_us = total;
+  return Status::OK();
+}
+
+namespace {
+
+// Wire format for shuffled pairs: key \x1f value \x1e ...
+void AppendPair(std::string* buf, const std::string& key,
+                const std::string& value) {
+  buf->append(key);
+  buf->push_back('\x1f');
+  buf->append(value);
+  buf->push_back('\x1e');
+}
+
+void ParsePairs(const std::string& buf,
+                std::map<std::string, std::vector<std::string>>* groups) {
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    const size_t sep = buf.find('\x1f', pos);
+    if (sep == std::string::npos) break;
+    const size_t end = buf.find('\x1e', sep + 1);
+    if (end == std::string::npos) break;
+    (*groups)[buf.substr(pos, sep - pos)].push_back(
+        buf.substr(sep + 1, end - sep - 1));
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+Result<MapReduceStats> RunMapReduce(const std::vector<std::string>& input,
+                                    MapFn map_fn, ReduceFn reduce_fn,
+                                    ShuffleStore* shuffle,
+                                    const MapReduceConfig& config,
+                                    std::vector<std::string>* output) {
+  if (config.num_mappers == 0 || config.num_reducers == 0) {
+    return Status::InvalidArgument("need >= 1 mapper and reducer");
+  }
+  MapReduceStats stats;
+  stats.input_records = input.size();
+  JobAccounting acct;
+  acct.set_memory_mb(config.task_model.memory_mb);
+
+  // ---- Map stage: each mapper takes a contiguous slice of the input.
+  const uint32_t M = config.num_mappers;
+  const uint32_t R = config.num_reducers;
+  for (uint32_t m = 0; m < M; ++m) {
+    const size_t begin = input.size() * m / M;
+    const size_t end = input.size() * (m + 1) / M;
+    std::vector<std::string> buffers(R);
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (size_t i = begin; i < end; ++i) {
+      pairs.clear();
+      map_fn(input[i], &pairs);
+      for (auto& [key, value] : pairs) {
+        const uint32_t r = static_cast<uint32_t>(Fnv1a64(key) % R);
+        AppendPair(&buffers[r], key, value);
+      }
+    }
+    SimDuration io = 0;
+    for (uint32_t r = 0; r < R; ++r) {
+      if (buffers[r].empty()) continue;
+      SimDuration lat = 0;
+      TAU_RETURN_IF_ERROR(shuffle->Write(m, r, std::move(buffers[r]), &lat));
+      io += lat;
+    }
+    acct.AddTask(
+        config.task_model.TaskDuration(double(end - begin), io));
+  }
+  acct.EndStage();
+  const SimDuration after_map = acct.makespan_us();
+  stats.map_stage_us = after_map;
+
+  // ---- Reduce stage.
+  std::vector<std::pair<std::string, std::string>> keyed_output;
+  for (uint32_t r = 0; r < R; ++r) {
+    std::vector<std::string> chunks;
+    SimDuration io = 0;
+    TAU_RETURN_IF_ERROR(shuffle->ReadAll(r, M, &chunks, &io));
+    std::map<std::string, std::vector<std::string>> groups;
+    uint64_t values = 0;
+    for (const std::string& chunk : chunks) ParsePairs(chunk, &groups);
+    for (auto& [key, vals] : groups) {
+      values += vals.size();
+      keyed_output.emplace_back(key, reduce_fn(key, vals));
+    }
+    acct.AddTask(config.task_model.TaskDuration(double(values), io));
+  }
+  acct.EndStage();
+  stats.reduce_stage_us = acct.makespan_us() - after_map;
+
+  std::sort(keyed_output.begin(), keyed_output.end());
+  output->clear();
+  output->reserve(keyed_output.size());
+  for (auto& [key, line] : keyed_output) output->push_back(std::move(line));
+
+  stats.makespan_us = acct.makespan_us();
+  stats.shuffle_bytes = shuffle->bytes_written();
+  stats.output_records = output->size();
+  stats.cost = acct.cost();
+  return stats;
+}
+
+MapFn WordCountMap() {
+  return [](const std::string& record,
+            std::vector<std::pair<std::string, std::string>>* out) {
+    std::istringstream ss(record);
+    std::string word;
+    while (ss >> word) {
+      out->emplace_back(word, "1");
+    }
+  };
+}
+
+ReduceFn WordCountReduce() {
+  return [](const std::string& key, const std::vector<std::string>& values) {
+    uint64_t total = 0;
+    for (const std::string& v : values) total += std::stoull(v);
+    return key + "\t" + std::to_string(total);
+  };
+}
+
+MapFn IdentityKeyMap(char delimiter) {
+  return [delimiter](const std::string& record,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+    const size_t sep = record.find(delimiter);
+    if (sep == std::string::npos) {
+      out->emplace_back(record, "");
+    } else {
+      out->emplace_back(record.substr(0, sep), record.substr(sep + 1));
+    }
+  };
+}
+
+ReduceFn ConcatReduce() {
+  return [](const std::string& key, const std::vector<std::string>& values) {
+    std::string line = key;
+    for (const std::string& v : values) {
+      line += '\t';
+      line += v;
+    }
+    return line;
+  };
+}
+
+}  // namespace taureau::analytics

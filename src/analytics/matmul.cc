@@ -1,0 +1,297 @@
+#include "analytics/matmul.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace taureau::analytics {
+
+Matrix Matrix::Random(uint32_t rows, uint32_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      m.At(r, c) = rng->NextDouble(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(uint32_t n) {
+  Matrix m(n, n);
+  for (uint32_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + o.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - o.data_[i];
+  }
+  return out;
+}
+
+Result<Matrix> MultiplyNaive(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch: " +
+                                   std::to_string(a.cols()) + " vs " +
+                                   std::to_string(b.rows()));
+  }
+  Matrix c(a.rows(), b.cols());
+  for (uint32_t i = 0; i < a.rows(); ++i) {
+    for (uint32_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      for (uint32_t j = 0; j < b.cols(); ++j) {
+        c.At(i, j) += aik * b.At(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+
+/// Copies the (qr, qc) quadrant of a 2n x 2n matrix into an n x n matrix.
+Matrix Quadrant(const Matrix& m, uint32_t qr, uint32_t qc) {
+  const uint32_t n = m.rows() / 2;
+  Matrix out(n, n);
+  for (uint32_t r = 0; r < n; ++r) {
+    for (uint32_t c = 0; c < n; ++c) {
+      out.At(r, c) = m.At(qr * n + r, qc * n + c);
+    }
+  }
+  return out;
+}
+
+void PlaceQuadrant(Matrix* dst, const Matrix& src, uint32_t qr, uint32_t qc) {
+  const uint32_t n = src.rows();
+  for (uint32_t r = 0; r < n; ++r) {
+    for (uint32_t c = 0; c < n; ++c) {
+      dst->At(qr * n + r, qc * n + c) = src.At(r, c);
+    }
+  }
+}
+
+uint32_t NextPow2(uint32_t x) {
+  uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+Matrix PadTo(const Matrix& m, uint32_t n) {
+  if (m.rows() == n && m.cols() == n) return m;
+  Matrix out(n, n);
+  for (uint32_t r = 0; r < m.rows(); ++r) {
+    for (uint32_t c = 0; c < m.cols(); ++c) {
+      out.At(r, c) = m.At(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Crop(const Matrix& m, uint32_t rows, uint32_t cols) {
+  if (m.rows() == rows && m.cols() == cols) return m;
+  Matrix out(rows, cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      out.At(r, c) = m.At(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix StrassenSquare(const Matrix& a, const Matrix& b, uint32_t cutoff) {
+  const uint32_t n = a.rows();
+  if (n <= cutoff) {
+    return std::move(MultiplyNaive(a, b)).value();
+  }
+  const Matrix a11 = Quadrant(a, 0, 0), a12 = Quadrant(a, 0, 1),
+               a21 = Quadrant(a, 1, 0), a22 = Quadrant(a, 1, 1);
+  const Matrix b11 = Quadrant(b, 0, 0), b12 = Quadrant(b, 0, 1),
+               b21 = Quadrant(b, 1, 0), b22 = Quadrant(b, 1, 1);
+  const Matrix m1 = StrassenSquare(a11 + a22, b11 + b22, cutoff);
+  const Matrix m2 = StrassenSquare(a21 + a22, b11, cutoff);
+  const Matrix m3 = StrassenSquare(a11, b12 - b22, cutoff);
+  const Matrix m4 = StrassenSquare(a22, b21 - b11, cutoff);
+  const Matrix m5 = StrassenSquare(a11 + a12, b22, cutoff);
+  const Matrix m6 = StrassenSquare(a21 - a11, b11 + b12, cutoff);
+  const Matrix m7 = StrassenSquare(a12 - a22, b21 + b22, cutoff);
+  Matrix c(n, n);
+  PlaceQuadrant(&c, m1 + m4 - m5 + m7, 0, 0);
+  PlaceQuadrant(&c, m3 + m5, 0, 1);
+  PlaceQuadrant(&c, m2 + m4, 1, 0);
+  PlaceQuadrant(&c, m1 - m2 + m3 + m6, 1, 1);
+  return c;
+}
+
+/// MAC count of the naive kernel, the "work unit" for timing models.
+double NaiveWork(double n) { return n * n * n; }
+/// Strassen work with cutoff (recurrence 7 T(n/2) + 18 (n/2)^2 adds).
+double StrassenWork(double n, double cutoff) {
+  if (n <= cutoff) return NaiveWork(n);
+  return 7.0 * StrassenWork(n / 2, cutoff) + 18.0 * (n / 2) * (n / 2);
+}
+
+}  // namespace
+
+Result<Matrix> MultiplyStrassen(const Matrix& a, const Matrix& b,
+                                uint32_t cutoff) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  const uint32_t n =
+      NextPow2(std::max({a.rows(), a.cols(), b.cols(), 1u}));
+  const Matrix result = StrassenSquare(PadTo(a, n), PadTo(b, n),
+                                       std::max(cutoff, 2u));
+  return Crop(result, a.rows(), b.cols());
+}
+
+Result<Matrix> ServerlessBlockedMultiply(const Matrix& a, const Matrix& b,
+                                         uint32_t grid,
+                                         const TaskCostModel& model,
+                                         MatmulStats* stats) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  if (grid == 0) return Status::InvalidArgument("grid must be >= 1");
+  JobAccounting acct;
+  acct.set_memory_mb(model.memory_mb);
+  Matrix c(a.rows(), b.cols());
+
+  // Stage 1: the driver writes A's row-bands and B's column-bands to the
+  // ephemeral store (counted once).
+  const uint64_t input_bytes = a.ByteSize() + b.ByteSize();
+  acct.AddTask(model.TaskDuration(0, SimDuration(input_bytes / 1024)));
+  acct.EndStage();
+
+  // Stage 2: grid x grid block tasks.
+  for (uint32_t gi = 0; gi < grid; ++gi) {
+    const uint32_t r0 = a.rows() * gi / grid;
+    const uint32_t r1 = a.rows() * (gi + 1) / grid;
+    for (uint32_t gj = 0; gj < grid; ++gj) {
+      const uint32_t c0 = b.cols() * gj / grid;
+      const uint32_t c1 = b.cols() * (gj + 1) / grid;
+      // Real compute.
+      for (uint32_t i = r0; i < r1; ++i) {
+        for (uint32_t k = 0; k < a.cols(); ++k) {
+          const double aik = a.At(i, k);
+          if (aik == 0.0) continue;
+          for (uint32_t j = c0; j < c1; ++j) {
+            c.At(i, j) += aik * b.At(k, j);
+          }
+        }
+      }
+      const double work =
+          double(r1 - r0) * double(c1 - c0) * double(a.cols());
+      const uint64_t io_bytes =
+          uint64_t(r1 - r0) * a.cols() * 8 +   // A row-band
+          uint64_t(c1 - c0) * b.rows() * 8 +   // B column-band
+          uint64_t(r1 - r0) * (c1 - c0) * 8;   // C block out
+      if (stats) stats->ephemeral_bytes += io_bytes;
+      acct.AddTask(model.TaskDuration(work, SimDuration(io_bytes / 1024)));
+      if (stats) ++stats->tasks;
+    }
+  }
+  acct.EndStage();
+
+  if (stats) {
+    stats->makespan_us = acct.makespan_us();
+    stats->cost = acct.cost();
+    // Fair single-worker baseline: one invocation overhead + all compute.
+    stats->serial_time_us =
+        model.invoke_overhead_us +
+        static_cast<SimDuration>(model.compute_us_per_unit * double(a.rows()) *
+                                 double(b.cols()) * double(a.cols()));
+  }
+  return c;
+}
+
+Result<Matrix> ServerlessStrassen(const Matrix& a, const Matrix& b,
+                                  const TaskCostModel& model,
+                                  MatmulStats* stats, uint32_t cutoff) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  const uint32_t n = NextPow2(std::max({a.rows(), a.cols(), b.cols(), 2u}));
+  const Matrix ap = PadTo(a, n), bp = PadTo(b, n);
+  const uint32_t h = n / 2;
+
+  JobAccounting acct;
+  acct.set_memory_mb(model.memory_mb);
+
+  // Stage 1: split + the 10 additive pre-combinations (coordinator task),
+  // results written to ephemeral storage.
+  const Matrix a11 = Quadrant(ap, 0, 0), a12 = Quadrant(ap, 0, 1),
+               a21 = Quadrant(ap, 1, 0), a22 = Quadrant(ap, 1, 1);
+  const Matrix b11 = Quadrant(bp, 0, 0), b12 = Quadrant(bp, 0, 1),
+               b21 = Quadrant(bp, 1, 0), b22 = Quadrant(bp, 1, 1);
+  const uint64_t half_bytes = uint64_t(h) * h * 8;
+  acct.AddTask(model.TaskDuration(10.0 * double(h) * double(h),
+                                  SimDuration(14 * half_bytes / 1024)));
+  acct.EndStage();
+  if (stats) stats->ephemeral_bytes += 14 * half_bytes;
+
+  // Stage 2: the 7 Strassen products as parallel lambda tasks.
+  struct Product {
+    Matrix left, right;
+  };
+  const Product products[7] = {
+      {a11 + a22, b11 + b22}, {a21 + a22, b11},       {a11, b12 - b22},
+      {a22, b21 - b11},       {a11 + a12, b22},       {a21 - a11, b11 + b12},
+      {a12 - a22, b21 + b22}};
+  std::vector<Matrix> m;
+  m.reserve(7);
+  for (const Product& p : products) {
+    m.push_back(StrassenSquare(p.left, p.right, std::max(cutoff, 2u)));
+    const double work = StrassenWork(double(h), double(std::max(cutoff, 2u)));
+    acct.AddTask(
+        model.TaskDuration(work, SimDuration(3 * half_bytes / 1024)));
+    if (stats) {
+      ++stats->tasks;
+      stats->ephemeral_bytes += 3 * half_bytes;
+    }
+  }
+  acct.EndStage();
+
+  // Stage 3: combine.
+  Matrix c(n, n);
+  PlaceQuadrant(&c, m[0] + m[3] - m[4] + m[6], 0, 0);
+  PlaceQuadrant(&c, m[2] + m[4], 0, 1);
+  PlaceQuadrant(&c, m[1] + m[3], 1, 0);
+  PlaceQuadrant(&c, m[0] - m[1] + m[2] + m[5], 1, 1);
+  acct.AddTask(model.TaskDuration(8.0 * double(h) * double(h),
+                                  SimDuration(4 * half_bytes / 1024)));
+  acct.EndStage();
+
+  if (stats) {
+    stats->makespan_us = acct.makespan_us();
+    stats->cost = acct.cost();
+    stats->serial_time_us =
+        model.invoke_overhead_us +
+        static_cast<SimDuration>(
+            model.compute_us_per_unit *
+            StrassenWork(double(n), double(std::max(cutoff, 2u))));
+  }
+  return Crop(c, a.rows(), b.cols());
+}
+
+}  // namespace taureau::analytics

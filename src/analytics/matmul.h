@@ -1,0 +1,76 @@
+// Serverless matrix multiplication (paper §5.1 "Matrix Multiplication";
+// Werner et al. [181] run Strassen's algorithm [170] on FaaS with
+// intermediate results in ephemeral storage).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/task_model.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::analytics {
+
+/// Dense row-major double matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(uint32_t rows, uint32_t cols)
+      : rows_(rows), cols_(cols), data_(size_t(rows) * cols, 0.0) {}
+
+  static Matrix Random(uint32_t rows, uint32_t cols, Rng* rng);
+  static Matrix Identity(uint32_t n);
+
+  double& At(uint32_t r, uint32_t c) { return data_[size_t(r) * cols_ + c]; }
+  double At(uint32_t r, uint32_t c) const {
+    return data_[size_t(r) * cols_ + c];
+  }
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  size_t ByteSize() const { return data_.size() * sizeof(double); }
+
+  /// Largest absolute elementwise difference (for correctness checks).
+  double MaxAbsDiff(const Matrix& other) const;
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Baseline O(n^3) product (also the single-machine comparator).
+Result<Matrix> MultiplyNaive(const Matrix& a, const Matrix& b);
+
+/// Serial Strassen with a cutoff to the naive kernel.
+Result<Matrix> MultiplyStrassen(const Matrix& a, const Matrix& b,
+                                uint32_t cutoff = 64);
+
+struct MatmulStats {
+  uint64_t tasks = 0;
+  uint64_t ephemeral_bytes = 0;  ///< Intermediate state through the store.
+  SimDuration makespan_us = 0;
+  SimDuration serial_time_us = 0;  ///< Same work on one worker, no overhead.
+  Money cost;
+};
+
+/// Serverless blocked multiply: the output is tiled into grid x grid
+/// blocks; each block is one lambda task reading its A row-band and B
+/// column-band from ephemeral storage.
+Result<Matrix> ServerlessBlockedMultiply(const Matrix& a, const Matrix& b,
+                                         uint32_t grid,
+                                         const TaskCostModel& model,
+                                         MatmulStats* stats);
+
+/// Serverless Strassen (one level of the recursion fanned out): the 7
+/// sub-products M1..M7 run as parallel tasks; splits and combines are
+/// lightweight coordinator stages writing to ephemeral storage.
+Result<Matrix> ServerlessStrassen(const Matrix& a, const Matrix& b,
+                                  const TaskCostModel& model,
+                                  MatmulStats* stats, uint32_t cutoff = 64);
+
+}  // namespace taureau::analytics

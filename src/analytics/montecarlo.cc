@@ -1,0 +1,96 @@
+#include "analytics/montecarlo.h"
+
+#include <cmath>
+
+namespace taureau::analytics {
+
+Result<MonteCarloStats> MonteCarloEstimate(
+    uint64_t samples, const std::function<double(Rng*)>& sample,
+    const MonteCarloConfig& config) {
+  if (config.num_workers == 0) {
+    return Status::InvalidArgument("need >= 1 worker");
+  }
+  if (samples == 0) return Status::InvalidArgument("need >= 1 sample");
+
+  MonteCarloStats stats;
+  stats.samples = samples;
+  JobAccounting acct;
+  acct.set_memory_mb(config.task_model.memory_mb);
+  Rng root(config.seed);
+
+  double sum = 0, sum_sq = 0;
+  const uint32_t W = config.num_workers;
+  for (uint32_t w = 0; w < W; ++w) {
+    const uint64_t begin = samples * w / W;
+    const uint64_t end = samples * (w + 1) / W;
+    Rng rng = root.Fork();  // independent stream per lambda
+    double local = 0, local_sq = 0;
+    for (uint64_t i = begin; i < end; ++i) {
+      const double x = sample(&rng);
+      local += x;
+      local_sq += x * x;
+    }
+    sum += local;
+    sum_sq += local_sq;
+    // One lambda task: tiny IO (a result record back to the aggregator).
+    acct.AddTask(config.task_model.TaskDuration(double(end - begin),
+                                                /*io_us=*/2 * kMillisecond));
+  }
+  acct.EndStage();
+
+  const double n = double(samples);
+  stats.estimate = sum / n;
+  const double variance =
+      std::max(0.0, sum_sq / n - stats.estimate * stats.estimate);
+  stats.std_error = std::sqrt(variance / n);
+  stats.makespan_us = acct.makespan_us();
+  stats.serial_time_us =
+      config.task_model.invoke_overhead_us +
+      static_cast<SimDuration>(config.task_model.compute_us_per_unit * n);
+  stats.cost = acct.cost();
+  return stats;
+}
+
+Result<MonteCarloStats> EstimatePi(uint64_t samples,
+                                   const MonteCarloConfig& config) {
+  return MonteCarloEstimate(
+      samples,
+      [](Rng* rng) {
+        const double x = rng->NextDouble(-1, 1);
+        const double y = rng->NextDouble(-1, 1);
+        return x * x + y * y <= 1.0 ? 4.0 : 0.0;
+      },
+      config);
+}
+
+Result<MonteCarloStats> PriceAsianOption(const AsianOption& option,
+                                         uint64_t paths,
+                                         const MonteCarloConfig& config) {
+  if (option.steps == 0) return Status::InvalidArgument("steps must be >= 1");
+  const double dt = option.maturity_years / double(option.steps);
+  const double drift =
+      (option.rate - 0.5 * option.volatility * option.volatility) * dt;
+  const double diffusion = option.volatility * std::sqrt(dt);
+  const double discount = std::exp(-option.rate * option.maturity_years);
+
+  MonteCarloConfig cfg = config;
+  // Each path costs `steps` units of compute, not one.
+  cfg.task_model.compute_us_per_unit =
+      config.task_model.compute_us_per_unit * double(option.steps);
+
+  return MonteCarloEstimate(
+      paths,
+      [&option, drift, diffusion, discount](Rng* rng) {
+        double s = option.spot;
+        double avg = 0;
+        for (uint32_t t = 0; t < option.steps; ++t) {
+          s *= std::exp(drift + diffusion * rng->NextGaussian());
+          avg += s;
+        }
+        avg /= double(option.steps);
+        return discount * std::max(avg - option.strike, 0.0);
+      },
+      cfg);
+}
+
+}  // namespace taureau::analytics

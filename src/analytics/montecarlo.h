@@ -1,0 +1,65 @@
+// Serverless Monte Carlo (paper §5: "Massively parallel applications — be
+// it the traditional Monte Carlo simulation or the contemporary
+// hyperparameter tuning — lend themselves naturally to the serverless
+// paradigm", and the serverless-supercomputing direction [82]).
+//
+// Real sampling math; each worker is one lambda task with a forked RNG
+// stream, so the estimate is deterministic for a given (seed, workers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "analytics/task_model.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::analytics {
+
+struct MonteCarloStats {
+  uint64_t samples = 0;
+  double estimate = 0.0;
+  double std_error = 0.0;  ///< Standard error of the estimate.
+  SimDuration makespan_us = 0;
+  SimDuration serial_time_us = 0;
+  Money cost;
+  double Speedup() const {
+    return makespan_us > 0 ? double(serial_time_us) / double(makespan_us)
+                           : 0.0;
+  }
+};
+
+struct MonteCarloConfig {
+  uint32_t num_workers = 16;
+  uint64_t seed = 109;
+  TaskCostModel task_model{.invoke_overhead_us = 40 * kMillisecond,
+                           .compute_us_per_unit = 0.05,  // per sample
+                           .memory_mb = 256};
+};
+
+/// Generic estimator: averages `sample(rng)` over `samples` draws fanned
+/// out across the configured workers.
+Result<MonteCarloStats> MonteCarloEstimate(
+    uint64_t samples, const std::function<double(Rng*)>& sample,
+    const MonteCarloConfig& config);
+
+/// pi via the unit-circle hit rate (the classic smoke test).
+Result<MonteCarloStats> EstimatePi(uint64_t samples,
+                                   const MonteCarloConfig& config);
+
+/// Arithmetic-average Asian call option under geometric Brownian motion:
+/// payoff max(avg(S_t) - strike, 0), discounted at rate r.
+struct AsianOption {
+  double spot = 100.0;
+  double strike = 100.0;
+  double rate = 0.05;       ///< Risk-free rate (annualized).
+  double volatility = 0.2;  ///< Annualized sigma.
+  double maturity_years = 1.0;
+  uint32_t steps = 64;      ///< Path discretization.
+};
+
+Result<MonteCarloStats> PriceAsianOption(const AsianOption& option,
+                                         uint64_t paths,
+                                         const MonteCarloConfig& config);
+
+}  // namespace taureau::analytics

@@ -1,0 +1,80 @@
+// Shared cost accounting for serverless analytics jobs (§5.1).
+//
+// Analytics jobs run as *stages of parallel tasks*. Each task is one lambda
+// invocation: it pays an invocation overhead (dispatch + cold/warm start),
+// does real computation whose simulated duration is proportional to the
+// work, and pays simulated latency for every ephemeral-state operation.
+// A stage's makespan is the max over its tasks; a job's makespan is the sum
+// over its stages. Costs use the same Lambda-style pricing as the platform.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/money.h"
+#include "common/time_types.h"
+#include "faas/billing.h"
+
+namespace taureau::analytics {
+
+/// Per-task overhead + compute-rate model.
+struct TaskCostModel {
+  /// Invocation overhead per task (dispatch + container start). Defaults to
+  /// a warm-ish start; benches sweep it.
+  SimDuration invoke_overhead_us = 30 * kMillisecond;
+  /// Simulated compute time per unit of work (a "unit" is job-specific:
+  /// record, vertex-edge, FLOP-block, frame, DP cell block...).
+  double compute_us_per_unit = 1.0;
+  /// Memory configured for the lambda (pricing input).
+  int64_t memory_mb = 512;
+
+  SimDuration TaskDuration(double work_units, SimDuration io_us) const {
+    return invoke_overhead_us +
+           static_cast<SimDuration>(compute_us_per_unit * work_units) + io_us;
+  }
+};
+
+/// Accumulates a job's stage structure.
+class JobAccounting {
+ public:
+  explicit JobAccounting(faas::BillingRates rates = {}) : ledger_(rates) {}
+
+  /// Records one task of the current stage. Tasks that are billed but do
+  /// not gate the stage (e.g. the losing replicas of redundant gradient
+  /// tasks) pass on_critical_path = false.
+  void AddTask(SimDuration duration_us, bool on_critical_path = true) {
+    if (on_critical_path) {
+      stage_makespan_us_ = std::max(stage_makespan_us_, duration_us);
+    }
+    total_task_time_us_ += duration_us;
+    ++tasks_;
+    cost_ += ledger_.Price(duration_us, memory_mb_);
+  }
+
+  /// Closes the stage: its makespan joins the job's critical path.
+  void EndStage() {
+    makespan_us_ += stage_makespan_us_;
+    stage_makespan_us_ = 0;
+    ++stages_;
+  }
+
+  void set_memory_mb(int64_t mb) { memory_mb_ = mb; }
+
+  SimDuration makespan_us() const { return makespan_us_; }
+  SimDuration total_task_time_us() const { return total_task_time_us_; }
+  Money cost() const { return cost_; }
+  uint64_t tasks() const { return tasks_; }
+  uint64_t stages() const { return stages_; }
+
+ private:
+  faas::BillingLedger ledger_;
+  int64_t memory_mb_ = 512;
+  SimDuration stage_makespan_us_ = 0;
+  SimDuration makespan_us_ = 0;
+  SimDuration total_task_time_us_ = 0;
+  Money cost_;
+  uint64_t tasks_ = 0;
+  uint64_t stages_ = 0;
+};
+
+}  // namespace taureau::analytics

@@ -1,0 +1,71 @@
+// Serverless video encoding (paper §5.1 "Video"): the ExCamera [97] /
+// Sprocket [71] architecture — "fine-grained parallelism for video encoding
+// on AWS Lambda" by splitting the video into small chunks, encoding chunks
+// in parallel, then threading encoder state serially across chunk
+// boundaries (ExCamera's rebase pass).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/task_model.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::analytics {
+
+/// Synthetic video: per-frame raw sizes and encode complexity.
+struct Video {
+  struct Frame {
+    uint32_t raw_bytes = 0;
+    double complexity = 1.0;  ///< Encode cost multiplier (scene activity).
+  };
+  std::vector<Frame> frames;
+  uint32_t fps = 30;
+
+  uint64_t TotalRawBytes() const;
+
+  /// Scene-structured generator: complexity is piecewise-correlated, as in
+  /// real footage (cuts every few seconds).
+  static Video Generate(uint32_t num_frames, uint32_t fps, uint64_t seed);
+};
+
+struct EncodeConfig {
+  /// Frames per parallel chunk (ExCamera's N; small = more parallelism but
+  /// worse compression at boundaries).
+  uint32_t chunk_frames = 24;
+  /// Simulated encode time per frame at complexity 1.0.
+  SimDuration encode_us_per_frame = 80 * kMillisecond;
+  /// Rebase (state-threading) time per frame, as a fraction of encode.
+  double rebase_fraction = 0.08;
+  /// Compression ratio of a mid-stream frame.
+  double compression_ratio = 0.05;
+  /// Chunk-leading frames compress worse (no reference): penalty factor.
+  double keyframe_penalty = 6.0;
+  TaskCostModel task_model{.invoke_overhead_us = 60 * kMillisecond,
+                           .compute_us_per_unit = 1.0,
+                           .memory_mb = 1024};
+};
+
+struct EncodeStats {
+  SimDuration makespan_us = 0;
+  SimDuration serial_encode_us = 0;  ///< One machine, no chunking.
+  uint64_t output_bytes = 0;
+  uint64_t serial_output_bytes = 0;  ///< Output bytes without chunk penalty.
+  uint64_t tasks = 0;
+  Money cost;
+  double Speedup() const {
+    return makespan_us > 0 ? double(serial_encode_us) / double(makespan_us)
+                           : 0.0;
+  }
+};
+
+/// ExCamera-style pipeline: parallel chunk encode stage + serial rebase
+/// chain. Returns the stats; the "encoded video" itself is size-only.
+Result<EncodeStats> EncodeServerless(const Video& video,
+                                     const EncodeConfig& config);
+
+/// Single-machine baseline for the same video.
+EncodeStats EncodeSerial(const Video& video, const EncodeConfig& config);
+
+}  // namespace taureau::analytics

@@ -1,0 +1,83 @@
+#include "baas/blob_store.h"
+
+namespace taureau::baas {
+
+BlobStore::BlobStore(LatencyModel latency, BlobPricing pricing, uint64_t seed)
+    : latency_(latency), pricing_(pricing), rng_(seed) {}
+
+OpResult BlobStore::Put(std::string_view key, std::string value) {
+  if (key.empty()) {
+    return {Status::InvalidArgument("empty blob key"), 0};
+  }
+  const SimDuration lat = latency_.Sample(&rng_, value.size());
+  ++stats_.puts;
+  stats_.bytes_written += value.size();
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second.size();
+    it->second = std::move(value);
+    total_bytes_ += it->second.size();
+  } else {
+    total_bytes_ += value.size();
+    objects_.emplace(std::string(key), std::move(value));
+  }
+  return {Status::OK(), lat};
+}
+
+OpResult BlobStore::Get(std::string_view key, std::string* value) {
+  ++stats_.gets;
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return {Status::NotFound("blob '" + std::string(key) + "'"),
+            latency_.Sample(&rng_, 0)};
+  }
+  *value = it->second;
+  stats_.bytes_read += it->second.size();
+  return {Status::OK(), latency_.Sample(&rng_, it->second.size())};
+}
+
+OpResult BlobStore::Delete(std::string_view key) {
+  ++stats_.deletes;
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return {Status::NotFound("blob '" + std::string(key) + "'"),
+            latency_.Sample(&rng_, 0)};
+  }
+  total_bytes_ -= it->second.size();
+  objects_.erase(it);
+  return {Status::OK(), latency_.Sample(&rng_, 0)};
+}
+
+std::vector<std::string> BlobStore::List(std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+bool BlobStore::Contains(std::string_view key) const {
+  return objects_.find(key) != objects_.end();
+}
+
+void BlobStore::AccrueStorage(SimTime now) {
+  if (now <= last_accrue_us_) return;
+  stats_.byte_us += static_cast<long double>(total_bytes_) *
+                    static_cast<long double>(now - last_accrue_us_);
+  last_accrue_us_ = now;
+}
+
+Money BlobStore::CostSoFar() const {
+  Money cost = pricing_.per_put * static_cast<int64_t>(stats_.puts) +
+               pricing_.per_get * static_cast<int64_t>(stats_.gets);
+  // byte_us -> GB-months: / (1024^3 bytes) / (30 days in us).
+  const long double gb_months =
+      stats_.byte_us / (1024.0L * 1024 * 1024) / (30.0L * 24 * kHour);
+  cost += Money::FromNanoDollars(static_cast<int64_t>(
+      gb_months * static_cast<long double>(
+                      pricing_.per_gb_month.nano_dollars())));
+  return cost;
+}
+
+}  // namespace taureau::baas

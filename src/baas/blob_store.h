@@ -1,0 +1,87 @@
+// S3-like blob store (paper §2.2, §4.1 "Storage platforms").
+//
+// Arbitrary-size objects under string keys, usage-based billing (per-request
+// fees + storage-time), and an S3-calibrated latency model. This is both a
+// BaaS building block and the baseline that Jiffy beats in experiment E8.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baas/latency_model.h"
+#include "common/money.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::baas {
+
+/// Usage-based pricing (S3 standard, 2020 ballpark).
+struct BlobPricing {
+  Money per_put = Money::FromNanoDollars(5000);     // $0.005 / 1K PUTs
+  Money per_get = Money::FromNanoDollars(400);      // $0.0004 / 1K GETs
+  Money per_gb_month = Money::FromDollars(0.023);   // storage
+};
+
+/// Outcome of a data-plane call: status plus the simulated latency the call
+/// would have taken.
+struct OpResult {
+  Status status;
+  SimDuration latency_us = 0;
+};
+
+struct BlobStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  /// Integral of stored bytes over simulated time (byte-microseconds),
+  /// maintained by callers advancing AccrueStorage().
+  long double byte_us = 0;
+};
+
+/// The store. Single-writer-per-call, in-memory, sorted keys (so prefix
+/// listing is efficient, as with S3 list-objects).
+class BlobStore {
+ public:
+  explicit BlobStore(LatencyModel latency = BlobStoreLatency(),
+                     BlobPricing pricing = BlobPricing{}, uint64_t seed = 23);
+
+  /// Stores an object (overwrite allowed, like S3).
+  OpResult Put(std::string_view key, std::string value);
+
+  /// Reads an object; NotFound when absent (latency is still charged —
+  /// the request went to the service).
+  OpResult Get(std::string_view key, std::string* value);
+
+  OpResult Delete(std::string_view key);
+
+  /// Keys with the given prefix, lexicographically ordered.
+  std::vector<std::string> List(std::string_view prefix) const;
+
+  bool Contains(std::string_view key) const;
+  size_t object_count() const { return objects_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+  const BlobStats& stats() const { return stats_; }
+
+  /// Advances the storage-time integral to `now`. Call before reading
+  /// StorageCost; idempotent per timestamp.
+  void AccrueStorage(SimTime now);
+
+  /// Request fees so far plus storage-time cost.
+  Money CostSoFar() const;
+
+ private:
+  LatencyModel latency_;
+  BlobPricing pricing_;
+  Rng rng_;
+  std::map<std::string, std::string, std::less<>> objects_;
+  uint64_t total_bytes_ = 0;
+  BlobStats stats_;
+  SimTime last_accrue_us_ = 0;
+};
+
+}  // namespace taureau::baas

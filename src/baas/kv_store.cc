@@ -1,0 +1,114 @@
+#include "baas/kv_store.h"
+
+#include <charconv>
+
+namespace taureau::baas {
+
+KvStore::KvStore(LatencyModel latency, uint64_t seed)
+    : latency_(latency), rng_(seed) {}
+
+KvItem* KvStore::Live(std::string_view key, SimTime now) {
+  auto it = items_.find(std::string(key));
+  if (it == items_.end()) return nullptr;
+  if (Expired(it->second, now)) {
+    items_.erase(it);
+    ++expired_;
+    return nullptr;
+  }
+  return &it->second;
+}
+
+KvOpResult KvStore::Put(std::string_view key, std::string value, SimTime now,
+                        SimDuration ttl_us) {
+  if (key.empty()) return {Status::InvalidArgument("empty key"), 0, 0};
+  const SimDuration lat = latency_.Sample(&rng_, value.size());
+  KvItem* live = Live(key, now);
+  if (live) {
+    live->value = std::move(value);
+    live->version += 1;
+    live->expires_at_us = ttl_us > 0 ? now + ttl_us : 0;
+    return {Status::OK(), lat, live->version};
+  }
+  KvItem item{std::move(value), 1, ttl_us > 0 ? now + ttl_us : 0};
+  items_.emplace(std::string(key), std::move(item));
+  return {Status::OK(), lat, 1};
+}
+
+KvOpResult KvStore::PutIfAbsent(std::string_view key, std::string value,
+                                SimTime now, SimDuration ttl_us) {
+  if (key.empty()) return {Status::InvalidArgument("empty key"), 0, 0};
+  const SimDuration lat = latency_.Sample(&rng_, value.size());
+  if (Live(key, now) != nullptr) {
+    return {Status::AlreadyExists("key '" + std::string(key) + "'"), lat, 0};
+  }
+  KvItem item{std::move(value), 1, ttl_us > 0 ? now + ttl_us : 0};
+  items_.emplace(std::string(key), std::move(item));
+  return {Status::OK(), lat, 1};
+}
+
+KvOpResult KvStore::PutIfVersion(std::string_view key, std::string value,
+                                 uint64_t expected_version, SimTime now) {
+  const SimDuration lat = latency_.Sample(&rng_, value.size());
+  KvItem* live = Live(key, now);
+  if (!live) {
+    return {Status::NotFound("key '" + std::string(key) + "'"), lat, 0};
+  }
+  if (live->version != expected_version) {
+    return {Status::Aborted("version mismatch: have " +
+                            std::to_string(live->version) + ", expected " +
+                            std::to_string(expected_version)),
+            lat, live->version};
+  }
+  live->value = std::move(value);
+  live->version += 1;
+  return {Status::OK(), lat, live->version};
+}
+
+KvOpResult KvStore::Get(std::string_view key, SimTime now,
+                        std::string* value) {
+  KvItem* live = Live(key, now);
+  if (!live) {
+    return {Status::NotFound("key '" + std::string(key) + "'"),
+            latency_.Sample(&rng_, 0), 0};
+  }
+  *value = live->value;
+  return {Status::OK(), latency_.Sample(&rng_, live->value.size()),
+          live->version};
+}
+
+KvOpResult KvStore::Delete(std::string_view key, SimTime now) {
+  const SimDuration lat = latency_.Sample(&rng_, 0);
+  KvItem* live = Live(key, now);
+  if (!live) {
+    return {Status::NotFound("key '" + std::string(key) + "'"), lat, 0};
+  }
+  items_.erase(std::string(key));
+  return {Status::OK(), lat, 0};
+}
+
+KvOpResult KvStore::Increment(std::string_view key, int64_t delta, SimTime now,
+                              int64_t* result) {
+  const SimDuration lat = latency_.Sample(&rng_, 8);
+  KvItem* live = Live(key, now);
+  int64_t current = 0;
+  if (live) {
+    auto [ptr, ec] = std::from_chars(
+        live->value.data(), live->value.data() + live->value.size(), current);
+    if (ec != std::errc()) {
+      return {Status::FailedPrecondition("value at '" + std::string(key) +
+                                         "' is not an integer"),
+              lat, live->version};
+    }
+    current += delta;
+    live->value = std::to_string(current);
+    live->version += 1;
+    *result = current;
+    return {Status::OK(), lat, live->version};
+  }
+  current = delta;
+  items_.emplace(std::string(key), KvItem{std::to_string(current), 1, 0});
+  *result = current;
+  return {Status::OK(), lat, 1};
+}
+
+}  // namespace taureau::baas

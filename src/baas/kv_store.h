@@ -1,0 +1,73 @@
+// Dynamo-like serverless key-value store (paper §2.2) with conditional
+// writes and TTL — the registry substrate for the IoT archetype (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "baas/latency_model.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::baas {
+
+struct KvItem {
+  std::string value;
+  uint64_t version = 0;          ///< Monotonic per-key write counter.
+  SimTime expires_at_us = 0;     ///< 0 = no TTL.
+};
+
+struct KvOpResult {
+  Status status;
+  SimDuration latency_us = 0;
+  uint64_t version = 0;  ///< Version after a successful write / of the read.
+};
+
+/// The store. All ops take `now` so TTL expiry is simulation-time driven.
+class KvStore {
+ public:
+  explicit KvStore(LatencyModel latency = KvStoreLatency(), uint64_t seed = 29);
+
+  /// Unconditional upsert. ttl of 0 means no expiry.
+  KvOpResult Put(std::string_view key, std::string value, SimTime now,
+                 SimDuration ttl_us = 0);
+
+  /// Succeeds only if the key is absent (idempotent create — the building
+  /// block for exactly-once effects under FaaS retries).
+  KvOpResult PutIfAbsent(std::string_view key, std::string value, SimTime now,
+                         SimDuration ttl_us = 0);
+
+  /// Succeeds only if the key's current version equals expected_version
+  /// (optimistic concurrency).
+  KvOpResult PutIfVersion(std::string_view key, std::string value,
+                          uint64_t expected_version, SimTime now);
+
+  KvOpResult Get(std::string_view key, SimTime now, std::string* value);
+
+  KvOpResult Delete(std::string_view key, SimTime now);
+
+  /// Atomic counter increment; creates the key at `delta` when absent.
+  /// The new value is returned through *result.
+  KvOpResult Increment(std::string_view key, int64_t delta, SimTime now,
+                       int64_t* result);
+
+  size_t size() const { return items_.size(); }
+  uint64_t expired_evictions() const { return expired_; }
+
+ private:
+  bool Expired(const KvItem& item, SimTime now) const {
+    return item.expires_at_us != 0 && item.expires_at_us <= now;
+  }
+  /// Drops the entry if expired; returns the live item or nullptr.
+  KvItem* Live(std::string_view key, SimTime now);
+
+  LatencyModel latency_;
+  Rng rng_;
+  std::unordered_map<std::string, KvItem> items_;
+  uint64_t expired_ = 0;
+};
+
+}  // namespace taureau::baas

@@ -1,0 +1,31 @@
+#include "baas/latency_model.h"
+
+#include <cmath>
+
+namespace taureau::baas {
+
+SimDuration LatencyModel::Mean(size_t bytes) const {
+  return base_us + static_cast<SimDuration>(per_byte_us * double(bytes));
+}
+
+SimDuration LatencyModel::Sample(Rng* rng, size_t bytes) const {
+  const SimDuration mean = Mean(bytes);
+  if (mean <= 0) return 0;
+  if (sigma <= 0) return mean;
+  const double mu = std::log(double(mean));
+  return static_cast<SimDuration>(rng->NextLogNormal(mu, sigma));
+}
+
+LatencyModel BlobStoreLatency() {
+  return LatencyModel{15 * kMillisecond, 1e6 / (80.0 * 1024 * 1024), 0.25};
+}
+
+LatencyModel KvStoreLatency() {
+  return LatencyModel{1200, 1e6 / (200.0 * 1024 * 1024), 0.20};
+}
+
+LatencyModel MemoryStoreLatency() {
+  return LatencyModel{150, 1e6 / (1024.0 * 1024 * 1024), 0.10};
+}
+
+}  // namespace taureau::baas

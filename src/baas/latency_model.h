@@ -1,0 +1,39 @@
+// Latency models for storage services.
+//
+// Stores in this library hold real bytes in memory; only their *latency* is
+// modeled. Every data-plane operation returns the simulated latency it would
+// have cost, so callers can either (a) schedule completion events on the
+// simulation, or (b) accumulate latency along a task's critical path (how
+// the analytics experiments compute makespans).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+
+namespace taureau::baas {
+
+/// first-byte latency + size/throughput term, with log-normal jitter.
+struct LatencyModel {
+  SimDuration base_us = 1 * kMillisecond;
+  /// Microseconds per byte transferred (1e6 / bytes-per-second).
+  double per_byte_us = 0.0;
+  /// Log-normal sigma applied to the total.
+  double sigma = 0.15;
+
+  SimDuration Sample(Rng* rng, size_t bytes) const;
+
+  /// Deterministic expectation (no jitter), for provisioning math.
+  SimDuration Mean(size_t bytes) const;
+};
+
+/// Calibrated presets.
+/// Blob store (S3-like): ~15ms first byte, ~80 MB/s per stream.
+LatencyModel BlobStoreLatency();
+/// KV store (Dynamo-like): ~1.2ms, ~200 MB/s.
+LatencyModel KvStoreLatency();
+/// In-memory ephemeral store (Jiffy-like): ~150us, ~1 GB/s.
+LatencyModel MemoryStoreLatency();
+
+}  // namespace taureau::baas

@@ -1,0 +1,92 @@
+#include "baas/table_store.h"
+
+namespace taureau::baas {
+
+TableStore::TableStore(LatencyModel latency, uint64_t seed)
+    : latency_(latency), rng_(seed) {}
+
+TxnId TableStore::Begin() {
+  const TxnId id = next_txn_++;
+  active_.emplace(id, Txn{});
+  return id;
+}
+
+uint64_t TableStore::VersionOf(std::string_view key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? 0 : it->second.version;
+}
+
+Result<std::string> TableStore::Read(TxnId txn, std::string_view key) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("txn " + std::to_string(txn) + " not active");
+  }
+  Txn& t = it->second;
+  // Read-your-writes.
+  auto w = t.write_set.find(std::string(key));
+  if (w != t.write_set.end()) return w->second;
+  // Record the version we depend on (0 for missing keys: we depend on the
+  // key's continued absence).
+  t.read_set.emplace(std::string(key), VersionOf(key));
+  auto row = rows_.find(key);
+  return row == rows_.end() ? std::string() : row->second.value;
+}
+
+Status TableStore::Write(TxnId txn, std::string_view key, std::string value) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("txn " + std::to_string(txn) + " not active");
+  }
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  it->second.write_set[std::string(key)] = std::move(value);
+  return Status::OK();
+}
+
+Status TableStore::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("txn " + std::to_string(txn) + " not active");
+  }
+  Txn& t = it->second;
+  for (const auto& [key, seen_version] : t.read_set) {
+    if (VersionOf(key) != seen_version) {
+      // Build the message before erasing: `key` lives inside the txn.
+      Status aborted = Status::Aborted("read-write conflict on '" + key + "'");
+      active_.erase(it);
+      ++aborts_;
+      return aborted;
+    }
+  }
+  for (auto& [key, value] : t.write_set) {
+    Row& row = rows_[key];
+    row.value = std::move(value);
+    row.version += 1;
+  }
+  active_.erase(it);
+  ++commits_;
+  return Status::OK();
+}
+
+Status TableStore::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("txn " + std::to_string(txn) + " not active");
+  }
+  active_.erase(it);
+  ++aborts_;
+  return Status::OK();
+}
+
+Result<std::string> TableStore::GetCommitted(std::string_view key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end() || it->second.version == 0) {
+    return Status::NotFound("row '" + std::string(key) + "'");
+  }
+  return it->second.value;
+}
+
+SimDuration TableStore::SampleOpLatency(size_t bytes) {
+  return latency_.Sample(&rng_, bytes);
+}
+
+}  // namespace taureau::baas

@@ -1,0 +1,85 @@
+// Serverless transactional table store (paper §4.1 "Database platforms").
+//
+// The paper notes that "since most FaaS platforms re-execute functions
+// transparently on failure, the transactional semantics offered by
+// serverless database services can be crucial for ensuring correctness".
+// This store provides optimistic (OCC) transactions so the tests can show
+// exactly that: naive KV effects duplicate under retry; transactional
+// effects do not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "baas/latency_model.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::baas {
+
+using TxnId = uint64_t;
+
+/// Multi-key table with optimistic transactions (backward validation):
+/// reads record the observed version; Commit aborts if any read key was
+/// written by a transaction that committed in between.
+class TableStore {
+ public:
+  explicit TableStore(LatencyModel latency = KvStoreLatency(),
+                      uint64_t seed = 31);
+
+  /// Starts a transaction.
+  TxnId Begin();
+
+  /// Transactional read: sees the transaction's own writes first, then the
+  /// committed state. Missing keys read as empty with version 0 (so
+  /// insert-if-absent patterns validate correctly).
+  Result<std::string> Read(TxnId txn, std::string_view key);
+
+  /// Buffers a write; visible to this transaction's later reads.
+  Status Write(TxnId txn, std::string_view key, std::string value);
+
+  /// Validates and applies. Aborted => the caller should retry the whole
+  /// transaction (a fresh Begin).
+  Status Commit(TxnId txn);
+
+  /// Discards the transaction.
+  Status Abort(TxnId txn);
+
+  /// Non-transactional committed read (for assertions/tests).
+  Result<std::string> GetCommitted(std::string_view key) const;
+
+  /// Sampled latency of one data-plane round trip, so callers can account
+  /// simulated time per op.
+  SimDuration SampleOpLatency(size_t bytes);
+
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string value;
+    uint64_t version = 0;  // 0 = never written
+  };
+  struct Txn {
+    std::unordered_map<std::string, uint64_t> read_set;  // key -> seen version
+    std::map<std::string, std::string> write_set;
+  };
+
+  uint64_t VersionOf(std::string_view key) const;
+
+  LatencyModel latency_;
+  Rng rng_;
+  std::map<std::string, Row, std::less<>> rows_;
+  std::unordered_map<TxnId, Txn> active_;
+  TxnId next_txn_ = 1;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+};
+
+}  // namespace taureau::baas

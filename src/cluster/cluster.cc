@@ -1,0 +1,216 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taureau::cluster {
+
+std::string_view PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kBestFit:
+      return "best-fit";
+    case PlacementPolicy::kWorstFit:
+      return "worst-fit";
+    case PlacementPolicy::kComplementary:
+      return "complementary";
+  }
+  return "unknown";
+}
+
+Cluster::Cluster(size_t num_machines, ResourceVector machine_capacity,
+                 Money machine_hour_price)
+    : machine_hour_price_(machine_hour_price) {
+  machines_.reserve(num_machines);
+  for (size_t i = 0; i < num_machines; ++i) {
+    machines_.push_back(
+        std::make_unique<Machine>(static_cast<MachineId>(i), machine_capacity));
+  }
+}
+
+Cluster::Cluster(std::vector<ResourceVector> machine_capacities,
+                 Money machine_hour_price)
+    : machine_hour_price_(machine_hour_price) {
+  machines_.reserve(machine_capacities.size());
+  for (size_t i = 0; i < machine_capacities.size(); ++i) {
+    machines_.push_back(std::make_unique<Machine>(static_cast<MachineId>(i),
+                                                  machine_capacities[i]));
+  }
+}
+
+int Cluster::PickMachine(const ResourceVector& footprint,
+                         PlacementPolicy policy,
+                         const std::string* sole_tenant) const {
+  int best = -1;
+  double best_score = 0.0;
+  for (size_t i = 0; i < machines_.size(); ++i) {
+    const Machine& m = *machines_[i];
+    if (!m.CanHost(footprint)) continue;
+    if (sole_tenant != nullptr) {
+      bool foreign = false;
+      for (const auto& [id, unit] : m.units()) {
+        if (unit.owner != *sole_tenant) {
+          foreign = true;
+          break;
+        }
+      }
+      if (foreign) continue;
+    }
+    switch (policy) {
+      case PlacementPolicy::kFirstFit:
+        return static_cast<int>(i);
+      case PlacementPolicy::kBestFit: {
+        // Minimize free dominant share after placement (tightest fit).
+        const ResourceVector after = m.allocated() + footprint;
+        const double score = 1.0 - after.DominantShare(m.capacity());
+        if (best < 0 || score < best_score) {
+          best = static_cast<int>(i);
+          best_score = score;
+        }
+        break;
+      }
+      case PlacementPolicy::kWorstFit: {
+        const ResourceVector after = m.allocated() + footprint;
+        const double score = 1.0 - after.DominantShare(m.capacity());
+        if (best < 0 || score > best_score) {
+          best = static_cast<int>(i);
+          best_score = score;
+        }
+        break;
+      }
+      case PlacementPolicy::kComplementary: {
+        // Minimize post-placement |cpu_util - mem_util|: pairs CPU-heavy
+        // units with memory-heavy ones so neither dimension strands.
+        const ResourceVector after = m.allocated() + footprint;
+        const double cpu = m.capacity().cpu_millis > 0
+                               ? double(after.cpu_millis) /
+                                     double(m.capacity().cpu_millis)
+                               : 0;
+        const double mem = m.capacity().memory_mb > 0
+                               ? double(after.memory_mb) /
+                                     double(m.capacity().memory_mb)
+                               : 0;
+        // Prefer balanced machines; tie-break toward fuller ones so the
+        // policy still consolidates.
+        const double score = std::abs(cpu - mem) - 0.01 * std::max(cpu, mem);
+        if (best < 0 || score < best_score) {
+          best = static_cast<int>(i);
+          best_score = score;
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+Result<UnitId> Cluster::Allocate(IsolationLevel level, ResourceVector demand,
+                                 PlacementPolicy policy, std::string owner) {
+  return AllocateImpl(level, demand, policy, std::move(owner),
+                      /*dedicated=*/false);
+}
+
+Result<UnitId> Cluster::AllocateIsolated(IsolationLevel level,
+                                         ResourceVector demand,
+                                         PlacementPolicy policy,
+                                         std::string owner) {
+  if (owner.empty()) {
+    return Status::InvalidArgument("dedicated tenancy requires an owner tag");
+  }
+  return AllocateImpl(level, demand, policy, std::move(owner),
+                      /*dedicated=*/true);
+}
+
+Result<UnitId> Cluster::AllocateImpl(IsolationLevel level,
+                                     ResourceVector demand,
+                                     PlacementPolicy policy, std::string owner,
+                                     bool dedicated) {
+  const StartupModel model = DefaultStartupModel(level);
+  ExecutionUnit unit;
+  unit.id = next_unit_id_++;
+  unit.level = level;
+  unit.demand = demand;
+  unit.footprint = {
+      std::max(demand.cpu_millis, model.min_unit.cpu_millis),
+      std::max(demand.memory_mb, model.min_unit.memory_mb) + model.overhead_mb,
+      demand.gpus};  // accelerators are whole-device, no overhead
+  unit.owner = std::move(owner);
+
+  const int pick = PickMachine(unit.footprint, policy,
+                               dedicated ? &unit.owner : nullptr);
+  if (pick < 0) {
+    return Status::ResourceExhausted(
+        "no machine fits " + unit.footprint.ToString() +
+        (dedicated ? " under dedicated tenancy" : ""));
+  }
+  unit.machine = static_cast<MachineId>(pick);
+  TAU_RETURN_IF_ERROR(machines_[pick]->Place(unit));
+  unit_to_machine_[unit.id] = unit.machine;
+  return unit.id;
+}
+
+Status Cluster::Release(UnitId id) {
+  auto it = unit_to_machine_.find(id);
+  if (it == unit_to_machine_.end()) {
+    return Status::NotFound("unit " + std::to_string(id));
+  }
+  TAU_RETURN_IF_ERROR(machines_[it->second]->Remove(id));
+  unit_to_machine_.erase(it);
+  return Status::OK();
+}
+
+Result<MachineId> Cluster::MachineOf(UnitId id) const {
+  auto it = unit_to_machine_.find(id);
+  if (it == unit_to_machine_.end()) {
+    return Status::NotFound("unit " + std::to_string(id));
+  }
+  return it->second;
+}
+
+ClusterStats Cluster::Stats() const {
+  ClusterStats s;
+  s.machines_total = machines_.size();
+  for (const auto& m : machines_) {
+    s.total_capacity += m->capacity();
+    s.total_allocated += m->allocated();
+    s.units += m->unit_count();
+    if (m->unit_count() > 0) {
+      ++s.machines_in_use;
+      s.avg_utilization += m->Utilization();
+      s.avg_imbalance += std::abs(m->CpuUtilization() - m->MemUtilization());
+    }
+  }
+  if (s.machines_in_use > 0) {
+    s.avg_utilization /= double(s.machines_in_use);
+    s.avg_imbalance /= double(s.machines_in_use);
+  }
+  return s;
+}
+
+size_t Cluster::CoResidentTenantPairs() const {
+  size_t pairs = 0;
+  for (const auto& m : machines_) {
+    std::vector<std::string> owners;
+    for (const auto& [id, unit] : m->units()) {
+      if (std::find(owners.begin(), owners.end(), unit.owner) ==
+          owners.end()) {
+        owners.push_back(unit.owner);
+      }
+    }
+    pairs += owners.size() * (owners.size() - 1) / 2;
+  }
+  return pairs;
+}
+
+Money Cluster::ReservedCost(size_t n, SimDuration duration) const {
+  // Round to integer machine-microseconds to stay exact: price/hour * usec.
+  const int64_t nano_per_hour = machine_hour_price_.nano_dollars();
+  const int64_t total =
+      static_cast<int64_t>(n) *
+      static_cast<int64_t>(double(nano_per_hour) * double(duration) /
+                           double(kHour));
+  return Money::FromNanoDollars(total);
+}
+
+}  // namespace taureau::cluster

@@ -1,0 +1,105 @@
+// A pool of machines with pluggable placement (bin-packing) policies.
+//
+// The FaaS platform places containers here; experiment E5 compares the
+// packing heuristics the paper's §6 calls for ("pack together functions
+// with complementary resource requirements").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "common/money.h"
+#include "common/status.h"
+#include "common/time_types.h"
+
+namespace taureau::cluster {
+
+/// Placement heuristics for choosing a machine for a new unit.
+enum class PlacementPolicy {
+  kFirstFit,       ///< Lowest-id machine that fits.
+  kBestFit,        ///< Machine left with least free dominant share.
+  kWorstFit,       ///< Machine left with most free dominant share (spread).
+  kComplementary,  ///< Machine minimizing post-placement CPU/mem imbalance.
+};
+
+std::string_view PlacementPolicyName(PlacementPolicy policy);
+
+/// Aggregate cluster statistics (E5's metrics).
+struct ClusterStats {
+  size_t machines_total = 0;
+  size_t machines_in_use = 0;      ///< Machines with >= 1 unit.
+  size_t units = 0;
+  double avg_utilization = 0.0;    ///< Mean dominant share over in-use machines.
+  double avg_imbalance = 0.0;      ///< Mean |cpu_util - mem_util| (stranding proxy).
+  ResourceVector total_capacity;
+  ResourceVector total_allocated;
+};
+
+/// A fixed fleet of identical machines.
+class Cluster {
+ public:
+  /// machine_hour_price: reserved-capacity price per machine-hour, used by
+  /// the billing experiments to cost server-centric deployments.
+  Cluster(size_t num_machines, ResourceVector machine_capacity,
+          Money machine_hour_price = Money::FromDollars(0.10));
+
+  /// Heterogeneous fleet (§6 "Hardware Heterogeneity"): one machine per
+  /// capacity entry — e.g. a mix of CPU-only and GPU-bearing boxes.
+  explicit Cluster(std::vector<ResourceVector> machine_capacities,
+                   Money machine_hour_price = Money::FromDollars(0.10));
+
+  /// Places a unit with the given policy. The returned UnitId is globally
+  /// unique within this cluster. Fails with ResourceExhausted when no
+  /// machine fits the footprint (demand + level overhead).
+  Result<UnitId> Allocate(IsolationLevel level, ResourceVector demand,
+                          PlacementPolicy policy, std::string owner = "");
+
+  /// Dedicated-tenancy placement (§6 "Security": co-residency enables
+  /// side-channel attacks between tenants): the unit only lands on machines
+  /// whose existing units all belong to the same owner. Costs utilization;
+  /// experiment E17 quantifies the trade.
+  Result<UnitId> AllocateIsolated(IsolationLevel level, ResourceVector demand,
+                                  PlacementPolicy policy, std::string owner);
+
+  /// Number of distinct cross-tenant pairs sharing a machine — the
+  /// side-channel exposure surface.
+  size_t CoResidentTenantPairs() const;
+
+  /// Releases a previously allocated unit.
+  Status Release(UnitId id);
+
+  /// Looks up the machine hosting a unit.
+  Result<MachineId> MachineOf(UnitId id) const;
+
+  ClusterStats Stats() const;
+
+  size_t machine_count() const { return machines_.size(); }
+  const Machine& machine(MachineId id) const { return *machines_[id]; }
+  Money machine_hour_price() const { return machine_hour_price_; }
+
+  /// Cost of keeping `n` machines reserved for `duration` (server-centric
+  /// pricing baseline for E3).
+  Money ReservedCost(size_t n, SimDuration duration) const;
+
+ private:
+  /// Returns the chosen machine index or -1. When `sole_tenant` is
+  /// non-null, only machines empty or fully owned by *sole_tenant qualify.
+  int PickMachine(const ResourceVector& footprint, PlacementPolicy policy,
+                  const std::string* sole_tenant = nullptr) const;
+
+  Result<UnitId> AllocateImpl(IsolationLevel level, ResourceVector demand,
+                              PlacementPolicy policy, std::string owner,
+                              bool dedicated);
+
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::unordered_map<UnitId, MachineId> unit_to_machine_;
+  Money machine_hour_price_;
+  UnitId next_unit_id_ = 1;
+};
+
+}  // namespace taureau::cluster

@@ -1,0 +1,34 @@
+#include "cluster/machine.h"
+
+namespace taureau::cluster {
+
+Status Machine::Place(const ExecutionUnit& unit) {
+  if (!unit.footprint.IsNonNegative()) {
+    return Status::InvalidArgument("negative resource footprint");
+  }
+  if (!CanHost(unit.footprint)) {
+    return Status::ResourceExhausted(
+        "machine " + std::to_string(id_) + " cannot host " +
+        unit.footprint.ToString() + " (free " + Free().ToString() + ")");
+  }
+  auto [it, inserted] = units_.emplace(unit.id, unit);
+  if (!inserted) {
+    return Status::AlreadyExists("unit " + std::to_string(unit.id) +
+                                 " already on machine");
+  }
+  allocated_ += unit.footprint;
+  return Status::OK();
+}
+
+Status Machine::Remove(UnitId id) {
+  auto it = units_.find(id);
+  if (it == units_.end()) {
+    return Status::NotFound("unit " + std::to_string(id) + " not on machine " +
+                            std::to_string(id_));
+  }
+  allocated_ -= it->second.footprint;
+  units_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace taureau::cluster

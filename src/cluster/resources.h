@@ -1,0 +1,74 @@
+// Resource vectors used for placement and bin-packing decisions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace taureau::cluster {
+
+/// A resource demand/capacity: CPU (millicores), memory (MB), and
+/// accelerators (whole GPUs). CPU/memory carry the complementary-packing
+/// experiments from the paper's §6; the GPU dimension implements §6's
+/// "Hardware Heterogeneity" outlook ("specialized compute resources like
+/// GPUs, TPUs and FPGAs... serverless platforms are yet to adopt them").
+struct ResourceVector {
+  int64_t cpu_millis = 0;  ///< CPU in millicores (1000 = one core).
+  int64_t memory_mb = 0;   ///< Memory in MB.
+  int64_t gpus = 0;        ///< Whole accelerator devices.
+
+  constexpr ResourceVector operator+(const ResourceVector& o) const {
+    return {cpu_millis + o.cpu_millis, memory_mb + o.memory_mb,
+            gpus + o.gpus};
+  }
+  constexpr ResourceVector operator-(const ResourceVector& o) const {
+    return {cpu_millis - o.cpu_millis, memory_mb - o.memory_mb,
+            gpus - o.gpus};
+  }
+  ResourceVector& operator+=(const ResourceVector& o) {
+    cpu_millis += o.cpu_millis;
+    memory_mb += o.memory_mb;
+    gpus += o.gpus;
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& o) {
+    cpu_millis -= o.cpu_millis;
+    memory_mb -= o.memory_mb;
+    gpus -= o.gpus;
+    return *this;
+  }
+  constexpr bool operator==(const ResourceVector&) const = default;
+
+  /// True when this demand fits within `capacity`.
+  constexpr bool FitsIn(const ResourceVector& capacity) const {
+    return cpu_millis <= capacity.cpu_millis &&
+           memory_mb <= capacity.memory_mb && gpus <= capacity.gpus;
+  }
+
+  constexpr bool IsNonNegative() const {
+    return cpu_millis >= 0 && memory_mb >= 0 && gpus >= 0;
+  }
+
+  /// Largest of the per-dimension utilization fractions against `capacity`
+  /// (the "dominant share").
+  double DominantShare(const ResourceVector& capacity) const {
+    double cpu = capacity.cpu_millis > 0
+                     ? double(cpu_millis) / double(capacity.cpu_millis)
+                     : 0.0;
+    double mem = capacity.memory_mb > 0
+                     ? double(memory_mb) / double(capacity.memory_mb)
+                     : 0.0;
+    double gpu = capacity.gpus > 0 ? double(gpus) / double(capacity.gpus)
+                                   : 0.0;
+    return std::max({cpu, mem, gpu});
+  }
+
+  std::string ToString() const {
+    std::string s = std::to_string(cpu_millis) + "mCPU/" +
+                    std::to_string(memory_mb) + "MB";
+    if (gpus > 0) s += "/" + std::to_string(gpus) + "GPU";
+    return s;
+  }
+};
+
+}  // namespace taureau::cluster

@@ -1,0 +1,78 @@
+#include "cluster/virtualization.h"
+
+#include <cmath>
+
+namespace taureau::cluster {
+
+std::string_view IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kBareMetal:
+      return "bare-metal";
+    case IsolationLevel::kVirtualMachine:
+      return "virtual-machine";
+    case IsolationLevel::kContainer:
+      return "container";
+    case IsolationLevel::kLambda:
+      return "lambda";
+  }
+  return "unknown";
+}
+
+SimDuration StartupModel::SampleStartup(Rng* rng) const {
+  if (median_startup_us <= 0) return 0;
+  const double mu = std::log(double(median_startup_us));
+  return static_cast<SimDuration>(rng->NextLogNormal(mu, startup_sigma));
+}
+
+StartupModel DefaultStartupModel(IsolationLevel level) {
+  StartupModel m;
+  switch (level) {
+    case IsolationLevel::kBareMetal:
+      m.median_startup_us = 8 * kMinute;  // provisioning + OS install
+      m.startup_sigma = 0.30;
+      m.overhead_mb = 0;  // the tenant owns the whole machine
+      m.min_unit = {0, 0};
+      break;
+    case IsolationLevel::kVirtualMachine:
+      m.median_startup_us = 45 * kSecond;  // guest kernel boot
+      m.startup_sigma = 0.25;
+      m.overhead_mb = 512;  // guest OS resident set
+      m.min_unit = {500, 512};
+      break;
+    case IsolationLevel::kContainer:
+      m.median_startup_us = 900 * kMillisecond;  // image unpack + process
+      m.startup_sigma = 0.35;
+      m.overhead_mb = 32;  // image layers + shim
+      m.min_unit = {100, 64};
+      break;
+    case IsolationLevel::kLambda:
+      m.median_startup_us = 120 * kMillisecond;  // runtime init (cold)
+      m.startup_sigma = 0.40;
+      m.overhead_mb = 8;  // language runtime slice
+      m.min_unit = {64, 128};
+      break;
+  }
+  return m;
+}
+
+int64_t MaxDensity(IsolationLevel level, const ResourceVector& machine,
+                   const ResourceVector& unit_demand) {
+  if (level == IsolationLevel::kBareMetal) {
+    // One tenant unit per machine regardless of demand.
+    return unit_demand.FitsIn(machine) ? 1 : 0;
+  }
+  const StartupModel m = DefaultStartupModel(level);
+  const ResourceVector per_unit = {
+      std::max(unit_demand.cpu_millis, m.min_unit.cpu_millis),
+      std::max(unit_demand.memory_mb, m.min_unit.memory_mb) + m.overhead_mb};
+  if (per_unit.cpu_millis <= 0 && per_unit.memory_mb <= 0) return 0;
+  int64_t by_cpu = per_unit.cpu_millis > 0
+                       ? machine.cpu_millis / per_unit.cpu_millis
+                       : INT64_MAX;
+  int64_t by_mem = per_unit.memory_mb > 0
+                       ? machine.memory_mb / per_unit.memory_mb
+                       : INT64_MAX;
+  return std::min(by_cpu, by_mem);
+}
+
+}  // namespace taureau::cluster

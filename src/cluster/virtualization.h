@@ -1,0 +1,55 @@
+// The virtualization evolution modeled as data (paper §2.1):
+//   bare metal -> virtual machines -> containers -> serverless runtimes.
+//
+// Each level of the evolution raises the abstraction, shrinks the unit of
+// execution, cuts startup latency, and lowers per-unit overhead — which is
+// exactly what experiment E1 measures.
+#pragma once
+
+#include <string_view>
+
+#include "cluster/resources.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+
+namespace taureau::cluster {
+
+/// The four rungs of the virtualization ladder.
+enum class IsolationLevel {
+  kBareMetal = 0,      ///< Whole physical machine per tenant.
+  kVirtualMachine = 1, ///< Hardware virtualized; guest OS per unit.
+  kContainer = 2,      ///< OS virtualized; packaged process per unit.
+  kLambda = 3,         ///< Runtime virtualized; function per unit.
+};
+
+std::string_view IsolationLevelName(IsolationLevel level);
+
+/// Startup latency and footprint model for one isolation level.
+///
+/// Defaults are calibrated to the published literature the paper cites:
+/// bare-metal provisioning takes minutes; VM boot tens of seconds
+/// (Manco et al., SOSP'17); container start hundreds of ms to seconds;
+/// lambda runtime cold start 50-250ms on top of a warm container pool
+/// (Wang et al., ATC'18 "Peeking Behind the Curtains").
+struct StartupModel {
+  SimDuration median_startup_us = 0;
+  /// Log-normal sigma applied around the median (startup tails are heavy).
+  double startup_sigma = 0.25;
+  /// Fixed memory overhead per unit (guest OS / runtime image / language VM).
+  int64_t overhead_mb = 0;
+  /// Minimum schedulable granule at this level.
+  ResourceVector min_unit;
+
+  /// Samples a startup latency; deterministic given the RNG state.
+  SimDuration SampleStartup(Rng* rng) const;
+};
+
+/// Returns the default calibrated model for a level.
+StartupModel DefaultStartupModel(IsolationLevel level);
+
+/// How many units of the given demand fit on one machine at this level,
+/// accounting for per-unit overhead ("density", E1's second metric).
+int64_t MaxDensity(IsolationLevel level, const ResourceVector& machine,
+                   const ResourceVector& unit_demand);
+
+}  // namespace taureau::cluster

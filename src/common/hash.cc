@@ -1,0 +1,45 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace taureau {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t MixU64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashSeeded(std::string_view data, uint64_t seed) {
+  uint64_t h = seed ^ (0x27D4EB2F165667C5ULL + data.size());
+  size_t i = 0;
+  while (i + 8 <= data.size()) {
+    uint64_t k;
+    std::memcpy(&k, data.data() + i, 8);
+    h = MixU64(h ^ MixU64(k));
+    i += 8;
+  }
+  uint64_t tail = 0;
+  int shift = 0;
+  for (; i < data.size(); ++i) {
+    tail |= static_cast<uint64_t>(static_cast<unsigned char>(data[i]))
+            << shift;
+    shift += 8;
+  }
+  if (shift > 0) h = MixU64(h ^ MixU64(tail));
+  return MixU64(h);
+}
+
+}  // namespace taureau

@@ -1,0 +1,25 @@
+// Hash functions shared by sketches, partitioners and stores.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace taureau {
+
+/// 64-bit FNV-1a. Fast, decent quality; used for partitioning keys.
+uint64_t Fnv1a64(std::string_view data);
+
+/// MurmurHash3-style 64-bit finalizer applied to an integer.
+uint64_t MixU64(uint64_t x);
+
+/// xxHash-inspired 64-bit hash over bytes with a seed; used where multiple
+/// independent hash functions are required (Count-Min rows, Bloom probes).
+uint64_t HashSeeded(std::string_view data, uint64_t seed);
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace taureau

@@ -1,0 +1,122 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the library (arrival processes, latency jitter,
+// failure injection, data generation) flows through Rng so that every
+// experiment is reproducible bit-for-bit from its seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace taureau {
+
+/// SplitMix64 — used to expand a single seed into generator state.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) with a suite of distributions.
+///
+/// Not thread-safe; each simulated component owns its own Rng, typically
+/// derived from a parent via Fork() so that adding components does not
+/// perturb the random streams of existing ones.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xC0FFEE);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Exponentially distributed with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Normal with mean/stddev.
+  double NextGaussian(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)). Useful for latency tails.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  uint64_t NextPoisson(double mean);
+
+  /// Pareto with scale x_m and shape alpha (heavy-tailed sizes).
+  double NextPareto(double x_m, double alpha);
+
+  /// Derives an independent child generator; deterministic in the parent's
+  /// stream position.
+  Rng Fork();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  // Box-Muller produces pairs; cache the spare.
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed ranks in [0, n) with exponent theta, using the
+/// rejection-inversion free method with a precomputed harmonic table for
+/// small n and Gray et al.'s approximation for large n.
+class ZipfGenerator {
+ public:
+  /// n: universe size; theta: skew (0 = uniform, ~0.99 = typical hot-key).
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular item.
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace taureau

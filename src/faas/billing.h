@@ -1,0 +1,68 @@
+// Fine-grained billing (paper §2: "users only pay for the resources they
+// actually use, and for the duration that they use it").
+//
+// Charges are an audited, exact ledger so the billing experiments (E3) and
+// the orchestration no-double-billing property (E15) can assert equalities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/money.h"
+#include "common/time_types.h"
+
+namespace taureau::faas {
+
+/// Lambda-style pricing knobs.
+struct BillingRates {
+  /// Price per GB-second of allocated memory (AWS Lambda 2020: ~$1.6667e-5).
+  Money per_gb_second = Money::FromNanoDollars(16667);
+  /// Billed-duration quantum — durations round *up* to a multiple of this
+  /// (classic Lambda: 100ms; post-2020: 1ms).
+  SimDuration quantum_us = 100 * kMillisecond;
+  /// Flat per-request fee ($0.20 per million requests).
+  Money per_request = Money::FromNanoDollars(200);
+};
+
+/// One billed function attempt (retries are billed attempts too, as on
+/// real FaaS platforms).
+struct ChargeRecord {
+  uint64_t invocation_id = 0;
+  int attempt = 0;
+  std::string function;
+  SimDuration raw_duration_us = 0;
+  SimDuration billed_duration_us = 0;
+  int64_t memory_mb = 0;
+  Money amount;
+};
+
+/// Append-only charge ledger with per-function rollups.
+class BillingLedger {
+ public:
+  explicit BillingLedger(BillingRates rates) : rates_(rates) {}
+
+  /// Computes the charge for an attempt, appends it, and returns the amount.
+  Money Charge(uint64_t invocation_id, int attempt,
+               const std::string& function, SimDuration duration_us,
+               int64_t memory_mb);
+
+  /// Pure pricing function (no side effects): duration rounds up to the
+  /// quantum; amount = quanta * per-GB-s rate scaled by memory + request fee.
+  Money Price(SimDuration duration_us, int64_t memory_mb) const;
+
+  Money Total() const { return total_; }
+  Money TotalFor(const std::string& function) const;
+  uint64_t record_count() const { return records_.size(); }
+  const std::vector<ChargeRecord>& records() const { return records_; }
+  const BillingRates& rates() const { return rates_; }
+
+ private:
+  BillingRates rates_;
+  Money total_;
+  std::vector<ChargeRecord> records_;
+  std::unordered_map<std::string, Money> per_function_;
+};
+
+}  // namespace taureau::faas

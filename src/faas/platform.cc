@@ -1,0 +1,375 @@
+#include "faas/platform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <optional>
+
+#include "cluster/virtualization.h"
+
+namespace taureau::faas {
+
+FaasPlatform::FaasPlatform(sim::Simulation* sim, cluster::Cluster* cluster,
+                           FaasConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      config_(config),
+      rng_(config.seed),
+      ledger_(config.rates) {}
+
+FaasPlatform::~FaasPlatform() {
+  // Account the residual memory-time of containers alive at teardown.
+  for (auto& [id, c] : containers_) {
+    metrics_.container_mb_us +=
+        static_cast<long double>(sim_->Now() - c->created_us) *
+        static_cast<long double>(c->memory_mb);
+  }
+}
+
+Status FaasPlatform::RegisterFunction(FunctionSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("function name must be non-empty");
+  }
+  if (spec.timeout_us <= 0) {
+    return Status::InvalidArgument("timeout must be positive");
+  }
+  auto [it, inserted] = functions_.emplace(spec.name, std::move(spec));
+  if (!inserted) {
+    return Status::AlreadyExists("function '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<FunctionSpec> FaasPlatform::GetFunction(const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Status::NotFound("function '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
+                                      std::string payload, InvokeCallback cb) {
+  if (!functions_.count(function)) {
+    return Status::NotFound("function '" + function + "' not registered");
+  }
+  auto inv = std::make_shared<Invocation>();
+  inv->id = next_invocation_id_++;
+  inv->function = function;
+  inv->payload = std::move(payload);
+  inv->cb = std::move(cb);
+  inv->submit_us = sim_->Now();
+  inv->attempt_start_us = sim_->Now();
+  ++metrics_.invocations;
+
+  const double mu = std::log(std::max<double>(1, config_.dispatch_median_us));
+  const SimDuration dispatch = static_cast<SimDuration>(
+      rng_.NextLogNormal(mu, config_.dispatch_sigma));
+  sim_->Schedule(dispatch, [this, inv] { Dispatch(inv); });
+  return inv->id;
+}
+
+Result<InvocationResult> FaasPlatform::InvokeSync(const std::string& function,
+                                                  std::string payload) {
+  std::optional<InvocationResult> out;
+  auto r = Invoke(function, std::move(payload),
+                  [&out](const InvocationResult& res) { out = res; });
+  TAU_RETURN_IF_ERROR(r.status());
+  while (!out.has_value()) {
+    if (!sim_->Step()) {
+      return Status::Internal("simulation drained before invocation finished");
+    }
+  }
+  return *out;
+}
+
+void FaasPlatform::Dispatch(std::shared_ptr<Invocation> inv) {
+  if (TryPlace(inv)) return;
+  if (config_.queue_on_throttle) {
+    pending_.push_back(std::move(inv));
+    return;
+  }
+  ++metrics_.throttled;
+  Complete(std::move(inv), /*cold=*/false, 0, 0,
+           Status::ResourceExhausted("throttled: concurrency limit reached"),
+           "");
+}
+
+bool FaasPlatform::TryPlace(std::shared_ptr<Invocation> inv) {
+  const FunctionSpec& spec = functions_.at(inv->function);
+
+  // Prefer a warm container (most recently used — best cache locality and
+  // lets older ones age out).
+  auto pool_it = warm_pools_.find(inv->function);
+  if (pool_it != warm_pools_.end() && !pool_it->second.empty()) {
+    const uint64_t cid = pool_it->second.back();
+    pool_it->second.pop_back();
+    Container* c = containers_.at(cid).get();
+    if (c->keep_alive_event != 0) {
+      sim_->Cancel(c->keep_alive_event);
+      c->keep_alive_event = 0;
+    }
+    c->busy = true;
+    StartOnContainer(std::move(inv), c, /*cold=*/false, /*startup_us=*/0);
+    return true;
+  }
+
+  if (containers_.size() >= config_.max_concurrency) return false;
+  if (spec.max_concurrency > 0 &&
+      containers_per_function_[inv->function] >= spec.max_concurrency) {
+    return false;  // per-function reserved-concurrency cap
+  }
+
+  auto unit = cluster_->Allocate(cluster::IsolationLevel::kLambda, spec.demand,
+                                 config_.placement, inv->function);
+  if (!unit.ok()) {
+    if (unit.status().IsResourceExhausted()) return false;
+    Complete(std::move(inv), false, 0, 0, unit.status(), "");
+    return true;  // terminal: do not queue
+  }
+
+  auto c = std::make_unique<Container>();
+  c->id = next_container_id_++;
+  c->function = inv->function;
+  c->unit = *unit;
+  c->created_us = sim_->Now();
+  c->memory_mb =
+      spec.demand.memory_mb +
+      cluster::DefaultStartupModel(cluster::IsolationLevel::kLambda)
+          .overhead_mb;
+  c->busy = true;
+  Container* raw = c.get();
+  containers_.emplace(raw->id, std::move(c));
+  containers_per_function_[raw->function] += 1;
+  metrics_.peak_containers =
+      std::max<uint64_t>(metrics_.peak_containers, containers_.size());
+
+  const SimDuration startup =
+      cluster::DefaultStartupModel(cluster::IsolationLevel::kLambda)
+          .SampleStartup(&rng_) +
+      spec.init_us;
+  StartOnContainer(std::move(inv), raw, /*cold=*/true, startup);
+  return true;
+}
+
+void FaasPlatform::StartOnContainer(std::shared_ptr<Invocation> inv,
+                                    Container* container, bool cold,
+                                    SimDuration startup_us) {
+  const FunctionSpec& spec = functions_.at(inv->function);
+  const SimDuration queue_us = sim_->Now() - inv->attempt_start_us;
+  metrics_.queue_latency_us.Add(double(queue_us));
+  metrics_.startup_latency_us.Add(double(startup_us));
+  if (cold) {
+    ++metrics_.cold_starts;
+  } else {
+    ++metrics_.warm_starts;
+  }
+
+  // Determine how this attempt ends, ahead of time (simulated outcome).
+  SimDuration exec = spec.exec.Sample(&rng_, inv->payload.size());
+  Status attempt_status = Status::OK();
+  if (spec.failure_prob > 0 && rng_.NextBool(spec.failure_prob)) {
+    // Crash partway through the run.
+    exec = static_cast<SimDuration>(double(exec) * rng_.NextDouble());
+    attempt_status = Status::Aborted("function crashed (injected failure)");
+  }
+  if (attempt_status.ok() && exec > spec.timeout_us) {
+    exec = spec.timeout_us;
+    attempt_status =
+        Status::Timeout("execution exceeded " +
+                        std::to_string(spec.timeout_us / kMillisecond) + "ms");
+  }
+
+  const uint64_t cid = container->id;
+  sim_->Schedule(startup_us + exec, [this, inv, cid, cold, startup_us, exec,
+                                     attempt_status]() mutable {
+    auto it = containers_.find(cid);
+    assert(it != containers_.end() && "busy container destroyed");
+    FinishAttempt(std::move(inv), it->second.get(), cold, startup_us, exec,
+                  attempt_status, "");
+  });
+}
+
+void FaasPlatform::FinishAttempt(std::shared_ptr<Invocation> inv,
+                                 Container* container, bool cold,
+                                 SimDuration startup_us, SimDuration exec_us,
+                                 Status attempt_status, std::string output) {
+  const FunctionSpec& spec = functions_.at(inv->function);
+
+  // Run the real handler (if any) only for attempts that did not already
+  // fail in the simulated-outcome stage.
+  if (attempt_status.ok() && spec.handler) {
+    InvocationContext ctx;
+    ctx.invocation_id = inv->id;
+    ctx.attempt = inv->attempt;
+    ctx.cold_start = cold;
+    ctx.container_cache = &container->cache;
+    auto r = spec.handler(inv->payload, ctx);
+    if (r.ok()) {
+      output = std::move(r).value();
+    } else {
+      attempt_status = r.status();
+    }
+  }
+
+  // Every attempt is billed for its execution time — including failed and
+  // timed-out attempts, as on production FaaS platforms.
+  inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
+                                     exec_us, spec.demand.memory_mb);
+  metrics_.exec_latency_us.Add(double(exec_us));
+
+  if (attempt_status.IsTimeout()) ++metrics_.timeouts;
+  if (!attempt_status.ok()) ++metrics_.failures;
+
+  ReleaseToWarmPool(container);
+
+  if (!attempt_status.ok() && inv->attempt < config_.max_retries) {
+    ++inv->attempt;
+    inv->attempt_start_us = sim_->Now();
+    const double mu =
+        std::log(std::max<double>(1, config_.dispatch_median_us));
+    const SimDuration dispatch = static_cast<SimDuration>(
+        rng_.NextLogNormal(mu, config_.dispatch_sigma));
+    sim_->Schedule(dispatch,
+                   [this, inv = std::move(inv)] { Dispatch(inv); });
+    return;
+  }
+
+  if (!attempt_status.ok()) ++metrics_.exhausted;
+  Complete(std::move(inv), cold, startup_us, exec_us, attempt_status,
+           std::move(output));
+}
+
+void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
+                            SimDuration startup_us, SimDuration exec_us,
+                            Status status, std::string output) {
+  InvocationResult res;
+  res.id = inv->id;
+  res.status = std::move(status);
+  res.output = std::move(output);
+  res.cold_start = cold;
+  res.attempts = inv->attempt + 1;
+  res.submit_us = inv->submit_us;
+  res.end_us = sim_->Now();
+  res.queue_us = inv->attempt_start_us - inv->submit_us;
+  res.startup_us = startup_us;
+  res.exec_us = exec_us;
+  res.cost = inv->cost_so_far;
+  ++metrics_.completions;
+  metrics_.e2e_latency_us.Add(double(res.EndToEnd()));
+  if (inv->cb) inv->cb(res);
+}
+
+void FaasPlatform::ReleaseToWarmPool(Container* container) {
+  container->busy = false;
+  if (config_.keep_alive_us <= 0) {
+    DestroyContainer(container->id);
+    DrainPending();
+    return;
+  }
+  warm_pools_[container->function].push_back(container->id);
+  const uint64_t cid = container->id;
+  container->keep_alive_event = sim_->Schedule(
+      config_.keep_alive_us, [this, cid] { DestroyContainer(cid); });
+  DrainPending();
+}
+
+void FaasPlatform::DestroyContainer(uint64_t container_id) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) return;
+  Container* c = it->second.get();
+  if (c->busy) return;  // raced with reuse; keep-alive was logically void
+  metrics_.container_mb_us +=
+      static_cast<long double>(sim_->Now() - c->created_us) *
+      static_cast<long double>(c->memory_mb);
+  auto pool_it = warm_pools_.find(c->function);
+  if (pool_it != warm_pools_.end()) {
+    auto& dq = pool_it->second;
+    dq.erase(std::remove(dq.begin(), dq.end(), container_id), dq.end());
+  }
+  cluster_->Release(c->unit);  // ignore status: unit must exist by invariant
+  auto per_fn = containers_per_function_.find(c->function);
+  if (per_fn != containers_per_function_.end() && per_fn->second > 0) {
+    per_fn->second -= 1;
+  }
+  containers_.erase(it);
+}
+
+void FaasPlatform::DrainPending() {
+  while (!pending_.empty()) {
+    auto inv = pending_.front();
+    // TryPlace either schedules the attempt (true) or cannot make progress
+    // right now (false) — in which case the invocation stays queued.
+    if (!TryPlace(inv)) break;
+    pending_.pop_front();
+  }
+}
+
+size_t FaasPlatform::warm_container_count(const std::string& function) const {
+  auto it = warm_pools_.find(function);
+  return it == warm_pools_.end() ? 0 : it->second.size();
+}
+
+Result<size_t> FaasPlatform::Prewarm(const std::string& function,
+                                     size_t count) {
+  auto spec_it = functions_.find(function);
+  if (spec_it == functions_.end()) {
+    return Status::NotFound("function '" + function + "' not registered");
+  }
+  const FunctionSpec& spec = spec_it->second;
+  size_t started = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (containers_.size() >= config_.max_concurrency) break;
+    if (spec.max_concurrency > 0 &&
+        containers_per_function_[function] >= spec.max_concurrency) {
+      break;
+    }
+    auto unit = cluster_->Allocate(cluster::IsolationLevel::kLambda,
+                                   spec.demand, config_.placement, function);
+    if (!unit.ok()) break;
+    auto c = std::make_unique<Container>();
+    c->id = next_container_id_++;
+    c->function = function;
+    c->unit = *unit;
+    c->created_us = sim_->Now();
+    c->memory_mb =
+        spec.demand.memory_mb +
+        cluster::DefaultStartupModel(cluster::IsolationLevel::kLambda)
+            .overhead_mb;
+    c->busy = true;  // initializing; parks warm when startup completes
+    const uint64_t cid = c->id;
+    containers_.emplace(cid, std::move(c));
+    containers_per_function_[function] += 1;
+    metrics_.peak_containers =
+        std::max<uint64_t>(metrics_.peak_containers, containers_.size());
+    const SimDuration startup =
+        cluster::DefaultStartupModel(cluster::IsolationLevel::kLambda)
+            .SampleStartup(&rng_) +
+        spec.init_us;
+    sim_->Schedule(startup, [this, cid] {
+      auto it = containers_.find(cid);
+      if (it == containers_.end()) return;
+      ReleaseToWarmPool(it->second.get());
+    });
+    ++started;
+  }
+  return started;
+}
+
+void FaasPlatform::FlushWarmPool() {
+  std::vector<uint64_t> ids;
+  for (auto& [fn, dq] : warm_pools_) {
+    ids.insert(ids.end(), dq.begin(), dq.end());
+  }
+  for (uint64_t id : ids) {
+    auto it = containers_.find(id);
+    if (it != containers_.end() && it->second->keep_alive_event != 0) {
+      sim_->Cancel(it->second->keep_alive_event);
+      it->second->keep_alive_event = 0;
+    }
+    DestroyContainer(id);
+  }
+}
+
+}  // namespace taureau::faas

@@ -1,0 +1,188 @@
+// The FaaS platform (paper §2.2, §4.1): demand-driven container lifecycle
+// with cold/warm starts, keep-alive, concurrency limits, execution timeouts,
+// transparent retries, and fine-grained billing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "faas/billing.h"
+#include "faas/function.h"
+#include "sim/simulation.h"
+
+namespace taureau::faas {
+
+/// Platform configuration.
+struct FaasConfig {
+  cluster::PlacementPolicy placement = cluster::PlacementPolicy::kFirstFit;
+  /// How long an idle warm container is retained before teardown.
+  SimDuration keep_alive_us = 10 * kMinute;
+  /// Account-level cap on concurrently live containers (Lambda: 1000).
+  size_t max_concurrency = 1000;
+  /// When at the cap: queue the invocation (true) or fail it (false,
+  /// Lambda-style throttling).
+  bool queue_on_throttle = true;
+  /// Automatic re-execution attempts after a failed/timed-out attempt.
+  int max_retries = 2;
+  /// Median platform dispatch overhead (routing, auth, scheduling).
+  SimDuration dispatch_median_us = 2 * kMillisecond;
+  double dispatch_sigma = 0.3;
+  BillingRates rates;
+  uint64_t seed = 42;
+};
+
+/// Outcome of one invocation, delivered to the caller's callback.
+struct InvocationResult {
+  uint64_t id = 0;
+  Status status;
+  std::string output;
+  bool cold_start = false;  ///< Whether the *final* attempt started cold.
+  int attempts = 1;
+  SimTime submit_us = 0;
+  SimTime end_us = 0;
+  SimDuration queue_us = 0;    ///< Dispatch + throttle queueing (final attempt).
+  SimDuration startup_us = 0;  ///< Container + runtime init (final attempt).
+  SimDuration exec_us = 0;     ///< Pure execution (final attempt).
+  Money cost;                  ///< Total billed across all attempts.
+
+  SimDuration EndToEnd() const { return end_us - submit_us; }
+};
+
+using InvokeCallback = std::function<void(const InvocationResult&)>;
+
+/// Counters and latency distributions exposed for the experiments.
+struct PlatformMetrics {
+  uint64_t invocations = 0;
+  uint64_t completions = 0;
+  uint64_t cold_starts = 0;
+  uint64_t warm_starts = 0;
+  uint64_t throttled = 0;
+  uint64_t timeouts = 0;
+  uint64_t failures = 0;       ///< Attempt-level failures (pre-retry).
+  uint64_t exhausted = 0;      ///< Invocations that failed after all retries.
+  uint64_t peak_containers = 0;
+  /// Memory-time integral over all container lifetimes (MB * microseconds);
+  /// the resource cost of keep-alive policies in E2.
+  long double container_mb_us = 0;
+  Histogram e2e_latency_us{double(kHour)};
+  Histogram queue_latency_us{double(kHour)};
+  Histogram startup_latency_us{double(kHour)};
+  Histogram exec_latency_us{double(kHour)};
+};
+
+/// The platform. Single simulated region; all methods are called from the
+/// simulation thread.
+class FaasPlatform {
+ public:
+  FaasPlatform(sim::Simulation* sim, cluster::Cluster* cluster,
+               FaasConfig config);
+  ~FaasPlatform();
+
+  FaasPlatform(const FaasPlatform&) = delete;
+  FaasPlatform& operator=(const FaasPlatform&) = delete;
+
+  /// Registers a function. AlreadyExists if the name is taken.
+  Status RegisterFunction(FunctionSpec spec);
+
+  /// Looks up a registered spec.
+  Result<FunctionSpec> GetFunction(const std::string& name) const;
+
+  /// Asynchronously invokes `function` with `payload`; `cb` fires (in
+  /// simulated time) when the invocation reaches a terminal state.
+  /// Returns the invocation id.
+  Result<uint64_t> Invoke(const std::string& function, std::string payload,
+                          InvokeCallback cb);
+
+  /// Convenience: invoke and run the simulation until this invocation
+  /// completes. Intended for tests/examples, not concurrent workloads.
+  Result<InvocationResult> InvokeSync(const std::string& function,
+                                      std::string payload);
+
+  const PlatformMetrics& metrics() const { return metrics_; }
+  BillingLedger& ledger() { return ledger_; }
+  const BillingLedger& ledger() const { return ledger_; }
+  const FaasConfig& config() const { return config_; }
+
+  /// Live container counts (for elasticity plots).
+  size_t active_containers() const { return containers_.size(); }
+  size_t warm_container_count(const std::string& function) const;
+  size_t pending_queue_depth() const { return pending_.size(); }
+
+  /// Provisioned concurrency: directly cold-starts up to `count` extra
+  /// containers for `function`; each parks in the warm pool once its
+  /// runtime initializes. Unlike invocations, provisioning is not billed
+  /// per-request — its cost is the idle memory-time the metrics track.
+  /// Returns the number of containers actually started (capacity may cap
+  /// it).
+  Result<size_t> Prewarm(const std::string& function, size_t count);
+
+  /// Tears down all idle warm containers immediately (test hook).
+  void FlushWarmPool();
+
+ private:
+  struct Container {
+    uint64_t id = 0;
+    std::string function;
+    cluster::UnitId unit = 0;
+    SimTime created_us = 0;
+    int64_t memory_mb = 0;
+    bool busy = false;
+    sim::EventId keep_alive_event = 0;
+    std::unordered_map<std::string, std::string> cache;
+  };
+
+  struct Invocation {
+    uint64_t id = 0;
+    std::string function;
+    std::string payload;
+    InvokeCallback cb;
+    int attempt = 0;
+    SimTime submit_us = 0;
+    SimTime attempt_start_us = 0;  ///< When dispatch for this attempt began.
+    Money cost_so_far;
+  };
+
+  void Dispatch(std::shared_ptr<Invocation> inv);
+  /// Attempts to start the invocation now; false means no capacity and the
+  /// caller should queue it.
+  bool TryPlace(std::shared_ptr<Invocation> inv);
+  void StartOnContainer(std::shared_ptr<Invocation> inv, Container* container,
+                        bool cold, SimDuration startup_us);
+  void FinishAttempt(std::shared_ptr<Invocation> inv, Container* container,
+                     bool cold, SimDuration startup_us, SimDuration exec_us,
+                     Status attempt_status, std::string output);
+  void Complete(std::shared_ptr<Invocation> inv, bool cold,
+                SimDuration startup_us, SimDuration exec_us, Status status,
+                std::string output);
+  void ReleaseToWarmPool(Container* container);
+  void DestroyContainer(uint64_t container_id);
+  void DrainPending();
+
+  sim::Simulation* sim_;
+  cluster::Cluster* cluster_;
+  FaasConfig config_;
+  Rng rng_;
+  BillingLedger ledger_;
+  PlatformMetrics metrics_;
+
+  std::unordered_map<std::string, FunctionSpec> functions_;
+  std::unordered_map<uint64_t, std::unique_ptr<Container>> containers_;
+  /// Live container count per function (for per-function concurrency caps).
+  std::unordered_map<std::string, size_t> containers_per_function_;
+  /// Idle warm containers per function (most recently used at the back).
+  std::unordered_map<std::string, std::deque<uint64_t>> warm_pools_;
+  /// Invocations waiting for capacity.
+  std::deque<std::shared_ptr<Invocation>> pending_;
+  uint64_t next_invocation_id_ = 1;
+  uint64_t next_container_id_ = 1;
+};
+
+}  // namespace taureau::faas

@@ -1,0 +1,53 @@
+#include "faas/server_pool.h"
+
+namespace taureau::faas {
+
+ServerPool::ServerPool(sim::Simulation* sim, ServerPoolConfig config)
+    : sim_(sim), config_(config) {}
+
+void ServerPool::Submit(SimDuration service_us, Callback cb) {
+  Request req{sim_->Now(), service_us, std::move(cb)};
+  if (busy_ < total_slots()) {
+    Begin(std::move(req));
+  } else {
+    queue_.push_back(std::move(req));
+  }
+}
+
+void ServerPool::Begin(Request req) {
+  ++busy_;
+  const SimDuration wait = sim_->Now() - req.submit_us;
+  wait_us_.Add(double(wait));
+  busy_slot_us_ += static_cast<long double>(req.service_us);
+  sim_->Schedule(req.service_us, [this, req = std::move(req), wait]() mutable {
+    --busy_;
+    ++completed_;
+    sojourn_us_.Add(double(sim_->Now() - req.submit_us));
+    if (req.cb) req.cb(wait);
+    StartNext();
+  });
+}
+
+void ServerPool::StartNext() {
+  while (!queue_.empty() && busy_ < total_slots()) {
+    Request req = std::move(queue_.front());
+    queue_.pop_front();
+    Begin(std::move(req));
+  }
+}
+
+Money ServerPool::CostFor(SimDuration span) const {
+  const __int128 nano =
+      static_cast<__int128>(config_.machine_hour_price.nano_dollars()) *
+      static_cast<int64_t>(config_.num_servers) * span / kHour;
+  return Money::FromNanoDollars(static_cast<int64_t>(nano));
+}
+
+double ServerPool::Utilization() const {
+  const long double span = static_cast<long double>(sim_->Now());
+  if (span <= 0) return 0.0;
+  return double(busy_slot_us_ / (span * static_cast<long double>(
+                                            total_slots())));
+}
+
+}  // namespace taureau::faas

@@ -1,0 +1,72 @@
+// Server-centric baseline (paper §2: "the server-centric model, where the
+// users have to reserve server resources regardless of whether or not they
+// use it"). A fixed pool of always-on servers with FIFO queueing — the
+// comparison point for the billing (E3) and elasticity (E4) experiments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/money.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "sim/simulation.h"
+
+namespace taureau::faas {
+
+struct ServerPoolConfig {
+  size_t num_servers = 4;
+  /// Concurrent requests each server handles (threads/workers per box).
+  size_t per_server_concurrency = 8;
+  Money machine_hour_price = Money::FromDollars(0.10);
+};
+
+/// Statically provisioned request-serving fleet.
+class ServerPool {
+ public:
+  ServerPool(sim::Simulation* sim, ServerPoolConfig config);
+
+  using Callback = std::function<void(SimDuration wait_us)>;
+
+  /// Submits a request with a known service time; `cb` fires at completion
+  /// with the time it spent queued.
+  void Submit(SimDuration service_us, Callback cb = nullptr);
+
+  /// Reserved-capacity cost of keeping the whole pool on for `span`.
+  Money CostFor(SimDuration span) const;
+
+  uint64_t completed() const { return completed_; }
+  size_t queue_depth() const { return queue_.size(); }
+  size_t busy_slots() const { return busy_; }
+  size_t total_slots() const {
+    return config_.num_servers * config_.per_server_concurrency;
+  }
+
+  /// Fraction of slot-time spent busy over [0, Now()].
+  double Utilization() const;
+
+  const Histogram& wait_hist() const { return wait_us_; }
+  const Histogram& sojourn_hist() const { return sojourn_us_; }
+
+ private:
+  struct Request {
+    SimTime submit_us;
+    SimDuration service_us;
+    Callback cb;
+  };
+
+  void StartNext();
+  void Begin(Request req);
+
+  sim::Simulation* sim_;
+  ServerPoolConfig config_;
+  size_t busy_ = 0;
+  uint64_t completed_ = 0;
+  long double busy_slot_us_ = 0;  ///< Integral of busy slots over time.
+  std::deque<Request> queue_;
+  Histogram wait_us_{double(kHour)};
+  Histogram sojourn_us_{double(kHour)};
+};
+
+}  // namespace taureau::faas

@@ -1,0 +1,263 @@
+#include "jiffy/controller.h"
+
+#include <algorithm>
+
+namespace taureau::jiffy {
+
+JiffyController::JiffyController(sim::Simulation* sim, JiffyConfig config)
+    : sim_(sim),
+      config_(config),
+      pool_(config.num_memory_nodes, config.blocks_per_node,
+            config.block_size_bytes) {}
+
+JiffyController::~JiffyController() { StopLeaseScan(); }
+
+std::string JiffyController::NormalizePath(const std::string& path) {
+  if (path.empty() || path[0] != '/') return "";
+  std::string out;
+  out.reserve(path.size());
+  bool prev_slash = false;
+  for (char c : path) {
+    if (c == '/') {
+      if (prev_slash) continue;
+      prev_slash = true;
+    } else {
+      prev_slash = false;
+    }
+    out.push_back(c);
+  }
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out == "/" ? "" : out;
+}
+
+std::string JiffyController::OwnerTag(const std::string& path) {
+  const size_t second = path.find('/', 1);
+  return second == std::string::npos ? path.substr(1)
+                                     : path.substr(1, second - 1);
+}
+
+JiffyController::Namespace* JiffyController::Find(const std::string& path) {
+  auto it = namespaces_.find(path);
+  return it == namespaces_.end() ? nullptr : &it->second;
+}
+
+const JiffyController::Namespace* JiffyController::Find(
+    const std::string& path) const {
+  auto it = namespaces_.find(path);
+  return it == namespaces_.end() ? nullptr : &it->second;
+}
+
+Status JiffyController::CreateNamespace(const std::string& raw_path,
+                                        SimDuration lease_us) {
+  const std::string path = NormalizePath(raw_path);
+  if (path.empty()) {
+    return Status::InvalidArgument("invalid namespace path '" + raw_path +
+                                   "'");
+  }
+  if (namespaces_.count(path)) {
+    return Status::AlreadyExists("namespace '" + path + "'");
+  }
+  const SimDuration lease = lease_us == 0 ? config_.default_lease_us
+                                          : lease_us;
+  // mkdir -p semantics: ancestors inherit the lease terms.
+  std::string prefix;
+  size_t pos = 1;
+  while (true) {
+    const size_t next = path.find('/', pos);
+    prefix = next == std::string::npos ? path : path.substr(0, next);
+    if (!namespaces_.count(prefix)) {
+      Namespace ns;
+      ns.path = prefix;
+      ns.lease_duration_us = lease;
+      ns.lease_expiry_us = lease < 0 ? 0 : sim_->Now() + lease;
+      namespaces_.emplace(prefix, std::move(ns));
+      ++stats_.namespaces_created;
+    }
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return Status::OK();
+}
+
+Status JiffyController::RenewLease(const std::string& raw_path) {
+  const std::string path = NormalizePath(raw_path);
+  Namespace* ns = Find(path);
+  if (!ns) return Status::NotFound("namespace '" + path + "'");
+  if (ns->lease_expiry_us == 0) return Status::OK();  // permanent
+  ns->lease_expiry_us = sim_->Now() + ns->lease_duration_us;
+  return Status::OK();
+}
+
+Result<SimDuration> JiffyController::LeaseRemaining(
+    const std::string& raw_path) const {
+  const std::string path = NormalizePath(raw_path);
+  const Namespace* ns = Find(path);
+  if (!ns) return Status::NotFound("namespace '" + path + "'");
+  if (ns->lease_expiry_us == 0) return SimDuration{INT64_MAX};
+  return ns->lease_expiry_us - sim_->Now();
+}
+
+bool JiffyController::Exists(const std::string& raw_path) const {
+  return Find(NormalizePath(raw_path)) != nullptr;
+}
+
+Status JiffyController::RemoveSubtree(const std::string& path,
+                                      const std::string& event) {
+  auto it = namespaces_.lower_bound(path);
+  if (it == namespaces_.end() || it->first != path) {
+    return Status::NotFound("namespace '" + path + "'");
+  }
+  const std::string child_prefix = path + "/";
+  while (it != namespaces_.end() &&
+         (it->first == path ||
+          it->first.compare(0, child_prefix.size(), child_prefix) == 0)) {
+    Namespace& ns = it->second;
+    for (auto& [name, ds] : ns.structures) {
+      ds->Destroy();  // returns blocks to the pool
+    }
+    for (const auto& cb : ns.subscribers) {
+      cb(event, ns.path);
+      ++stats_.notifications_sent;
+    }
+    ++stats_.namespaces_removed;
+    it = namespaces_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status JiffyController::RemoveNamespace(const std::string& raw_path) {
+  const std::string path = NormalizePath(raw_path);
+  if (path.empty()) return Status::InvalidArgument("invalid path");
+  return RemoveSubtree(path, "removed");
+}
+
+bool JiffyController::LeaseScanTick() {
+  const SimTime now = sim_->Now();
+  std::vector<std::string> expired;
+  for (const auto& [path, ns] : namespaces_) {
+    if (ns.lease_expiry_us != 0 && ns.lease_expiry_us <= now) {
+      expired.push_back(path);
+    }
+  }
+  for (const std::string& path : expired) {
+    // A parent expiry may have already removed this subtree.
+    if (!namespaces_.count(path)) continue;
+    RemoveSubtree(path, "expired");
+    ++stats_.leases_expired;
+  }
+  return true;
+}
+
+void JiffyController::StartLeaseScan() {
+  if (lease_scan_) return;
+  lease_scan_ = std::make_unique<sim::PeriodicProcess>(
+      sim_, config_.lease_scan_period_us, [this] { return LeaseScanTick(); });
+  lease_scan_->Start();
+}
+
+void JiffyController::StopLeaseScan() {
+  if (lease_scan_) {
+    lease_scan_->Stop();
+    lease_scan_.reset();
+  }
+}
+
+Result<JiffyHashTable*> JiffyController::CreateHashTable(
+    const std::string& raw_path, const std::string& name,
+    uint32_t partitions) {
+  const std::string path = NormalizePath(raw_path);
+  Namespace* ns = Find(path);
+  if (!ns) return Status::NotFound("namespace '" + path + "'");
+  if (ns->structures.count(name)) {
+    return Status::AlreadyExists("structure '" + name + "' in " + path);
+  }
+  auto table = std::make_unique<JiffyHashTable>(&pool_, OwnerTag(path),
+                                                partitions);
+  JiffyHashTable* raw = table.get();
+  ns->structures.emplace(name, std::move(table));
+  return raw;
+}
+
+Result<JiffyQueue*> JiffyController::CreateQueue(const std::string& raw_path,
+                                                 const std::string& name) {
+  const std::string path = NormalizePath(raw_path);
+  Namespace* ns = Find(path);
+  if (!ns) return Status::NotFound("namespace '" + path + "'");
+  if (ns->structures.count(name)) {
+    return Status::AlreadyExists("structure '" + name + "' in " + path);
+  }
+  auto queue = std::make_unique<JiffyQueue>(&pool_, OwnerTag(path));
+  JiffyQueue* raw = queue.get();
+  ns->structures.emplace(name, std::move(queue));
+  return raw;
+}
+
+Result<JiffyFile*> JiffyController::CreateFile(const std::string& raw_path,
+                                               const std::string& name) {
+  const std::string path = NormalizePath(raw_path);
+  Namespace* ns = Find(path);
+  if (!ns) return Status::NotFound("namespace '" + path + "'");
+  if (ns->structures.count(name)) {
+    return Status::AlreadyExists("structure '" + name + "' in " + path);
+  }
+  auto file = std::make_unique<JiffyFile>(&pool_, OwnerTag(path));
+  JiffyFile* raw = file.get();
+  ns->structures.emplace(name, std::move(file));
+  return raw;
+}
+
+template <typename T>
+Result<T*> JiffyController::GetTyped(const std::string& raw_path,
+                                     const std::string& name) {
+  const std::string path = NormalizePath(raw_path);
+  Namespace* ns = Find(path);
+  if (!ns) return Status::NotFound("namespace '" + path + "'");
+  auto it = ns->structures.find(name);
+  if (it == ns->structures.end()) {
+    return Status::NotFound("structure '" + name + "' in " + path);
+  }
+  T* typed = dynamic_cast<T*>(it->second.get());
+  if (!typed) {
+    return Status::FailedPrecondition("structure '" + name +
+                                      "' has a different type");
+  }
+  return typed;
+}
+
+Result<JiffyHashTable*> JiffyController::GetHashTable(const std::string& path,
+                                                      const std::string& name) {
+  return GetTyped<JiffyHashTable>(path, name);
+}
+
+Result<JiffyQueue*> JiffyController::GetQueue(const std::string& path,
+                                              const std::string& name) {
+  return GetTyped<JiffyQueue>(path, name);
+}
+
+Result<JiffyFile*> JiffyController::GetFile(const std::string& path,
+                                            const std::string& name) {
+  return GetTyped<JiffyFile>(path, name);
+}
+
+Status JiffyController::Subscribe(const std::string& raw_path,
+                                  NotificationCallback cb) {
+  const std::string path = NormalizePath(raw_path);
+  Namespace* ns = Find(path);
+  if (!ns) return Status::NotFound("namespace '" + path + "'");
+  ns->subscribers.push_back(std::move(cb));
+  return Status::OK();
+}
+
+Status JiffyController::Notify(const std::string& raw_path,
+                               const std::string& event) {
+  const std::string path = NormalizePath(raw_path);
+  Namespace* ns = Find(path);
+  if (!ns) return Status::NotFound("namespace '" + path + "'");
+  for (const auto& cb : ns->subscribers) {
+    cb(event, ns->path);
+    ++stats_.notifications_sent;
+  }
+  return Status::OK();
+}
+
+}  // namespace taureau::jiffy

@@ -1,0 +1,154 @@
+// Jiffy's block-backed elastic data structures.
+//
+// Each structure owns blocks from the shared MemoryPool and scales them up
+// and down with its contents. Crucially, a structure's repartitioning
+// touches only its *own* blocks — the per-namespace isolation property the
+// paper's §4.4 contrasts with global-address-space designs (experiment E8).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "baas/blob_store.h"
+#include "baas/latency_model.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "jiffy/memory_pool.h"
+
+namespace taureau::jiffy {
+
+/// Status + simulated latency of one data-plane operation.
+struct JiffyOp {
+  Status status;
+  SimDuration latency_us = 0;
+};
+
+/// Bytes moved / pairs rehashed by an elastic scaling step.
+struct RepartitionStats {
+  uint64_t moved_bytes = 0;
+  uint64_t moved_items = 0;
+  uint32_t partitions_before = 0;
+  uint32_t partitions_after = 0;
+};
+
+/// Base class handling block accounting against the pool.
+class BlockBacked {
+ public:
+  BlockBacked(MemoryPool* pool, std::string owner);
+  virtual ~BlockBacked() = default;
+
+  uint64_t block_count() const { return blocks_held_; }
+  uint64_t logical_bytes() const { return bytes_; }
+  const std::string& owner() const { return owner_; }
+
+  /// Releases all blocks back to the pool. Called by the controller on
+  /// namespace removal / lease expiry.
+  virtual Status Destroy();
+
+ protected:
+  /// Grows/shrinks the block reservation to cover `bytes_`. Growth failure
+  /// surfaces pool exhaustion to the caller.
+  Status ReconcileBlocks();
+
+  MemoryPool* pool_;
+  std::string owner_;
+  uint64_t bytes_ = 0;
+  uint64_t blocks_held_ = 0;
+  std::vector<BlockId> block_ids_;
+};
+
+/// Hash table partitioned over blocks; partitions scale independently.
+class JiffyHashTable : public BlockBacked {
+ public:
+  JiffyHashTable(MemoryPool* pool, std::string owner,
+                 uint32_t initial_partitions, uint64_t seed = 43);
+
+  JiffyOp Put(std::string_view key, std::string value);
+  JiffyOp Get(std::string_view key, std::string* value);
+  JiffyOp Remove(std::string_view key);
+
+  /// Elastic scaling: rehashes *this table's* data into `new_partitions`.
+  /// Returns how much data moved — the isolation metric of E8.
+  Result<RepartitionStats> Resize(uint32_t new_partitions);
+
+  uint32_t partition_count() const {
+    return static_cast<uint32_t>(partitions_.size());
+  }
+  uint64_t size() const { return item_count_; }
+
+  Status Destroy() override;
+
+ private:
+  struct Partition {
+    std::unordered_map<std::string, std::string> data;
+    uint64_t bytes = 0;
+  };
+
+  uint32_t PartitionOf(std::string_view key) const;
+
+  std::vector<Partition> partitions_;
+  uint64_t item_count_ = 0;
+  baas::LatencyModel latency_;
+  Rng rng_;
+};
+
+/// FIFO message queue over blocks (the shuffle channel for E10).
+///
+/// Optionally spills to a cold blob store when the memory pool is
+/// exhausted (Pocket-style pressure relief): enqueues keep succeeding at
+/// blob latency instead of failing, and dequeues transparently fetch
+/// spilled values back.
+class JiffyQueue : public BlockBacked {
+ public:
+  JiffyQueue(MemoryPool* pool, std::string owner, uint64_t seed = 47);
+
+  /// Enables spilling overflow values to `cold_store`. Spilled objects are
+  /// namespaced under "<owner>/spill/". Call before the pool fills.
+  void EnableSpill(baas::BlobStore* cold_store);
+
+  JiffyOp Enqueue(std::string value);
+  /// Dequeues into *value; NotFound on empty (latency still charged).
+  JiffyOp Dequeue(std::string* value);
+  JiffyOp Peek(std::string* value) const;
+
+  uint64_t size() const { return items_.size(); }
+  uint64_t spilled_items() const { return spilled_; }
+
+ private:
+  struct Item {
+    bool spilled = false;
+    std::string value_or_key;  ///< Inline value, or the cold-store key.
+  };
+
+  std::deque<Item> items_;
+  baas::LatencyModel latency_;
+  mutable Rng rng_;
+  baas::BlobStore* spill_store_ = nullptr;
+  uint64_t spilled_ = 0;
+  uint64_t spill_seq_ = 0;
+};
+
+/// Append-only byte file over blocks.
+class JiffyFile : public BlockBacked {
+ public:
+  JiffyFile(MemoryPool* pool, std::string owner, uint64_t seed = 53);
+
+  /// Appends and returns the write offset.
+  Result<uint64_t> Append(std::string_view data, SimDuration* latency_us);
+
+  /// Reads [offset, offset+len); truncates at EOF.
+  JiffyOp Read(uint64_t offset, uint64_t len, std::string* out) const;
+
+  uint64_t file_size() const { return data_.size(); }
+
+ private:
+  std::string data_;
+  baas::LatencyModel latency_;
+  mutable Rng rng_;
+};
+
+}  // namespace taureau::jiffy

@@ -1,0 +1,73 @@
+#include "jiffy/memory_pool.h"
+
+#include <algorithm>
+
+namespace taureau::jiffy {
+
+MemoryPool::MemoryPool(uint32_t num_nodes, uint32_t blocks_per_node,
+                       uint32_t block_size_bytes)
+    : block_size_(block_size_bytes) {
+  nodes_.resize(num_nodes);
+  for (Node& n : nodes_) {
+    n.used.assign(blocks_per_node, false);
+    n.free_count = blocks_per_node;
+  }
+  total_blocks_ = uint64_t(num_nodes) * blocks_per_node;
+  stats_.total_blocks = total_blocks_;
+}
+
+Result<BlockId> MemoryPool::Allocate(const std::string& owner) {
+  ++stats_.allocations;
+  for (uint32_t probe = 0; probe < nodes_.size(); ++probe) {
+    const uint32_t ni = (node_hint_ + probe) % nodes_.size();
+    Node& node = nodes_[ni];
+    if (node.free_count == 0) continue;
+    for (uint32_t s = 0; s < node.used.size(); ++s) {
+      const uint32_t slot = (node.scan_hint + s) % node.used.size();
+      if (node.used[slot]) continue;
+      node.used[slot] = true;
+      --node.free_count;
+      node.scan_hint = slot + 1;
+      node_hint_ = ni + 1;  // round-robin across nodes spreads load
+      ++used_blocks_;
+      stats_.used_blocks = used_blocks_;
+      stats_.peak_used_blocks =
+          std::max(stats_.peak_used_blocks, used_blocks_);
+      BlockId id{ni, slot};
+      owner_usage_[owner] += 1;
+      block_owner_[KeyOf(id)] = owner;
+      return id;
+    }
+  }
+  ++stats_.failed_allocations;
+  return Status::ResourceExhausted("memory pool exhausted (" +
+                                   std::to_string(total_blocks_) + " blocks)");
+}
+
+Status MemoryPool::Free(BlockId id) {
+  if (id.node >= nodes_.size() || id.slot >= nodes_[id.node].used.size()) {
+    return Status::InvalidArgument("block id out of range");
+  }
+  Node& node = nodes_[id.node];
+  if (!node.used[id.slot]) {
+    return Status::FailedPrecondition("double free of block");
+  }
+  node.used[id.slot] = false;
+  ++node.free_count;
+  --used_blocks_;
+  stats_.used_blocks = used_blocks_;
+  auto it = block_owner_.find(KeyOf(id));
+  if (it != block_owner_.end()) {
+    auto usage = owner_usage_.find(it->second);
+    if (usage != owner_usage_.end() && usage->second > 0) usage->second -= 1;
+    block_owner_.erase(it);
+  }
+  return Status::OK();
+}
+
+uint64_t MemoryPool::OwnerUsage(const std::string& owner) const {
+  auto it = owner_usage_.find(owner);
+  return it == owner_usage_.end() ? 0 : it->second;
+}
+
+}  // namespace taureau::jiffy

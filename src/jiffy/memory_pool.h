@@ -1,0 +1,81 @@
+// Jiffy's shared memory-node pool with block-granular allocation
+// (paper §4.4, design insight 1 and Figure 2).
+//
+// "Block-level memory allocation across a shared pool of memory nodes (akin
+// to page-level allocations in operating systems)" — capacity is multiplexed
+// across applications at the granularity of fixed-size blocks, so one
+// tenant's elasticity never requires another tenant's data to move.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace taureau::jiffy {
+
+/// Identifies a block: (memory node, slot on that node).
+struct BlockId {
+  uint32_t node = 0;
+  uint32_t slot = 0;
+  auto operator<=>(const BlockId&) const = default;
+};
+
+struct PoolStats {
+  uint64_t total_blocks = 0;
+  uint64_t used_blocks = 0;
+  uint64_t peak_used_blocks = 0;
+  uint64_t allocations = 0;
+  uint64_t failed_allocations = 0;
+};
+
+/// The pool. Allocation is first-free across nodes with per-node free
+/// lists; owners are tagged so per-tenant usage is observable (isolation
+/// accounting in E8).
+class MemoryPool {
+ public:
+  /// num_nodes memory nodes, each exposing blocks_per_node fixed-size
+  /// blocks of block_size bytes.
+  MemoryPool(uint32_t num_nodes, uint32_t blocks_per_node,
+             uint32_t block_size_bytes);
+
+  /// Allocates one block for `owner` (an application/namespace tag).
+  Result<BlockId> Allocate(const std::string& owner);
+
+  /// Returns a block to the pool.
+  Status Free(BlockId id);
+
+  uint32_t block_size() const { return block_size_; }
+  uint64_t capacity_blocks() const { return total_blocks_; }
+  uint64_t used_blocks() const { return used_blocks_; }
+  uint64_t free_blocks() const { return total_blocks_ - used_blocks_; }
+  const PoolStats& stats() const { return stats_; }
+
+  /// Blocks currently held by an owner tag.
+  uint64_t OwnerUsage(const std::string& owner) const;
+
+ private:
+  struct Node {
+    std::vector<bool> used;
+    uint32_t free_count = 0;
+    uint32_t scan_hint = 0;  ///< Next-fit scan start.
+  };
+
+  uint32_t block_size_;
+  uint64_t total_blocks_ = 0;
+  uint64_t used_blocks_ = 0;
+  std::vector<Node> nodes_;
+  uint32_t node_hint_ = 0;
+  std::unordered_map<std::string, uint64_t> owner_usage_;
+  /// Owner of each live block, for Free() bookkeeping.
+  std::unordered_map<uint64_t, std::string> block_owner_;
+  PoolStats stats_;
+
+  static uint64_t KeyOf(BlockId id) {
+    return (uint64_t(id.node) << 32) | id.slot;
+  }
+};
+
+}  // namespace taureau::jiffy

@@ -1,0 +1,28 @@
+#include "ml/dataset.h"
+
+namespace taureau::ml {
+
+Dataset Dataset::GenerateLogistic(uint32_t n, uint32_t d, double label_noise,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.true_weights.resize(d + 1);
+  for (double& w : ds.true_weights) w = rng.NextGaussian();
+  ds.x.reserve(n);
+  ds.y.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<double> row(d);
+    double dot = ds.true_weights[d];  // bias
+    for (uint32_t j = 0; j < d; ++j) {
+      row[j] = rng.NextGaussian();
+      dot += row[j] * ds.true_weights[j];
+    }
+    int label = dot > 0 ? 1 : 0;
+    if (rng.NextBool(label_noise)) label = 1 - label;
+    ds.x.push_back(std::move(row));
+    ds.y.push_back(label);
+  }
+  return ds;
+}
+
+}  // namespace taureau::ml

@@ -1,0 +1,27 @@
+// Synthetic datasets for the serverless training experiments (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace taureau::ml {
+
+/// Dense binary-classification dataset.
+struct Dataset {
+  std::vector<std::vector<double>> x;  ///< n rows of d features.
+  std::vector<int> y;                  ///< Labels in {0, 1}.
+  std::vector<double> true_weights;    ///< Generating hyperplane (incl. bias
+                                       ///< as last element).
+
+  size_t size() const { return x.size(); }
+  size_t dim() const { return x.empty() ? 0 : x[0].size(); }
+
+  /// Linearly separable-ish data: labels from a random hyperplane with
+  /// `label_noise` probability of a flip.
+  static Dataset GenerateLogistic(uint32_t n, uint32_t d, double label_noise,
+                                  uint64_t seed);
+};
+
+}  // namespace taureau::ml

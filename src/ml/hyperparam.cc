@@ -1,0 +1,130 @@
+#include "ml/hyperparam.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taureau::ml {
+
+std::string_view SearchStrategyName(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kGrid:
+      return "grid";
+    case SearchStrategy::kRandom:
+      return "random";
+    case SearchStrategy::kSuccessiveHalving:
+      return "successive-halving";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<Trial> RunTrial(const Dataset& data, double lr, double l2,
+                       uint32_t rounds, const SearchConfig& config,
+                       uint64_t seed) {
+  TrainConfig tc;
+  tc.num_workers = config.workers_per_trial;
+  tc.rounds = rounds;
+  tc.learning_rate = lr;
+  tc.l2 = l2;
+  tc.seed = seed;
+  TAU_ASSIGN_OR_RETURN(TrainStats ts, TrainLogistic(data, tc));
+  Trial t;
+  t.learning_rate = lr;
+  t.l2 = l2;
+  t.score = ts.train_accuracy;
+  t.train = std::move(ts);
+  return t;
+}
+
+/// Runs one parallel wave; updates the aggregate stats.
+Status RunWave(const Dataset& data,
+               const std::vector<std::pair<double, double>>& configs,
+               uint32_t rounds, const SearchConfig& config, uint64_t seed,
+               std::vector<Trial>* out, SearchStats* stats) {
+  SimDuration wave_max = 0;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    TAU_ASSIGN_OR_RETURN(
+        Trial t, RunTrial(data, configs[i].first, configs[i].second, rounds,
+                          config, seed + i));
+    wave_max = std::max(wave_max, t.train.makespan_us);
+    stats->serial_time_us += t.train.makespan_us;
+    stats->cost += t.train.cost;
+    ++stats->trials;
+    out->push_back(std::move(t));
+  }
+  stats->makespan_us += wave_max;
+  ++stats->waves;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SearchStats> HyperparamSearch(const Dataset& data,
+                                     const SearchConfig& config) {
+  if (config.learning_rates.empty() || config.l2s.empty()) {
+    return Status::InvalidArgument("empty hyperparameter grid");
+  }
+  SearchStats stats;
+  Rng rng(config.seed);
+
+  std::vector<std::pair<double, double>> configs;
+  switch (config.strategy) {
+    case SearchStrategy::kGrid:
+      for (double lr : config.learning_rates) {
+        for (double l2 : config.l2s) configs.emplace_back(lr, l2);
+      }
+      break;
+    case SearchStrategy::kRandom:
+      for (uint32_t i = 0; i < config.random_samples; ++i) {
+        // Log-uniform between the grid extremes.
+        const double lr_lo = *std::min_element(config.learning_rates.begin(),
+                                               config.learning_rates.end());
+        const double lr_hi = *std::max_element(config.learning_rates.begin(),
+                                               config.learning_rates.end());
+        const double lr =
+            lr_lo * std::pow(lr_hi / lr_lo, rng.NextDouble());
+        configs.emplace_back(
+            lr, config.l2s[rng.NextBounded(config.l2s.size())]);
+      }
+      break;
+    case SearchStrategy::kSuccessiveHalving:
+      for (double lr : config.learning_rates) {
+        for (double l2 : config.l2s) configs.emplace_back(lr, l2);
+      }
+      break;
+  }
+
+  std::vector<Trial> trials;
+  if (config.strategy == SearchStrategy::kSuccessiveHalving) {
+    uint32_t rounds = std::max(1u, config.rounds / 4);
+    while (!configs.empty()) {
+      trials.clear();
+      TAU_RETURN_IF_ERROR(RunWave(data, configs, rounds, config,
+                                  config.seed + stats.waves * 1000, &trials,
+                                  &stats));
+      std::sort(trials.begin(), trials.end(),
+                [](const Trial& a, const Trial& b) {
+                  return a.score > b.score;
+                });
+      if (trials[0].score > stats.best.score) stats.best = trials[0];
+      if (configs.size() == 1) break;
+      // Keep the top half, double the budget.
+      const size_t keep = std::max<size_t>(1, trials.size() / 2);
+      configs.clear();
+      for (size_t i = 0; i < keep; ++i) {
+        configs.emplace_back(trials[i].learning_rate, trials[i].l2);
+      }
+      rounds = std::min(config.rounds, rounds * 2);
+    }
+  } else {
+    TAU_RETURN_IF_ERROR(RunWave(data, configs, config.rounds, config,
+                                config.seed, &trials, &stats));
+    for (const Trial& t : trials) {
+      if (t.score > stats.best.score) stats.best = t;
+    }
+  }
+  return stats;
+}
+
+}  // namespace taureau::ml

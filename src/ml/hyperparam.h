@@ -1,0 +1,57 @@
+// Serverless hyperparameter tuning (paper §5.2: Seneca [186] "concurrently
+// invokes functions for all combinations of the hyperparameters specified
+// and returns the configuration that results in the best score").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/training.h"
+
+namespace taureau::ml {
+
+enum class SearchStrategy {
+  kGrid,              ///< All combinations, one parallel wave.
+  kRandom,            ///< Sampled configs, one parallel wave.
+  kSuccessiveHalving, ///< Waves: train briefly, keep the best half, deepen.
+};
+
+std::string_view SearchStrategyName(SearchStrategy s);
+
+struct Trial {
+  double learning_rate = 0.1;
+  double l2 = 0.0;
+  double score = 0.0;  ///< Training accuracy after the trial's rounds.
+  TrainStats train;
+};
+
+struct SearchConfig {
+  SearchStrategy strategy = SearchStrategy::kGrid;
+  std::vector<double> learning_rates{0.01, 0.05, 0.1, 0.5, 1.0};
+  std::vector<double> l2s{0.0, 1e-4, 1e-2};
+  /// Random strategy: number of sampled configs.
+  uint32_t random_samples = 15;
+  /// Rounds per trial (halving starts at rounds/4 and doubles per wave).
+  uint32_t rounds = 20;
+  uint32_t workers_per_trial = 4;
+  uint64_t seed = 73;
+};
+
+struct SearchStats {
+  Trial best;
+  uint64_t trials = 0;
+  uint64_t waves = 0;
+  /// Trials within a wave run concurrently on the FaaS platform; the
+  /// search's makespan is the sum of wave maxima.
+  SimDuration makespan_us = 0;
+  /// The same trials run back-to-back on one box.
+  SimDuration serial_time_us = 0;
+  Money cost;
+};
+
+Result<SearchStats> HyperparamSearch(const Dataset& data,
+                                     const SearchConfig& config);
+
+}  // namespace taureau::ml

@@ -1,0 +1,153 @@
+#include "ml/inference.h"
+
+namespace taureau::ml {
+
+std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kGpu:
+      return "gpu";
+    case Tier::kCpu:
+      return "cpu";
+    case Tier::kLocal:
+      return "local-ssd";
+    case Tier::kCloud:
+      return "cloud";
+  }
+  return "unknown";
+}
+
+std::vector<TierSpec> DefaultTiers() {
+  return {
+      {8ULL << 30, 12000.0, 50},        // GPU: 8GB, 12 GB/s, 50us
+      {32ULL << 30, 6000.0, 100},       // CPU: 32GB, 6 GB/s (PCIe)
+      {200ULL << 30, 2000.0, 300},      // NVMe: 200GB, 2 GB/s
+      {0, 100.0, 20 * kMillisecond},    // Cloud: unbounded, 100 MB/s, 20ms
+  };
+}
+
+ModelStore::ModelStore(std::vector<TierSpec> tiers) {
+  tiers_.resize(tiers.size());
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    tiers_[i].spec = tiers[i];
+  }
+}
+
+Status ModelStore::RegisterModel(ModelInfo model) {
+  if (model.name.empty()) return Status::InvalidArgument("empty model name");
+  if (models_.count(model.name)) {
+    return Status::AlreadyExists("model '" + model.name + "'");
+  }
+  const std::string name = model.name;
+  models_.emplace(name, std::move(model));
+  // Resident in the cloud tier (unbounded) from the start.
+  TierState& cloud = tiers_.back();
+  cloud.lru.push_front(name);
+  cloud.index[name] = cloud.lru.begin();
+  return Status::OK();
+}
+
+bool ModelStore::ResidentAt(const std::string& model, Tier tier) const {
+  const TierState& t = tiers_[static_cast<int>(tier)];
+  return t.index.count(model) > 0;
+}
+
+SimDuration ModelStore::LoadTime(int tier, uint64_t bytes) const {
+  const TierSpec& spec = tiers_[tier].spec;
+  return spec.access_latency_us +
+         static_cast<SimDuration>(double(bytes) / spec.bandwidth_bytes_per_us);
+}
+
+void ModelStore::EvictFrom(int tier) {
+  TierState& t = tiers_[tier];
+  if (t.lru.empty()) return;
+  const std::string victim = t.lru.back();
+  t.lru.pop_back();
+  t.index.erase(victim);
+  t.used_bytes -= models_.at(victim).size_bytes;
+  ++stats_.evictions;
+  // Demote to the next tier down (the cloud always already has it).
+  if (tier + 2 < static_cast<int>(tiers_.size())) {
+    InsertAt(tier + 1, victim);
+  }
+}
+
+void ModelStore::InsertAt(int tier, const std::string& model) {
+  TierState& t = tiers_[tier];
+  const uint64_t bytes = models_.at(model).size_bytes;
+  if (t.spec.capacity_bytes != 0 && bytes > t.spec.capacity_bytes) {
+    return;  // model simply does not fit at this tier
+  }
+  if (t.index.count(model)) {
+    // Refresh LRU position.
+    t.lru.erase(t.index[model]);
+    t.lru.push_front(model);
+    t.index[model] = t.lru.begin();
+    return;
+  }
+  while (t.spec.capacity_bytes != 0 &&
+         t.used_bytes + bytes > t.spec.capacity_bytes) {
+    EvictFrom(tier);
+  }
+  t.lru.push_front(model);
+  t.index[model] = t.lru.begin();
+  t.used_bytes += bytes;
+}
+
+Result<InferenceResult> ModelStore::Infer(const std::string& model) {
+  auto mit = models_.find(model);
+  if (mit == models_.end()) {
+    return Status::NotFound("model '" + model + "'");
+  }
+  const ModelInfo& info = mit->second;
+  ++stats_.requests;
+
+  // Find the fastest tier where the model is resident.
+  int resident = -1;
+  for (int t = 0; t < static_cast<int>(tiers_.size()); ++t) {
+    if (tiers_[t].index.count(model)) {
+      resident = t;
+      break;
+    }
+  }
+  if (resident < 0) {
+    return Status::Internal("model missing from cloud tier");
+  }
+
+  InferenceResult res;
+  res.served_from = static_cast<Tier>(resident);
+  res.cold = resident != 0;
+  ++stats_.hits_by_tier[resident];
+
+  // Load up through the hierarchy to the GPU tier, promoting at each hop.
+  SimDuration load_us = 0;
+  for (int t = resident; t > 0; --t) {
+    load_us += LoadTime(t, info.size_bytes);
+    stats_.bytes_loaded += info.size_bytes;
+    InsertAt(t - 1, model);
+  }
+  // Refresh recency at the serving tier.
+  InsertAt(0, model);
+  res.latency_us = load_us + info.compute_us;
+  return res;
+}
+
+Result<InferenceResult> ModelStore::InferColdBaseline(
+    const std::string& model) {
+  auto mit = models_.find(model);
+  if (mit == models_.end()) {
+    return Status::NotFound("model '" + model + "'");
+  }
+  ++stats_.requests;
+  ++stats_.hits_by_tier[static_cast<int>(Tier::kCloud)];
+  InferenceResult res;
+  res.served_from = Tier::kCloud;
+  res.cold = true;
+  // Straight from the cloud into the fresh container, every time.
+  res.latency_us = LoadTime(static_cast<int>(Tier::kCloud),
+                            mit->second.size_bytes) +
+                   mit->second.compute_us;
+  stats_.bytes_loaded += mit->second.size_bytes;
+  return res;
+}
+
+}  // namespace taureau::ml

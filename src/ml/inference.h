@@ -1,0 +1,101 @@
+// Serverless model inference with a tiered model store (paper §5.2
+// "Inference").
+//
+// Ishakian et al. [112] showed warm serverless inference is acceptable but
+// cold starts dominate; Dakkak et al.'s TrIMS [88] fixes this with "a
+// persistent model store across the GPU, CPU, local storage, and cloud
+// storage hierarchy". This module implements that hierarchy with LRU
+// promotion/demotion, which E14 sweeps.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_types.h"
+
+namespace taureau::ml {
+
+/// Storage tiers, fastest first. kCloud holds every registered model.
+enum class Tier { kGpu = 0, kCpu = 1, kLocal = 2, kCloud = 3 };
+constexpr int kNumTiers = 4;
+
+std::string_view TierName(Tier tier);
+
+struct TierSpec {
+  uint64_t capacity_bytes = 0;      ///< 0 = unbounded (cloud).
+  double bandwidth_bytes_per_us = 1;  ///< Load throughput from this tier.
+  SimDuration access_latency_us = 0;  ///< First-byte latency.
+};
+
+/// Default calibration: 8GB GPU (~12 GB/s), 32GB CPU (~6 GB/s over PCIe),
+/// 200GB local NVMe (~2 GB/s), unbounded cloud store (~100 MB/s + 20ms).
+std::vector<TierSpec> DefaultTiers();
+
+struct ModelInfo {
+  std::string name;
+  uint64_t size_bytes = 0;
+  /// Pure inference compute once the model is resident.
+  SimDuration compute_us = 10 * kMillisecond;
+};
+
+struct InferenceResult {
+  SimDuration latency_us = 0;
+  Tier served_from = Tier::kCloud;
+  bool cold = false;  ///< Model had to be loaded from below the GPU tier.
+};
+
+struct ModelStoreStats {
+  uint64_t requests = 0;
+  uint64_t hits_by_tier[kNumTiers] = {0, 0, 0, 0};
+  uint64_t bytes_loaded = 0;
+  uint64_t evictions = 0;
+};
+
+/// The tiered store. Models promote to the fastest tier on use (loading
+/// through each intermediate tier); LRU eviction demotes to the next tier
+/// down.
+class ModelStore {
+ public:
+  explicit ModelStore(std::vector<TierSpec> tiers = DefaultTiers());
+
+  /// Registers a model; it initially resides only in the cloud tier.
+  Status RegisterModel(ModelInfo model);
+
+  /// Serves one inference: locate the model's fastest-resident tier, load
+  /// it up to the GPU tier (promoting through intermediates), run compute.
+  Result<InferenceResult> Infer(const std::string& model);
+
+  /// Whether a model is resident at the given tier.
+  bool ResidentAt(const std::string& model, Tier tier) const;
+
+  const ModelStoreStats& stats() const { return stats_; }
+
+  /// Baseline for E14: every request loads straight from the cloud and the
+  /// copy is discarded afterwards (the no-model-store cold path).
+  Result<InferenceResult> InferColdBaseline(const std::string& model);
+
+ private:
+  struct TierState {
+    TierSpec spec;
+    uint64_t used_bytes = 0;
+    std::list<std::string> lru;  ///< Front = most recent.
+    std::unordered_map<std::string, std::list<std::string>::iterator> index;
+  };
+
+  /// Makes room then inserts at tier; evictions demote downward.
+  void InsertAt(int tier, const std::string& model);
+  void EvictFrom(int tier);
+  /// Load time from `tier` for a model of `bytes`.
+  SimDuration LoadTime(int tier, uint64_t bytes) const;
+
+  std::vector<TierState> tiers_;
+  std::unordered_map<std::string, ModelInfo> models_;
+  ModelStoreStats stats_;
+};
+
+}  // namespace taureau::ml

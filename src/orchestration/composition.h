@@ -1,0 +1,88 @@
+// Function compositions (paper §4.2).
+//
+// Lopez et al.'s three properties, which this module satisfies and the
+// tests verify:
+//   1. functions are black boxes — a composition references functions only
+//      by name and payload;
+//   2. a composition is itself a function — compositions register under a
+//      name and can be invoked or nested like any function;
+//   3. no double billing — running a composition charges exactly the sum of
+//      its basic function charges (asserted against the billing ledger).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace taureau::orchestration {
+
+/// Joins parallel branch outputs into one payload. Default joins with '\n'.
+using Aggregator = std::function<std::string(const std::vector<std::string>&)>;
+
+/// Routes a Choice node based on the incoming payload.
+using Predicate = std::function<bool(const std::string&)>;
+
+/// A composition tree. Build with the static factories; immutable after
+/// construction and cheap to copy (shared nodes).
+class Composition {
+ public:
+  enum class Kind {
+    kTask,
+    kSequence,
+    kParallel,
+    kChoice,
+    kNamed,
+    kRetry,
+    kMap,
+  };
+
+  /// Invoke one registered platform function (input payload flows in).
+  static Composition Task(std::string function_name);
+
+  /// Run children left-to-right, piping each output into the next input.
+  static Composition Sequence(std::vector<Composition> steps);
+
+  /// Run children concurrently on the same input; outputs are aggregated.
+  static Composition Parallel(std::vector<Composition> branches,
+                              Aggregator aggregate = nullptr);
+
+  /// if (pred(input)) then_branch else else_branch.
+  static Composition Choice(Predicate pred, Composition then_branch,
+                            Composition else_branch);
+
+  /// Invoke a *registered composition* by name (property 2: compositions
+  /// compose like functions).
+  static Composition Named(std::string composition_name);
+
+  /// Re-run the child up to `attempts` times on failure (orchestration-
+  /// level retry, on top of the platform's own attempt retries).
+  static Composition Retry(Composition child, int attempts);
+
+  /// Step-Functions-style Map state: splits the input on `delimiter`, runs
+  /// `item` on every piece concurrently, and joins the outputs with the
+  /// same delimiter (order preserved).
+  static Composition Map(Composition item, char delimiter = '\n');
+
+  struct Node {
+    Kind kind = Kind::kTask;
+    std::string name;  // function or composition name
+    std::vector<std::shared_ptr<const Node>> children;
+    Aggregator aggregate;
+    Predicate predicate;
+    int retry_attempts = 1;
+    char map_delimiter = '\n';
+  };
+
+  const std::shared_ptr<const Node>& root() const { return root_; }
+
+  /// Total Task/Named leaves, for sanity checks.
+  size_t LeafCount() const;
+
+ private:
+  explicit Composition(std::shared_ptr<const Node> root)
+      : root_(std::move(root)) {}
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace taureau::orchestration

@@ -1,0 +1,276 @@
+#include "orchestration/orchestrator.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace taureau::orchestration {
+
+Orchestrator::Orchestrator(sim::Simulation* sim, faas::FaasPlatform* platform)
+    : sim_(sim), platform_(platform) {}
+
+Status Orchestrator::RegisterComposition(const std::string& name,
+                                         Composition comp) {
+  if (name.empty()) return Status::InvalidArgument("empty composition name");
+  auto [it, inserted] = compositions_.emplace(name, std::move(comp));
+  if (!inserted) {
+    return Status::AlreadyExists("composition '" + name + "'");
+  }
+  return Status::OK();
+}
+
+void Orchestrator::Run(const Composition& comp, std::string input,
+                       ExecutionCallback cb) {
+  const SimTime start = sim_->Now();
+  Exec(comp.root(), std::move(input),
+       [this, start, cb = std::move(cb)](Status s, std::string output,
+                                         Money cost, uint64_t invocations) {
+         ExecutionResult res;
+         res.status = std::move(s);
+         res.output = std::move(output);
+         res.cost = cost;
+         res.function_invocations = invocations;
+         res.start_us = start;
+         res.end_us = sim_->Now();
+         if (cb) cb(res);
+       });
+}
+
+Status Orchestrator::RunNamed(const std::string& name, std::string input,
+                              ExecutionCallback cb) {
+  auto it = compositions_.find(name);
+  if (it == compositions_.end()) {
+    return Status::NotFound("composition '" + name + "'");
+  }
+  Run(it->second, std::move(input), std::move(cb));
+  return Status::OK();
+}
+
+Result<ExecutionResult> Orchestrator::RunSync(const Composition& comp,
+                                              std::string input) {
+  std::optional<ExecutionResult> out;
+  Run(comp, std::move(input),
+      [&out](const ExecutionResult& res) { out = res; });
+  while (!out.has_value()) {
+    if (!sim_->Step()) {
+      return Status::Internal("simulation drained before composition ended");
+    }
+  }
+  return *out;
+}
+
+void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
+                        std::string input, NodeDone done) {
+  using Kind = Composition::Kind;
+  switch (node->kind) {
+    case Kind::kTask: {
+      auto r = platform_->Invoke(
+          node->name, std::move(input),
+          [done = std::move(done)](const faas::InvocationResult& res) {
+            done(res.status, res.output, res.cost, 1);
+          });
+      if (!r.ok()) done(r.status(), "", Money::Zero(), 0);
+      return;
+    }
+    case Kind::kNamed: {
+      auto it = compositions_.find(node->name);
+      if (it == compositions_.end()) {
+        done(Status::NotFound("composition '" + node->name + "'"), "",
+             Money::Zero(), 0);
+        return;
+      }
+      Exec(it->second.root(), std::move(input), std::move(done));
+      return;
+    }
+    case Kind::kSequence: {
+      if (node->children.empty()) {
+        done(Status::OK(), std::move(input), Money::Zero(), 0);
+        return;
+      }
+      // Fold the chain: run child i, feed output into child i+1.
+      struct SeqState {
+        std::shared_ptr<const Composition::Node> node;
+        size_t index = 0;
+        Money cost;
+        uint64_t invocations = 0;
+        NodeDone done;
+      };
+      auto state = std::make_shared<SeqState>();
+      state->node = node;
+      state->done = std::move(done);
+      auto step = std::make_shared<std::function<void(Status, std::string)>>();
+      *step = [this, state, step](Status s, std::string payload) {
+        if (!s.ok() || state->index >= state->node->children.size()) {
+          state->done(std::move(s), std::move(payload), state->cost,
+                      state->invocations);
+          return;
+        }
+        const auto child = state->node->children[state->index++];
+        Exec(child, std::move(payload),
+             [state, step](Status cs, std::string out, Money cost,
+                           uint64_t inv) {
+               state->cost += cost;
+               state->invocations += inv;
+               (*step)(std::move(cs), std::move(out));
+             });
+      };
+      (*step)(Status::OK(), std::move(input));
+      return;
+    }
+    case Kind::kParallel: {
+      if (node->children.empty()) {
+        done(Status::OK(), std::move(input), Money::Zero(), 0);
+        return;
+      }
+      struct ParState {
+        size_t remaining;
+        std::vector<std::string> outputs;
+        Status first_error;
+        Money cost;
+        uint64_t invocations = 0;
+        Aggregator aggregate;
+        NodeDone done;
+      };
+      auto state = std::make_shared<ParState>();
+      state->remaining = node->children.size();
+      state->outputs.resize(node->children.size());
+      state->aggregate = node->aggregate;
+      state->done = std::move(done);
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        Exec(node->children[i], input,
+             [state, i](Status s, std::string out, Money cost, uint64_t inv) {
+               state->cost += cost;
+               state->invocations += inv;
+               if (!s.ok() && state->first_error.ok()) {
+                 state->first_error = std::move(s);
+               } else {
+                 state->outputs[i] = std::move(out);
+               }
+               if (--state->remaining == 0) {
+                 if (!state->first_error.ok()) {
+                   state->done(state->first_error, "", state->cost,
+                               state->invocations);
+                   return;
+                 }
+                 std::string joined;
+                 if (state->aggregate) {
+                   joined = state->aggregate(state->outputs);
+                 } else {
+                   for (size_t j = 0; j < state->outputs.size(); ++j) {
+                     if (j) joined += '\n';
+                     joined += state->outputs[j];
+                   }
+                 }
+                 state->done(Status::OK(), std::move(joined), state->cost,
+                             state->invocations);
+               }
+             });
+      }
+      return;
+    }
+    case Kind::kChoice: {
+      const bool take_then = node->predicate && node->predicate(input);
+      Exec(node->children[take_then ? 0 : 1], std::move(input),
+           std::move(done));
+      return;
+    }
+    case Kind::kMap: {
+      // Split the input, run the item composition per piece concurrently,
+      // join outputs in order.
+      std::vector<std::string> items;
+      {
+        std::string cur;
+        for (char ch : input) {
+          if (ch == node->map_delimiter) {
+            items.push_back(std::move(cur));
+            cur.clear();
+          } else {
+            cur.push_back(ch);
+          }
+        }
+        if (!cur.empty()) items.push_back(std::move(cur));
+      }
+      if (items.empty()) {
+        done(Status::OK(), "", Money::Zero(), 0);
+        return;
+      }
+      struct MapState {
+        size_t remaining;
+        std::vector<std::string> outputs;
+        Status first_error;
+        Money cost;
+        uint64_t invocations = 0;
+        char delimiter;
+        NodeDone done;
+      };
+      auto state = std::make_shared<MapState>();
+      state->remaining = items.size();
+      state->outputs.resize(items.size());
+      state->delimiter = node->map_delimiter;
+      state->done = std::move(done);
+      for (size_t i = 0; i < items.size(); ++i) {
+        Exec(node->children[0], std::move(items[i]),
+             [state, i](Status s, std::string out, Money cost, uint64_t inv) {
+               state->cost += cost;
+               state->invocations += inv;
+               if (!s.ok() && state->first_error.ok()) {
+                 state->first_error = std::move(s);
+               } else {
+                 state->outputs[i] = std::move(out);
+               }
+               if (--state->remaining == 0) {
+                 if (!state->first_error.ok()) {
+                   state->done(state->first_error, "", state->cost,
+                               state->invocations);
+                   return;
+                 }
+                 std::string joined;
+                 for (size_t j = 0; j < state->outputs.size(); ++j) {
+                   if (j) joined.push_back(state->delimiter);
+                   joined += state->outputs[j];
+                 }
+                 state->done(Status::OK(), std::move(joined), state->cost,
+                             state->invocations);
+               }
+             });
+      }
+      return;
+    }
+    case Kind::kRetry: {
+      struct RetryState {
+        std::shared_ptr<const Composition::Node> node;
+        std::string input;
+        int attempts_left;
+        Money cost;
+        uint64_t invocations = 0;
+        NodeDone done;
+      };
+      auto state = std::make_shared<RetryState>();
+      state->node = node;
+      state->input = std::move(input);
+      state->attempts_left = node->retry_attempts;
+      state->done = std::move(done);
+      auto attempt = std::make_shared<std::function<void()>>();
+      *attempt = [this, state, attempt] {
+        --state->attempts_left;
+        Exec(state->node->children[0], state->input,
+             [state, attempt](Status s, std::string out, Money cost,
+                              uint64_t inv) {
+               state->cost += cost;
+               state->invocations += inv;
+               if (!s.ok() && state->attempts_left > 0) {
+                 (*attempt)();
+                 return;
+               }
+               state->done(std::move(s), std::move(out), state->cost,
+                           state->invocations);
+             });
+      };
+      (*attempt)();
+      return;
+    }
+  }
+  done(Status::Internal("unknown composition node"), "", Money::Zero(), 0);
+}
+
+}  // namespace taureau::orchestration

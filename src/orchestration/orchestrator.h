@@ -1,0 +1,68 @@
+// The orchestrator: executes compositions on a FaasPlatform.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/money.h"
+#include "common/status.h"
+#include "faas/platform.h"
+#include "orchestration/composition.h"
+#include "sim/simulation.h"
+
+namespace taureau::orchestration {
+
+/// Outcome of one composition execution.
+struct ExecutionResult {
+  Status status;
+  std::string output;
+  /// Sum of the billed costs of the basic function invocations — and of
+  /// nothing else (property 3).
+  Money cost;
+  uint64_t function_invocations = 0;
+  SimTime start_us = 0;
+  SimTime end_us = 0;
+
+  SimDuration Makespan() const { return end_us - start_us; }
+};
+
+using ExecutionCallback = std::function<void(const ExecutionResult&)>;
+
+/// Executes compositions. The orchestrator itself never appends to the
+/// billing ledger: the only charges are those of the functions it invokes.
+class Orchestrator {
+ public:
+  Orchestrator(sim::Simulation* sim, faas::FaasPlatform* platform);
+
+  /// Registers a composition under a name so Named() nodes (and Run by
+  /// name) can reference it — compositions are functions (property 2).
+  Status RegisterComposition(const std::string& name, Composition comp);
+
+  /// Runs a composition asynchronously; `cb` fires in simulated time.
+  void Run(const Composition& comp, std::string input, ExecutionCallback cb);
+
+  /// Runs a registered composition by name.
+  Status RunNamed(const std::string& name, std::string input,
+                  ExecutionCallback cb);
+
+  /// Convenience: run and drive the simulation until completion.
+  Result<ExecutionResult> RunSync(const Composition& comp, std::string input);
+
+  bool HasComposition(const std::string& name) const {
+    return compositions_.count(name) > 0;
+  }
+
+ private:
+  using NodeDone = std::function<void(Status, std::string output, Money cost,
+                                      uint64_t invocations)>;
+
+  void Exec(std::shared_ptr<const Composition::Node> node, std::string input,
+            NodeDone done);
+
+  sim::Simulation* sim_;
+  faas::FaasPlatform* platform_;
+  std::map<std::string, Composition> compositions_;
+};
+
+}  // namespace taureau::orchestration

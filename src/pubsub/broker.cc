@@ -1,0 +1,392 @@
+#include "pubsub/broker.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace taureau::pubsub {
+
+std::string_view SubscriptionTypeName(SubscriptionType type) {
+  switch (type) {
+    case SubscriptionType::kExclusive:
+      return "exclusive";
+    case SubscriptionType::kFailover:
+      return "failover";
+    case SubscriptionType::kShared:
+      return "shared";
+  }
+  return "unknown";
+}
+
+PulsarCluster::PulsarCluster(sim::Simulation* sim, PulsarConfig config)
+    : sim_(sim),
+      config_(config),
+      bookkeeper_(config.num_bookies, config.seed ^ 0xB00C),
+      rng_(config.seed) {
+  brokers_.reserve(config_.num_brokers);
+  for (size_t i = 0; i < config_.num_brokers; ++i) {
+    brokers_.push_back(Broker{static_cast<BrokerId>(i), true, 0});
+  }
+}
+
+Status PulsarCluster::CreateTopic(const std::string& topic,
+                                  TopicConfig config) {
+  if (topics_.count(topic)) {
+    return Status::AlreadyExists("topic '" + topic + "'");
+  }
+  if (config.partitions == 0) {
+    return Status::InvalidArgument("topic needs >= 1 partition");
+  }
+  Topic t;
+  t.name = topic;
+  t.config = config;
+  t.partitions.reserve(config.partitions);
+  for (uint32_t p = 0; p < config.partitions; ++p) {
+    TAU_ASSIGN_OR_RETURN(
+        LedgerId ledger,
+        bookkeeper_.CreateLedger(config.ensemble_size, config.write_quorum,
+                                 config.ack_quorum));
+    Partition part;
+    part.index = p;
+    part.ledger = ledger;
+    part.owner = static_cast<BrokerId>((topics_.size() + p) % brokers_.size());
+    t.partitions.push_back(part);
+  }
+  topics_.emplace(topic, std::move(t));
+  return Status::OK();
+}
+
+bool PulsarCluster::HasTopic(const std::string& topic) const {
+  return topics_.count(topic) > 0;
+}
+
+std::string PulsarCluster::EncodeEntry(const std::string& key,
+                                       const std::string& origin,
+                                       const std::string& payload) {
+  std::string out;
+  out.resize(8 + key.size() + origin.size() + payload.size());
+  const uint32_t klen = static_cast<uint32_t>(key.size());
+  const uint32_t olen = static_cast<uint32_t>(origin.size());
+  size_t pos = 0;
+  std::memcpy(out.data() + pos, &klen, 4);
+  pos += 4;
+  std::memcpy(out.data() + pos, key.data(), key.size());
+  pos += key.size();
+  std::memcpy(out.data() + pos, &olen, 4);
+  pos += 4;
+  std::memcpy(out.data() + pos, origin.data(), origin.size());
+  pos += origin.size();
+  std::memcpy(out.data() + pos, payload.data(), payload.size());
+  return out;
+}
+
+void PulsarCluster::DecodeEntry(const std::string& entry, std::string* key,
+                                std::string* origin, std::string* payload) {
+  uint32_t klen = 0, olen = 0;
+  size_t pos = 0;
+  std::memcpy(&klen, entry.data() + pos, 4);
+  pos += 4;
+  key->assign(entry.data() + pos, klen);
+  pos += klen;
+  std::memcpy(&olen, entry.data() + pos, 4);
+  pos += 4;
+  origin->assign(entry.data() + pos, olen);
+  pos += olen;
+  payload->assign(entry.data() + pos, entry.size() - pos);
+}
+
+Result<MessageId> PulsarCluster::Publish(const std::string& topic,
+                                         std::string key, std::string payload,
+                                         std::string replicated_from) {
+  auto tit = topics_.find(topic);
+  if (tit == topics_.end()) {
+    return Status::NotFound("topic '" + topic + "'");
+  }
+  Topic& t = tit->second;
+  const uint32_t pidx =
+      key.empty()
+          ? static_cast<uint32_t>(t.publish_rr++ % t.partitions.size())
+          : static_cast<uint32_t>(Fnv1a64(key) % t.partitions.size());
+  Partition& part = t.partitions[pidx];
+
+  // Lazy broker failover: a crashed owner hands the partition to the next
+  // live broker (the "stateless broker" property — no data moves).
+  if (!brokers_[part.owner].alive) {
+    bool moved = false;
+    for (const Broker& b : brokers_) {
+      if (b.alive) {
+        part.owner = b.id;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) return Status::Unavailable("no live broker");
+  }
+
+  // Broker is a serial service device: queue + per-message processing.
+  Broker& broker = brokers_[part.owner];
+  const SimTime now = sim_->Now();
+  const SimDuration proc =
+      config_.broker_proc_base_us +
+      static_cast<SimDuration>(config_.broker_proc_us_per_byte *
+                               double(payload.size()));
+  const SimTime start = std::max(now, broker.next_free_us);
+  broker.next_free_us = start + proc;
+
+  auto appended = bookkeeper_.Append(
+      part.ledger, EncodeEntry(key, replicated_from, payload),
+      broker.next_free_us);
+  TAU_RETURN_IF_ERROR(appended.status());
+
+  const MessageId id{pidx, part.ledger, appended->entry_id};
+  const SimTime ack_time = appended->ack_time_us;
+  ++metrics_.published;
+  metrics_.publish_latency_us.Add(double(ack_time - now));
+  metrics_.last_ack_time_us = std::max(metrics_.last_ack_time_us, ack_time);
+
+  // Once durable, the entry becomes dispatchable to every subscription.
+  const std::string topic_name = topic;
+  const uint64_t entry = appended->entry_id;
+  const SimTime publish_time = now;
+  sim_->ScheduleAt(ack_time, [this, topic_name, pidx, entry, publish_time] {
+    auto it = topics_.find(topic_name);
+    if (it == topics_.end()) return;
+    Topic& tt = it->second;
+    Partition& pp = tt.partitions[pidx];
+    pp.durable_upto = std::max(pp.durable_upto, entry + 1);
+    publish_times_[{pidx, pp.ledger, entry}] = publish_time;
+    for (auto& [name, sub] : tt.subscriptions) {
+      DispatchFrom(&tt, &sub, pidx, sim_->Now());
+    }
+  });
+  return id;
+}
+
+PulsarCluster::ConsumerInfo* PulsarCluster::PickConsumer(Subscription* sub) {
+  // Prune disconnected consumers.
+  auto& list = sub->consumers;
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [this](ConsumerId id) {
+                              auto it = consumers_.find(id);
+                              return it == consumers_.end() ||
+                                     !it->second.connected;
+                            }),
+             list.end());
+  if (list.empty()) return nullptr;
+  switch (sub->type) {
+    case SubscriptionType::kExclusive:
+    case SubscriptionType::kFailover:
+      return &consumers_.at(list.front());
+    case SubscriptionType::kShared: {
+      const ConsumerId id = list[sub->rr_next++ % list.size()];
+      return &consumers_.at(id);
+    }
+  }
+  return nullptr;
+}
+
+void PulsarCluster::DispatchFrom(Topic* topic, Subscription* sub,
+                                 uint32_t partition, SimTime not_before) {
+  Partition& part = topic->partitions[partition];
+  while (sub->cursor[partition] < part.durable_upto) {
+    const uint64_t entry = sub->cursor[partition]++;
+    ConsumerInfo* consumer = PickConsumer(sub);
+    const MessageId id{partition, part.ledger, entry};
+    sub->unacked.emplace(id, true);
+    if (consumer == nullptr) continue;  // redelivered when one connects
+    auto raw = bookkeeper_.Read(part.ledger, entry);
+    if (!raw.ok()) continue;
+    Message msg;
+    msg.id = id;
+    DecodeEntry(*raw, &msg.key, &msg.replicated_from, &msg.payload);
+    auto pt = publish_times_.find(id);
+    msg.publish_time_us = pt != publish_times_.end() ? pt->second : not_before;
+    const SimTime deliver_at =
+        std::max(not_before, sim_->Now()) + config_.dispatch_latency_us;
+    msg.deliver_time_us = deliver_at;
+    auto cb = consumer->cb;
+    sim_->ScheduleAt(deliver_at, [this, cb, msg] {
+      ++metrics_.delivered;
+      metrics_.delivery_latency_us.Add(
+          double(msg.deliver_time_us - msg.publish_time_us));
+      cb(msg);
+    });
+  }
+}
+
+Result<ConsumerId> PulsarCluster::Subscribe(const std::string& topic,
+                                            const std::string& subscription,
+                                            SubscriptionType type,
+                                            ConsumerCallback cb) {
+  auto tit = topics_.find(topic);
+  if (tit == topics_.end()) {
+    return Status::NotFound("topic '" + topic + "'");
+  }
+  Topic& t = tit->second;
+  auto [sit, created] = t.subscriptions.try_emplace(subscription);
+  Subscription& sub = sit->second;
+  if (created) {
+    sub.name = subscription;
+    sub.type = type;
+    // New subscriptions start from the earliest retained message, so
+    // analytics consumers see the full stream.
+    sub.cursor.assign(t.partitions.size(), 0);
+  } else if (sub.type != type) {
+    return Status::FailedPrecondition(
+        "subscription '" + subscription + "' is " +
+        std::string(SubscriptionTypeName(sub.type)));
+  }
+  if (sub.type == SubscriptionType::kExclusive && !sub.consumers.empty()) {
+    return Status::FailedPrecondition(
+        "exclusive subscription '" + subscription + "' already has a consumer");
+  }
+  const ConsumerId id = next_consumer_++;
+  consumers_[id] = ConsumerInfo{topic, subscription, std::move(cb), true};
+  sub.consumers.push_back(id);
+
+  if (created) {
+    for (uint32_t p = 0; p < t.partitions.size(); ++p) {
+      DispatchFrom(&t, &sub, p, sim_->Now());
+    }
+  } else {
+    Redeliver(&t, &sub);
+  }
+  return id;
+}
+
+Status PulsarCluster::Ack(ConsumerId consumer, const MessageId& id) {
+  auto cit = consumers_.find(consumer);
+  if (cit == consumers_.end()) {
+    return Status::NotFound("consumer " + std::to_string(consumer));
+  }
+  Topic& t = topics_.at(cit->second.topic);
+  Subscription& sub = t.subscriptions.at(cit->second.subscription);
+  auto uit = sub.unacked.find(id);
+  if (uit == sub.unacked.end()) {
+    return Status::NotFound("message not pending on subscription");
+  }
+  sub.unacked.erase(uit);
+  ++metrics_.acked;
+  return Status::OK();
+}
+
+void PulsarCluster::Redeliver(Topic* /*topic*/, Subscription* sub) {
+  for (const auto& [id, _] : sub->unacked) {
+    ConsumerInfo* consumer = PickConsumer(sub);
+    if (consumer == nullptr) return;
+    auto raw = bookkeeper_.Read(id.ledger_id, id.entry_id);
+    if (!raw.ok()) continue;
+    Message msg;
+    msg.id = id;
+    DecodeEntry(*raw, &msg.key, &msg.replicated_from, &msg.payload);
+    auto pt = publish_times_.find(id);
+    msg.publish_time_us = pt != publish_times_.end() ? pt->second : 0;
+    const SimTime deliver_at = sim_->Now() + config_.dispatch_latency_us;
+    msg.deliver_time_us = deliver_at;
+    auto cb = consumer->cb;
+    sim_->ScheduleAt(deliver_at, [this, cb, msg] {
+      ++metrics_.delivered;
+      ++metrics_.redelivered;
+      cb(msg);
+    });
+  }
+}
+
+Status PulsarCluster::Disconnect(ConsumerId consumer) {
+  auto cit = consumers_.find(consumer);
+  if (cit == consumers_.end() || !cit->second.connected) {
+    return Status::NotFound("consumer " + std::to_string(consumer));
+  }
+  cit->second.connected = false;
+  Topic& t = topics_.at(cit->second.topic);
+  Subscription& sub = t.subscriptions.at(cit->second.subscription);
+  auto& list = sub.consumers;
+  list.erase(std::remove(list.begin(), list.end(), consumer), list.end());
+  if (!list.empty()) {
+    Redeliver(&t, &sub);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> PulsarCluster::TrimConsumedBacklog(const std::string& topic) {
+  auto tit = topics_.find(topic);
+  if (tit == topics_.end()) {
+    return Status::NotFound("topic '" + topic + "'");
+  }
+  Topic& t = tit->second;
+  if (t.subscriptions.empty()) return uint64_t{0};  // retain everything
+  uint64_t trimmed = 0;
+  for (uint32_t p = 0; p < t.partitions.size(); ++p) {
+    Partition& part = t.partitions[p];
+    // The retention floor is the slowest subscription's fully-acked
+    // position: min over subs of min(cursor, lowest unacked entry).
+    uint64_t floor = UINT64_MAX;
+    for (const auto& [name, sub] : t.subscriptions) {
+      uint64_t sub_floor = sub.cursor[p];
+      for (const auto& [id, _] : sub.unacked) {
+        if (id.partition == p) {
+          sub_floor = std::min(sub_floor, id.entry_id);
+          break;  // unacked is ordered; the first hit is the lowest
+        }
+      }
+      floor = std::min(floor, sub_floor);
+    }
+    if (floor == UINT64_MAX || floor <= part.trimmed_below) continue;
+    TAU_RETURN_IF_ERROR(bookkeeper_.TrimLedger(part.ledger, floor));
+    trimmed += floor - part.trimmed_below;
+    part.trimmed_below = floor;
+    // Drop the latency bookkeeping for reclaimed entries.
+    for (uint64_t e = 0; e < floor; ++e) {
+      publish_times_.erase(MessageId{p, part.ledger, e});
+    }
+  }
+  return trimmed;
+}
+
+Status PulsarCluster::CrashBroker(BrokerId id) {
+  if (id >= brokers_.size()) return Status::NotFound("broker");
+  brokers_[id].alive = false;
+  // Move owned partitions to live brokers and redeliver in-flight messages
+  // (durable state lives in the bookies, so nothing is lost).
+  size_t next_live = 0;
+  std::vector<BrokerId> live;
+  for (const Broker& b : brokers_) {
+    if (b.alive) live.push_back(b.id);
+  }
+  for (auto& [name, t] : topics_) {
+    bool touched = false;
+    for (Partition& p : t.partitions) {
+      if (p.owner == id) {
+        if (live.empty()) return Status::Unavailable("no live broker left");
+        p.owner = live[next_live++ % live.size()];
+        touched = true;
+      }
+    }
+    if (touched) {
+      for (auto& [sname, sub] : t.subscriptions) {
+        Redeliver(&t, &sub);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PulsarCluster::RecoverBroker(BrokerId id) {
+  if (id >= brokers_.size()) return Status::NotFound("broker");
+  brokers_[id].alive = true;
+  brokers_[id].next_free_us = sim_->Now();
+  return Status::OK();
+}
+
+std::vector<size_t> PulsarCluster::BrokerLoad() const {
+  std::vector<size_t> load(brokers_.size(), 0);
+  for (const auto& [name, t] : topics_) {
+    for (const Partition& p : t.partitions) {
+      ++load[p.owner];
+    }
+  }
+  return load;
+}
+
+}  // namespace taureau::pubsub

@@ -1,0 +1,196 @@
+// Pulsar-like messaging cluster (paper §4.3, Figure 1).
+//
+// "A Pulsar cluster is composed of a set of brokers and bookies... The
+// broker is a stateless component tasked with receiving and dispatching
+// messages while using bookies as durable storage for messages until they
+// are consumed." Brokers here are exactly that: stateless dispatchers whose
+// partitions can move to another broker on crash, with all durable state in
+// the BookKeeper ledgers; subscriptions provide the unified queuing
+// (shared) and pub-sub (exclusive/failover) messaging models.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "pubsub/bookkeeper.h"
+#include "pubsub/message.h"
+#include "sim/simulation.h"
+
+namespace taureau::pubsub {
+
+using BrokerId = uint32_t;
+using ConsumerId = uint64_t;
+
+/// Pulsar's three subscription modes.
+enum class SubscriptionType {
+  kExclusive,  ///< Single consumer; pub-sub semantics.
+  kFailover,   ///< Single *active* consumer with hot standbys.
+  kShared,     ///< Round-robin across consumers; queue semantics.
+};
+
+struct TopicConfig {
+  uint32_t partitions = 1;
+  uint32_t ensemble_size = 3;
+  uint32_t write_quorum = 2;
+  uint32_t ack_quorum = 2;
+};
+
+struct PulsarConfig {
+  size_t num_brokers = 3;
+  size_t num_bookies = 6;
+  /// Broker publish-path service time (per message).
+  SimDuration broker_proc_base_us = 20;
+  double broker_proc_us_per_byte = 0.002;
+  /// Broker -> consumer dispatch latency.
+  SimDuration dispatch_latency_us = 300;
+  uint64_t seed = 41;
+};
+
+struct PulsarMetrics {
+  uint64_t published = 0;
+  uint64_t delivered = 0;
+  uint64_t redelivered = 0;
+  uint64_t acked = 0;
+  Histogram publish_latency_us{double(kMinute)};   ///< Submit -> durable ack.
+  Histogram delivery_latency_us{double(kMinute)};  ///< Submit -> consumer.
+  SimTime last_ack_time_us = 0;  ///< For throughput computations.
+};
+
+using ConsumerCallback = std::function<void(const Message&)>;
+
+/// The cluster facade: topic management, producers, consumers, functions
+/// workers all talk to this.
+class PulsarCluster {
+ public:
+  PulsarCluster(sim::Simulation* sim, PulsarConfig config);
+
+  /// Creates a partitioned topic; each partition gets its own ledger and a
+  /// round-robin broker owner.
+  Status CreateTopic(const std::string& topic, TopicConfig config);
+
+  bool HasTopic(const std::string& topic) const;
+
+  /// Publishes a message. Routing: hash of `key` when non-empty, else
+  /// round-robin. The message becomes visible to subscriptions once its
+  /// ledger append reaches the ack quorum (simulated time).
+  /// `replicated_from` marks geo-replicated traffic (set by GeoReplicator).
+  Result<MessageId> Publish(const std::string& topic, std::string key,
+                            std::string payload,
+                            std::string replicated_from = "");
+
+  /// Attaches a consumer to a (topic, subscription). The subscription is
+  /// created on first use with the given type; later consumers must match.
+  /// The callback fires in simulated time for each delivered message.
+  Result<ConsumerId> Subscribe(const std::string& topic,
+                               const std::string& subscription,
+                               SubscriptionType type, ConsumerCallback cb);
+
+  /// Acknowledges a message for the consumer's subscription.
+  Status Ack(ConsumerId consumer, const MessageId& id);
+
+  /// Detaches a consumer; unacked messages are redelivered to survivors
+  /// (at-least-once semantics).
+  Status Disconnect(ConsumerId consumer);
+
+  /// Retention (§4.3 "durable storage for messages until they are
+  /// consumed"): trims each partition's ledger up to the slowest
+  /// subscription's fully-acknowledged floor. Returns the number of
+  /// entries reclaimed. Topics without subscriptions retain everything.
+  Result<uint64_t> TrimConsumedBacklog(const std::string& topic);
+
+  /// Crashes a broker: its partitions move to a live broker and unacked
+  /// in-flight messages are redelivered from the ledgers.
+  Status CrashBroker(BrokerId id);
+  Status RecoverBroker(BrokerId id);
+
+  const PulsarMetrics& metrics() const { return metrics_; }
+  BookKeeper& bookkeeper() { return bookkeeper_; }
+  size_t broker_count() const { return brokers_.size(); }
+
+  /// Number of partitions currently owned by each broker (load map).
+  std::vector<size_t> BrokerLoad() const;
+
+ private:
+  struct Broker {
+    BrokerId id;
+    bool alive = true;
+    SimTime next_free_us = 0;  ///< Serial service device.
+  };
+
+  struct Partition {
+    uint32_t index = 0;
+    LedgerId ledger = 0;
+    BrokerId owner = 0;
+    /// Entries below this id are durable and dispatchable.
+    uint64_t durable_upto = 0;
+    /// Entries below this id were reclaimed by retention trimming.
+    uint64_t trimmed_below = 0;
+  };
+
+  struct Subscription {
+    std::string name;
+    SubscriptionType type = SubscriptionType::kExclusive;
+    std::vector<ConsumerId> consumers;
+    uint64_t rr_next = 0;  ///< Shared-mode round-robin cursor.
+    /// Per-partition next entry to dispatch.
+    std::vector<uint64_t> cursor;
+    /// In-flight (delivered, unacked) messages.
+    std::map<MessageId, bool> unacked;
+  };
+
+  struct Topic {
+    std::string name;
+    TopicConfig config;
+    std::vector<Partition> partitions;
+    std::map<std::string, Subscription> subscriptions;
+    uint64_t publish_rr = 0;
+  };
+
+  struct ConsumerInfo {
+    std::string topic;
+    std::string subscription;
+    ConsumerCallback cb;
+    bool connected = true;
+  };
+
+  /// Serializes key+origin+payload into a ledger entry and back.
+  static std::string EncodeEntry(const std::string& key,
+                                 const std::string& origin,
+                                 const std::string& payload);
+  static void DecodeEntry(const std::string& entry, std::string* key,
+                          std::string* origin, std::string* payload);
+
+  /// Dispatches all ready entries of a partition to a subscription.
+  void DispatchFrom(Topic* topic, Subscription* sub, uint32_t partition,
+                    SimTime not_before);
+
+  /// Picks the receiving consumer for the subscription (type-dependent);
+  /// returns nullptr when no consumer is connected.
+  ConsumerInfo* PickConsumer(Subscription* sub);
+
+  void Redeliver(Topic* topic, Subscription* sub);
+
+  sim::Simulation* sim_;
+  PulsarConfig config_;
+  BookKeeper bookkeeper_;
+  Rng rng_;
+  std::vector<Broker> brokers_;
+  std::map<std::string, Topic> topics_;
+  std::unordered_map<ConsumerId, ConsumerInfo> consumers_;
+  /// Publish timestamps for end-to-end latency accounting.
+  std::map<MessageId, SimTime> publish_times_;
+  ConsumerId next_consumer_ = 1;
+  PulsarMetrics metrics_;
+};
+
+std::string_view SubscriptionTypeName(SubscriptionType type);
+
+}  // namespace taureau::pubsub

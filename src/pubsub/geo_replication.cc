@@ -1,0 +1,69 @@
+#include "pubsub/geo_replication.h"
+
+namespace taureau::pubsub {
+
+GeoReplicator::GeoReplicator(sim::Simulation* sim, PulsarCluster* region_a,
+                             std::string region_a_name,
+                             PulsarCluster* region_b,
+                             std::string region_b_name,
+                             SimDuration wan_latency_us)
+    : sim_(sim),
+      a_(region_a),
+      b_(region_b),
+      a_name_(std::move(region_a_name)),
+      b_name_(std::move(region_b_name)),
+      wan_latency_us_(wan_latency_us) {}
+
+void GeoReplicator::Forward(const Message& msg, const std::string& topic,
+                            PulsarCluster* to, const std::string& from_region,
+                            uint64_t* counter) {
+  if (!msg.replicated_from.empty()) {
+    // Already crossed a region boundary once: stop (loop prevention).
+    ++metrics_.suppressed_loops;
+    return;
+  }
+  ++*counter;
+  // The WAN hop, then a normal publish in the remote region tagged with the
+  // origin.
+  sim_->Schedule(wan_latency_us_,
+                 [to, topic, key = msg.key, payload = msg.payload,
+                  from_region] {
+                   (void)to->Publish(topic, key, payload, from_region);
+                 });
+}
+
+Status GeoReplicator::ReplicateTopic(const std::string& topic) {
+  if (!a_->HasTopic(topic)) {
+    return Status::NotFound("topic '" + topic + "' missing in region " +
+                            a_name_);
+  }
+  if (!b_->HasTopic(topic)) {
+    return Status::NotFound("topic '" + topic + "' missing in region " +
+                            b_name_);
+  }
+  // Replication subscriptions named after the remote region, as in Pulsar.
+  // The consumer id is captured via shared state so the callback can ack
+  // (Subscribe needs the callback before the id exists).
+  auto attach = [this, &topic](PulsarCluster* from, PulsarCluster* to,
+                               const std::string& from_name,
+                               const std::string& to_name,
+                               uint64_t* counter) -> Status {
+    auto id = std::make_shared<ConsumerId>(0);
+    auto consumer = from->Subscribe(
+        topic, "geo-to-" + to_name, SubscriptionType::kFailover,
+        [this, topic, from, to, from_name, counter, id](const Message& msg) {
+          Forward(msg, topic, to, from_name, counter);
+          (void)from->Ack(*id, msg.id);  // replicated: release the backlog
+        });
+    TAU_RETURN_IF_ERROR(consumer.status());
+    *id = *consumer;
+    return Status::OK();
+  };
+  TAU_RETURN_IF_ERROR(
+      attach(a_, b_, a_name_, b_name_, &metrics_.forwarded_a_to_b));
+  TAU_RETURN_IF_ERROR(
+      attach(b_, a_, b_name_, a_name_, &metrics_.forwarded_b_to_a));
+  return Status::OK();
+}
+
+}  // namespace taureau::pubsub

@@ -1,0 +1,54 @@
+// Geo-replication between Pulsar clusters (paper §4.3: "Some of the other
+// key features of Pulsar include support for geo-replication...").
+//
+// Two regions replicate a topic to each other over a WAN link: each side
+// runs a replication subscription and republishes remote-bound messages
+// with a `replicated_from` origin tag; tagged messages are never forwarded
+// again, so the mesh cannot loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pubsub/broker.h"
+#include "sim/simulation.h"
+
+namespace taureau::pubsub {
+
+struct GeoReplicationMetrics {
+  uint64_t forwarded_a_to_b = 0;
+  uint64_t forwarded_b_to_a = 0;
+  uint64_t suppressed_loops = 0;
+};
+
+/// Bidirectional replicator between two clusters.
+class GeoReplicator {
+ public:
+  /// wan_latency: one-way inter-region latency applied to each forward.
+  GeoReplicator(sim::Simulation* sim, PulsarCluster* region_a,
+                std::string region_a_name, PulsarCluster* region_b,
+                std::string region_b_name,
+                SimDuration wan_latency_us = 60 * kMillisecond);
+
+  /// Starts replicating `topic`; it must already exist in both regions.
+  Status ReplicateTopic(const std::string& topic);
+
+  const GeoReplicationMetrics& metrics() const { return metrics_; }
+
+ private:
+  void Forward(const Message& msg, const std::string& topic,
+               PulsarCluster* to, const std::string& from_region,
+               uint64_t* counter);
+
+  sim::Simulation* sim_;
+  PulsarCluster* a_;
+  PulsarCluster* b_;
+  std::string a_name_;
+  std::string b_name_;
+  SimDuration wan_latency_us_;
+  GeoReplicationMetrics metrics_;
+};
+
+}  // namespace taureau::pubsub

@@ -1,0 +1,72 @@
+#include "security/oblivious_store.h"
+
+namespace taureau::security {
+
+namespace {
+constexpr uint32_t kBucketSlots = 4;  // Path ORAM's Z
+}
+
+ObliviousStore::ObliviousStore(uint32_t capacity, uint32_t block_size_bytes,
+                               baas::LatencyModel base, uint64_t seed)
+    : block_size_(block_size_bytes),
+      oram_(capacity, seed),
+      base_(base),
+      rng_(seed ^ 0x0B11) {}
+
+uint64_t ObliviousStore::AccessBytes() const {
+  // One access reads and rewrites (height + 1) buckets of Z padded blocks.
+  return uint64_t(2) * (oram_.tree_height() + 1) * kBucketSlots *
+         block_size_;
+}
+
+ObliviousOp ObliviousStore::Put(std::string_view key, std::string value) {
+  if (key.empty()) return {Status::InvalidArgument("empty key"), 0};
+  if (value.size() > block_size_) {
+    return {Status::InvalidArgument("value exceeds the " +
+                                    std::to_string(block_size_) +
+                                    "-byte oblivious block size"),
+            0};
+  }
+  auto it = directory_.find(std::string(key));
+  uint32_t block;
+  if (it != directory_.end()) {
+    block = it->second;
+  } else {
+    if (next_block_ >= oram_.capacity()) {
+      return {Status::ResourceExhausted("oblivious store is full"), 0};
+    }
+    block = next_block_++;
+    directory_.emplace(std::string(key), block);
+  }
+  logical_bytes_ += value.size();
+  physical_bytes_ += AccessBytes();
+  const Status s = oram_.Write(block, std::move(value));
+  return {s, base_.Sample(&rng_, AccessBytes())};
+}
+
+ObliviousOp ObliviousStore::Get(std::string_view key, std::string* value) {
+  auto it = directory_.find(std::string(key));
+  if (it == directory_.end()) {
+    // Miss: still do a dummy ORAM access so misses look like hits.
+    if (oram_.capacity() > 0) {
+      (void)oram_.Read(uint32_t(rng_.NextBounded(oram_.capacity())));
+    }
+    physical_bytes_ += AccessBytes();
+    return {Status::NotFound("key '" + std::string(key) + "'"),
+            base_.Sample(&rng_, AccessBytes())};
+  }
+  auto r = oram_.Read(it->second);
+  physical_bytes_ += AccessBytes();
+  if (!r.ok()) return {r.status(), base_.Sample(&rng_, AccessBytes())};
+  *value = std::move(r).value();
+  logical_bytes_ += value->size();
+  return {Status::OK(), base_.Sample(&rng_, AccessBytes())};
+}
+
+double ObliviousStore::BandwidthAmplification() const {
+  return logical_bytes_ > 0
+             ? double(physical_bytes_) / double(logical_bytes_)
+             : 0.0;
+}
+
+}  // namespace taureau::security

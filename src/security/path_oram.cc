@@ -1,0 +1,104 @@
+#include "security/path_oram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taureau::security {
+
+PathOram::PathOram(uint32_t capacity, uint64_t seed)
+    : capacity_(std::max(capacity, 1u)), rng_(seed) {
+  // Height so that leaves >= capacity / Z (standard sizing), min height 1.
+  height_ = 1;
+  while ((1u << height_) * kBucketSize < capacity_) ++height_;
+  num_leaves_ = 1u << height_;
+  tree_.resize((2u << height_) - 1);
+}
+
+uint32_t PathOram::BucketIndex(uint32_t leaf, uint32_t level) const {
+  // Heap layout: the node at `level` on the path to `leaf`.
+  const uint32_t node_at_leaf_level = (num_leaves_ - 1) + leaf;
+  uint32_t node = node_at_leaf_level;
+  for (uint32_t l = height_; l > level; --l) node = (node - 1) / 2;
+  return node;
+}
+
+bool PathOram::PathContains(uint32_t leaf, uint32_t level,
+                            uint32_t block_leaf) const {
+  return BucketIndex(leaf, level) == BucketIndex(block_leaf, level);
+}
+
+Result<std::string> PathOram::Access(uint32_t block_id, bool is_write,
+                                     std::string new_data) {
+  if (block_id >= capacity_) {
+    return Status::InvalidArgument("block id " + std::to_string(block_id) +
+                                   " out of range");
+  }
+  // Leaf currently assigned to the block (random if untracked — a dummy
+  // path for unwritten blocks keeps misses oblivious).
+  uint32_t leaf;
+  bool known = false;
+  auto pos = position_.find(block_id);
+  if (pos != position_.end()) {
+    leaf = pos->second;
+    known = true;
+  } else {
+    leaf = static_cast<uint32_t>(rng_.NextBounded(num_leaves_));
+  }
+  log_.leaves.push_back(leaf);
+
+  // 1. Read the whole path into the stash.
+  for (uint32_t level = 0; level <= height_; ++level) {
+    Bucket& bucket = tree_[BucketIndex(leaf, level)];
+    for (Block& b : bucket) {
+      stash_[b.id] = std::move(b.data);
+    }
+    bucket.clear();
+  }
+
+  // 2. Serve the access from the stash; remap the block to a fresh leaf.
+  std::string result;
+  bool found = stash_.count(block_id) > 0;
+  if (found) result = stash_[block_id];
+  if (is_write) {
+    stash_[block_id] = std::move(new_data);
+    found = true;
+  }
+  if (found) {
+    position_[block_id] =
+        static_cast<uint32_t>(rng_.NextBounded(num_leaves_));
+  }
+
+  // 3. Write the path back, placing each stash block as deep as its own
+  //    assigned leaf allows on *this* path.
+  for (uint32_t level = height_ + 1; level-- > 0;) {
+    Bucket& bucket = tree_[BucketIndex(leaf, level)];
+    for (auto it = stash_.begin();
+         it != stash_.end() && bucket.size() < kBucketSize;) {
+      const uint32_t b_leaf = position_.at(it->first);
+      if (PathContains(leaf, level, b_leaf)) {
+        bucket.push_back(Block{it->first, std::move(it->second)});
+        it = stash_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  max_stash_ = std::max(max_stash_, stash_.size());
+
+  if (!is_write && (!found || !known)) {
+    return Status::NotFound("block " + std::to_string(block_id) +
+                            " never written");
+  }
+  return result;
+}
+
+Status PathOram::Write(uint32_t block_id, std::string data) {
+  auto r = Access(block_id, /*is_write=*/true, std::move(data));
+  return r.status();
+}
+
+Result<std::string> PathOram::Read(uint32_t block_id) {
+  return Access(block_id, /*is_write=*/false, "");
+}
+
+}  // namespace taureau::security

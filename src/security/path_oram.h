@@ -1,0 +1,77 @@
+// Path ORAM (Stefanov et al., CCS 2013) — the paper's §6 "Security" points
+// to ORAMs [101, 169] as the primitive for hiding the storage access
+// patterns that serverless functions leak to the network/provider.
+//
+// The client keeps a position map and a small stash; the untrusted server
+// stores a binary tree of encrypted-equivalent buckets. Every logical
+// access reads and rewrites one random root-to-leaf path, so the server's
+// view is a sequence of uniformly random paths regardless of the program's
+// actual access pattern — which the tests verify statistically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::security {
+
+/// Observable server-side access trace (what a network adversary sees).
+struct OramAccessLog {
+  /// Leaf index of each path read+written, in order.
+  std::vector<uint32_t> leaves;
+};
+
+/// The ORAM client + simulated untrusted server in one object. Z=4 blocks
+/// per bucket (the paper's recommended bucket size).
+class PathOram {
+ public:
+  /// capacity: number of distinct logical block ids ([0, capacity)).
+  explicit PathOram(uint32_t capacity, uint64_t seed = 103);
+
+  /// Writes a logical block.
+  Status Write(uint32_t block_id, std::string data);
+
+  /// Reads a logical block; NotFound if never written. NOTE: a real
+  /// deployment would issue a dummy access on miss; this client does too,
+  /// so misses are indistinguishable from hits in the access log.
+  Result<std::string> Read(uint32_t block_id);
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t tree_height() const { return height_; }
+  size_t stash_size() const { return stash_.size(); }
+  size_t max_stash_size() const { return max_stash_; }
+  const OramAccessLog& access_log() const { return log_; }
+
+ private:
+  static constexpr uint32_t kBucketSize = 4;  // Z
+
+  struct Block {
+    uint32_t id = 0;
+    std::string data;
+  };
+  using Bucket = std::vector<Block>;  // at most kBucketSize entries
+
+  /// One ORAM access (read or write share the same path logic).
+  Result<std::string> Access(uint32_t block_id, bool is_write,
+                             std::string new_data);
+
+  uint32_t BucketIndex(uint32_t leaf, uint32_t level) const;
+  bool PathContains(uint32_t leaf, uint32_t level, uint32_t block_leaf) const;
+
+  uint32_t capacity_;
+  uint32_t height_;      ///< Tree levels (root = level 0).
+  uint32_t num_leaves_;
+  Rng rng_;
+  std::vector<Bucket> tree_;  ///< 2^(height+1) - 1 buckets, heap layout.
+  std::unordered_map<uint32_t, uint32_t> position_;  ///< block -> leaf
+  std::unordered_map<uint32_t, std::string> stash_;
+  size_t max_stash_ = 0;
+  OramAccessLog log_;
+};
+
+}  // namespace taureau::security

@@ -1,0 +1,97 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+namespace taureau::sim {
+
+EventId Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
+}
+
+EventId Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Simulation::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy deletion: mark and skip at pop time.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++events_fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulation::Run() {
+  uint64_t fired = 0;
+  while (Step()) ++fired;
+  return fired;
+}
+
+uint64_t Simulation::RunUntil(SimTime deadline) {
+  uint64_t fired = 0;
+  while (!queue_.empty()) {
+    // Peek through cancelled events.
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > deadline) break;
+    Step();
+    ++fired;
+  }
+  now_ = std::max(now_, deadline);
+  return fired;
+}
+
+PeriodicProcess::PeriodicProcess(Simulation* sim, SimDuration period,
+                                 std::function<bool()> tick)
+    : sim_(sim), period_(period), tick_(std::move(tick)) {}
+
+PeriodicProcess::~PeriodicProcess() { Stop(); }
+
+void PeriodicProcess::Start() {
+  if (running_) return;
+  running_ = true;
+  Arm();
+}
+
+void PeriodicProcess::Stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    sim_->Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicProcess::Arm() {
+  pending_ = sim_->Schedule(period_, [this] {
+    pending_ = 0;
+    if (!running_) return;
+    if (tick_()) {
+      Arm();
+    } else {
+      running_ = false;
+    }
+  });
+}
+
+}  // namespace taureau::sim

@@ -1,0 +1,102 @@
+// Discrete-event simulation kernel.
+//
+// The entire serverless landscape (clusters, FaaS platform, stores, pub-sub)
+// runs on top of this kernel: components schedule callbacks at future
+// simulated times; the kernel executes them in deterministic (time, sequence)
+// order. The kernel is single-threaded — determinism and reproducibility are
+// what the experiments need, not wall-clock parallelism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_types.h"
+
+namespace taureau::sim {
+
+/// Opaque handle used to cancel a scheduled event.
+using EventId = uint64_t;
+
+/// The simulation clock and event loop.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to 0
+  /// (i.e. "as soon as possible", after already-queued events at Now()).
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when` (clamped to >= Now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired.
+  bool Cancel(EventId id);
+
+  /// Runs until the event queue drains. Returns the number of events fired.
+  uint64_t Run();
+
+  /// Runs events with time <= deadline, then sets Now() == deadline.
+  uint64_t RunUntil(SimTime deadline);
+
+  /// Fires at most one event. Returns false when the queue is empty.
+  bool Step();
+
+  uint64_t events_fired() const { return events_fired_; }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-break for determinism
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Repeats a callback at a fixed simulated period until stopped. Used for
+/// autoscaler control loops, lease scans, etc.
+class PeriodicProcess {
+ public:
+  /// The callback returns false to stop the process.
+  PeriodicProcess(Simulation* sim, SimDuration period,
+                  std::function<bool()> tick);
+  ~PeriodicProcess();
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+ private:
+  void Arm();
+
+  Simulation* sim_;
+  SimDuration period_;
+  std::function<bool()> tick_;
+  bool running_ = false;
+  EventId pending_ = 0;
+};
+
+}  // namespace taureau::sim

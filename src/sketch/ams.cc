@@ -1,0 +1,53 @@
+#include "sketch/ams.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace taureau::sketch {
+
+AmsSketch::AmsSketch(uint32_t depth, uint32_t width, uint64_t seed)
+    : depth_(std::max(depth, 1u)),
+      width_(std::max(width, 1u)),
+      seed_(seed),
+      counters_(size_t(depth_) * width_, 0) {}
+
+void AmsSketch::Add(std::string_view item, int64_t count) {
+  for (uint32_t row = 0; row < depth_; ++row) {
+    const uint64_t h = HashSeeded(item, seed_ + row);
+    const uint32_t col = static_cast<uint32_t>(h % width_);
+    // Independent +/-1 from a different seed stream.
+    const int64_t sign =
+        (HashSeeded(item, seed_ ^ (0x51CA7EULL + row)) & 1) ? 1 : -1;
+    counters_[size_t(row) * width_ + col] += sign * count;
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> row_estimates(depth_);
+  for (uint32_t row = 0; row < depth_; ++row) {
+    double sum = 0;
+    for (uint32_t col = 0; col < width_; ++col) {
+      const double c = double(counters_[size_t(row) * width_ + col]);
+      sum += c * c;
+    }
+    row_estimates[row] = sum;
+  }
+  std::nth_element(row_estimates.begin(),
+                   row_estimates.begin() + depth_ / 2, row_estimates.end());
+  return row_estimates[depth_ / 2];
+}
+
+Status AmsSketch::Merge(const AmsSketch& other) {
+  if (other.depth_ != depth_ || other.width_ != width_ ||
+      other.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "ams merge requires identical shape and seed");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace taureau::sketch

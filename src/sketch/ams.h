@@ -1,0 +1,39 @@
+// AMS sketch (Alon, Matias & Szegedy 1996) — second frequency moment (F2,
+// the self-join size), one of the "moments" sketches of the paper's §5.1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace taureau::sketch {
+
+/// Estimates F2 = sum_i f_i^2 over item frequencies f_i. Uses depth rows of
+/// width +/-1 counters; the estimate is the median over rows of the mean of
+/// squared counters. Relative error ~ 1/sqrt(width) with probability
+/// improving in depth. Mergeable by counter addition (same seed/shape).
+class AmsSketch {
+ public:
+  AmsSketch(uint32_t depth, uint32_t width, uint64_t seed = 67);
+
+  void Add(std::string_view item, int64_t count = 1);
+
+  /// Estimated second frequency moment of the stream so far.
+  double EstimateF2() const;
+
+  Status Merge(const AmsSketch& other);
+
+  uint32_t depth() const { return depth_; }
+  uint32_t width() const { return width_; }
+  size_t MemoryBytes() const { return counters_.size() * sizeof(int64_t); }
+
+ private:
+  uint32_t depth_;
+  uint32_t width_;
+  uint64_t seed_;
+  std::vector<int64_t> counters_;  // depth x width
+};
+
+}  // namespace taureau::sketch

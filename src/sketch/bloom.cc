@@ -1,0 +1,66 @@
+#include "sketch/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace taureau::sketch {
+
+BloomFilter::BloomFilter(uint64_t bits, uint32_t num_hashes, uint64_t seed)
+    : bits_((std::max<uint64_t>(bits, 64) + 63) / 64 * 64),
+      num_hashes_(std::max(num_hashes, 1u)),
+      seed_(seed),
+      words_(bits_ / 64, 0) {}
+
+BloomFilter BloomFilter::FromExpectedItems(uint64_t n, double fp_rate,
+                                           uint64_t seed) {
+  n = std::max<uint64_t>(n, 1);
+  fp_rate = std::clamp(fp_rate, 1e-9, 0.5);
+  const double ln2 = std::log(2.0);
+  const uint64_t bits = static_cast<uint64_t>(
+      std::ceil(-double(n) * std::log(fp_rate) / (ln2 * ln2)));
+  const uint32_t k = std::max(
+      1u, static_cast<uint32_t>(std::round(double(bits) / double(n) * ln2)));
+  return BloomFilter(bits, k, seed);
+}
+
+void BloomFilter::Add(std::string_view item) {
+  // Kirsch-Mitzenmacher double hashing: h1 + i*h2.
+  const uint64_t h1 = HashSeeded(item, seed_);
+  const uint64_t h2 = HashSeeded(item, seed_ ^ 0xA5A5A5A5A5A5A5A5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % bits_;
+    words_[bit / 64] |= (1ULL << (bit % 64));
+  }
+  ++items_;
+}
+
+bool BloomFilter::MayContain(std::string_view item) const {
+  const uint64_t h1 = HashSeeded(item, seed_);
+  const uint64_t h2 = HashSeeded(item, seed_ ^ 0xA5A5A5A5A5A5A5A5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % bits_;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::Merge(const BloomFilter& other) {
+  if (other.bits_ != bits_ || other.num_hashes_ != num_hashes_ ||
+      other.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "bloom merge requires identical size, hash count and seed");
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  items_ += other.items_;
+  return Status::OK();
+}
+
+double BloomFilter::EstimatedFpRate() const {
+  const double exponent =
+      -double(num_hashes_) * double(items_) / double(bits_);
+  return std::pow(1.0 - std::exp(exponent), double(num_hashes_));
+}
+
+}  // namespace taureau::sketch

@@ -1,0 +1,48 @@
+// Bloom filter — membership filtering for serverless dedup/ETL stages.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace taureau::sketch {
+
+/// Classic Bloom filter with k independent probes. No false negatives;
+/// false-positive rate ~ (1 - e^{-kn/m})^k.
+class BloomFilter {
+ public:
+  /// bits: filter size in bits (rounded up to a multiple of 64);
+  /// num_hashes: probes per item.
+  BloomFilter(uint64_t bits, uint32_t num_hashes, uint64_t seed = 11);
+
+  /// Sizes for an expected item count and target false-positive rate.
+  static BloomFilter FromExpectedItems(uint64_t n, double fp_rate,
+                                       uint64_t seed = 11);
+
+  void Add(std::string_view item);
+
+  /// True if the item *may* be present; false means definitely absent.
+  bool MayContain(std::string_view item) const;
+
+  /// Union of two identically-configured filters.
+  Status Merge(const BloomFilter& other);
+
+  uint64_t bit_count() const { return bits_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  uint64_t items_added() const { return items_; }
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Predicted false-positive rate at the current fill.
+  double EstimatedFpRate() const;
+
+ private:
+  uint64_t bits_;
+  uint32_t num_hashes_;
+  uint64_t seed_;
+  uint64_t items_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace taureau::sketch

@@ -1,0 +1,56 @@
+#include "sketch/countmin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace taureau::sketch {
+
+CountMinSketch::CountMinSketch(uint32_t depth, uint32_t width, uint64_t seed)
+    : depth_(std::max(depth, 1u)),
+      width_(std::max(width, 1u)),
+      seed_(seed),
+      table_(size_t(depth_) * width_, 0) {}
+
+CountMinSketch CountMinSketch::FromErrorBounds(double eps, double delta,
+                                               uint64_t seed) {
+  const uint32_t width =
+      static_cast<uint32_t>(std::ceil(std::exp(1.0) / eps));
+  const uint32_t depth = static_cast<uint32_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(depth, width, seed);
+}
+
+void CountMinSketch::Add(std::string_view item, uint64_t count) {
+  for (uint32_t row = 0; row < depth_; ++row) {
+    const uint64_t h = HashSeeded(item, seed_ + row);
+    table_[size_t(row) * width_ + h % width_] += count;
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::EstimateCount(std::string_view item) const {
+  uint64_t best = UINT64_MAX;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    const uint64_t h = HashSeeded(item, seed_ + row);
+    best = std::min(best, table_[size_t(row) * width_ + h % width_]);
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (other.depth_ != depth_ || other.width_ != width_ ||
+      other.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "count-min merge requires identical dimensions and seed");
+  }
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  total_ += other.total_;
+  return Status::OK();
+}
+
+double CountMinSketch::ErrorBound() const {
+  return std::exp(1.0) / double(width_) * double(total_);
+}
+
+}  // namespace taureau::sketch

@@ -1,0 +1,162 @@
+#include "sketch/frequent_directions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taureau::sketch {
+
+void JacobiEigenSymmetric(std::vector<double> a, uint32_t n,
+                          std::vector<double>* values,
+                          std::vector<double>* vectors) {
+  // Classic cyclic Jacobi: rotate away off-diagonal mass until convergence.
+  vectors->assign(size_t(n) * n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) (*vectors)[size_t(i) * n + i] = 1.0;
+  auto A = [&](uint32_t r, uint32_t c) -> double& {
+    return a[size_t(r) * n + c];
+  };
+  auto V = [&](uint32_t r, uint32_t c) -> double& {
+    return (*vectors)[size_t(r) * n + c];
+  };
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0;
+    for (uint32_t p = 0; p < n; ++p) {
+      for (uint32_t q = p + 1; q < n; ++q) off += A(p, q) * A(p, q);
+    }
+    if (off < 1e-22) break;
+    for (uint32_t p = 0; p < n; ++p) {
+      for (uint32_t q = p + 1; q < n; ++q) {
+        if (std::abs(A(p, q)) < 1e-300) continue;
+        const double theta = (A(q, q) - A(p, p)) / (2.0 * A(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (uint32_t k = 0; k < n; ++k) {
+          const double akp = A(k, p), akq = A(k, q);
+          A(k, p) = c * akp - s * akq;
+          A(k, q) = s * akp + c * akq;
+        }
+        for (uint32_t k = 0; k < n; ++k) {
+          const double apk = A(p, k), aqk = A(q, k);
+          A(p, k) = c * apk - s * aqk;
+          A(q, k) = s * apk + c * aqk;
+        }
+        for (uint32_t k = 0; k < n; ++k) {
+          const double vkp = V(k, p), vkq = V(k, q);
+          V(k, p) = c * vkp - s * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  values->resize(n);
+  for (uint32_t i = 0; i < n; ++i) (*values)[i] = A(i, i);
+  // Sort ascending (eigenvectors permute along).
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    return (*values)[x] < (*values)[y];
+  });
+  std::vector<double> sorted_values(n);
+  std::vector<double> sorted_vectors(size_t(n) * n);
+  for (uint32_t i = 0; i < n; ++i) {
+    sorted_values[i] = (*values)[order[i]];
+    for (uint32_t r = 0; r < n; ++r) {
+      sorted_vectors[size_t(r) * n + i] = (*vectors)[size_t(r) * n + order[i]];
+    }
+  }
+  *values = std::move(sorted_values);
+  *vectors = std::move(sorted_vectors);
+}
+
+FrequentDirections::FrequentDirections(uint32_t l, uint32_t d)
+    : l_(std::max(l, 2u)), d_(d) {
+  buffer_.reserve(size_t(2) * l_);
+}
+
+Status FrequentDirections::Append(const std::vector<double>& row) {
+  if (row.size() != d_) {
+    return Status::InvalidArgument("row has dimension " +
+                                   std::to_string(row.size()) +
+                                   ", expected " + std::to_string(d_));
+  }
+  buffer_.push_back(row);
+  ++rows_seen_;
+  if (buffer_.size() >= size_t(2) * l_) Shrink();
+  return Status::OK();
+}
+
+void FrequentDirections::Shrink() {
+  const uint32_t m = static_cast<uint32_t>(buffer_.size());
+  // Gram matrix G = B B^T (m x m).
+  std::vector<double> gram(size_t(m) * m, 0.0);
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t j = i; j < m; ++j) {
+      double dot = 0;
+      for (uint32_t k = 0; k < d_; ++k) dot += buffer_[i][k] * buffer_[j][k];
+      gram[size_t(i) * m + j] = dot;
+      gram[size_t(j) * m + i] = dot;
+    }
+  }
+  std::vector<double> eigenvalues, eigenvectors;
+  JacobiEigenSymmetric(std::move(gram), m, &eigenvalues, &eigenvectors);
+
+  // delta = the l-th smallest eigenvalue: subtracting it zeroes the bottom
+  // half of the spectrum, leaving at most l non-trivial directions.
+  const double delta = std::max(eigenvalues[m - l_], 0.0);
+  shed_mass_ += delta;
+
+  // New rows: for each retained eigenpair (lambda_i > delta), row_i =
+  // sqrt(lambda_i - delta) * (u_i^T B) / sqrt(lambda_i)  — i.e. the i-th
+  // left singular direction of B rescaled to the shrunk singular value.
+  std::vector<std::vector<double>> next;
+  next.reserve(l_);
+  for (uint32_t i = m; i-- > 0;) {  // descending eigenvalues
+    const double lambda = eigenvalues[i];
+    if (lambda <= delta + 1e-12) break;
+    std::vector<double> row(d_, 0.0);
+    for (uint32_t r = 0; r < m; ++r) {
+      const double u = eigenvectors[size_t(r) * m + i];
+      if (u == 0.0) continue;
+      for (uint32_t k = 0; k < d_; ++k) row[k] += u * buffer_[r][k];
+    }
+    const double scale = std::sqrt((lambda - delta) / lambda);
+    for (uint32_t k = 0; k < d_; ++k) row[k] *= scale;
+    next.push_back(std::move(row));
+    if (next.size() == l_) break;
+  }
+  buffer_ = std::move(next);
+}
+
+std::vector<std::vector<double>> FrequentDirections::SketchRows() const {
+  return buffer_;
+}
+
+std::vector<double> FrequentDirections::CovarianceEstimate() const {
+  std::vector<double> cov(size_t(d_) * d_, 0.0);
+  for (const auto& row : buffer_) {
+    for (uint32_t i = 0; i < d_; ++i) {
+      if (row[i] == 0.0) continue;
+      for (uint32_t j = 0; j < d_; ++j) {
+        cov[size_t(i) * d_ + j] += row[i] * row[j];
+      }
+    }
+  }
+  return cov;
+}
+
+Status FrequentDirections::Merge(const FrequentDirections& other) {
+  if (other.l_ != l_ || other.d_ != d_) {
+    return Status::InvalidArgument(
+        "frequent-directions merge requires same (l, d)");
+  }
+  for (const auto& row : other.buffer_) {
+    TAU_RETURN_IF_ERROR(Append(row));
+    --rows_seen_;  // merged rows are sketch rows, not new input rows
+  }
+  rows_seen_ += other.rows_seen_;
+  shed_mass_ += other.shed_mass_;
+  return Status::OK();
+}
+
+}  // namespace taureau::sketch

@@ -1,0 +1,61 @@
+// Frequent Directions (Liberty 2013) — the "matrix sketching" entry of the
+// paper's §5.1 sketch family. Maintains an l x d sketch B of a row-stream
+// matrix A with the covariance guarantee
+//   0 <= x' (A'A - B'B) x <= ||A||_F^2 / (l/2)  for all unit x.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace taureau::sketch {
+
+/// The sketch. Rows are appended one at a time; when the buffer fills, it
+/// is shrunk via an eigendecomposition of B B^T (Jacobi rotations).
+class FrequentDirections {
+ public:
+  /// l: sketch rows (>= 2); d: input dimension.
+  FrequentDirections(uint32_t l, uint32_t d);
+
+  /// Appends one row of the implicit matrix A.
+  Status Append(const std::vector<double>& row);
+
+  /// The current sketch rows (at most l, each of dimension d).
+  std::vector<std::vector<double>> SketchRows() const;
+
+  /// B^T B — the approximation to A^T A (d x d, row-major).
+  std::vector<double> CovarianceEstimate() const;
+
+  /// Spectral-norm bound guaranteed by the algorithm so far:
+  /// squared_frobenius_shed_ accumulates the mass removed by shrinks.
+  double ErrorBound() const { return shed_mass_; }
+
+  uint32_t l() const { return l_; }
+  uint32_t d() const { return d_; }
+  uint64_t rows_seen() const { return rows_seen_; }
+
+  /// Merges another sketch over the same dimensions (append + shrink).
+  Status Merge(const FrequentDirections& other);
+
+ private:
+  /// Halves the buffer: eigendecompose G = B B^T, subtract the median
+  /// eigenvalue from all, rescale rows.
+  void Shrink();
+
+  uint32_t l_;
+  uint32_t d_;
+  uint64_t rows_seen_ = 0;
+  double shed_mass_ = 0;
+  /// Buffer of up to 2l rows (the standard doubled-buffer variant).
+  std::vector<std::vector<double>> buffer_;
+};
+
+/// Jacobi eigendecomposition of a symmetric n x n matrix (row-major).
+/// Returns eigenvalues ascending in *values and eigenvectors as columns of
+/// *vectors (row-major n x n). Exposed for testing.
+void JacobiEigenSymmetric(std::vector<double> matrix, uint32_t n,
+                          std::vector<double>* values,
+                          std::vector<double>* vectors);
+
+}  // namespace taureau::sketch

@@ -1,0 +1,73 @@
+#include "sketch/hyperloglog.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace taureau::sketch {
+
+HyperLogLog::HyperLogLog(uint32_t precision, uint64_t seed)
+    : precision_(std::clamp(precision, 4u, 18u)),
+      seed_(seed),
+      registers_(size_t(1) << precision_, 0) {}
+
+void HyperLogLog::Add(std::string_view item) {
+  const uint64_t h = HashSeeded(item, seed_);
+  const uint64_t idx = h >> (64 - precision_);
+  const uint64_t rest = h << precision_;
+  // Rank = position of the leftmost 1 in the remaining bits, 1-based; the
+  // remaining stream is 64 - precision_ bits wide.
+  const uint8_t rank = rest == 0
+                           ? static_cast<uint8_t>(64 - precision_ + 1)
+                           : static_cast<uint8_t>(std::countl_zero(rest) + 1);
+  registers_[idx] = std::max(registers_[idx], rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const size_t m = registers_.size();
+  double alpha;
+  switch (m) {
+    case 16:
+      alpha = 0.673;
+      break;
+    case 32:
+      alpha = 0.697;
+      break;
+    case 64:
+      alpha = 0.709;
+      break;
+    default:
+      alpha = 0.7213 / (1.0 + 1.079 / double(m));
+  }
+  double inv_sum = 0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inv_sum += std::exp2(-double(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * double(m) * double(m) / inv_sum;
+  if (estimate <= 2.5 * double(m) && zeros > 0) {
+    // Small-range correction: linear counting.
+    estimate = double(m) * std::log(double(m) / double(zeros));
+  }
+  return estimate;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_ || other.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "hyperloglog merge requires identical precision and seed");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::OK();
+}
+
+double HyperLogLog::StandardError() const {
+  return 1.04 / std::sqrt(double(registers_.size()));
+}
+
+}  // namespace taureau::sketch

@@ -1,0 +1,39 @@
+// HyperLogLog (Flajolet et al. 2007) — cardinality estimation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace taureau::sketch {
+
+/// Cardinality estimator with relative error ~ 1.04/sqrt(2^precision),
+/// including the small-range linear-counting correction.
+class HyperLogLog {
+ public:
+  /// precision in [4, 18]: the sketch uses 2^precision one-byte registers.
+  explicit HyperLogLog(uint32_t precision = 12, uint64_t seed = 13);
+
+  void Add(std::string_view item);
+
+  /// Estimated number of distinct items added.
+  double Estimate() const;
+
+  /// Register-wise max; requires identical precision and seed.
+  Status Merge(const HyperLogLog& other);
+
+  uint32_t precision() const { return precision_; }
+  size_t MemoryBytes() const { return registers_.size(); }
+
+  /// Theoretical standard error of this configuration.
+  double StandardError() const;
+
+ private:
+  uint32_t precision_;
+  uint64_t seed_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace taureau::sketch

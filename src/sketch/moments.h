@@ -1,0 +1,73 @@
+// Streaming moments sketch: count/sum/min/max/variance/skew-ready power sums.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace taureau::sketch {
+
+/// Exactly mergeable streaming moments up to order 4 (power sums), enough
+/// to recover mean, variance, skewness and kurtosis of a partitioned stream.
+class MomentsSketch {
+ public:
+  void Add(double x) {
+    ++n_;
+    s1_ += x;
+    s2_ += x * x;
+    s3_ += x * x * x;
+    s4_ += x * x * x * x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void Merge(const MomentsSketch& o) {
+    n_ += o.n_;
+    s1_ += o.s1_;
+    s2_ += o.s2_;
+    s3_ += o.s3_;
+    s4_ += o.s4_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  uint64_t count() const { return n_; }
+  double sum() const { return s1_; }
+  double min() const { return n_ ? min_ : 0; }
+  double max() const { return n_ ? max_ : 0; }
+  double mean() const { return n_ ? s1_ / double(n_) : 0; }
+
+  double variance() const {
+    if (n_ < 2) return 0;
+    const double m = mean();
+    return (s2_ - double(n_) * m * m) / double(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(std::max(variance(), 0.0)); }
+
+  double skewness() const {
+    if (n_ < 2) return 0;
+    const double m = mean();
+    const double sd = stddev();
+    if (sd == 0) return 0;
+    const double m3 = s3_ / double(n_) - 3 * m * s2_ / double(n_) + 2 * m * m * m;
+    return m3 / (sd * sd * sd);
+  }
+
+  double kurtosis() const {
+    if (n_ < 2) return 0;
+    const double m = mean();
+    const double var = variance();
+    if (var == 0) return 0;
+    const double m4 = s4_ / double(n_) - 4 * m * s3_ / double(n_) +
+                      6 * m * m * s2_ / double(n_) - 3 * m * m * m * m;
+    return m4 / (var * var);
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double s1_ = 0, s2_ = 0, s3_ = 0, s4_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace taureau::sketch

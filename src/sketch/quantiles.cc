@@ -1,0 +1,82 @@
+#include "sketch/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taureau::sketch {
+
+GKQuantiles::GKQuantiles(double eps) : eps_(std::clamp(eps, 1e-6, 0.5)) {}
+
+void GKQuantiles::Add(double value) {
+  Insert(value);
+  ++count_;
+  // Compress periodically (every 1/(2 eps) inserts keeps space bounded).
+  if (count_ % std::max<uint64_t>(1, uint64_t(1.0 / (2.0 * eps_))) == 0) {
+    Compress();
+  }
+}
+
+void GKQuantiles::Insert(double value) {
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, double v) { return t.value < v; });
+  uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    delta = static_cast<uint64_t>(std::floor(2.0 * eps_ * double(count_)));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+}
+
+void GKQuantiles::Compress() {
+  if (tuples_.size() < 3) return;
+  const uint64_t threshold =
+      static_cast<uint64_t>(std::floor(2.0 * eps_ * double(count_)));
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.front());
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    Tuple& next = tuples_[i + 1];
+    if (tuples_[i].g + next.g + next.delta <= threshold) {
+      next.g += tuples_[i].g;  // merge tuple i into its successor
+    } else {
+      out.push_back(tuples_[i]);
+    }
+  }
+  out.push_back(tuples_.back());
+  tuples_ = std::move(out);
+}
+
+double GKQuantiles::Quantile(double q) const {
+  if (tuples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target_rank = q * double(count_);
+  const double allowed = eps_ * double(count_);
+  uint64_t rank_min = 0;
+  for (const Tuple& t : tuples_) {
+    rank_min += t.g;
+    const double rank_max = double(rank_min + t.delta);
+    if (double(rank_min) + allowed >= target_rank &&
+        rank_max - allowed <= target_rank + allowed) {
+      return t.value;
+    }
+    if (double(rank_min) >= target_rank) return t.value;
+  }
+  return tuples_.back().value;
+}
+
+Status GKQuantiles::Merge(const GKQuantiles& other) {
+  // Merge sorted tuple lists; g/delta values remain valid rank bounds for
+  // the combined stream, then compress at the coarser error.
+  eps_ = std::max(eps_, other.eps_);
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+             other.tuples_.end(), std::back_inserter(merged),
+             [](const Tuple& a, const Tuple& b) { return a.value < b.value; });
+  tuples_ = std::move(merged);
+  count_ += other.count_;
+  Compress();
+  return Status::OK();
+}
+
+}  // namespace taureau::sketch

@@ -1,0 +1,45 @@
+// Greenwald-Khanna streaming quantiles (SIGMOD 2001).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace taureau::sketch {
+
+/// eps-approximate quantile summary: Quantile(q) returns a value whose rank
+/// is within eps*N of q*N. Space is O((1/eps) log(eps N)).
+class GKQuantiles {
+ public:
+  explicit GKQuantiles(double eps = 0.01);
+
+  void Add(double value);
+
+  /// Value at quantile q in [0,1]. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Merges another summary; the error of the result is the max of the two
+  /// inputs' errors (merge-then-compress).
+  Status Merge(const GKQuantiles& other);
+
+  uint64_t count() const { return count_; }
+  double eps() const { return eps_; }
+  size_t TupleCount() const { return tuples_.size(); }
+
+ private:
+  struct Tuple {
+    double value;
+    uint64_t g;      // rank gap to the previous tuple
+    uint64_t delta;  // rank uncertainty
+  };
+
+  void Insert(double value);
+  void Compress();
+
+  double eps_;
+  uint64_t count_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+};
+
+}  // namespace taureau::sketch

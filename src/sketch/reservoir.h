@@ -1,0 +1,76 @@
+// Reservoir sampling (Vitter's Algorithm R) — uniform stream samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::sketch {
+
+/// Maintains a uniform random sample of size <= k over a stream.
+template <typename T>
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(size_t capacity, uint64_t seed = 17)
+      : capacity_(capacity == 0 ? 1 : capacity), rng_(seed) {
+    sample_.reserve(capacity_);
+  }
+
+  void Add(const T& item) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+      return;
+    }
+    const uint64_t j = rng_.NextBounded(seen_);
+    if (j < capacity_) sample_[j] = item;
+  }
+
+  /// Merges another reservoir drawn from a disjoint stream. The result is a
+  /// uniform sample of the union: each slot picks from either side with
+  /// probability proportional to the stream sizes.
+  Status Merge(const ReservoirSample<T>& other) {
+    if (other.capacity_ != capacity_) {
+      return Status::InvalidArgument("reservoir merge requires equal capacity");
+    }
+    if (other.seen_ == 0) return Status::OK();
+    if (seen_ == 0) {
+      sample_ = other.sample_;
+      seen_ = other.seen_;
+      return Status::OK();
+    }
+    std::vector<T> merged;
+    merged.reserve(capacity_);
+    const uint64_t total = seen_ + other.seen_;
+    const size_t target = std::min<size_t>(
+        capacity_, sample_.size() + other.sample_.size());
+    for (size_t i = 0; i < target; ++i) {
+      const bool from_this = rng_.NextBounded(total) < seen_;
+      const auto& src = from_this ? sample_ : other.sample_;
+      if (src.empty()) {
+        merged.push_back((from_this ? other.sample_ : sample_)
+                             [rng_.NextBounded(
+                                 (from_this ? other.sample_ : sample_).size())]);
+      } else {
+        merged.push_back(src[rng_.NextBounded(src.size())]);
+      }
+    }
+    sample_ = std::move(merged);
+    seen_ = total;
+    return Status::OK();
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace taureau::sketch

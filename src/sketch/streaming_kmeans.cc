@@ -1,0 +1,183 @@
+#include "sketch/streaming_kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace taureau::sketch {
+
+StreamingKMeans::StreamingKMeans(uint32_t k, uint32_t dim, uint64_t seed)
+    : k_(std::max(k, 1u)), dim_(dim), rng_(seed) {}
+
+double StreamingKMeans::Dist2(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  double d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double delta = a[i] - b[i];
+    d += delta * delta;
+  }
+  return d;
+}
+
+Status StreamingKMeans::Add(const std::vector<double>& point) {
+  if (point.size() != dim_) {
+    return Status::InvalidArgument("point has dimension " +
+                                   std::to_string(point.size()) +
+                                   ", expected " + std::to_string(dim_));
+  }
+  ++seen_;
+  if (centers_.empty()) {
+    seed_buffer_.push_back(point);
+    if (seed_buffer_.size() >= size_t(20) * k_) SeedFromBuffer();
+    return Status::OK();
+  }
+  OnlineUpdate(point);
+  return Status::OK();
+}
+
+void StreamingKMeans::SeedFromBuffer() {
+  // k-means++: first center uniform, then distance^2-weighted picks.
+  centers_.clear();
+  counts_.clear();
+  centers_.push_back(seed_buffer_[rng_.NextBounded(seed_buffer_.size())]);
+  std::vector<double> d2(seed_buffer_.size());
+  while (centers_.size() < k_ && centers_.size() < seed_buffer_.size()) {
+    double total = 0;
+    for (size_t i = 0; i < seed_buffer_.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centers_) {
+        best = std::min(best, Dist2(seed_buffer_[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0) break;  // all buffered points already covered
+    double r = rng_.NextDouble() * total;
+    size_t pick = 0;
+    for (size_t i = 0; i < d2.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0) {
+        pick = i;
+        break;
+      }
+    }
+    centers_.push_back(seed_buffer_[pick]);
+  }
+  // A few Lloyd iterations over the buffer to settle the seeds.
+  for (int iter = 0; iter < 5; ++iter) {
+    std::vector<std::vector<double>> sums(centers_.size(),
+                                          std::vector<double>(dim_, 0.0));
+    std::vector<uint64_t> ns(centers_.size(), 0);
+    for (const auto& p : seed_buffer_) {
+      const uint32_t c = *Assign(p);
+      for (uint32_t i = 0; i < dim_; ++i) sums[c][i] += p[i];
+      ++ns[c];
+    }
+    for (size_t c = 0; c < centers_.size(); ++c) {
+      if (ns[c] == 0) continue;
+      for (uint32_t i = 0; i < dim_; ++i) {
+        centers_[c][i] = sums[c][i] / double(ns[c]);
+      }
+    }
+  }
+  // Initialize online counts with the buffer assignment sizes.
+  counts_.assign(centers_.size(), 0);
+  for (const auto& p : seed_buffer_) counts_[*Assign(p)] += 1;
+  for (auto& n : counts_) n = std::max<uint64_t>(n, 1);
+  seed_buffer_.clear();
+  seed_buffer_.shrink_to_fit();
+}
+
+void StreamingKMeans::OnlineUpdate(const std::vector<double>& point) {
+  const uint32_t c = *Assign(point);
+  counts_[c] += 1;
+  const double lr = 1.0 / double(counts_[c]);
+  for (uint32_t i = 0; i < dim_; ++i) {
+    centers_[c][i] += lr * (point[i] - centers_[c][i]);
+  }
+}
+
+Result<uint32_t> StreamingKMeans::Assign(
+    const std::vector<double>& point) const {
+  if (centers_.empty()) {
+    return Status::OutOfRange("no centers yet");
+  }
+  uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (uint32_t c = 0; c < centers_.size(); ++c) {
+    const double d = Dist2(point, centers_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double StreamingKMeans::Cost(
+    const std::vector<std::vector<double>>& points) const {
+  if (points.empty() || centers_.empty()) return 0;
+  double total = 0;
+  for (const auto& p : points) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& c : centers_) best = std::min(best, Dist2(p, c));
+    total += best;
+  }
+  return total / double(points.size());
+}
+
+Status StreamingKMeans::Merge(const StreamingKMeans& other) {
+  if (other.k_ != k_ || other.dim_ != dim_) {
+    return Status::InvalidArgument("kmeans merge requires same (k, dim)");
+  }
+  // Settle this side's seeds if it is still buffering.
+  if (centers_.empty() && !seed_buffer_.empty()) SeedFromBuffer();
+  // A still-buffering other side is just a short stream: replay it.
+  if (other.centers_.empty()) {
+    for (const auto& p : other.seed_buffer_) {
+      TAU_RETURN_IF_ERROR(Add(p));
+    }
+    return Status::OK();
+  }
+  if (centers_.empty()) {
+    // This side had no data at all: adopt the other's summary.
+    centers_ = other.centers_;
+    counts_ = other.counts_;
+    seen_ += other.seen_;
+    return Status::OK();
+  }
+  // Pool both weighted center sets...
+  std::vector<std::vector<double>> pooled = centers_;
+  std::vector<uint64_t> weights = counts_;
+  pooled.insert(pooled.end(), other.centers_.begin(), other.centers_.end());
+  weights.insert(weights.end(), other.counts_.begin(), other.counts_.end());
+  // ...then greedily merge the closest pair until k remain (weighted mean).
+  while (pooled.size() > k_) {
+    size_t best_a = 0, best_b = 1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < pooled.size(); ++a) {
+      for (size_t b = a + 1; b < pooled.size(); ++b) {
+        const double d = Dist2(pooled[a], pooled[b]);
+        if (d < best_d) {
+          best_d = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    const uint64_t wa = weights[best_a], wb = weights[best_b];
+    for (uint32_t i = 0; i < dim_; ++i) {
+      pooled[best_a][i] = (pooled[best_a][i] * double(wa) +
+                           pooled[best_b][i] * double(wb)) /
+                          double(wa + wb);
+    }
+    weights[best_a] = wa + wb;
+    pooled.erase(pooled.begin() + ptrdiff_t(best_b));
+    weights.erase(weights.begin() + ptrdiff_t(best_b));
+  }
+  centers_ = std::move(pooled);
+  counts_ = std::move(weights);
+  seen_ += other.seen_;
+  return Status::OK();
+}
+
+}  // namespace taureau::sketch

@@ -1,0 +1,58 @@
+// Streaming k-means — the "clustering" entry in the paper's §5.1 sketch
+// family. Online Lloyd updates with per-center counts; mergeable by
+// weighted re-clustering of the combined center sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taureau::sketch {
+
+/// Online k-means over fixed-dimension points.
+class StreamingKMeans {
+ public:
+  /// k centers over d-dimensional points.
+  StreamingKMeans(uint32_t k, uint32_t dim, uint64_t seed = 79);
+
+  /// Processes one point. The first ~20k points are buffered; when the
+  /// buffer fills, centers are seeded with k-means++ and refined with a few
+  /// Lloyd iterations, after which updates are online (each point moves its
+  /// nearest center by 1/count toward it).
+  Status Add(const std::vector<double>& point);
+
+  /// Index of the nearest center; OutOfRange before any centers exist.
+  Result<uint32_t> Assign(const std::vector<double>& point) const;
+
+  /// Mean squared distance of a point set to its assigned centers.
+  double Cost(const std::vector<std::vector<double>>& points) const;
+
+  /// Merges another summary over the same (k, dim): the union of weighted
+  /// centers is reduced back to k by weighted greedy agglomeration.
+  Status Merge(const StreamingKMeans& other);
+
+  uint32_t k() const { return k_; }
+  uint32_t dim() const { return dim_; }
+  uint64_t points_seen() const { return seen_; }
+  const std::vector<std::vector<double>>& centers() const { return centers_; }
+  const std::vector<uint64_t>& weights() const { return counts_; }
+
+ private:
+  static double Dist2(const std::vector<double>& a,
+                      const std::vector<double>& b);
+  /// Seeds centers from the buffered prefix (k-means++ + Lloyd refinement).
+  void SeedFromBuffer();
+  void OnlineUpdate(const std::vector<double>& point);
+
+  uint32_t k_;
+  uint32_t dim_;
+  uint64_t seen_ = 0;
+  std::vector<std::vector<double>> seed_buffer_;
+  std::vector<std::vector<double>> centers_;
+  std::vector<uint64_t> counts_;
+  Rng rng_;
+};
+
+}  // namespace taureau::sketch

@@ -1,0 +1,103 @@
+#include "workload/apps.h"
+
+#include <cmath>
+
+namespace taureau::workload {
+
+SimDuration FunctionProfile::SampleExecTime(Rng* rng) const {
+  if (median_exec_us <= 0) return 0;
+  const double mu = std::log(double(median_exec_us));
+  return static_cast<SimDuration>(rng->NextLogNormal(mu, exec_sigma));
+}
+
+AppArchetype MakeWebAppArchetype(double base_rps) {
+  AppArchetype app;
+  app.name = "web-app";
+  app.functions = {
+      {.name = "render-page",
+       .median_exec_us = 25 * kMillisecond,
+       .exec_sigma = 0.4,
+       .demand = {200, 128},
+       .failure_prob = 0.001},
+      {.name = "api-call",
+       .median_exec_us = 12 * kMillisecond,
+       .exec_sigma = 0.5,
+       .demand = {100, 128},
+       .failure_prob = 0.002},
+      {.name = "auth-check",
+       .median_exec_us = 5 * kMillisecond,
+       .exec_sigma = 0.3,
+       .demand = {100, 64},
+       .failure_prob = 0.0005},
+  };
+  app.weights = {0.3, 0.5, 0.2};
+  app.arrivals = std::make_shared<DiurnalArrivals>(base_rps, 0.9, kHour);
+  return app;
+}
+
+AppArchetype MakeEtlArchetype(double base_rps) {
+  AppArchetype app;
+  app.name = "etl";
+  app.functions = {
+      {.name = "extract",
+       .median_exec_us = 400 * kMillisecond,
+       .exec_sigma = 0.5,
+       .demand = {500, 256},
+       .failure_prob = 0.01},
+      {.name = "transform",
+       .median_exec_us = 900 * kMillisecond,
+       .exec_sigma = 0.6,
+       .demand = {1000, 512},
+       .failure_prob = 0.01},
+      {.name = "load",
+       .median_exec_us = 300 * kMillisecond,
+       .exec_sigma = 0.4,
+       .demand = {300, 256},
+       .failure_prob = 0.005},
+  };
+  app.weights = {1.0, 1.0, 1.0};
+  app.arrivals = std::make_shared<BurstyArrivals>(
+      base_rps, /*burst_factor=*/20.0, /*mean_calm=*/10 * kMinute,
+      /*mean_burst=*/30 * kSecond);
+  return app;
+}
+
+AppArchetype MakeIotArchetype(double base_rps) {
+  AppArchetype app;
+  app.name = "iot-registry";
+  app.functions = {
+      {.name = "register-device",
+       .median_exec_us = 8 * kMillisecond,
+       .exec_sigma = 0.3,
+       .demand = {64, 64},
+       .failure_prob = 0.002},
+      {.name = "telemetry-ingest",
+       .median_exec_us = 3 * kMillisecond,
+       .exec_sigma = 0.4,
+       .demand = {64, 64},
+       .failure_prob = 0.001},
+      {.name = "registry-query",
+       .median_exec_us = 6 * kMillisecond,
+       .exec_sigma = 0.3,
+       .demand = {64, 64},
+       .failure_prob = 0.001},
+  };
+  app.weights = {0.1, 0.8, 0.1};
+  app.arrivals = std::make_shared<BurstyArrivals>(
+      base_rps, /*burst_factor=*/50.0, /*mean_calm=*/30 * kMinute,
+      /*mean_burst=*/10 * kSecond);
+  return app;
+}
+
+size_t PickFunction(const AppArchetype& app, Rng* rng) {
+  double total = 0;
+  for (double w : app.weights) total += w;
+  double r = rng->NextDouble() * total;
+  for (size_t i = 0; i < app.weights.size(); ++i) {
+    r -= app.weights[i];
+    if (r <= 0) return i;
+  }
+  return app.weights.empty() ? 0 : app.weights.size() - 1;
+}
+
+}  // namespace taureau::workload

@@ -1,0 +1,54 @@
+// Application archetypes from the paper's §3.1: web serving, ETL, and IoT
+// registry workloads, expressed as function profiles + arrival processes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "workload/arrivals.h"
+
+namespace taureau::workload {
+
+/// Statistical profile of one serverless function's executions.
+struct FunctionProfile {
+  std::string name;
+  /// Median pure-execution time (excl. cold start); sampled log-normally.
+  SimDuration median_exec_us = 50 * kMillisecond;
+  double exec_sigma = 0.3;
+  cluster::ResourceVector demand{200, 128};  // 0.2 cores / 128 MB default
+  /// Probability a single execution fails (triggering platform retry).
+  double failure_prob = 0.0;
+
+  SimDuration SampleExecTime(Rng* rng) const;
+};
+
+/// One archetype = a set of function profiles plus an arrival process that
+/// picks among them.
+struct AppArchetype {
+  std::string name;
+  std::vector<FunctionProfile> functions;
+  std::shared_ptr<ArrivalProcess> arrivals;
+  /// Per-arrival function selection weights (parallel to `functions`).
+  std::vector<double> weights;
+};
+
+/// §3.1 "Web Applications": short, latency-sensitive handlers behind a
+/// diurnal traffic curve with high peak/mean.
+AppArchetype MakeWebAppArchetype(double base_rps);
+
+/// §3.1 "Data Processing (ETL)": longer CPU-heavy transformations arriving
+/// in scheduled batches (bursty).
+AppArchetype MakeEtlArchetype(double base_rps);
+
+/// §3.1 "Internet of Things": tiny registration handlers with rare bursts
+/// (device fleets coming online together).
+AppArchetype MakeIotArchetype(double base_rps);
+
+/// Draws a function index according to the archetype weights.
+size_t PickFunction(const AppArchetype& app, Rng* rng);
+
+}  // namespace taureau::workload

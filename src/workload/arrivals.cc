@@ -1,0 +1,112 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taureau::workload {
+
+std::vector<SimTime> PoissonArrivals::Generate(SimTime horizon,
+                                               Rng* rng) const {
+  std::vector<SimTime> out;
+  if (rate_ <= 0) return out;
+  double t = 0;
+  const double horizon_sec = ToSeconds(horizon);
+  while (true) {
+    t += rng->NextExponential(rate_);
+    if (t >= horizon_sec) break;
+    out.push_back(FromSeconds(t));
+  }
+  return out;
+}
+
+BurstyArrivals::BurstyArrivals(double base_rate_per_sec, double burst_factor,
+                               SimDuration mean_calm, SimDuration mean_burst)
+    : base_rate_(base_rate_per_sec),
+      burst_factor_(burst_factor),
+      mean_calm_(mean_calm),
+      mean_burst_(mean_burst) {}
+
+double BurstyArrivals::MeanRatePerSec() const {
+  const double calm = double(mean_calm_);
+  const double burst = double(mean_burst_);
+  const double frac_burst = burst / (calm + burst);
+  return base_rate_ * ((1.0 - frac_burst) + frac_burst * burst_factor_);
+}
+
+std::vector<SimTime> BurstyArrivals::Generate(SimTime horizon,
+                                              Rng* rng) const {
+  std::vector<SimTime> out;
+  SimTime t = 0;
+  bool bursting = false;
+  while (t < horizon) {
+    const double sojourn_mean =
+        double(bursting ? mean_burst_ : mean_calm_);
+    const SimTime state_end =
+        t + static_cast<SimDuration>(
+                rng->NextExponential(1.0 / sojourn_mean));
+    const SimTime end = std::min(state_end, horizon);
+    const double rate = bursting ? base_rate_ * burst_factor_ : base_rate_;
+    if (rate > 0) {
+      double s = ToSeconds(t);
+      const double end_sec = ToSeconds(end);
+      while (true) {
+        s += rng->NextExponential(rate);
+        if (s >= end_sec) break;
+        out.push_back(FromSeconds(s));
+      }
+    }
+    t = end;
+    bursting = !bursting;
+  }
+  return out;
+}
+
+DiurnalArrivals::DiurnalArrivals(double base_rate_per_sec, double amplitude,
+                                 SimDuration period)
+    : base_rate_(base_rate_per_sec),
+      amplitude_(std::clamp(amplitude, 0.0, 1.0)),
+      period_(period) {}
+
+double DiurnalArrivals::RateAt(SimTime t) const {
+  const double phase = 2.0 * M_PI * double(t % period_) / double(period_);
+  return std::max(0.0, base_rate_ * (1.0 + amplitude_ * std::sin(phase)));
+}
+
+std::vector<SimTime> DiurnalArrivals::Generate(SimTime horizon,
+                                               Rng* rng) const {
+  // Lewis-Shedler thinning against the max rate.
+  std::vector<SimTime> out;
+  const double max_rate = base_rate_ * (1.0 + amplitude_);
+  if (max_rate <= 0) return out;
+  double t_sec = 0;
+  const double horizon_sec = ToSeconds(horizon);
+  while (true) {
+    t_sec += rng->NextExponential(max_rate);
+    if (t_sec >= horizon_sec) break;
+    const SimTime t = FromSeconds(t_sec);
+    if (rng->NextDouble() * max_rate <= RateAt(t)) out.push_back(t);
+  }
+  return out;
+}
+
+TraceArrivals::TraceArrivals(std::vector<SimTime> times)
+    : times_(std::move(times)) {
+  std::sort(times_.begin(), times_.end());
+}
+
+std::vector<SimTime> TraceArrivals::Generate(SimTime horizon,
+                                             Rng* /*rng*/) const {
+  std::vector<SimTime> out;
+  for (SimTime t : times_) {
+    if (t < horizon) out.push_back(t);
+  }
+  return out;
+}
+
+double TraceArrivals::MeanRatePerSec() const {
+  if (times_.size() < 2) return 0.0;
+  const double span = ToSeconds(times_.back() - times_.front());
+  return span > 0 ? double(times_.size()) / span : 0.0;
+}
+
+}  // namespace taureau::workload

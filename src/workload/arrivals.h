@@ -1,0 +1,84 @@
+// Arrival processes for driving the FaaS platform (paper §3.2: variable
+// load, peak >> mean, minimum often zero).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+
+namespace taureau::workload {
+
+/// Generates event arrival times over a horizon.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// All arrival times in [0, horizon), sorted ascending.
+  virtual std::vector<SimTime> Generate(SimTime horizon, Rng* rng) const = 0;
+
+  /// Long-run mean arrival rate in events/second (for provisioning math).
+  virtual double MeanRatePerSec() const = 0;
+};
+
+/// Homogeneous Poisson process.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_sec) : rate_(rate_per_sec) {}
+  std::vector<SimTime> Generate(SimTime horizon, Rng* rng) const override;
+  double MeanRatePerSec() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Two-state Markov-modulated Poisson process: a "calm" state with base
+/// rate and a "burst" state with burst_factor * base rate. Captures the
+/// peak/mean ratios of §3.2.
+class BurstyArrivals : public ArrivalProcess {
+ public:
+  /// mean_burst/mean_calm: expected sojourn in each state.
+  BurstyArrivals(double base_rate_per_sec, double burst_factor,
+                 SimDuration mean_calm, SimDuration mean_burst);
+  std::vector<SimTime> Generate(SimTime horizon, Rng* rng) const override;
+  double MeanRatePerSec() const override;
+
+  double PeakRatePerSec() const { return base_rate_ * burst_factor_; }
+
+ private:
+  double base_rate_;
+  double burst_factor_;
+  SimDuration mean_calm_;
+  SimDuration mean_burst_;
+};
+
+/// Sinusoidal diurnal pattern: rate(t) = base * (1 + amplitude * sin(...)),
+/// floored at zero, generated via Lewis-Shedler thinning.
+class DiurnalArrivals : public ArrivalProcess {
+ public:
+  DiurnalArrivals(double base_rate_per_sec, double amplitude,
+                  SimDuration period = kHour);
+  std::vector<SimTime> Generate(SimTime horizon, Rng* rng) const override;
+  double MeanRatePerSec() const override { return base_rate_; }
+
+  double RateAt(SimTime t) const;
+
+ private:
+  double base_rate_;
+  double amplitude_;
+  SimDuration period_;
+};
+
+/// Fixed, explicit arrival times (replayed traces).
+class TraceArrivals : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::vector<SimTime> times);
+  std::vector<SimTime> Generate(SimTime horizon, Rng* rng) const override;
+  double MeanRatePerSec() const override;
+
+ private:
+  std::vector<SimTime> times_;
+};
+
+}  // namespace taureau::workload

@@ -1,0 +1,172 @@
+// Tests for the Ripple-style declarative dataflow (§4.1 [117]): a
+// single-machine-looking pipeline compiled onto serverless stages.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analytics/dataflow.h"
+#include "common/rng.h"
+
+namespace taureau::analytics {
+namespace {
+
+TEST(DataflowTest, MapTransformsEveryRecord) {
+  auto df = Dataflow::FromRecords({"a", "b", "c"})
+                .Map([](const std::string& v) { return v + "!"; });
+  auto stats = df.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output, (std::vector<std::string>{"a!", "b!", "c!"}));
+  EXPECT_EQ(stats->stages, 1u);
+  EXPECT_EQ(stats->shuffles, 0u);
+}
+
+TEST(DataflowTest, FilterDropsRecords) {
+  auto df = Dataflow::FromRecords({"1", "22", "333", "4444"})
+                .Filter([](const std::string& v) { return v.size() % 2 == 0; });
+  auto stats = df.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output, (std::vector<std::string>{"22", "4444"}));
+  EXPECT_EQ(stats->input_records, 4u);
+  EXPECT_EQ(stats->output_records, 2u);
+}
+
+TEST(DataflowTest, FlatMapExpands) {
+  auto df = Dataflow::FromRecords({"a b", "c"})
+                .FlatMap([](const std::string& line) {
+                  std::vector<std::string> words;
+                  std::istringstream ss(line);
+                  std::string w;
+                  while (ss >> w) words.push_back(w);
+                  return words;
+                });
+  auto stats = df.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DataflowTest, NarrowOpsFuseIntoOneStage) {
+  // Map + Filter + Map + KeyBy: one lambda wave, no shuffle.
+  auto df = Dataflow::FromRecords({"x", "y", "z"})
+                .Map([](const std::string& v) { return v + v; })
+                .Filter([](const std::string&) { return true; })
+                .Map([](const std::string& v) { return v + "!"; })
+                .KeyBy([](const std::string& v) { return v.substr(0, 1); });
+  auto stats = df.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->stages, 1u);
+  EXPECT_EQ(stats->shuffles, 0u);
+  EXPECT_EQ(stats->output_records, 3u);
+}
+
+TEST(DataflowTest, WordCountEndToEnd) {
+  // Split lines, key by the word, map to counts, reduce, sort.
+  auto counted =
+      Dataflow::FromRecords(
+          {"the quick brown fox", "the lazy dog", "the fox jumps"})
+          .FlatMap([](const std::string& line) {
+            std::vector<std::string> words;
+            std::istringstream ss(line);
+            std::string w;
+            while (ss >> w) words.push_back(w);
+            return words;
+          })
+          .KeyBy([](const std::string& word) { return word; })
+          .Map([](const std::string&) { return std::string("1"); })
+          .ReduceByKey([](const std::string& a, const std::string& b) {
+            return std::to_string(std::stoi(a) + std::stoi(b));
+          })
+          .Sort();
+  auto stats = counted.Run({.num_workers = 4});
+  ASSERT_TRUE(stats.ok());
+  // 7 distinct words, sorted by key; "the" counted 3x, "fox" 2x.
+  ASSERT_EQ(stats->output_records, 7u);
+  bool found_the = false, found_fox = false;
+  for (const std::string& line : stats->output) {
+    if (line == "the\t3") found_the = true;
+    if (line == "fox\t2") found_fox = true;
+  }
+  EXPECT_TRUE(found_the);
+  EXPECT_TRUE(found_fox);
+  EXPECT_TRUE(std::is_sorted(stats->output.begin(), stats->output.end()));
+  EXPECT_EQ(stats->shuffles, 2u);  // ReduceByKey + Sort
+  EXPECT_GT(stats->shuffle_bytes, 0u);
+}
+
+TEST(DataflowTest, ReduceByKeyCombinesAllValues) {
+  auto df = Dataflow::FromRecords({"a:1", "b:2", "a:3", "a:4", "b:5"})
+                .KeyBy([](const std::string& v) { return v.substr(0, 1); })
+                .Map([](const std::string& v) { return v.substr(2); })
+                .ReduceByKey([](const std::string& x, const std::string& y) {
+                  return std::to_string(std::stoi(x) + std::stoi(y));
+                })
+                .Sort();
+  auto stats = df.Run({.num_workers = 2});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output,
+            (std::vector<std::string>{"a\t8", "b\t7"}));
+}
+
+TEST(DataflowTest, SortOrdersUnkeyedByValue) {
+  auto df = Dataflow::FromRecords({"pear", "apple", "plum"}).Sort();
+  auto stats = df.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output,
+            (std::vector<std::string>{"apple", "pear", "plum"}));
+}
+
+TEST(DataflowTest, ParallelismShrinksMakespan) {
+  std::vector<std::string> records;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    records.push_back("rec-" + std::to_string(rng.NextBounded(1000)));
+  }
+  auto df = Dataflow::FromRecords(records)
+                .Map([](const std::string& v) { return v + "#"; })
+                .KeyBy([](const std::string& v) { return v.substr(0, 6); })
+                .ReduceByKey([](const std::string& a, const std::string&) {
+                  return a;
+                });
+  auto w1 = df.Run({.num_workers = 1});
+  auto w16 = df.Run({.num_workers = 16});
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w16.ok());
+  EXPECT_LT(w16->makespan_us, w1->makespan_us);
+  // Same answer regardless of parallelism.
+  auto a = w1->output, b = w16->output;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DataflowTest, RunIsRepeatable) {
+  auto df = Dataflow::FromRecords({"x"}).Map(
+      [](const std::string& v) { return v + "1"; });
+  auto first = df.Run();
+  auto second = df.Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->output, second->output);
+  EXPECT_EQ(first->makespan_us, second->makespan_us);
+}
+
+TEST(DataflowTest, Validation) {
+  Dataflow unsourced;
+  EXPECT_TRUE(unsourced.Run().status().IsFailedPrecondition());
+  auto df = Dataflow::FromRecords({"a"});
+  EXPECT_TRUE(df.Run({.num_workers = 0}).status().IsInvalidArgument());
+}
+
+TEST(DataflowTest, EmptyInputFlowsThrough) {
+  auto df = Dataflow::FromRecords({})
+                .Map([](const std::string& v) { return v; })
+                .KeyBy([](const std::string& v) { return v; })
+                .ReduceByKey([](const std::string& a, const std::string&) {
+                  return a;
+                });
+  auto stats = df.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->output.empty());
+}
+
+}  // namespace
+}  // namespace taureau::analytics

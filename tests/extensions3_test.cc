@@ -1,0 +1,241 @@
+// Tests for the third extension wave: orchestration Map state, serverless
+// Monte Carlo, and per-function reserved concurrency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/montecarlo.h"
+#include "cluster/cluster.h"
+#include "faas/platform.h"
+#include "orchestration/composition.h"
+#include "orchestration/orchestrator.h"
+#include "sim/simulation.h"
+
+namespace taureau {
+namespace {
+
+using orchestration::Composition;
+
+// ---------------------------------------------------------------- Map state
+
+struct MapFixture {
+  sim::Simulation sim;
+  cluster::Cluster cluster{16, {32000, 65536}};
+  faas::FaasPlatform platform{&sim, &cluster, faas::FaasConfig{}};
+  orchestration::Orchestrator orch{&sim, &platform};
+
+  MapFixture() {
+    faas::FunctionSpec up;
+    up.name = "upper";
+    up.exec = {faas::ExecTimeModel::Kind::kFixed, 20 * kMillisecond, 0, 0};
+    up.handler = [](const std::string& in, faas::InvocationContext&)
+        -> Result<std::string> {
+      std::string out = in;
+      for (char& c : out) c = char(toupper(c));
+      return out;
+    };
+    EXPECT_TRUE(platform.RegisterFunction(up).ok());
+  }
+};
+
+TEST(MapStateTest, AppliesItemToEveryPiece) {
+  MapFixture f;
+  auto comp = Composition::Map(Composition::Task("upper"));
+  auto res = f.orch.RunSync(comp, "alpha\nbravo\ncharlie");
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE(res->status.ok());
+  EXPECT_EQ(res->output, "ALPHA\nBRAVO\nCHARLIE");
+  EXPECT_EQ(res->function_invocations, 3u);
+}
+
+TEST(MapStateTest, RunsItemsConcurrently) {
+  MapFixture f;
+  faas::FunctionSpec slow;
+  slow.name = "slow";
+  slow.exec = {faas::ExecTimeModel::Kind::kFixed, 400 * kMillisecond, 0, 0};
+  ASSERT_TRUE(f.platform.RegisterFunction(slow).ok());
+  std::string input;
+  for (int i = 0; i < 8; ++i) input += "item\n";
+  auto res = f.orch.RunSync(Composition::Map(Composition::Task("slow")),
+                            input);
+  ASSERT_TRUE(res.ok());
+  // Concurrent: ~1 item's time (+cold start), not 8x.
+  EXPECT_LT(res->Makespan(), 3 * (400 * kMillisecond));
+}
+
+TEST(MapStateTest, EmptyInputIsNoop) {
+  MapFixture f;
+  auto res = f.orch.RunSync(Composition::Map(Composition::Task("upper")), "");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->output, "");
+  EXPECT_EQ(res->function_invocations, 0u);
+  EXPECT_EQ(res->cost, Money::Zero());
+}
+
+TEST(MapStateTest, CustomDelimiter) {
+  MapFixture f;
+  auto res = f.orch.RunSync(
+      Composition::Map(Composition::Task("upper"), ','), "a,b,c");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->output, "A,B,C");
+}
+
+TEST(MapStateTest, MapOfSequencesSingleBilled) {
+  MapFixture f;
+  auto per_item = Composition::Sequence(
+      {Composition::Task("upper"), Composition::Task("upper")});
+  auto res = f.orch.RunSync(Composition::Map(per_item), "x\ny");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->function_invocations, 4u);
+  EXPECT_EQ(res->cost, f.platform.ledger().Total());
+}
+
+// -------------------------------------------------------------- MonteCarlo
+
+TEST(MonteCarloTest, PiConvergesWithinStandardError) {
+  auto stats = analytics::EstimatePi(400000, {.num_workers = 16});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->estimate, M_PI, 4 * stats->std_error);
+  EXPECT_GT(stats->std_error, 0);
+  EXPECT_LT(stats->std_error, 0.01);
+}
+
+TEST(MonteCarloTest, DeterministicForSeed) {
+  analytics::MonteCarloConfig cfg{.num_workers = 8, .seed = 42};
+  auto a = analytics::EstimatePi(100000, cfg);
+  auto b = analytics::EstimatePi(100000, cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
+}
+
+TEST(MonteCarloTest, MoreWorkersFasterSameSamples) {
+  // Compute-dominated configuration so parallelism can show through the
+  // per-task invocation overhead.
+  analytics::MonteCarloConfig cfg;
+  cfg.task_model.compute_us_per_unit = 0.5;
+  cfg.num_workers = 1;
+  auto w1 = analytics::EstimatePi(2000000, cfg);
+  cfg.num_workers = 16;
+  auto w16 = analytics::EstimatePi(2000000, cfg);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w16.ok());
+  EXPECT_GT(w16->Speedup(), 8.0);
+  EXPECT_LT(w16->makespan_us, w1->makespan_us);
+}
+
+TEST(MonteCarloTest, AsianOptionSanity) {
+  // Deep in-the-money option with ~zero volatility prices near its
+  // deterministic discounted payoff.
+  analytics::AsianOption option;
+  option.spot = 150;
+  option.strike = 100;
+  option.volatility = 1e-4;
+  option.rate = 0.0;
+  auto stats = analytics::PriceAsianOption(option, 20000,
+                                           {.num_workers = 8});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->estimate, 50.0, 1.0);
+
+  // Worthless option: far out of the money, tiny vol.
+  option.spot = 50;
+  auto worthless = analytics::PriceAsianOption(option, 20000,
+                                               {.num_workers = 8});
+  ASSERT_TRUE(worthless.ok());
+  EXPECT_NEAR(worthless->estimate, 0.0, 1e-6);
+}
+
+TEST(MonteCarloTest, VolatilityRaisesOptionValue) {
+  analytics::AsianOption calm, wild;
+  calm.volatility = 0.05;
+  wild.volatility = 0.6;
+  auto c = analytics::PriceAsianOption(calm, 50000, {.num_workers = 8});
+  auto w = analytics::PriceAsianOption(wild, 50000, {.num_workers = 8});
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w->estimate, c->estimate);
+}
+
+TEST(MonteCarloTest, Validation) {
+  EXPECT_TRUE(
+      analytics::EstimatePi(0, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(analytics::EstimatePi(10, {.num_workers = 0})
+                  .status()
+                  .IsInvalidArgument());
+  analytics::AsianOption bad;
+  bad.steps = 0;
+  EXPECT_TRUE(analytics::PriceAsianOption(bad, 10, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ----------------------------------------- Per-function reserved concurrency
+
+TEST(ReservedConcurrencyTest, CapBoundsContainers) {
+  sim::Simulation sim;
+  cluster::Cluster cl(32, {32000, 65536});
+  faas::FaasPlatform platform(&sim, &cl, faas::FaasConfig{});
+  faas::FunctionSpec spec;
+  spec.name = "capped";
+  spec.exec = {faas::ExecTimeModel::Kind::kFixed, kSecond, 0, 0};
+  spec.max_concurrency = 3;
+  ASSERT_TRUE(platform.RegisterFunction(spec).ok());
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    platform.Invoke("capped", "", [&](const faas::InvocationResult& r) {
+      EXPECT_TRUE(r.status.ok());
+      ++done;
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(done, 10);
+  EXPECT_LE(platform.metrics().peak_containers, 3u);
+  EXPECT_EQ(platform.metrics().cold_starts, 3u);
+  EXPECT_EQ(platform.metrics().warm_starts, 7u);
+}
+
+TEST(ReservedConcurrencyTest, OneFunctionCannotStarveAnother) {
+  sim::Simulation sim;
+  cluster::Cluster cl(32, {32000, 65536});
+  faas::FaasConfig cfg;
+  cfg.max_concurrency = 100;
+  faas::FaasPlatform platform(&sim, &cl, cfg);
+  faas::FunctionSpec hog;
+  hog.name = "hog";
+  hog.exec = {faas::ExecTimeModel::Kind::kFixed, 10 * kSecond, 0, 0};
+  hog.max_concurrency = 5;  // capped, so it cannot take all 100 slots
+  faas::FunctionSpec latency_sensitive;
+  latency_sensitive.name = "fast";
+  latency_sensitive.exec = {faas::ExecTimeModel::Kind::kFixed,
+                            10 * kMillisecond, 0, 0};
+  ASSERT_TRUE(platform.RegisterFunction(hog).ok());
+  ASSERT_TRUE(platform.RegisterFunction(latency_sensitive).ok());
+  for (int i = 0; i < 200; ++i) platform.Invoke("hog", "", nullptr);
+  SimDuration fast_latency = 0;
+  platform.Invoke("fast", "", [&](const faas::InvocationResult& r) {
+    fast_latency = r.EndToEnd();
+  });
+  sim.Run();
+  // "fast" got a container immediately despite the hog backlog.
+  EXPECT_LT(fast_latency, kSecond);
+}
+
+TEST(ReservedConcurrencyTest, PrewarmRespectsCap) {
+  sim::Simulation sim;
+  cluster::Cluster cl(32, {32000, 65536});
+  faas::FaasPlatform platform(&sim, &cl, faas::FaasConfig{});
+  faas::FunctionSpec spec;
+  spec.name = "capped";
+  spec.exec = {faas::ExecTimeModel::Kind::kFixed, kMillisecond, 0, 0};
+  spec.max_concurrency = 4;
+  ASSERT_TRUE(platform.RegisterFunction(spec).ok());
+  auto started = platform.Prewarm("capped", 20);
+  ASSERT_TRUE(started.ok());
+  EXPECT_EQ(*started, 4u);
+  // Run past the startups but not past the keep-alive horizon.
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(platform.warm_container_count("capped"), 4u);
+}
+
+}  // namespace
+}  // namespace taureau

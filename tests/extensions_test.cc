@@ -1,0 +1,281 @@
+// Tests for the §6 "look forward" extensions: predictive pre-warming,
+// hardware heterogeneity (GPU placement), dedicated tenancy (co-residency
+// security), and Pulsar tiered storage.
+#include <gtest/gtest.h>
+
+#include "baas/blob_store.h"
+#include "cluster/cluster.h"
+#include "faas/platform.h"
+#include "faas/prewarmer.h"
+#include "pubsub/bookkeeper.h"
+#include "sim/simulation.h"
+
+namespace taureau {
+namespace {
+
+// -------------------------------------------------------------- Prewarmer
+
+struct PrewarmFixture {
+  sim::Simulation sim;
+  cluster::Cluster cl{16, {32000, 65536}};
+  faas::FaasConfig cfg;
+  std::unique_ptr<faas::FaasPlatform> platform;
+
+  PrewarmFixture() {
+    cfg.keep_alive_us = 10 * kMinute;
+    platform = std::make_unique<faas::FaasPlatform>(&sim, &cl, cfg);
+    faas::FunctionSpec spec;
+    spec.name = "fn";
+    spec.demand = {200, 256};
+    spec.exec = {faas::ExecTimeModel::Kind::kFixed, 50 * kMillisecond, 0, 0};
+    spec.init_us = 200 * kMillisecond;
+    EXPECT_TRUE(platform->RegisterFunction(spec).ok());
+  }
+};
+
+TEST(PrewarmerTest, ForecastTracksArrivalRate) {
+  PrewarmFixture f;
+  faas::PrewarmerConfig pcfg;
+  pcfg.tick_us = 1 * kSecond;
+  pcfg.alpha = 0.5;
+  faas::Prewarmer pw(&f.sim, f.platform.get(), "fn", pcfg);
+  pw.Start();
+  // 20 req/s for 30 seconds.
+  for (SimTime t = 0; t < 30 * kSecond; t += 50 * kMillisecond) {
+    f.sim.ScheduleAt(t, [&] { pw.Invoke("", nullptr); });
+  }
+  f.sim.RunUntil(30 * kSecond);
+  EXPECT_NEAR(pw.ForecastRps(), 20.0, 3.0);
+  pw.Stop();
+  f.sim.Run();
+}
+
+TEST(PrewarmerTest, MaintainsWarmPoolAheadOfDemand) {
+  PrewarmFixture f;
+  faas::PrewarmerConfig pcfg;
+  pcfg.tick_us = 1 * kSecond;
+  pcfg.alpha = 0.5;
+  pcfg.provision_window_us = 2 * kSecond;
+  pcfg.headroom = 1.5;
+  faas::Prewarmer pw(&f.sim, f.platform.get(), "fn", pcfg);
+  pw.Start();
+  for (SimTime t = 0; t < 20 * kSecond; t += 100 * kMillisecond) {
+    f.sim.ScheduleAt(t, [&] { pw.Invoke("", nullptr); });
+  }
+  f.sim.RunUntil(25 * kSecond);
+  // 10 rps * 2s window * 1.5 headroom = 30 warm containers targeted.
+  EXPECT_GE(f.platform->warm_container_count("fn"), 20u);
+  EXPECT_GT(pw.stats().containers_prewarmed, 0u);
+  pw.Stop();
+  f.sim.Run();
+}
+
+TEST(PrewarmerTest, CutsColdStartsOnBurstArrival) {
+  // The BARISTA claim: proactive provisioning absorbs a foreseeable ramp.
+  auto run = [](bool prewarm) {
+    PrewarmFixture f;
+    faas::PrewarmerConfig pcfg;
+    pcfg.tick_us = 1 * kSecond;
+    pcfg.alpha = 0.6;
+    pcfg.provision_window_us = 3 * kSecond;
+    faas::Prewarmer pw(&f.sim, f.platform.get(), "fn", pcfg);
+    if (prewarm) pw.Start();
+    // Ramp: 2 rps for 20s, then a 30-rps burst for 5s.
+    for (SimTime t = 0; t < 20 * kSecond; t += 500 * kMillisecond) {
+      f.sim.ScheduleAt(t, [&] { pw.Invoke("", nullptr); });
+    }
+    for (SimTime t = 20 * kSecond; t < 25 * kSecond;
+         t += 33 * kMillisecond) {
+      f.sim.ScheduleAt(t, [&] { pw.Invoke("", nullptr); });
+    }
+    f.sim.RunUntil(30 * kSecond);
+    pw.Stop();
+    f.sim.Run();
+    return f.platform->metrics();
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+  // Pre-warmed containers absorb invocations that would otherwise start
+  // cold during the burst ramp.
+  EXPECT_LT(with.cold_starts, without.cold_starts);
+  EXPECT_LE(with.e2e_latency_us.P50(), without.e2e_latency_us.P50());
+}
+
+// -------------------------------------------------- Hardware heterogeneity
+
+TEST(HeterogeneityTest, GpuDimensionInResourceVector) {
+  cluster::ResourceVector demand{1000, 2048, 2};
+  cluster::ResourceVector gpu_box{32000, 65536, 4};
+  cluster::ResourceVector cpu_box{32000, 65536, 0};
+  EXPECT_TRUE(demand.FitsIn(gpu_box));
+  EXPECT_FALSE(demand.FitsIn(cpu_box));
+  EXPECT_EQ((demand + demand).gpus, 4);
+  EXPECT_EQ(demand.ToString(), "1000mCPU/2048MB/2GPU");
+  EXPECT_DOUBLE_EQ(demand.DominantShare(gpu_box), 0.5);  // gpu-dominant
+}
+
+TEST(HeterogeneityTest, GpuFunctionsLandOnGpuMachines) {
+  // Mixed fleet: 3 CPU boxes + 1 GPU box.
+  cluster::Cluster cl({{32000, 65536, 0},
+                       {32000, 65536, 0},
+                       {32000, 65536, 0},
+                       {32000, 65536, 4}});
+  auto unit = cl.Allocate(cluster::IsolationLevel::kLambda, {1000, 2048, 1},
+                          cluster::PlacementPolicy::kFirstFit, "trainer");
+  ASSERT_TRUE(unit.ok());
+  auto machine = cl.MachineOf(*unit);
+  ASSERT_TRUE(machine.ok());
+  EXPECT_EQ(*machine, 3u);  // the only GPU-bearing box
+}
+
+TEST(HeterogeneityTest, GpuExhaustionIndependentOfCpu) {
+  cluster::Cluster cl({{32000, 65536, 2}});
+  ASSERT_TRUE(cl.Allocate(cluster::IsolationLevel::kLambda, {500, 512, 2},
+                          cluster::PlacementPolicy::kFirstFit)
+                  .ok());
+  // Plenty of CPU left, but no GPUs.
+  EXPECT_TRUE(cl.Allocate(cluster::IsolationLevel::kLambda, {500, 512, 1},
+                          cluster::PlacementPolicy::kFirstFit)
+                  .status()
+                  .IsResourceExhausted());
+  // CPU-only functions still place fine.
+  EXPECT_TRUE(cl.Allocate(cluster::IsolationLevel::kLambda, {500, 512, 0},
+                          cluster::PlacementPolicy::kFirstFit)
+                  .ok());
+}
+
+TEST(HeterogeneityTest, GpuFunctionOnFaasPlatform) {
+  sim::Simulation sim;
+  cluster::Cluster cl({{32000, 65536, 0}, {32000, 65536, 2}});
+  faas::FaasPlatform platform(&sim, &cl, faas::FaasConfig{});
+  faas::FunctionSpec train;
+  train.name = "gpu-train";
+  train.demand = {2000, 4096, 1};
+  train.exec = {faas::ExecTimeModel::Kind::kFixed, 100 * kMillisecond, 0, 0};
+  ASSERT_TRUE(platform.RegisterFunction(train).ok());
+  auto res = platform.InvokeSync("gpu-train", "");
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->status.ok());
+}
+
+// ------------------------------------------------------ Dedicated tenancy
+
+TEST(DedicatedTenancyTest, NeverSharesMachinesAcrossTenants) {
+  cluster::Cluster cl(4, {8000, 16384});
+  for (int i = 0; i < 6; ++i) {
+    const std::string tenant = i % 2 == 0 ? "alice" : "bob";
+    auto r = cl.AllocateIsolated(cluster::IsolationLevel::kLambda,
+                                 {1000, 1024},
+                                 cluster::PlacementPolicy::kFirstFit, tenant);
+    ASSERT_TRUE(r.ok()) << i;
+  }
+  EXPECT_EQ(cl.CoResidentTenantPairs(), 0u);
+}
+
+TEST(DedicatedTenancyTest, SharedPlacementCoResides) {
+  cluster::Cluster cl(4, {8000, 16384});
+  for (int i = 0; i < 6; ++i) {
+    const std::string tenant = i % 2 == 0 ? "alice" : "bob";
+    ASSERT_TRUE(cl.Allocate(cluster::IsolationLevel::kLambda, {1000, 1024},
+                            cluster::PlacementPolicy::kFirstFit, tenant)
+                    .ok());
+  }
+  EXPECT_GT(cl.CoResidentTenantPairs(), 0u);
+}
+
+TEST(DedicatedTenancyTest, IsolationCostsCapacity) {
+  // With 2 machines and 3 tenants, dedicated tenancy must reject the third
+  // tenant even though capacity remains.
+  cluster::Cluster cl(2, {8000, 16384});
+  ASSERT_TRUE(cl.AllocateIsolated(cluster::IsolationLevel::kLambda,
+                                  {1000, 1024},
+                                  cluster::PlacementPolicy::kFirstFit, "a")
+                  .ok());
+  ASSERT_TRUE(cl.AllocateIsolated(cluster::IsolationLevel::kLambda,
+                                  {1000, 1024},
+                                  cluster::PlacementPolicy::kFirstFit, "b")
+                  .ok());
+  EXPECT_TRUE(cl.AllocateIsolated(cluster::IsolationLevel::kLambda,
+                                  {1000, 1024},
+                                  cluster::PlacementPolicy::kFirstFit, "c")
+                  .status()
+                  .IsResourceExhausted());
+  // The same tenant can keep packing its own machines.
+  EXPECT_TRUE(cl.AllocateIsolated(cluster::IsolationLevel::kLambda,
+                                  {1000, 1024},
+                                  cluster::PlacementPolicy::kFirstFit, "a")
+                  .ok());
+}
+
+TEST(DedicatedTenancyTest, RequiresOwnerTag) {
+  cluster::Cluster cl(2, {8000, 16384});
+  EXPECT_TRUE(cl.AllocateIsolated(cluster::IsolationLevel::kLambda,
+                                  {1000, 1024},
+                                  cluster::PlacementPolicy::kFirstFit, "")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// -------------------------------------------------- Pulsar tiered storage
+
+TEST(TieredStorageTest, OffloadedLedgerStillReadable) {
+  pubsub::BookKeeper bk(4);
+  baas::BlobStore cold;
+  auto ledger = bk.CreateLedger(3, 2, 2);
+  ASSERT_TRUE(ledger.ok());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(bk.Append(*ledger, "entry-" + std::to_string(i), 0).ok());
+  }
+  ASSERT_TRUE(bk.CloseLedger(*ledger).ok());
+  ASSERT_TRUE(bk.OffloadLedger(*ledger, &cold).ok());
+  // Bookies are free; data served from the blob store.
+  for (size_t b = 0; b < bk.bookie_count(); ++b) {
+    EXPECT_EQ(bk.bookie(pubsub::BookieId(b)).entries_stored(), 0u);
+  }
+  for (int i = 0; i < 25; ++i) {
+    auto r = bk.Read(*ledger, uint64_t(i));
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_EQ(*r, "entry-" + std::to_string(i));
+  }
+  EXPECT_EQ(cold.object_count(), 25u);
+}
+
+TEST(TieredStorageTest, OpenLedgerCannotOffload) {
+  pubsub::BookKeeper bk(3);
+  baas::BlobStore cold;
+  auto ledger = bk.CreateLedger(3, 2, 2);
+  ASSERT_TRUE(ledger.ok());
+  ASSERT_TRUE(bk.Append(*ledger, "x", 0).ok());
+  EXPECT_TRUE(bk.OffloadLedger(*ledger, &cold).IsFailedPrecondition());
+}
+
+TEST(TieredStorageTest, DoubleOffloadRejected) {
+  pubsub::BookKeeper bk(3);
+  baas::BlobStore cold;
+  auto ledger = bk.CreateLedger(3, 2, 2);
+  ASSERT_TRUE(ledger.ok());
+  ASSERT_TRUE(bk.Append(*ledger, "x", 0).ok());
+  ASSERT_TRUE(bk.CloseLedger(*ledger).ok());
+  ASSERT_TRUE(bk.OffloadLedger(*ledger, &cold).ok());
+  EXPECT_TRUE(bk.OffloadLedger(*ledger, &cold).IsFailedPrecondition());
+}
+
+TEST(TieredStorageTest, SurvivesTotalBookieLoss) {
+  // Once offloaded, even losing every bookie cannot lose the data.
+  pubsub::BookKeeper bk(3);
+  baas::BlobStore cold;
+  auto ledger = bk.CreateLedger(3, 3, 2);
+  ASSERT_TRUE(ledger.ok());
+  ASSERT_TRUE(bk.Append(*ledger, "precious", 0).ok());
+  ASSERT_TRUE(bk.CloseLedger(*ledger).ok());
+  ASSERT_TRUE(bk.OffloadLedger(*ledger, &cold).ok());
+  for (size_t b = 0; b < bk.bookie_count(); ++b) {
+    bk.bookie(pubsub::BookieId(b)).Crash();
+  }
+  auto r = bk.Read(*ledger, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "precious");
+}
+
+}  // namespace
+}  // namespace taureau

@@ -1,0 +1,430 @@
+// Unit tests for the FaaS platform: lifecycle, cold/warm starts, keep-alive,
+// throttling, timeouts, retries, billing, server-pool baseline.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "faas/billing.h"
+#include "faas/platform.h"
+#include "faas/server_pool.h"
+#include "sim/simulation.h"
+
+namespace taureau::faas {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  cluster::Cluster cluster{8, {32000, 65536}};
+  FaasConfig config;
+  std::unique_ptr<FaasPlatform> platform;
+
+  explicit Fixture(FaasConfig cfg = {}) : config(cfg) {
+    platform = std::make_unique<FaasPlatform>(&sim, &cluster, config);
+  }
+
+  FunctionSpec SimpleSpec(const std::string& name,
+                          SimDuration exec = 50 * kMillisecond) {
+    FunctionSpec spec;
+    spec.name = name;
+    spec.exec = {ExecTimeModel::Kind::kFixed, exec, 0, 0};
+    spec.init_us = 100 * kMillisecond;
+    return spec;
+  }
+};
+
+// ------------------------------------------------------------ Registration
+
+TEST(FaasPlatformTest, RegisterAndLookup) {
+  Fixture f;
+  ASSERT_TRUE(f.platform->RegisterFunction(f.SimpleSpec("fn")).ok());
+  auto spec = f.platform->GetFunction("fn");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "fn");
+  EXPECT_TRUE(f.platform->GetFunction("ghost").status().IsNotFound());
+}
+
+TEST(FaasPlatformTest, DuplicateRegistrationFails) {
+  Fixture f;
+  ASSERT_TRUE(f.platform->RegisterFunction(f.SimpleSpec("fn")).ok());
+  EXPECT_TRUE(
+      f.platform->RegisterFunction(f.SimpleSpec("fn")).IsAlreadyExists());
+}
+
+TEST(FaasPlatformTest, InvalidSpecsRejected) {
+  Fixture f;
+  FunctionSpec unnamed;
+  unnamed.name = "";
+  EXPECT_TRUE(f.platform->RegisterFunction(unnamed).IsInvalidArgument());
+  FunctionSpec bad_timeout = f.SimpleSpec("t");
+  bad_timeout.timeout_us = 0;
+  EXPECT_TRUE(f.platform->RegisterFunction(bad_timeout).IsInvalidArgument());
+}
+
+TEST(FaasPlatformTest, InvokeUnknownFunctionFails) {
+  Fixture f;
+  EXPECT_TRUE(
+      f.platform->Invoke("ghost", "", nullptr).status().IsNotFound());
+}
+
+// -------------------------------------------------------- Cold/warm starts
+
+TEST(FaasPlatformTest, FirstInvocationIsCold) {
+  Fixture f;
+  ASSERT_TRUE(f.platform->RegisterFunction(f.SimpleSpec("fn")).ok());
+  auto res = f.platform->InvokeSync("fn", "payload");
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->status.ok());
+  EXPECT_TRUE(res->cold_start);
+  EXPECT_GT(res->startup_us, 100 * kMillisecond);  // runtime + init
+  EXPECT_EQ(f.platform->metrics().cold_starts, 1u);
+}
+
+TEST(FaasPlatformTest, SecondInvocationIsWarm) {
+  Fixture f;
+  ASSERT_TRUE(f.platform->RegisterFunction(f.SimpleSpec("fn")).ok());
+  ASSERT_TRUE(f.platform->InvokeSync("fn", "a").ok());
+  auto res = f.platform->InvokeSync("fn", "b");
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->cold_start);
+  EXPECT_EQ(res->startup_us, 0);
+  EXPECT_EQ(f.platform->metrics().warm_starts, 1u);
+}
+
+TEST(FaasPlatformTest, WarmStartMuchFasterThanCold) {
+  Fixture f;
+  ASSERT_TRUE(f.platform->RegisterFunction(f.SimpleSpec("fn")).ok());
+  auto cold = f.platform->InvokeSync("fn", "a");
+  auto warm = f.platform->InvokeSync("fn", "b");
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(cold->EndToEnd(), warm->EndToEnd() + 100 * kMillisecond);
+}
+
+TEST(FaasPlatformTest, KeepAliveExpiryForcesColdStart) {
+  FaasConfig cfg;
+  cfg.keep_alive_us = 1 * kMinute;
+  Fixture f(cfg);
+  ASSERT_TRUE(f.platform->RegisterFunction(f.SimpleSpec("fn")).ok());
+  ASSERT_TRUE(f.platform->InvokeSync("fn", "a").ok());
+  EXPECT_EQ(f.platform->warm_container_count("fn"), 1u);
+  // Let the keep-alive lapse.
+  f.sim.RunUntil(f.sim.Now() + 2 * kMinute);
+  EXPECT_EQ(f.platform->warm_container_count("fn"), 0u);
+  auto res = f.platform->InvokeSync("fn", "b");
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->cold_start);
+}
+
+TEST(FaasPlatformTest, ZeroKeepAliveAlwaysCold) {
+  FaasConfig cfg;
+  cfg.keep_alive_us = 0;
+  Fixture f(cfg);
+  ASSERT_TRUE(f.platform->RegisterFunction(f.SimpleSpec("fn")).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto res = f.platform->InvokeSync("fn", "x");
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->cold_start) << i;
+  }
+  EXPECT_EQ(f.platform->metrics().cold_starts, 3u);
+}
+
+TEST(FaasPlatformTest, StatelessnessContainerCacheScopedToContainer) {
+  // §4.1: functions are stateless; warm-container cache survives only while
+  // the container lives.
+  FaasConfig cfg;
+  cfg.keep_alive_us = 1 * kMinute;
+  Fixture f(cfg);
+  FunctionSpec spec = f.SimpleSpec("counter");
+  spec.handler = [](const std::string&, InvocationContext& ctx)
+      -> Result<std::string> {
+    auto& cache = *ctx.container_cache;
+    const int prev = cache.count("n") ? std::stoi(cache["n"]) : 0;
+    cache["n"] = std::to_string(prev + 1);
+    return cache["n"];
+  };
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  EXPECT_EQ(f.platform->InvokeSync("counter", "")->output, "1");
+  EXPECT_EQ(f.platform->InvokeSync("counter", "")->output, "2");  // warm
+  f.sim.RunUntil(f.sim.Now() + 2 * kMinute);  // container dies
+  EXPECT_EQ(f.platform->InvokeSync("counter", "")->output, "1");  // fresh
+}
+
+// ----------------------------------------------------- Timeouts + retries
+
+TEST(FaasPlatformTest, TimeoutKillsAndRetries) {
+  FaasConfig cfg;
+  cfg.max_retries = 1;
+  Fixture f(cfg);
+  FunctionSpec spec = f.SimpleSpec("slow", /*exec=*/10 * kMinute);
+  spec.timeout_us = 1 * kSecond;
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  auto res = f.platform->InvokeSync("slow", "");
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->status.IsTimeout());
+  EXPECT_EQ(res->attempts, 2);  // original + 1 retry
+  EXPECT_EQ(f.platform->metrics().timeouts, 2u);
+  EXPECT_EQ(res->exec_us, 1 * kSecond);  // killed at the limit
+}
+
+TEST(FaasPlatformTest, InjectedFailureRetriesThenSucceeds) {
+  FaasConfig cfg;
+  cfg.max_retries = 5;
+  Fixture f(cfg);
+  FunctionSpec spec = f.SimpleSpec("flaky");
+  int calls = 0;
+  spec.handler = [&calls](const std::string&, InvocationContext&)
+      -> Result<std::string> {
+    if (++calls < 3) return Status::Aborted("transient");
+    return std::string("ok");
+  };
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  auto res = f.platform->InvokeSync("flaky", "");
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->status.ok());
+  EXPECT_EQ(res->output, "ok");
+  EXPECT_EQ(res->attempts, 3);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(FaasPlatformTest, RetriesExhaustedReportsFailure) {
+  FaasConfig cfg;
+  cfg.max_retries = 2;
+  Fixture f(cfg);
+  FunctionSpec spec = f.SimpleSpec("doomed");
+  spec.handler = [](const std::string&, InvocationContext&)
+      -> Result<std::string> { return Status::Aborted("always"); };
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  auto res = f.platform->InvokeSync("doomed", "");
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->status.IsAborted());
+  EXPECT_EQ(res->attempts, 3);
+  EXPECT_EQ(f.platform->metrics().exhausted, 1u);
+}
+
+TEST(FaasPlatformTest, EveryAttemptIsBilled) {
+  // Real FaaS platforms bill failed attempts too.
+  FaasConfig cfg;
+  cfg.max_retries = 2;
+  Fixture f(cfg);
+  FunctionSpec spec = f.SimpleSpec("doomed");
+  spec.handler = [](const std::string&, InvocationContext&)
+      -> Result<std::string> { return Status::Aborted("always"); };
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  auto res = f.platform->InvokeSync("doomed", "");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(f.platform->ledger().record_count(), 3u);
+  EXPECT_EQ(res->cost, f.platform->ledger().Total());
+}
+
+// -------------------------------------------------------------- Throttling
+
+TEST(FaasPlatformTest, ThrottleRejectsWhenConfigured) {
+  FaasConfig cfg;
+  cfg.max_concurrency = 1;
+  cfg.queue_on_throttle = false;
+  Fixture f(cfg);
+  ASSERT_TRUE(
+      f.platform->RegisterFunction(f.SimpleSpec("fn", kSecond)).ok());
+  int ok = 0, throttled = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(f.platform
+                    ->Invoke("fn", "",
+                             [&](const InvocationResult& r) {
+                               r.status.ok() ? ++ok : ++throttled;
+                             })
+                    .ok());
+  }
+  f.sim.Run();
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(throttled, 2);
+  EXPECT_EQ(f.platform->metrics().throttled, 2u);
+}
+
+TEST(FaasPlatformTest, QueueDrainsWhenCapacityFrees) {
+  FaasConfig cfg;
+  cfg.max_concurrency = 1;
+  cfg.queue_on_throttle = true;
+  Fixture f(cfg);
+  ASSERT_TRUE(
+      f.platform->RegisterFunction(f.SimpleSpec("fn", kSecond)).ok());
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.platform
+                    ->Invoke("fn", "",
+                             [&](const InvocationResult& r) {
+                               ASSERT_TRUE(r.status.ok());
+                               ++done;
+                             })
+                    .ok());
+  }
+  f.sim.Run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(f.platform->metrics().throttled, 0u);
+  // Serialized through one container => 4 warm starts after the first cold.
+  EXPECT_EQ(f.platform->metrics().cold_starts, 1u);
+  EXPECT_EQ(f.platform->metrics().warm_starts, 4u);
+}
+
+// -------------------------------------------------------------- Handlers
+
+TEST(FaasPlatformTest, HandlerReceivesPayloadAndContext) {
+  Fixture f;
+  FunctionSpec spec = f.SimpleSpec("echo");
+  spec.handler = [](const std::string& payload, InvocationContext& ctx)
+      -> Result<std::string> {
+    EXPECT_GT(ctx.invocation_id, 0u);
+    EXPECT_EQ(ctx.attempt, 0);
+    return "echo:" + payload;
+  };
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  auto res = f.platform->InvokeSync("echo", "hello");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->output, "echo:hello");
+}
+
+TEST(FaasPlatformTest, PerByteExecModelScalesWithPayload) {
+  Fixture f;
+  FunctionSpec spec;
+  spec.name = "scaler";
+  spec.exec = {ExecTimeModel::Kind::kPerByte, 1 * kMillisecond, 0, 10.0};
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  auto small = f.platform->InvokeSync("scaler", std::string(100, 'x'));
+  auto large = f.platform->InvokeSync("scaler", std::string(10000, 'x'));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->exec_us, small->exec_us * 50);
+}
+
+// ---------------------------------------------------------------- Billing
+
+TEST(BillingTest, RoundsUpToQuantum) {
+  BillingLedger ledger(BillingRates{});
+  // 150ms at 100ms quantum bills as 200ms.
+  const Money m150 = ledger.Price(150 * kMillisecond, 1024);
+  const Money m200 = ledger.Price(200 * kMillisecond, 1024);
+  EXPECT_EQ(m150, m200);
+  const Money m201 = ledger.Price(201 * kMillisecond, 1024);
+  EXPECT_GT(m201, m200);
+}
+
+TEST(BillingTest, ScalesWithMemory) {
+  BillingLedger ledger(BillingRates{});
+  const Money gb = ledger.Price(kSecond, 1024);
+  const Money half = ledger.Price(kSecond, 512);
+  // Subtract the flat request fee before comparing the duration component;
+  // integer pricing truncates, so allow 1 nano-dollar of rounding.
+  const Money fee = BillingRates{}.per_request;
+  EXPECT_NEAR(double((gb - fee).nano_dollars()),
+              double((half - fee).nano_dollars() * 2), 1.0);
+}
+
+TEST(BillingTest, LambdaCalibration) {
+  // 1GB-second should cost ~$1.6667e-5 plus the request fee.
+  BillingLedger ledger(BillingRates{});
+  const Money m = ledger.Price(kSecond, 1024);
+  EXPECT_NEAR(m.dollars(), 1.6667e-5 + 2e-7, 1e-6);
+}
+
+TEST(BillingTest, LedgerAccumulatesPerFunction) {
+  BillingLedger ledger(BillingRates{});
+  ledger.Charge(1, 0, "a", 100 * kMillisecond, 128);
+  ledger.Charge(2, 0, "a", 100 * kMillisecond, 128);
+  ledger.Charge(3, 0, "b", 100 * kMillisecond, 128);
+  EXPECT_EQ(ledger.record_count(), 3u);
+  EXPECT_EQ(ledger.TotalFor("a") + ledger.TotalFor("b"), ledger.Total());
+  EXPECT_GT(ledger.TotalFor("a"), ledger.TotalFor("b"));
+}
+
+TEST(BillingTest, FinerQuantumNeverCostsMore) {
+  BillingRates coarse;  // 100ms
+  BillingRates fine;
+  fine.quantum_us = 1 * kMillisecond;
+  BillingLedger lc(coarse), lf(fine);
+  for (SimDuration d : {3 * kMillisecond, 57 * kMillisecond,
+                        130 * kMillisecond, 990 * kMillisecond}) {
+    EXPECT_LE(lf.Price(d, 512).nano_dollars(),
+              lc.Price(d, 512).nano_dollars())
+        << d;
+  }
+}
+
+// ------------------------------------------------------------- ServerPool
+
+TEST(ServerPoolTest, ServesWithinCapacityImmediately) {
+  sim::Simulation sim;
+  ServerPool pool(&sim, {.num_servers = 2, .per_server_concurrency = 2});
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit(kSecond, [&](SimDuration wait) {
+      EXPECT_EQ(wait, 0);
+      ++done;
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(pool.completed(), 4u);
+}
+
+TEST(ServerPoolTest, QueuesBeyondCapacity) {
+  sim::Simulation sim;
+  ServerPool pool(&sim, {.num_servers = 1, .per_server_concurrency = 1});
+  std::vector<SimDuration> waits;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(kSecond, [&](SimDuration wait) { waits.push_back(wait); });
+  }
+  sim.Run();
+  ASSERT_EQ(waits.size(), 3u);
+  EXPECT_EQ(waits[0], 0);
+  EXPECT_EQ(waits[1], kSecond);
+  EXPECT_EQ(waits[2], 2 * kSecond);
+}
+
+TEST(ServerPoolTest, UtilizationIntegral) {
+  sim::Simulation sim;
+  ServerPool pool(&sim, {.num_servers = 1, .per_server_concurrency = 1});
+  pool.Submit(kSecond);
+  sim.Run();
+  sim.RunUntil(2 * kSecond);
+  EXPECT_NEAR(pool.Utilization(), 0.5, 1e-9);
+}
+
+TEST(ServerPoolTest, ReservedCostIndependentOfLoad) {
+  sim::Simulation sim;
+  ServerPool pool(&sim, {.num_servers = 3,
+                         .per_server_concurrency = 1,
+                         .machine_hour_price = Money::FromDollars(0.10)});
+  EXPECT_EQ(pool.CostFor(kHour).nano_dollars(), 300000000);  // $0.30
+}
+
+// ------------------------------------------- Parameterized keep-alive sweep
+
+class KeepAliveSweep : public ::testing::TestWithParam<SimDuration> {};
+
+TEST_P(KeepAliveSweep, LongerKeepAliveNeverIncreasesColdStarts) {
+  // Property behind E2: cold-start count is monotone non-increasing in the
+  // keep-alive duration for a fixed arrival pattern.
+  auto run = [](SimDuration keep_alive) {
+    FaasConfig cfg;
+    cfg.keep_alive_us = keep_alive;
+    Fixture f(cfg);
+    FunctionSpec spec = f.SimpleSpec("fn", 10 * kMillisecond);
+    EXPECT_TRUE(f.platform->RegisterFunction(spec).ok());
+    // Deterministic arrivals every 45 seconds.
+    for (int i = 0; i < 20; ++i) {
+      f.platform->Invoke("fn", "", nullptr);
+      f.sim.RunUntil(f.sim.Now() + 45 * kSecond);
+    }
+    f.sim.Run();
+    return f.platform->metrics().cold_starts;
+  };
+  const SimDuration ka = GetParam();
+  EXPECT_GE(run(ka), run(ka * 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, KeepAliveSweep,
+                         ::testing::Values(10 * kSecond, 30 * kSecond,
+                                           60 * kSecond));
+
+}  // namespace
+}  // namespace taureau::faas

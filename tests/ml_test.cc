@@ -1,0 +1,297 @@
+// Unit tests for serverless ML (§5.2): datasets, parameter-server training,
+// straggler mitigation, hyperparameter search, tiered inference.
+#include <gtest/gtest.h>
+
+#include "ml/dataset.h"
+#include "ml/hyperparam.h"
+#include "ml/inference.h"
+#include "ml/training.h"
+
+namespace taureau::ml {
+namespace {
+
+// ---------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, GeneratorShape) {
+  auto ds = Dataset::GenerateLogistic(500, 10, 0.05, 1);
+  EXPECT_EQ(ds.size(), 500u);
+  EXPECT_EQ(ds.dim(), 10u);
+  EXPECT_EQ(ds.true_weights.size(), 11u);  // + bias
+  int ones = 0;
+  for (int y : ds.y) ones += y;
+  EXPECT_GT(ones, 100);
+  EXPECT_LT(ones, 400);
+}
+
+TEST(DatasetTest, Deterministic) {
+  auto a = Dataset::GenerateLogistic(100, 5, 0.0, 42);
+  auto b = Dataset::GenerateLogistic(100, 5, 0.0, 42);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.x[0], b.x[0]);
+}
+
+// --------------------------------------------------------------- Training
+
+TEST(TrainingTest, GradientDescentReducesLoss) {
+  auto ds = Dataset::GenerateLogistic(1000, 8, 0.05, 3);
+  std::vector<double> zeros(9, 0.0);
+  const double initial_loss = LogisticLoss(ds, zeros, 1e-4);
+  auto stats = TrainLogistic(ds, {.num_workers = 4, .rounds = 40});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->final_loss, initial_loss * 0.7);
+  EXPECT_GT(stats->train_accuracy, 0.9);
+}
+
+TEST(TrainingTest, ShardedGradientEqualsFullBatch) {
+  // The parameter-server decomposition must be exact: the weighted sum of
+  // shard gradients equals the full-batch gradient.
+  auto ds = Dataset::GenerateLogistic(100, 5, 0.1, 5);
+  std::vector<double> w(6, 0.1);
+  std::vector<double> full, sharded(6, 0.0), shard;
+  LogisticGradient(ds, 0, ds.size(), w, 0.01, &full);
+  const int W = 4;
+  for (int i = 0; i < W; ++i) {
+    const size_t begin = ds.size() * i / W;
+    const size_t end = ds.size() * (i + 1) / W;
+    LogisticGradient(ds, begin, end, w, 0.01, &shard);
+    const double frac = double(end - begin) / double(ds.size());
+    for (size_t j = 0; j < 6; ++j) sharded[j] += frac * shard[j];
+  }
+  // The l2 term appears once per shard weighted by frac, summing to one
+  // full contribution — identical to the full-batch gradient.
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(sharded[j], full[j], 1e-9) << j;
+  }
+}
+
+TEST(TrainingTest, WorkerCountDoesNotChangeResult) {
+  auto ds = Dataset::GenerateLogistic(400, 6, 0.05, 7);
+  auto w1 = TrainLogistic(ds, {.num_workers = 1, .rounds = 15});
+  auto w8 = TrainLogistic(ds, {.num_workers = 8, .rounds = 15});
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w8.ok());
+  for (size_t j = 0; j < w1->weights.size(); ++j) {
+    EXPECT_NEAR(w1->weights[j], w8->weights[j], 1e-9) << j;
+  }
+}
+
+TEST(TrainingTest, StragglersInflateMakespan) {
+  auto ds = Dataset::GenerateLogistic(800, 6, 0.05, 9);
+  TrainConfig clean{.num_workers = 8, .rounds = 10, .straggler_prob = 0.0};
+  TrainConfig straggly{.num_workers = 8, .rounds = 10,
+                       .straggler_prob = 0.2};
+  auto c = TrainLogistic(ds, clean);
+  auto s = TrainLogistic(ds, straggly);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->makespan_us, c->makespan_us);
+  EXPECT_GT(s->straggler_penalty_us, c->straggler_penalty_us);
+}
+
+TEST(TrainingTest, ReplicationMasksStragglers) {
+  // E13's claim: redundant computation absorbs stragglers at extra cost.
+  auto ds = Dataset::GenerateLogistic(800, 6, 0.05, 11);
+  TrainConfig uncoded{.num_workers = 8, .rounds = 15,
+                      .straggler_prob = 0.25,
+                      .redundancy = RedundancyScheme::kNone};
+  TrainConfig coded = uncoded;
+  coded.redundancy = RedundancyScheme::kReplication;
+  coded.replication = 2;
+  auto u = TrainLogistic(ds, uncoded);
+  auto c = TrainLogistic(ds, coded);
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(c->makespan_us, u->makespan_us);       // faster...
+  EXPECT_GT(c->cost, u->cost);                     // ...but pricier
+  EXPECT_EQ(c->worker_invocations, u->worker_invocations * 2);
+  // Model quality unaffected by the timing layer.
+  EXPECT_NEAR(c->final_loss, u->final_loss, 1e-9);
+}
+
+TEST(TrainingTest, Validation) {
+  auto ds = Dataset::GenerateLogistic(10, 2, 0, 13);
+  EXPECT_TRUE(TrainLogistic(ds, {.num_workers = 0}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TrainLogistic(Dataset{}, {}).status().IsInvalidArgument());
+  TrainConfig bad;
+  bad.redundancy = RedundancyScheme::kReplication;
+  bad.replication = 1;
+  EXPECT_TRUE(TrainLogistic(ds, bad).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------- Hyperparam
+
+TEST(HyperparamTest, GridCoversAllCombinations) {
+  auto ds = Dataset::GenerateLogistic(200, 4, 0.05, 15);
+  SearchConfig cfg;
+  cfg.strategy = SearchStrategy::kGrid;
+  cfg.learning_rates = {0.05, 0.5};
+  cfg.l2s = {0.0, 1e-3};
+  cfg.rounds = 8;
+  auto stats = HyperparamSearch(ds, cfg);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->trials, 4u);
+  EXPECT_EQ(stats->waves, 1u);
+  EXPECT_GT(stats->best.score, 0.7);
+}
+
+TEST(HyperparamTest, ParallelWaveBeatsSerial) {
+  auto ds = Dataset::GenerateLogistic(200, 4, 0.05, 17);
+  SearchConfig cfg;
+  cfg.rounds = 8;
+  auto stats = HyperparamSearch(ds, cfg);
+  ASSERT_TRUE(stats.ok());
+  // One concurrent wave: makespan is one trial, serial is all of them.
+  EXPECT_LT(stats->makespan_us * 2, stats->serial_time_us);
+}
+
+TEST(HyperparamTest, SuccessiveHalvingUsesFewerTrialRounds) {
+  auto ds = Dataset::GenerateLogistic(300, 4, 0.05, 19);
+  SearchConfig grid;
+  grid.strategy = SearchStrategy::kGrid;
+  grid.rounds = 16;
+  SearchConfig halving = grid;
+  halving.strategy = SearchStrategy::kSuccessiveHalving;
+  auto g = HyperparamSearch(ds, grid);
+  auto h = HyperparamSearch(ds, halving);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(h.ok());
+  EXPECT_GT(h->waves, 1u);
+  EXPECT_LT(h->cost, g->cost);  // halving spends less compute
+  // And still finds a competitive configuration.
+  EXPECT_GT(h->best.score, g->best.score - 0.1);
+}
+
+TEST(HyperparamTest, RandomSamplesRequestedCount) {
+  auto ds = Dataset::GenerateLogistic(150, 4, 0.05, 21);
+  SearchConfig cfg;
+  cfg.strategy = SearchStrategy::kRandom;
+  cfg.random_samples = 7;
+  cfg.rounds = 5;
+  auto stats = HyperparamSearch(ds, cfg);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->trials, 7u);
+}
+
+TEST(HyperparamTest, EmptyGridRejected) {
+  auto ds = Dataset::GenerateLogistic(50, 2, 0, 23);
+  SearchConfig cfg;
+  cfg.learning_rates.clear();
+  EXPECT_TRUE(HyperparamSearch(ds, cfg).status().IsInvalidArgument());
+}
+
+// -------------------------------------------------------------- Inference
+
+ModelInfo MakeModel(const std::string& name, uint64_t mb) {
+  return {name, mb << 20, 5 * kMillisecond};
+}
+
+TEST(InferenceTest, FirstRequestColdSecondWarm) {
+  ModelStore store;
+  ASSERT_TRUE(store.RegisterModel(MakeModel("resnet", 100)).ok());
+  auto cold = store.Infer("resnet");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(cold->cold);
+  EXPECT_EQ(cold->served_from, Tier::kCloud);
+  auto warm = store.Infer("resnet");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->cold);
+  EXPECT_EQ(warm->served_from, Tier::kGpu);
+  EXPECT_GT(cold->latency_us, warm->latency_us * 10);
+}
+
+TEST(InferenceTest, UnknownModelFails) {
+  ModelStore store;
+  EXPECT_TRUE(store.Infer("ghost").status().IsNotFound());
+}
+
+TEST(InferenceTest, DuplicateRegistrationFails) {
+  ModelStore store;
+  ASSERT_TRUE(store.RegisterModel(MakeModel("m", 1)).ok());
+  EXPECT_TRUE(store.RegisterModel(MakeModel("m", 1)).IsAlreadyExists());
+}
+
+TEST(InferenceTest, EvictionDemotesToLowerTier) {
+  // A tiny GPU tier: loading a second model evicts the first to CPU, where
+  // the next request finds it (faster than the cloud).
+  std::vector<TierSpec> tiers = DefaultTiers();
+  tiers[0].capacity_bytes = 150ULL << 20;  // fits one 100MB model
+  ModelStore store(tiers);
+  ASSERT_TRUE(store.RegisterModel(MakeModel("m1", 100)).ok());
+  ASSERT_TRUE(store.RegisterModel(MakeModel("m2", 100)).ok());
+  ASSERT_TRUE(store.Infer("m1").ok());
+  ASSERT_TRUE(store.Infer("m2").ok());  // evicts m1 from GPU
+  EXPECT_FALSE(store.ResidentAt("m1", Tier::kGpu));
+  EXPECT_TRUE(store.ResidentAt("m1", Tier::kCpu));
+  auto again = store.Infer("m1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->served_from, Tier::kCpu);
+  EXPECT_GE(store.stats().evictions, 1u);
+}
+
+TEST(InferenceTest, LruKeepsHotModels) {
+  std::vector<TierSpec> tiers = DefaultTiers();
+  tiers[0].capacity_bytes = 250ULL << 20;  // two 100MB models
+  ModelStore store(tiers);
+  for (const char* m : {"hot", "warm", "cold-model"}) {
+    ASSERT_TRUE(store.RegisterModel(MakeModel(m, 100)).ok());
+  }
+  store.Infer("hot");
+  store.Infer("warm");
+  store.Infer("hot");          // refresh hot
+  store.Infer("cold-model");   // must evict "warm", not "hot"
+  EXPECT_TRUE(store.ResidentAt("hot", Tier::kGpu));
+  EXPECT_FALSE(store.ResidentAt("warm", Tier::kGpu));
+}
+
+TEST(InferenceTest, TieredBeatsColdBaseline) {
+  // E14: with the model store, repeated requests are far cheaper than the
+  // always-cold baseline.
+  ModelStore store;
+  ASSERT_TRUE(store.RegisterModel(MakeModel("m", 200)).ok());
+  SimDuration tiered = 0, baseline = 0;
+  for (int i = 0; i < 10; ++i) {
+    tiered += store.Infer("m")->latency_us;
+    baseline += store.InferColdBaseline("m")->latency_us;
+  }
+  EXPECT_LT(tiered * 5, baseline);
+}
+
+TEST(InferenceTest, OversizedModelServedWithoutCaching) {
+  std::vector<TierSpec> tiers = DefaultTiers();
+  tiers[0].capacity_bytes = 1ULL << 20;  // 1MB GPU: nothing fits
+  ModelStore store(tiers);
+  ASSERT_TRUE(store.RegisterModel(MakeModel("big", 500)).ok());
+  auto r = store.Infer("big");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(store.ResidentAt("big", Tier::kGpu));
+  // Second request: still served (from a lower tier), never crashes.
+  EXPECT_TRUE(store.Infer("big").ok());
+}
+
+// ------------------------------------------ Parameterized straggler sweep
+
+class StragglerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StragglerSweep, ReplicationNeverSlowerUnderStragglers) {
+  const double p = GetParam();
+  auto ds = Dataset::GenerateLogistic(600, 5, 0.05, 25);
+  TrainConfig uncoded{.num_workers = 8, .rounds = 12, .straggler_prob = p,
+                      .redundancy = RedundancyScheme::kNone};
+  TrainConfig coded = uncoded;
+  coded.redundancy = RedundancyScheme::kReplication;
+  coded.replication = 3;
+  auto u = TrainLogistic(ds, uncoded);
+  auto c = TrainLogistic(ds, coded);
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(c.ok());
+  // With 3x replication and p<=0.3, winning replicas are almost surely
+  // non-straggling; allow 10% slack for sampling noise.
+  EXPECT_LT(double(c->makespan_us), double(u->makespan_us) * 1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, StragglerSweep,
+                         ::testing::Values(0.1, 0.2, 0.3));
+
+}  // namespace
+}  // namespace taureau::ml

@@ -1,0 +1,406 @@
+// Unit tests for the Pulsar-like messaging substrate (§4.3): bookies,
+// ledgers, brokers, subscriptions, functions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pubsub/bookkeeper.h"
+#include "pubsub/broker.h"
+#include "pubsub/functions.h"
+#include "sim/simulation.h"
+#include "sketch/countmin.h"
+
+namespace taureau::pubsub {
+namespace {
+
+// ------------------------------------------------------------- BookKeeper
+
+TEST(BookKeeperTest, LedgerAppendRead) {
+  BookKeeper bk(4);
+  auto ledger = bk.CreateLedger(3, 2, 2);
+  ASSERT_TRUE(ledger.ok());
+  auto a0 = bk.Append(*ledger, "entry-0", 0);
+  auto a1 = bk.Append(*ledger, "entry-1", 0);
+  ASSERT_TRUE(a0.ok());
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a0->entry_id, 0u);
+  EXPECT_EQ(a1->entry_id, 1u);
+  EXPECT_EQ(*bk.Read(*ledger, 0), "entry-0");
+  EXPECT_EQ(*bk.Read(*ledger, 1), "entry-1");
+}
+
+TEST(BookKeeperTest, QuorumValidation) {
+  BookKeeper bk(4);
+  EXPECT_TRUE(bk.CreateLedger(3, 2, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(bk.CreateLedger(3, 4, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(bk.CreateLedger(2, 3, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(bk.CreateLedger(5, 3, 2).status().IsResourceExhausted());
+}
+
+TEST(BookKeeperTest, ClosedLedgerIsReadOnly) {
+  // §4.3: "After the ledger has been closed... it can only be opened in
+  // read-only mode."
+  BookKeeper bk(3);
+  auto ledger = bk.CreateLedger(3, 2, 2);
+  ASSERT_TRUE(ledger.ok());
+  ASSERT_TRUE(bk.Append(*ledger, "x", 0).ok());
+  ASSERT_TRUE(bk.CloseLedger(*ledger).ok());
+  EXPECT_TRUE(bk.Append(*ledger, "y", 0).status().IsFailedPrecondition());
+  EXPECT_EQ(*bk.Read(*ledger, 0), "x");
+}
+
+TEST(BookKeeperTest, DeleteErasesFromAllBookies) {
+  BookKeeper bk(3);
+  auto ledger = bk.CreateLedger(3, 3, 2);
+  ASSERT_TRUE(ledger.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bk.Append(*ledger, "e" + std::to_string(i), 0).ok());
+  }
+  ASSERT_TRUE(bk.DeleteLedger(*ledger).ok());
+  for (size_t b = 0; b < bk.bookie_count(); ++b) {
+    EXPECT_EQ(bk.bookie(BookieId(b)).entries_stored(), 0u);
+  }
+  EXPECT_TRUE(bk.Read(*ledger, 0).status().IsNotFound());
+}
+
+TEST(BookKeeperTest, SurvivesBookieCrashWithinQuorum) {
+  BookKeeper bk(5);
+  auto ledger = bk.CreateLedger(3, 3, 2);
+  ASSERT_TRUE(ledger.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bk.Append(*ledger, "e" + std::to_string(i), 0).ok());
+  }
+  // Crash one ensemble member: reads fall back to surviving replicas, and
+  // new appends heal the ensemble.
+  const auto* meta = *bk.GetLedger(*ledger);
+  bk.bookie(meta->ensemble()[0]).Crash();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(bk.Read(*ledger, i).ok()) << i;
+  }
+  EXPECT_TRUE(bk.Append(*ledger, "post-crash", 0).ok());
+}
+
+TEST(BookKeeperTest, AckQuorumGatesLatency) {
+  BookKeeper bk(3);
+  auto fast = bk.CreateLedger(3, 3, 1);
+  auto slow = bk.CreateLedger(3, 3, 3);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  const auto f = bk.Append(*fast, std::string(10000, 'x'), 0);
+  const auto s = bk.Append(*slow, std::string(10000, 'x'), 0);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(s.ok());
+  // ack=1 completes at the fastest replica; ack=3 waits for all.
+  EXPECT_LE(f->ack_time_us, s->ack_time_us);
+}
+
+// ----------------------------------------------------------------- Broker
+
+struct PulsarFixture {
+  sim::Simulation sim;
+  PulsarCluster cluster{&sim, PulsarConfig{}};
+};
+
+TEST(PulsarTest, CreateTopicValidation) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {.partitions = 2}).ok());
+  EXPECT_TRUE(f.cluster.CreateTopic("t", {}).IsAlreadyExists());
+  EXPECT_TRUE(
+      f.cluster.CreateTopic("empty", {.partitions = 0}).IsInvalidArgument());
+  EXPECT_TRUE(f.cluster.HasTopic("t"));
+  EXPECT_FALSE(f.cluster.HasTopic("u"));
+}
+
+TEST(PulsarTest, PublishToUnknownTopicFails) {
+  PulsarFixture f;
+  EXPECT_TRUE(f.cluster.Publish("ghost", "", "m").status().IsNotFound());
+}
+
+TEST(PulsarTest, DeliverToSubscriber) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  std::vector<std::string> received;
+  auto consumer = f.cluster.Subscribe(
+      "t", "sub", SubscriptionType::kExclusive,
+      [&](const Message& m) { received.push_back(m.payload); });
+  ASSERT_TRUE(consumer.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.cluster.Publish("t", "", "m" + std::to_string(i)).ok());
+  }
+  f.sim.Run();
+  EXPECT_EQ(received,
+            (std::vector<std::string>{"m0", "m1", "m2", "m3", "m4"}));
+  EXPECT_EQ(f.cluster.metrics().delivered, 5u);
+}
+
+TEST(PulsarTest, SubscriberSeesEarlierMessages) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  ASSERT_TRUE(f.cluster.Publish("t", "", "early").ok());
+  f.sim.Run();
+  std::vector<std::string> received;
+  ASSERT_TRUE(f.cluster
+                  .Subscribe("t", "late-sub", SubscriptionType::kExclusive,
+                             [&](const Message& m) {
+                               received.push_back(m.payload);
+                             })
+                  .ok());
+  f.sim.Run();
+  EXPECT_EQ(received, (std::vector<std::string>{"early"}));
+}
+
+TEST(PulsarTest, KeyedRoutingIsStable) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {.partitions = 8}).ok());
+  auto id1 = f.cluster.Publish("t", "user-42", "a");
+  auto id2 = f.cluster.Publish("t", "user-42", "b");
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(id1->partition, id2->partition);
+}
+
+TEST(PulsarTest, ExclusiveRejectsSecondConsumer) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  ASSERT_TRUE(f.cluster
+                  .Subscribe("t", "sub", SubscriptionType::kExclusive,
+                             [](const Message&) {})
+                  .ok());
+  EXPECT_TRUE(f.cluster
+                  .Subscribe("t", "sub", SubscriptionType::kExclusive,
+                             [](const Message&) {})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(PulsarTest, SubscriptionTypeMismatchFails) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  ASSERT_TRUE(f.cluster
+                  .Subscribe("t", "sub", SubscriptionType::kShared,
+                             [](const Message&) {})
+                  .ok());
+  EXPECT_TRUE(f.cluster
+                  .Subscribe("t", "sub", SubscriptionType::kFailover,
+                             [](const Message&) {})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(PulsarTest, SharedSubscriptionLoadBalances) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  int c1 = 0, c2 = 0;
+  ASSERT_TRUE(f.cluster
+                  .Subscribe("t", "work", SubscriptionType::kShared,
+                             [&](const Message&) { ++c1; })
+                  .ok());
+  ASSERT_TRUE(f.cluster
+                  .Subscribe("t", "work", SubscriptionType::kShared,
+                             [&](const Message&) { ++c2; })
+                  .ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(f.cluster.Publish("t", "", "m").ok());
+  }
+  f.sim.Run();
+  EXPECT_EQ(c1 + c2, 10);
+  EXPECT_GT(c1, 0);
+  EXPECT_GT(c2, 0);
+}
+
+TEST(PulsarTest, TwoSubscriptionsBothGetEverything) {
+  // Pub-sub fan-out: independent subscriptions each see the full stream.
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  int a = 0, b = 0;
+  f.cluster.Subscribe("t", "sub-a", SubscriptionType::kExclusive,
+                      [&](const Message&) { ++a; });
+  f.cluster.Subscribe("t", "sub-b", SubscriptionType::kExclusive,
+                      [&](const Message&) { ++b; });
+  for (int i = 0; i < 7; ++i) f.cluster.Publish("t", "", "m");
+  f.sim.Run();
+  EXPECT_EQ(a, 7);
+  EXPECT_EQ(b, 7);
+}
+
+TEST(PulsarTest, AckRemovesFromUnacked) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  std::vector<MessageId> ids;
+  auto consumer = f.cluster.Subscribe(
+      "t", "sub", SubscriptionType::kExclusive,
+      [&](const Message& m) { ids.push_back(m.id); });
+  ASSERT_TRUE(consumer.ok());
+  f.cluster.Publish("t", "", "m");
+  f.sim.Run();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(f.cluster.Ack(*consumer, ids[0]).ok());
+  EXPECT_TRUE(f.cluster.Ack(*consumer, ids[0]).IsNotFound());  // double-ack
+  EXPECT_EQ(f.cluster.metrics().acked, 1u);
+}
+
+TEST(PulsarTest, FailoverRedeliversUnackedOnDisconnect) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  std::vector<std::string> primary_got, standby_got;
+  auto primary = f.cluster.Subscribe(
+      "t", "sub", SubscriptionType::kFailover,
+      [&](const Message& m) { primary_got.push_back(m.payload); });
+  auto standby = f.cluster.Subscribe(
+      "t", "sub", SubscriptionType::kFailover,
+      [&](const Message& m) { standby_got.push_back(m.payload); });
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE(standby.ok());
+  f.cluster.Publish("t", "", "m1");
+  f.sim.Run();
+  ASSERT_EQ(primary_got.size(), 1u);
+  EXPECT_TRUE(standby_got.empty());
+  // Primary dies without acking: the standby must get the message.
+  ASSERT_TRUE(f.cluster.Disconnect(*primary).ok());
+  f.sim.Run();
+  ASSERT_EQ(standby_got.size(), 1u);
+  EXPECT_EQ(standby_got[0], "m1");
+  EXPECT_GE(f.cluster.metrics().redelivered, 1u);
+}
+
+TEST(PulsarTest, BrokerCrashLosesNoAckedData) {
+  // §4.3: brokers are stateless; durable state lives in the bookies, so a
+  // broker crash must not lose messages (at-least-once delivery).
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {.partitions = 3}).ok());
+  std::set<std::string> received;
+  auto consumer = f.cluster.Subscribe(
+      "t", "sub", SubscriptionType::kShared,
+      [&](const Message& m) { received.insert(m.payload); });
+  ASSERT_TRUE(consumer.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(f.cluster.Publish("t", "", "pre-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(f.cluster.CrashBroker(0).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(f.cluster.Publish("t", "", "post-" + std::to_string(i)).ok());
+  }
+  f.sim.Run();
+  EXPECT_EQ(received.size(), 20u);
+}
+
+TEST(PulsarTest, BrokerLoadSpreadsAcrossPartitions) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {.partitions = 9}).ok());
+  const auto load = f.cluster.BrokerLoad();
+  size_t total = 0, max_load = 0;
+  for (size_t l : load) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  EXPECT_EQ(total, 9u);
+  EXPECT_EQ(max_load, 3u);  // 9 partitions over 3 brokers
+}
+
+TEST(PulsarTest, PublishLatencyRecorded) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("t", {}).ok());
+  for (int i = 0; i < 100; ++i) f.cluster.Publish("t", "", "m");
+  f.sim.Run();
+  EXPECT_EQ(f.cluster.metrics().publish_latency_us.count(), 100u);
+  EXPECT_GT(f.cluster.metrics().publish_latency_us.mean(), 0);
+}
+
+// -------------------------------------------------------- Pulsar Functions
+
+TEST(FunctionWorkerTest, ProcessesAndPublishes) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("in", {}).ok());
+  ASSERT_TRUE(f.cluster.CreateTopic("out", {}).ok());
+  FunctionWorker worker(
+      &f.cluster, {.name = "upper", .input_topic = "in", .output_topic = "out"},
+      [](const Message& m, FunctionContext& ctx) {
+        std::string up = m.payload;
+        for (char& c : up) c = char(toupper(c));
+        return ctx.Publish(std::move(up));
+      });
+  ASSERT_TRUE(worker.Deploy().ok());
+  std::vector<std::string> outputs;
+  f.cluster.Subscribe("out", "check", SubscriptionType::kExclusive,
+                      [&](const Message& m) { outputs.push_back(m.payload); });
+  f.cluster.Publish("in", "", "hello");
+  f.cluster.Publish("in", "", "world");
+  f.sim.Run();
+  EXPECT_EQ(outputs, (std::vector<std::string>{"HELLO", "WORLD"}));
+  EXPECT_EQ(worker.metrics().processed, 2u);
+  EXPECT_EQ(worker.metrics().published, 2u);
+}
+
+TEST(FunctionWorkerTest, StateCounters) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("in", {}).ok());
+  FunctionWorker worker(
+      &f.cluster, {.name = "count", .input_topic = "in"},
+      [](const Message& m, FunctionContext& ctx) {
+        ctx.IncrCounter(m.payload, 1);
+        return Status::OK();
+      });
+  ASSERT_TRUE(worker.Deploy().ok());
+  for (const char* w : {"a", "b", "a", "a"}) f.cluster.Publish("in", "", w);
+  f.sim.Run();
+  EXPECT_EQ(worker.state().at("a"), "3");
+  EXPECT_EQ(worker.state().at("b"), "1");
+}
+
+TEST(FunctionWorkerTest, CountMinSketchFunctionFigure3) {
+  // The paper's Figure 3 end-to-end: a Count-Min sketch deployed as a
+  // Pulsar function estimating event frequencies on a live stream.
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("events", {}).ok());
+  sketch::CountMinSketch cms(20, 20, 128);
+  FunctionWorker worker(
+      &f.cluster, {.name = "count-min", .input_topic = "events"},
+      [&cms](const Message& m, FunctionContext&) {
+        cms.Add(m.payload, 1);
+        return Status::OK();
+      });
+  ASSERT_TRUE(worker.Deploy().ok());
+  std::map<std::string, int> truth;
+  Rng rng(9);
+  ZipfGenerator zipf(50, 1.0);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string ev = "event-" + std::to_string(zipf.Next(&rng));
+    ++truth[ev];
+    f.cluster.Publish("events", "", ev);
+  }
+  f.sim.Run();
+  EXPECT_EQ(worker.metrics().processed, 2000u);
+  for (const auto& [ev, count] : truth) {
+    EXPECT_GE(cms.EstimateCount(ev), uint64_t(count));
+  }
+}
+
+TEST(FunctionWorkerTest, FailedMessageStaysUnacked) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("in", {}).ok());
+  FunctionWorker worker(
+      &f.cluster, {.name = "fail", .input_topic = "in"},
+      [](const Message&, FunctionContext&) {
+        return Status::Aborted("boom");
+      });
+  ASSERT_TRUE(worker.Deploy().ok());
+  f.cluster.Publish("in", "", "x");
+  f.sim.Run();
+  EXPECT_EQ(worker.metrics().failed, 1u);
+  EXPECT_EQ(f.cluster.metrics().acked, 0u);
+}
+
+TEST(FunctionWorkerTest, ParallelismValidation) {
+  PulsarFixture f;
+  ASSERT_TRUE(f.cluster.CreateTopic("in", {}).ok());
+  FunctionWorker worker(&f.cluster,
+                        {.name = "p0", .input_topic = "in", .parallelism = 0},
+                        [](const Message&, FunctionContext&) {
+                          return Status::OK();
+                        });
+  EXPECT_TRUE(worker.Deploy().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace taureau::pubsub

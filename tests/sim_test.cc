@@ -1,0 +1,171 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace taureau::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&] { order.push_back(3); });
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(SimulationTest, TiesBreakBySchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(100, [&] { order.push_back(2); });
+  sim.Schedule(100, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  bool fired = false;
+  sim.Schedule(-50, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulationTest, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.Schedule(100, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelUnknownIdFails) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Cancel(0));
+  EXPECT_FALSE(sim.Cancel(999));
+}
+
+TEST(SimulationTest, DoubleCancelFails) {
+  Simulation sim;
+  EventId id = sim.Schedule(100, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.Run();
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(100, [&] { ++fired; });
+  sim.Schedule(200, [&] { ++fired; });
+  sim.Schedule(300, [&] { ++fired; });
+  sim.RunUntil(250);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 250);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim;
+  sim.RunUntil(5000);
+  EXPECT_EQ(sim.Now(), 5000);
+}
+
+TEST(SimulationTest, StepFiresExactlyOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, ScheduleAtPastClampsToNow) {
+  Simulation sim;
+  sim.Schedule(100, [] {});
+  sim.Run();
+  ASSERT_EQ(sim.Now(), 100);
+  SimTime fire_time = -1;
+  sim.ScheduleAt(50, [&] { fire_time = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fire_time, 100);
+}
+
+TEST(SimulationTest, EventCountTracked) {
+  Simulation sim;
+  for (int i = 0; i < 10; ++i) sim.Schedule(i, [] {});
+  EXPECT_EQ(sim.Run(), 10u);
+  EXPECT_EQ(sim.events_fired(), 10u);
+}
+
+TEST(PeriodicProcessTest, TicksAtPeriod) {
+  Simulation sim;
+  std::vector<SimTime> ticks;
+  PeriodicProcess proc(&sim, 100, [&] {
+    ticks.push_back(sim.Now());
+    return ticks.size() < 3;  // stop after 3 ticks
+  });
+  proc.Start();
+  sim.Run();
+  EXPECT_EQ(ticks, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_FALSE(proc.running());
+}
+
+TEST(PeriodicProcessTest, StopCancelsPending) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicProcess proc(&sim, 100, [&] {
+    ++ticks;
+    return true;
+  });
+  proc.Start();
+  sim.RunUntil(250);
+  proc.Stop();
+  sim.Run();
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicProcessTest, StartIsIdempotent) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicProcess proc(&sim, 100, [&] {
+    ++ticks;
+    return ticks < 2;
+  });
+  proc.Start();
+  proc.Start();  // no double-arm
+  sim.Run();
+  EXPECT_EQ(ticks, 2);
+}
+
+}  // namespace
+}  // namespace taureau::sim

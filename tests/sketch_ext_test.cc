@@ -1,0 +1,284 @@
+// Tests for the extended sketch family: AMS (F2 / moments), streaming
+// k-means (clustering), and Frequent Directions (matrix sketching) — the
+// remaining entries in the paper's §5.1 sketch list.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "sketch/ams.h"
+#include "sketch/frequent_directions.h"
+#include "sketch/streaming_kmeans.h"
+
+namespace taureau::sketch {
+namespace {
+
+// --------------------------------------------------------------------- AMS
+
+TEST(AmsTest, EstimatesF2WithinTolerance) {
+  AmsSketch ams(9, 2048);
+  Rng rng(1);
+  ZipfGenerator zipf(2000, 1.0);
+  std::map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t k = zipf.Next(&rng);
+    ams.Add("k" + std::to_string(k));
+    ++freq[k];
+  }
+  double exact_f2 = 0;
+  for (const auto& [k, f] : freq) exact_f2 += double(f) * double(f);
+  const double est = ams.EstimateF2();
+  EXPECT_NEAR(est, exact_f2, exact_f2 * 0.15);
+}
+
+TEST(AmsTest, UniformStreamSmallF2) {
+  // All-distinct stream: F2 == N.
+  AmsSketch ams(9, 4096);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ams.Add("unique-" + std::to_string(i));
+  EXPECT_NEAR(ams.EstimateF2(), double(n), double(n) * 0.2);
+}
+
+TEST(AmsTest, WeightedAndNegativeUpdates) {
+  // Turnstile property: adding then removing an item cancels exactly.
+  AmsSketch ams(5, 512);
+  ams.Add("x", 10);
+  ams.Add("y", 4);
+  ams.Add("x", -10);
+  // Remaining stream is {y: 4} => F2 = 16.
+  EXPECT_NEAR(ams.EstimateF2(), 16.0, 1e-9);
+}
+
+TEST(AmsTest, MergeEqualsUnion) {
+  AmsSketch a(7, 1024), b(7, 1024), whole(7, 1024);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string k = "k" + std::to_string(rng.NextBounded(500));
+    (i % 2 ? a : b).Add(k);
+    whole.Add(k);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), whole.EstimateF2());
+}
+
+TEST(AmsTest, MergeRejectsMismatch) {
+  AmsSketch a(5, 512), b(5, 1024), c(6, 512);
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+  EXPECT_TRUE(a.Merge(c).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------- StreamingKMeans
+
+std::vector<std::vector<double>> MakeBlobs(int per_cluster, uint64_t seed) {
+  // Three well-separated 2D clusters at (0,0), (10,0), (0,10).
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  const double cx[3] = {0, 10, 0};
+  const double cy[3] = {0, 0, 10};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      points.push_back({cx[c] + rng.NextGaussian(0, 0.5),
+                        cy[c] + rng.NextGaussian(0, 0.5)});
+    }
+  }
+  rng.Shuffle(&points);
+  return points;
+}
+
+TEST(StreamingKMeansTest, FindsWellSeparatedClusters) {
+  StreamingKMeans km(3, 2);
+  const auto points = MakeBlobs(500, 3);
+  for (const auto& p : points) {
+    ASSERT_TRUE(km.Add(p).ok());
+  }
+  // Each true center should have a learned center within distance 1.
+  for (const auto& truth :
+       std::vector<std::vector<double>>{{0, 0}, {10, 0}, {0, 10}}) {
+    double best = 1e18;
+    for (const auto& c : km.centers()) {
+      const double dx = c[0] - truth[0], dy = c[1] - truth[1];
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 1.0);
+  }
+  EXPECT_LT(km.Cost(points), 1.0);  // within-cluster variance scale
+}
+
+TEST(StreamingKMeansTest, DimensionValidation) {
+  StreamingKMeans km(2, 3);
+  EXPECT_TRUE(km.Add({1.0, 2.0}).IsInvalidArgument());
+  EXPECT_TRUE(km.Add({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(StreamingKMeansTest, AssignBeforeDataFails) {
+  StreamingKMeans km(2, 2);
+  EXPECT_FALSE(km.Assign({0.0, 0.0}).ok());
+}
+
+TEST(StreamingKMeansTest, MergePreservesClusterStructure) {
+  // Two shards each see all three blobs; the merged summary should still
+  // resolve the three true centers.
+  StreamingKMeans a(3, 2, 11), b(3, 2, 13);
+  const auto points = MakeBlobs(400, 7);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(((i % 2) ? a : b).Add(points[i]).ok());
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.centers().size(), 3u);
+  EXPECT_EQ(a.points_seen(), points.size());
+  EXPECT_LT(a.Cost(points), 1.5);
+}
+
+TEST(StreamingKMeansTest, MergeRejectsMismatch) {
+  StreamingKMeans a(3, 2), b(4, 2), c(3, 5);
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+  EXPECT_TRUE(a.Merge(c).IsInvalidArgument());
+}
+
+// ------------------------------------------------------ FrequentDirections
+
+TEST(JacobiTest, DiagonalizesSymmetricMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  std::vector<double> m{2, 1, 1, 2};
+  std::vector<double> values, vectors;
+  JacobiEigenSymmetric(m, 2, &values, &vectors);
+  EXPECT_NEAR(values[0], 1.0, 1e-9);
+  EXPECT_NEAR(values[1], 3.0, 1e-9);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  // A = V diag(values) V^T must reproduce the input.
+  Rng rng(17);
+  const uint32_t n = 6;
+  std::vector<double> a(n * n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i; j < n; ++j) {
+      a[i * n + j] = a[j * n + i] = rng.NextGaussian();
+    }
+  }
+  std::vector<double> values, vectors;
+  JacobiEigenSymmetric(a, n, &values, &vectors);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      double reconstructed = 0;
+      for (uint32_t k = 0; k < n; ++k) {
+        reconstructed +=
+            vectors[i * n + k] * values[k] * vectors[j * n + k];
+      }
+      EXPECT_NEAR(reconstructed, a[i * n + j], 1e-8) << i << "," << j;
+    }
+  }
+}
+
+/// Frobenius norm squared of a row stream.
+double FrobSq(const std::vector<std::vector<double>>& rows) {
+  double f = 0;
+  for (const auto& r : rows) {
+    for (double x : r) f += x * x;
+  }
+  return f;
+}
+
+/// Spectral norm (largest eigenvalue) of a symmetric d x d matrix.
+double SpectralNorm(const std::vector<double>& m, uint32_t d) {
+  std::vector<double> values, vectors;
+  JacobiEigenSymmetric(m, d, &values, &vectors);
+  return std::max(std::abs(values.front()), std::abs(values.back()));
+}
+
+TEST(FrequentDirectionsTest, CovarianceGuaranteeHolds) {
+  // ||A^T A - B^T B||_2 <= ||A||_F^2 / (l) for the doubled-buffer variant.
+  const uint32_t d = 8, l = 8;
+  Rng rng(19);
+  FrequentDirections fd(l, d);
+  std::vector<std::vector<double>> rows;
+  // Low-rank + noise: signal along two directions.
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> row(d);
+    const double s1 = rng.NextGaussian(0, 3), s2 = rng.NextGaussian(0, 2);
+    for (uint32_t j = 0; j < d; ++j) {
+      row[j] = s1 * (j == 0) + s2 * (j == 1) + rng.NextGaussian(0, 0.1);
+    }
+    rows.push_back(row);
+    ASSERT_TRUE(fd.Append(row).ok());
+  }
+  // Exact covariance.
+  std::vector<double> exact(d * d, 0.0);
+  for (const auto& row : rows) {
+    for (uint32_t i = 0; i < d; ++i) {
+      for (uint32_t j = 0; j < d; ++j) {
+        exact[i * d + j] += row[i] * row[j];
+      }
+    }
+  }
+  const auto approx = fd.CovarianceEstimate();
+  std::vector<double> diff(d * d);
+  for (uint32_t i = 0; i < d * d; ++i) diff[i] = exact[i] - approx[i];
+  EXPECT_LE(SpectralNorm(diff, d), FrobSq(rows) / double(l) + 1e-6);
+}
+
+TEST(FrequentDirectionsTest, SketchSizeBounded) {
+  FrequentDirections fd(4, 16);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<double> row(16);
+    for (auto& x : row) x = rng.NextGaussian();
+    ASSERT_TRUE(fd.Append(row).ok());
+  }
+  EXPECT_LE(fd.SketchRows().size(), 8u);  // at most 2l buffered rows
+  EXPECT_EQ(fd.rows_seen(), 1000u);
+}
+
+TEST(FrequentDirectionsTest, CapturesDominantDirection) {
+  // All rows along e0: the sketch must retain that direction's energy.
+  const uint32_t d = 5;
+  FrequentDirections fd(4, d);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> row(d, 0.0);
+    row[0] = 2.0;
+    ASSERT_TRUE(fd.Append(row).ok());
+  }
+  const auto cov = fd.CovarianceEstimate();
+  // Exact A^T A[0][0] = 100 * 4 = 400; FD may shed at most F^2/l = 100.
+  EXPECT_GT(cov[0], 250.0);
+  for (uint32_t j = 1; j < d; ++j) {
+    EXPECT_NEAR(cov[j * d + j], 0.0, 1e-9);
+  }
+}
+
+TEST(FrequentDirectionsTest, DimensionValidation) {
+  FrequentDirections fd(4, 8);
+  EXPECT_TRUE(fd.Append(std::vector<double>(7, 1.0)).IsInvalidArgument());
+}
+
+TEST(FrequentDirectionsTest, MergeAccumulates) {
+  const uint32_t d = 6, l = 6;
+  FrequentDirections a(l, d), b(l, d), whole(l, d);
+  Rng rng(29);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> row(d);
+    for (auto& x : row) x = rng.NextGaussian();
+    ASSERT_TRUE(((i % 2) ? a : b).Append(row).ok());
+    ASSERT_TRUE(whole.Append(row).ok());
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.rows_seen(), 400u);
+  // Merged covariance within the combined error budget of the whole-stream
+  // sketch (loose sanity: same order of magnitude on the diagonal).
+  const auto ca = a.CovarianceEstimate();
+  const auto cw = whole.CovarianceEstimate();
+  for (uint32_t i = 0; i < d; ++i) {
+    EXPECT_NEAR(ca[i * d + i], cw[i * d + i],
+                std::max(50.0, cw[i * d + i]));
+  }
+}
+
+TEST(FrequentDirectionsTest, MergeRejectsMismatch) {
+  FrequentDirections a(4, 8), b(6, 8), c(4, 10);
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+  EXPECT_TRUE(a.Merge(c).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace taureau::sketch

@@ -1,0 +1,131 @@
+// Unit tests for workload generation: arrival processes and archetypes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/apps.h"
+#include "workload/arrivals.h"
+
+namespace taureau::workload {
+namespace {
+
+TEST(PoissonArrivalsTest, RateMatches) {
+  Rng rng(1);
+  PoissonArrivals arrivals(100.0);  // 100/s
+  auto times = arrivals.Generate(100 * kSecond, &rng);
+  EXPECT_NEAR(double(times.size()), 10000.0, 300.0);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_DOUBLE_EQ(arrivals.MeanRatePerSec(), 100.0);
+}
+
+TEST(PoissonArrivalsTest, ZeroRateGeneratesNothing) {
+  Rng rng(2);
+  PoissonArrivals arrivals(0.0);
+  EXPECT_TRUE(arrivals.Generate(kHour, &rng).empty());
+}
+
+TEST(PoissonArrivalsTest, AllWithinHorizon) {
+  Rng rng(3);
+  PoissonArrivals arrivals(50.0);
+  auto times = arrivals.Generate(10 * kSecond, &rng);
+  for (SimTime t : times) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 10 * kSecond);
+  }
+}
+
+TEST(BurstyArrivalsTest, PeakExceedsMean) {
+  BurstyArrivals arrivals(10.0, 20.0, 10 * kMinute, 30 * kSecond);
+  EXPECT_GT(arrivals.PeakRatePerSec(), arrivals.MeanRatePerSec());
+  EXPECT_NEAR(arrivals.PeakRatePerSec(), 200.0, 1e-9);
+}
+
+TEST(BurstyArrivalsTest, GeneratesBursts) {
+  Rng rng(5);
+  BurstyArrivals arrivals(5.0, 50.0, 30 * kSecond, 10 * kSecond);
+  auto times = arrivals.Generate(10 * kMinute, &rng);
+  ASSERT_GT(times.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // Count arrivals per second; burstiness => max >> mean.
+  std::vector<int> per_sec(600, 0);
+  for (SimTime t : times) ++per_sec[size_t(t / kSecond)];
+  const double mean =
+      double(times.size()) / 600.0;
+  const int peak = *std::max_element(per_sec.begin(), per_sec.end());
+  EXPECT_GT(double(peak), mean * 3.0);
+}
+
+TEST(DiurnalArrivalsTest, RateOscillates) {
+  DiurnalArrivals arrivals(100.0, 0.9, kHour);
+  const double peak = arrivals.RateAt(kHour / 4);     // sin = 1
+  const double trough = arrivals.RateAt(3 * kHour / 4);  // sin = -1
+  EXPECT_NEAR(peak, 190.0, 1.0);
+  EXPECT_NEAR(trough, 10.0, 1.0);
+}
+
+TEST(DiurnalArrivalsTest, ThinningRespectsEnvelope) {
+  Rng rng(7);
+  DiurnalArrivals arrivals(50.0, 0.8, kHour);
+  auto times = arrivals.Generate(kHour, &rng);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // Total should approximate base * horizon.
+  EXPECT_NEAR(double(times.size()), 50.0 * 3600, 50.0 * 3600 * 0.1);
+}
+
+TEST(TraceArrivalsTest, ReplaysSortedAndClipped) {
+  TraceArrivals trace({5 * kSecond, 1 * kSecond, 20 * kSecond});
+  Rng rng(9);
+  auto times = trace.Generate(10 * kSecond, &rng);
+  EXPECT_EQ(times, (std::vector<SimTime>{1 * kSecond, 5 * kSecond}));
+}
+
+TEST(TraceArrivalsTest, MeanRateFromSpan) {
+  TraceArrivals trace({0, 1 * kSecond, 2 * kSecond, 3 * kSecond});
+  EXPECT_NEAR(trace.MeanRatePerSec(), 4.0 / 3.0, 1e-9);
+}
+
+TEST(FunctionProfileTest, ExecSamplesAroundMedian) {
+  Rng rng(11);
+  FunctionProfile p{.name = "f", .median_exec_us = 100 * kMillisecond};
+  Summary s;
+  for (int i = 0; i < 1000; ++i) s.Add(double(p.SampleExecTime(&rng)));
+  EXPECT_GT(s.mean(), 80e3);
+  EXPECT_LT(s.mean(), 150e3);
+}
+
+TEST(ArchetypeTest, WebAppShape) {
+  auto app = MakeWebAppArchetype(100.0);
+  EXPECT_EQ(app.name, "web-app");
+  EXPECT_EQ(app.functions.size(), 3u);
+  EXPECT_EQ(app.functions.size(), app.weights.size());
+  ASSERT_NE(app.arrivals, nullptr);
+  EXPECT_DOUBLE_EQ(app.arrivals->MeanRatePerSec(), 100.0);
+}
+
+TEST(ArchetypeTest, EtlFunctionsAreHeavy) {
+  auto app = MakeEtlArchetype(1.0);
+  for (const auto& f : app.functions) {
+    EXPECT_GE(f.median_exec_us, 100 * kMillisecond);
+  }
+}
+
+TEST(ArchetypeTest, IotFunctionsAreLight) {
+  auto app = MakeIotArchetype(10.0);
+  for (const auto& f : app.functions) {
+    EXPECT_LE(f.median_exec_us, 10 * kMillisecond);
+  }
+}
+
+TEST(ArchetypeTest, PickFunctionFollowsWeights) {
+  auto app = MakeIotArchetype(10.0);  // weights {0.1, 0.8, 0.1}
+  Rng rng(13);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[PickFunction(app, &rng)];
+  EXPECT_GT(counts[1], counts[0] * 4);
+  EXPECT_GT(counts[1], counts[2] * 4);
+}
+
+}  // namespace
+}  // namespace taureau::workload
