@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_etl_shuffle.dir/bench_e10_etl_shuffle.cc.o"
+  "CMakeFiles/bench_e10_etl_shuffle.dir/bench_e10_etl_shuffle.cc.o.d"
+  "bench_e10_etl_shuffle"
+  "bench_e10_etl_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_etl_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_matmul.dir/bench_e11_matmul.cc.o"
+  "CMakeFiles/bench_e11_matmul.dir/bench_e11_matmul.cc.o.d"
+  "bench_e11_matmul"
+  "bench_e11_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_graph.dir/bench_e12_graph.cc.o"
+  "CMakeFiles/bench_e12_graph.dir/bench_e12_graph.cc.o.d"
+  "bench_e12_graph"
+  "bench_e12_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

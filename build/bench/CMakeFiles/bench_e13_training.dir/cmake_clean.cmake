@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_training.dir/bench_e13_training.cc.o"
+  "CMakeFiles/bench_e13_training.dir/bench_e13_training.cc.o.d"
+  "bench_e13_training"
+  "bench_e13_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_inference.dir/bench_e14_inference.cc.o"
+  "CMakeFiles/bench_e14_inference.dir/bench_e14_inference.cc.o.d"
+  "bench_e14_inference"
+  "bench_e14_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

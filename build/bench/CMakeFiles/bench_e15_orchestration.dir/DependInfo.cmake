@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e15_orchestration.cc" "bench/CMakeFiles/bench_e15_orchestration.dir/bench_e15_orchestration.cc.o" "gcc" "bench/CMakeFiles/bench_e15_orchestration.dir/bench_e15_orchestration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taureau_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/taureau_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/taureau_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/taureau_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/taureau_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/baas/CMakeFiles/taureau_baas.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/taureau_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/jiffy/CMakeFiles/taureau_jiffy.dir/DependInfo.cmake"
+  "/root/repo/build/src/orchestration/CMakeFiles/taureau_orchestration.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/taureau_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/taureau_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_orchestration.dir/bench_e15_orchestration.cc.o"
+  "CMakeFiles/bench_e15_orchestration.dir/bench_e15_orchestration.cc.o.d"
+  "bench_e15_orchestration"
+  "bench_e15_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_lookforward.dir/bench_e17_lookforward.cc.o"
+  "CMakeFiles/bench_e17_lookforward.dir/bench_e17_lookforward.cc.o.d"
+  "bench_e17_lookforward"
+  "bench_e17_lookforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_lookforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

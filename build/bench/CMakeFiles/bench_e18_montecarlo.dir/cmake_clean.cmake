@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_montecarlo.dir/bench_e18_montecarlo.cc.o"
+  "CMakeFiles/bench_e18_montecarlo.dir/bench_e18_montecarlo.cc.o.d"
+  "bench_e18_montecarlo"
+  "bench_e18_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_dataflow.dir/bench_e19_dataflow.cc.o"
+  "CMakeFiles/bench_e19_dataflow.dir/bench_e19_dataflow.cc.o.d"
+  "bench_e19_dataflow"
+  "bench_e19_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_virtualization.dir/bench_e1_virtualization.cc.o"
+  "CMakeFiles/bench_e1_virtualization.dir/bench_e1_virtualization.cc.o.d"
+  "bench_e1_virtualization"
+  "bench_e1_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

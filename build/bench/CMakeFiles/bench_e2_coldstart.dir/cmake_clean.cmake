@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_coldstart.dir/bench_e2_coldstart.cc.o"
+  "CMakeFiles/bench_e2_coldstart.dir/bench_e2_coldstart.cc.o.d"
+  "bench_e2_coldstart"
+  "bench_e2_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_billing.dir/bench_e3_billing.cc.o"
+  "CMakeFiles/bench_e3_billing.dir/bench_e3_billing.cc.o.d"
+  "bench_e3_billing"
+  "bench_e3_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

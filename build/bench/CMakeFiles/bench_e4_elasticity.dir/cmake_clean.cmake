@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_elasticity.dir/bench_e4_elasticity.cc.o"
+  "CMakeFiles/bench_e4_elasticity.dir/bench_e4_elasticity.cc.o.d"
+  "bench_e4_elasticity"
+  "bench_e4_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

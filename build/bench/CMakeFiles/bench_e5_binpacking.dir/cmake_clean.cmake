@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_binpacking.dir/bench_e5_binpacking.cc.o"
+  "CMakeFiles/bench_e5_binpacking.dir/bench_e5_binpacking.cc.o.d"
+  "bench_e5_binpacking"
+  "bench_e5_binpacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_binpacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_pulsar.dir/bench_e6_pulsar.cc.o"
+  "CMakeFiles/bench_e6_pulsar.dir/bench_e6_pulsar.cc.o.d"
+  "bench_e6_pulsar"
+  "bench_e6_pulsar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_pulsar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_pulsar_function.dir/bench_e7_pulsar_function.cc.o"
+  "CMakeFiles/bench_e7_pulsar_function.dir/bench_e7_pulsar_function.cc.o.d"
+  "bench_e7_pulsar_function"
+  "bench_e7_pulsar_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_pulsar_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_jiffy.dir/bench_e8_jiffy.cc.o"
+  "CMakeFiles/bench_e8_jiffy.dir/bench_e8_jiffy.cc.o.d"
+  "bench_e8_jiffy"
+  "bench_e8_jiffy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_jiffy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

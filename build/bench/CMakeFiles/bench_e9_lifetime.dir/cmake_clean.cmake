@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_lifetime.dir/bench_e9_lifetime.cc.o"
+  "CMakeFiles/bench_e9_lifetime.dir/bench_e9_lifetime.cc.o.d"
+  "bench_e9_lifetime"
+  "bench_e9_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_insights.dir/graph_insights.cpp.o"
+  "CMakeFiles/graph_insights.dir/graph_insights.cpp.o.d"
+  "graph_insights"
+  "graph_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

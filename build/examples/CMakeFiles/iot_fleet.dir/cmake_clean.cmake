@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_fleet.dir/iot_fleet.cpp.o"
+  "CMakeFiles/iot_fleet.dir/iot_fleet.cpp.o.d"
+  "iot_fleet"
+  "iot_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

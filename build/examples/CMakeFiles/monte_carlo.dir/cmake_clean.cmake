@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monte_carlo.dir/monte_carlo.cpp.o"
+  "CMakeFiles/monte_carlo.dir/monte_carlo.cpp.o.d"
+  "monte_carlo"
+  "monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_ml.dir/serverless_ml.cpp.o"
+  "CMakeFiles/serverless_ml.dir/serverless_ml.cpp.o.d"
+  "serverless_ml"
+  "serverless_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

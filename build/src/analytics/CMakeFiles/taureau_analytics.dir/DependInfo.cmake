@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/dataflow.cc" "src/analytics/CMakeFiles/taureau_analytics.dir/dataflow.cc.o" "gcc" "src/analytics/CMakeFiles/taureau_analytics.dir/dataflow.cc.o.d"
+  "/root/repo/src/analytics/graph.cc" "src/analytics/CMakeFiles/taureau_analytics.dir/graph.cc.o" "gcc" "src/analytics/CMakeFiles/taureau_analytics.dir/graph.cc.o.d"
+  "/root/repo/src/analytics/mapreduce.cc" "src/analytics/CMakeFiles/taureau_analytics.dir/mapreduce.cc.o" "gcc" "src/analytics/CMakeFiles/taureau_analytics.dir/mapreduce.cc.o.d"
+  "/root/repo/src/analytics/matmul.cc" "src/analytics/CMakeFiles/taureau_analytics.dir/matmul.cc.o" "gcc" "src/analytics/CMakeFiles/taureau_analytics.dir/matmul.cc.o.d"
+  "/root/repo/src/analytics/montecarlo.cc" "src/analytics/CMakeFiles/taureau_analytics.dir/montecarlo.cc.o" "gcc" "src/analytics/CMakeFiles/taureau_analytics.dir/montecarlo.cc.o.d"
+  "/root/repo/src/analytics/sequence.cc" "src/analytics/CMakeFiles/taureau_analytics.dir/sequence.cc.o" "gcc" "src/analytics/CMakeFiles/taureau_analytics.dir/sequence.cc.o.d"
+  "/root/repo/src/analytics/video.cc" "src/analytics/CMakeFiles/taureau_analytics.dir/video.cc.o" "gcc" "src/analytics/CMakeFiles/taureau_analytics.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taureau_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/taureau_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/baas/CMakeFiles/taureau_baas.dir/DependInfo.cmake"
+  "/root/repo/build/src/jiffy/CMakeFiles/taureau_jiffy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/taureau_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_analytics.dir/dataflow.cc.o"
+  "CMakeFiles/taureau_analytics.dir/dataflow.cc.o.d"
+  "CMakeFiles/taureau_analytics.dir/graph.cc.o"
+  "CMakeFiles/taureau_analytics.dir/graph.cc.o.d"
+  "CMakeFiles/taureau_analytics.dir/mapreduce.cc.o"
+  "CMakeFiles/taureau_analytics.dir/mapreduce.cc.o.d"
+  "CMakeFiles/taureau_analytics.dir/matmul.cc.o"
+  "CMakeFiles/taureau_analytics.dir/matmul.cc.o.d"
+  "CMakeFiles/taureau_analytics.dir/montecarlo.cc.o"
+  "CMakeFiles/taureau_analytics.dir/montecarlo.cc.o.d"
+  "CMakeFiles/taureau_analytics.dir/sequence.cc.o"
+  "CMakeFiles/taureau_analytics.dir/sequence.cc.o.d"
+  "CMakeFiles/taureau_analytics.dir/video.cc.o"
+  "CMakeFiles/taureau_analytics.dir/video.cc.o.d"
+  "libtaureau_analytics.a"
+  "libtaureau_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

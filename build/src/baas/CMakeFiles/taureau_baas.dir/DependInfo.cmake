@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baas/blob_store.cc" "src/baas/CMakeFiles/taureau_baas.dir/blob_store.cc.o" "gcc" "src/baas/CMakeFiles/taureau_baas.dir/blob_store.cc.o.d"
+  "/root/repo/src/baas/kv_store.cc" "src/baas/CMakeFiles/taureau_baas.dir/kv_store.cc.o" "gcc" "src/baas/CMakeFiles/taureau_baas.dir/kv_store.cc.o.d"
+  "/root/repo/src/baas/latency_model.cc" "src/baas/CMakeFiles/taureau_baas.dir/latency_model.cc.o" "gcc" "src/baas/CMakeFiles/taureau_baas.dir/latency_model.cc.o.d"
+  "/root/repo/src/baas/table_store.cc" "src/baas/CMakeFiles/taureau_baas.dir/table_store.cc.o" "gcc" "src/baas/CMakeFiles/taureau_baas.dir/table_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taureau_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_baas.dir/blob_store.cc.o"
+  "CMakeFiles/taureau_baas.dir/blob_store.cc.o.d"
+  "CMakeFiles/taureau_baas.dir/kv_store.cc.o"
+  "CMakeFiles/taureau_baas.dir/kv_store.cc.o.d"
+  "CMakeFiles/taureau_baas.dir/latency_model.cc.o"
+  "CMakeFiles/taureau_baas.dir/latency_model.cc.o.d"
+  "CMakeFiles/taureau_baas.dir/table_store.cc.o"
+  "CMakeFiles/taureau_baas.dir/table_store.cc.o.d"
+  "libtaureau_baas.a"
+  "libtaureau_baas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_baas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

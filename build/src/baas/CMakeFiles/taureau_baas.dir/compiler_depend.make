@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for taureau_baas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_cluster.dir/cluster.cc.o"
+  "CMakeFiles/taureau_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/taureau_cluster.dir/machine.cc.o"
+  "CMakeFiles/taureau_cluster.dir/machine.cc.o.d"
+  "CMakeFiles/taureau_cluster.dir/virtualization.cc.o"
+  "CMakeFiles/taureau_cluster.dir/virtualization.cc.o.d"
+  "libtaureau_cluster.a"
+  "libtaureau_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_common.dir/hash.cc.o"
+  "CMakeFiles/taureau_common.dir/hash.cc.o.d"
+  "CMakeFiles/taureau_common.dir/rng.cc.o"
+  "CMakeFiles/taureau_common.dir/rng.cc.o.d"
+  "CMakeFiles/taureau_common.dir/stats.cc.o"
+  "CMakeFiles/taureau_common.dir/stats.cc.o.d"
+  "CMakeFiles/taureau_common.dir/status.cc.o"
+  "CMakeFiles/taureau_common.dir/status.cc.o.d"
+  "libtaureau_common.a"
+  "libtaureau_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaureau_common.a"
+)

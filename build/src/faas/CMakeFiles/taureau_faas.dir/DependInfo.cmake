@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faas/billing.cc" "src/faas/CMakeFiles/taureau_faas.dir/billing.cc.o" "gcc" "src/faas/CMakeFiles/taureau_faas.dir/billing.cc.o.d"
+  "/root/repo/src/faas/platform.cc" "src/faas/CMakeFiles/taureau_faas.dir/platform.cc.o" "gcc" "src/faas/CMakeFiles/taureau_faas.dir/platform.cc.o.d"
+  "/root/repo/src/faas/prewarmer.cc" "src/faas/CMakeFiles/taureau_faas.dir/prewarmer.cc.o" "gcc" "src/faas/CMakeFiles/taureau_faas.dir/prewarmer.cc.o.d"
+  "/root/repo/src/faas/server_pool.cc" "src/faas/CMakeFiles/taureau_faas.dir/server_pool.cc.o" "gcc" "src/faas/CMakeFiles/taureau_faas.dir/server_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taureau_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/taureau_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

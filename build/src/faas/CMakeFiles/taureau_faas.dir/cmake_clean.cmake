@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_faas.dir/billing.cc.o"
+  "CMakeFiles/taureau_faas.dir/billing.cc.o.d"
+  "CMakeFiles/taureau_faas.dir/platform.cc.o"
+  "CMakeFiles/taureau_faas.dir/platform.cc.o.d"
+  "CMakeFiles/taureau_faas.dir/prewarmer.cc.o"
+  "CMakeFiles/taureau_faas.dir/prewarmer.cc.o.d"
+  "CMakeFiles/taureau_faas.dir/server_pool.cc.o"
+  "CMakeFiles/taureau_faas.dir/server_pool.cc.o.d"
+  "libtaureau_faas.a"
+  "libtaureau_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

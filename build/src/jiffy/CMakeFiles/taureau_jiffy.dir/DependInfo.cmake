@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jiffy/baselines.cc" "src/jiffy/CMakeFiles/taureau_jiffy.dir/baselines.cc.o" "gcc" "src/jiffy/CMakeFiles/taureau_jiffy.dir/baselines.cc.o.d"
+  "/root/repo/src/jiffy/controller.cc" "src/jiffy/CMakeFiles/taureau_jiffy.dir/controller.cc.o" "gcc" "src/jiffy/CMakeFiles/taureau_jiffy.dir/controller.cc.o.d"
+  "/root/repo/src/jiffy/data_structures.cc" "src/jiffy/CMakeFiles/taureau_jiffy.dir/data_structures.cc.o" "gcc" "src/jiffy/CMakeFiles/taureau_jiffy.dir/data_structures.cc.o.d"
+  "/root/repo/src/jiffy/memory_pool.cc" "src/jiffy/CMakeFiles/taureau_jiffy.dir/memory_pool.cc.o" "gcc" "src/jiffy/CMakeFiles/taureau_jiffy.dir/memory_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taureau_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baas/CMakeFiles/taureau_baas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

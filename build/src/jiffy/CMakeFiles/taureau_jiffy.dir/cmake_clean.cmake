@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_jiffy.dir/baselines.cc.o"
+  "CMakeFiles/taureau_jiffy.dir/baselines.cc.o.d"
+  "CMakeFiles/taureau_jiffy.dir/controller.cc.o"
+  "CMakeFiles/taureau_jiffy.dir/controller.cc.o.d"
+  "CMakeFiles/taureau_jiffy.dir/data_structures.cc.o"
+  "CMakeFiles/taureau_jiffy.dir/data_structures.cc.o.d"
+  "CMakeFiles/taureau_jiffy.dir/memory_pool.cc.o"
+  "CMakeFiles/taureau_jiffy.dir/memory_pool.cc.o.d"
+  "libtaureau_jiffy.a"
+  "libtaureau_jiffy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_jiffy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

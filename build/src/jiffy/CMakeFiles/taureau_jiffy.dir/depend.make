@@ -1,0 +1,2 @@
+# Empty dependencies file for taureau_jiffy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_ml.dir/dataset.cc.o"
+  "CMakeFiles/taureau_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/taureau_ml.dir/hyperparam.cc.o"
+  "CMakeFiles/taureau_ml.dir/hyperparam.cc.o.d"
+  "CMakeFiles/taureau_ml.dir/inference.cc.o"
+  "CMakeFiles/taureau_ml.dir/inference.cc.o.d"
+  "CMakeFiles/taureau_ml.dir/training.cc.o"
+  "CMakeFiles/taureau_ml.dir/training.cc.o.d"
+  "libtaureau_ml.a"
+  "libtaureau_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orchestration/composition.cc" "src/orchestration/CMakeFiles/taureau_orchestration.dir/composition.cc.o" "gcc" "src/orchestration/CMakeFiles/taureau_orchestration.dir/composition.cc.o.d"
+  "/root/repo/src/orchestration/orchestrator.cc" "src/orchestration/CMakeFiles/taureau_orchestration.dir/orchestrator.cc.o" "gcc" "src/orchestration/CMakeFiles/taureau_orchestration.dir/orchestrator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taureau_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/taureau_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/taureau_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_orchestration.dir/composition.cc.o"
+  "CMakeFiles/taureau_orchestration.dir/composition.cc.o.d"
+  "CMakeFiles/taureau_orchestration.dir/orchestrator.cc.o"
+  "CMakeFiles/taureau_orchestration.dir/orchestrator.cc.o.d"
+  "libtaureau_orchestration.a"
+  "libtaureau_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/bookkeeper.cc" "src/pubsub/CMakeFiles/taureau_pubsub.dir/bookkeeper.cc.o" "gcc" "src/pubsub/CMakeFiles/taureau_pubsub.dir/bookkeeper.cc.o.d"
+  "/root/repo/src/pubsub/broker.cc" "src/pubsub/CMakeFiles/taureau_pubsub.dir/broker.cc.o" "gcc" "src/pubsub/CMakeFiles/taureau_pubsub.dir/broker.cc.o.d"
+  "/root/repo/src/pubsub/functions.cc" "src/pubsub/CMakeFiles/taureau_pubsub.dir/functions.cc.o" "gcc" "src/pubsub/CMakeFiles/taureau_pubsub.dir/functions.cc.o.d"
+  "/root/repo/src/pubsub/geo_replication.cc" "src/pubsub/CMakeFiles/taureau_pubsub.dir/geo_replication.cc.o" "gcc" "src/pubsub/CMakeFiles/taureau_pubsub.dir/geo_replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taureau_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/taureau_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/baas/CMakeFiles/taureau_baas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_pubsub.dir/bookkeeper.cc.o"
+  "CMakeFiles/taureau_pubsub.dir/bookkeeper.cc.o.d"
+  "CMakeFiles/taureau_pubsub.dir/broker.cc.o"
+  "CMakeFiles/taureau_pubsub.dir/broker.cc.o.d"
+  "CMakeFiles/taureau_pubsub.dir/functions.cc.o"
+  "CMakeFiles/taureau_pubsub.dir/functions.cc.o.d"
+  "CMakeFiles/taureau_pubsub.dir/geo_replication.cc.o"
+  "CMakeFiles/taureau_pubsub.dir/geo_replication.cc.o.d"
+  "libtaureau_pubsub.a"
+  "libtaureau_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/oblivious_store.cc" "src/security/CMakeFiles/taureau_security.dir/oblivious_store.cc.o" "gcc" "src/security/CMakeFiles/taureau_security.dir/oblivious_store.cc.o.d"
+  "/root/repo/src/security/path_oram.cc" "src/security/CMakeFiles/taureau_security.dir/path_oram.cc.o" "gcc" "src/security/CMakeFiles/taureau_security.dir/path_oram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baas/CMakeFiles/taureau_baas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/taureau_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_security.dir/oblivious_store.cc.o"
+  "CMakeFiles/taureau_security.dir/oblivious_store.cc.o.d"
+  "CMakeFiles/taureau_security.dir/path_oram.cc.o"
+  "CMakeFiles/taureau_security.dir/path_oram.cc.o.d"
+  "libtaureau_security.a"
+  "libtaureau_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

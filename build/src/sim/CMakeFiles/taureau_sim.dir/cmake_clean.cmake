@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_sim.dir/simulation.cc.o"
+  "CMakeFiles/taureau_sim.dir/simulation.cc.o.d"
+  "libtaureau_sim.a"
+  "libtaureau_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/ams.cc" "src/sketch/CMakeFiles/taureau_sketch.dir/ams.cc.o" "gcc" "src/sketch/CMakeFiles/taureau_sketch.dir/ams.cc.o.d"
+  "/root/repo/src/sketch/bloom.cc" "src/sketch/CMakeFiles/taureau_sketch.dir/bloom.cc.o" "gcc" "src/sketch/CMakeFiles/taureau_sketch.dir/bloom.cc.o.d"
+  "/root/repo/src/sketch/countmin.cc" "src/sketch/CMakeFiles/taureau_sketch.dir/countmin.cc.o" "gcc" "src/sketch/CMakeFiles/taureau_sketch.dir/countmin.cc.o.d"
+  "/root/repo/src/sketch/frequent_directions.cc" "src/sketch/CMakeFiles/taureau_sketch.dir/frequent_directions.cc.o" "gcc" "src/sketch/CMakeFiles/taureau_sketch.dir/frequent_directions.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/sketch/CMakeFiles/taureau_sketch.dir/hyperloglog.cc.o" "gcc" "src/sketch/CMakeFiles/taureau_sketch.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/quantiles.cc" "src/sketch/CMakeFiles/taureau_sketch.dir/quantiles.cc.o" "gcc" "src/sketch/CMakeFiles/taureau_sketch.dir/quantiles.cc.o.d"
+  "/root/repo/src/sketch/spacesaving.cc" "src/sketch/CMakeFiles/taureau_sketch.dir/spacesaving.cc.o" "gcc" "src/sketch/CMakeFiles/taureau_sketch.dir/spacesaving.cc.o.d"
+  "/root/repo/src/sketch/streaming_kmeans.cc" "src/sketch/CMakeFiles/taureau_sketch.dir/streaming_kmeans.cc.o" "gcc" "src/sketch/CMakeFiles/taureau_sketch.dir/streaming_kmeans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taureau_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_sketch.dir/ams.cc.o"
+  "CMakeFiles/taureau_sketch.dir/ams.cc.o.d"
+  "CMakeFiles/taureau_sketch.dir/bloom.cc.o"
+  "CMakeFiles/taureau_sketch.dir/bloom.cc.o.d"
+  "CMakeFiles/taureau_sketch.dir/countmin.cc.o"
+  "CMakeFiles/taureau_sketch.dir/countmin.cc.o.d"
+  "CMakeFiles/taureau_sketch.dir/frequent_directions.cc.o"
+  "CMakeFiles/taureau_sketch.dir/frequent_directions.cc.o.d"
+  "CMakeFiles/taureau_sketch.dir/hyperloglog.cc.o"
+  "CMakeFiles/taureau_sketch.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/taureau_sketch.dir/quantiles.cc.o"
+  "CMakeFiles/taureau_sketch.dir/quantiles.cc.o.d"
+  "CMakeFiles/taureau_sketch.dir/spacesaving.cc.o"
+  "CMakeFiles/taureau_sketch.dir/spacesaving.cc.o.d"
+  "CMakeFiles/taureau_sketch.dir/streaming_kmeans.cc.o"
+  "CMakeFiles/taureau_sketch.dir/streaming_kmeans.cc.o.d"
+  "libtaureau_sketch.a"
+  "libtaureau_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taureau_workload.dir/apps.cc.o"
+  "CMakeFiles/taureau_workload.dir/apps.cc.o.d"
+  "CMakeFiles/taureau_workload.dir/arrivals.cc.o"
+  "CMakeFiles/taureau_workload.dir/arrivals.cc.o.d"
+  "libtaureau_workload.a"
+  "libtaureau_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taureau_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_test.dir/jiffy_test.cc.o"
+  "CMakeFiles/jiffy_test.dir/jiffy_test.cc.o.d"
+  "jiffy_test"
+  "jiffy_test.pdb"
+  "jiffy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestration_test.dir/orchestration_test.cc.o"
+  "CMakeFiles/orchestration_test.dir/orchestration_test.cc.o.d"
+  "orchestration_test"
+  "orchestration_test.pdb"
+  "orchestration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/faas_test[1]_include.cmake")
+include("/root/repo/build/tests/pubsub_test[1]_include.cmake")
+include("/root/repo/build/tests/jiffy_test[1]_include.cmake")
+include("/root/repo/build/tests/orchestration_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
