@@ -1,0 +1,59 @@
+#include "chaos/circuit_breaker.h"
+
+namespace taureau::chaos {
+
+void CircuitBreaker::Advance(SimTime now) {
+  if (state_ == State::kOpen &&
+      now - opened_at_us_ >= config_.open_duration_us) {
+    state_ = State::kHalfOpen;
+    probes_in_flight_ = 0;
+  }
+}
+
+bool CircuitBreaker::AllowRequest(SimTime now) {
+  Advance(now);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      ++shed_;
+      return false;
+    case State::kHalfOpen:
+      if (probes_in_flight_ < config_.half_open_probes) {
+        ++probes_in_flight_;
+        return true;
+      }
+      ++shed_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(SimTime now) {
+  Advance(now);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    probes_in_flight_ = 0;
+  }
+}
+
+void CircuitBreaker::RecordFailure(SimTime now) {
+  Advance(now);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= config_.failure_threshold)) {
+    state_ = State::kOpen;
+    opened_at_us_ = now;
+    probes_in_flight_ = 0;
+    ++trips_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(SimTime now) {
+  Advance(now);
+  return state_;
+}
+
+}  // namespace taureau::chaos

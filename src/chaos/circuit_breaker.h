@@ -1,0 +1,58 @@
+// Circuit breaker (§6: overloaded or failing backends should shed load
+// proactively instead of queueing requests into timeout).
+//
+// Classic three-state machine driven by simulated time passed in by the
+// caller (no simulator dependency, so it embeds anywhere):
+//   closed    — requests flow; consecutive failures are counted.
+//   open      — requests are refused (shed) until `open_duration_us` passes.
+//   half-open — a limited number of probe requests are admitted; one
+//               success closes the breaker, one failure re-opens it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time_types.h"
+
+namespace taureau::chaos {
+
+class CircuitBreaker {
+ public:
+  struct Config {
+    /// Consecutive failures that trip the breaker.
+    int failure_threshold = 5;
+    /// How long the breaker stays open before probing.
+    SimDuration open_duration_us = 1 * kSecond;
+    /// Probes admitted while half-open.
+    int half_open_probes = 1;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() : CircuitBreaker(Config()) {}
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// True when the request may proceed at `now`; false = shed it.
+  bool AllowRequest(SimTime now);
+
+  void RecordSuccess(SimTime now);
+  void RecordFailure(SimTime now);
+
+  State state(SimTime now);
+
+  uint64_t shed_count() const { return shed_; }
+  uint64_t trip_count() const { return trips_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  void Advance(SimTime now);  ///< open -> half-open when the window lapses.
+
+  Config config_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_in_flight_ = 0;
+  SimTime opened_at_us_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t trips_ = 0;
+};
+
+}  // namespace taureau::chaos

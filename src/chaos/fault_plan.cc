@@ -1,0 +1,143 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace taureau::chaos {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMachineCrash:
+      return "machine-crash";
+    case FaultKind::kMachineRestart:
+      return "machine-restart";
+    case FaultKind::kContainerKill:
+      return "container-kill";
+    case FaultKind::kNetworkDelay:
+      return "network-delay";
+    case FaultKind::kNetworkPartition:
+      return "network-partition";
+    case FaultKind::kPartitionHeal:
+      return "partition-heal";
+    case FaultKind::kBookieCrash:
+      return "bookie-crash";
+    case FaultKind::kBookieRecover:
+      return "bookie-recover";
+    case FaultKind::kMemoryNodeFail:
+      return "memory-node-fail";
+    case FaultKind::kMemoryNodeRecover:
+      return "memory-node-recover";
+    case FaultKind::kMessageDrop:
+      return "message-drop";
+    case FaultKind::kMessageDuplicate:
+      return "message-duplicate";
+    case FaultKind::kStepRedeliver:
+      return "step-redeliver";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool EventOrder(const FaultEvent& a, const FaultEvent& b) {
+  if (a.at_us != b.at_us) return a.at_us < b.at_us;
+  if (a.kind != b.kind) return int(a.kind) < int(b.kind);
+  return a.target < b.target;
+}
+
+/// Emits Poisson arrivals of `kind` over [0, horizon). `targets` bounds the
+/// uniform victim draw (0 = keyless, target is a raw selection key).
+/// When `recovery_kind` is set, a paired recovery event lands
+/// `recover_after` later (possibly past the horizon — recovery completes).
+void EmitClass(std::vector<FaultEvent>* out, Rng* rng, SimTime horizon,
+               double rate_per_s, FaultKind kind, size_t targets,
+               SimDuration recover_after, FaultKind recovery_kind,
+               bool has_recovery) {
+  if (rate_per_s <= 0.0 || horizon <= 0) return;
+  double t_us = 0.0;
+  while (true) {
+    t_us += rng->NextExponential(rate_per_s / double(kSecond));
+    if (t_us >= double(horizon)) break;
+    FaultEvent ev;
+    ev.at_us = static_cast<SimTime>(t_us);
+    ev.kind = kind;
+    ev.target = targets > 0 ? rng->NextBounded(targets) : rng->NextU64();
+    ev.param = static_cast<uint64_t>(recover_after);
+    out->push_back(ev);
+    if (has_recovery && recover_after > 0) {
+      FaultEvent rec;
+      rec.at_us = ev.at_us + recover_after;
+      rec.kind = recovery_kind;
+      rec.target = ev.target;
+      out->push_back(rec);
+    }
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Generate(const FaultPlanConfig& config, Rng* rng) {
+  FaultPlan plan;
+  auto* out = &plan.events_;
+  const SimTime h = config.horizon_us;
+  EmitClass(out, rng, h, config.machine_crash_per_s, FaultKind::kMachineCrash,
+            config.num_machines, config.machine_restart_after_us,
+            FaultKind::kMachineRestart, true);
+  EmitClass(out, rng, h, config.container_kill_per_s,
+            FaultKind::kContainerKill, 0, 0, FaultKind::kContainerKill,
+            false);
+  EmitClass(out, rng, h, config.network_delay_per_s, FaultKind::kNetworkDelay,
+            config.num_machines, 0, FaultKind::kNetworkDelay, false);
+  EmitClass(out, rng, h, config.partition_per_s, FaultKind::kNetworkPartition,
+            config.num_machines, config.partition_heal_after_us,
+            FaultKind::kPartitionHeal, true);
+  EmitClass(out, rng, h, config.bookie_crash_per_s, FaultKind::kBookieCrash,
+            config.num_bookies, config.bookie_recover_after_us,
+            FaultKind::kBookieRecover, true);
+  EmitClass(out, rng, h, config.memory_node_fail_per_s,
+            FaultKind::kMemoryNodeFail, config.num_memory_nodes,
+            config.memory_node_recover_after_us, FaultKind::kMemoryNodeRecover,
+            true);
+  EmitClass(out, rng, h, config.message_drop_per_s, FaultKind::kMessageDrop,
+            0, 0, FaultKind::kMessageDrop, false);
+  EmitClass(out, rng, h, config.message_duplicate_per_s,
+            FaultKind::kMessageDuplicate, 0, 0, FaultKind::kMessageDuplicate,
+            false);
+  EmitClass(out, rng, h, config.step_redeliver_per_s,
+            FaultKind::kStepRedeliver, 0, 0, FaultKind::kStepRedeliver, false);
+  // Network-delay events carry the spike size, not a recovery delay.
+  for (auto& ev : *out) {
+    if (ev.kind == FaultKind::kNetworkDelay) {
+      ev.param = static_cast<uint64_t>(config.network_delay_us);
+    }
+  }
+  std::sort(out->begin(), out->end(), EventOrder);
+  return plan;
+}
+
+void FaultPlan::Add(FaultEvent event) {
+  auto it = std::upper_bound(events_.begin(), events_.end(), event, EventOrder);
+  events_.insert(it, event);
+}
+
+size_t FaultPlan::CountKind(FaultKind kind) const {
+  return static_cast<size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  char line[128];
+  for (const FaultEvent& e : events_) {
+    std::snprintf(line, sizeof(line), "%12lld us  %-19s target=%llu param=%llu\n",
+                  static_cast<long long>(e.at_us),
+                  std::string(FaultKindName(e.kind)).c_str(),
+                  static_cast<unsigned long long>(e.target),
+                  static_cast<unsigned long long>(e.param));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace taureau::chaos

@@ -1,0 +1,27 @@
+#include "chaos/idempotency.h"
+
+namespace taureau::chaos {
+
+const IdempotencyCache::Entry* IdempotencyCache::Lookup(
+    const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++hits_;
+  return &it->second;
+}
+
+bool IdempotencyCache::Record(const std::string& key, Status status,
+                              std::string output) {
+  auto [it, inserted] =
+      entries_.emplace(key, Entry{std::move(status), std::move(output)});
+  if (!inserted) ++duplicate_records_;
+  return inserted;
+}
+
+void IdempotencyCache::Clear() {
+  entries_.clear();
+  hits_ = 0;
+  duplicate_records_ = 0;
+}
+
+}  // namespace taureau::chaos

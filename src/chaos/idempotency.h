@@ -1,0 +1,48 @@
+// Idempotency keys for at-least-once execution (Jangda et al., "Formal
+// Foundations of Serverless Computing": naive retry of non-idempotent
+// steps double-applies side effects; recording completed steps under a
+// client-supplied key makes re-delivery safe).
+//
+// The orchestrator records each completed step under
+// "<run key>:<node path>:<input hash>"; a re-delivered step with the same
+// key replays the recorded output instead of re-invoking the function — no
+// second side effect, no second charge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace taureau::chaos {
+
+class IdempotencyCache {
+ public:
+  struct Entry {
+    Status status;
+    std::string output;
+  };
+
+  /// The recorded completion for `key`, or nullptr if none. Counts a hit
+  /// when found.
+  const Entry* Lookup(const std::string& key);
+
+  /// Records a completion. First writer wins: returns false (and leaves
+  /// the original record) when the key was already recorded — the caller
+  /// is the duplicate.
+  bool Record(const std::string& key, Status status, std::string output);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t duplicate_records() const { return duplicate_records_; }
+
+  void Clear();
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t duplicate_records_ = 0;
+};
+
+}  // namespace taureau::chaos

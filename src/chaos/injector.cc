@@ -1,0 +1,98 @@
+#include "chaos/injector.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace taureau::chaos {
+
+size_t FaultLog::injected_count() const {
+  return static_cast<size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const FaultRecord& r) { return !r.recovery; }));
+}
+
+size_t FaultLog::recovery_count() const {
+  return records_.size() - injected_count();
+}
+
+size_t FaultLog::CountKind(FaultKind kind, bool recovery) const {
+  return static_cast<size_t>(std::count_if(
+      records_.begin(), records_.end(), [kind, recovery](const FaultRecord& r) {
+        return r.kind == kind && r.recovery == recovery;
+      }));
+}
+
+std::string FaultLog::ToString() const {
+  std::string out;
+  char line[160];
+  for (const FaultRecord& r : records_) {
+    std::snprintf(line, sizeof(line), "%12lld us  %-7s %-19s target=%llu [%s] %s\n",
+                  static_cast<long long>(r.at_us),
+                  r.recovery ? "recover" : "inject",
+                  std::string(FaultKindName(r.kind)).c_str(),
+                  static_cast<unsigned long long>(r.target), r.module.c_str(),
+                  r.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+void InjectorRegistry::RegisterHook(const std::string& module, FaultKind kind,
+                                    Hook hook) {
+  hooks_[kind].push_back({module, std::move(hook)});
+}
+
+size_t InjectorRegistry::hook_count(FaultKind kind) const {
+  auto it = hooks_.find(kind);
+  return it == hooks_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> InjectorRegistry::modules() const {
+  std::vector<std::string> out;
+  for (const auto& [kind, regs] : hooks_) {
+    for (const auto& reg : regs) {
+      if (std::find(out.begin(), out.end(), reg.module) == out.end()) {
+        out.push_back(reg.module);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void InjectorRegistry::Arm(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events()) {
+    sim_->ScheduleAt(event.at_us, [this, event] { Inject(event); });
+  }
+}
+
+void InjectorRegistry::Inject(const FaultEvent& event) {
+  ++injected_;
+  auto it = hooks_.find(event.kind);
+  const bool handled = it != hooks_.end() && !it->second.empty();
+  FaultRecord record;
+  record.at_us = sim_->Now();
+  record.recovery = false;
+  record.kind = event.kind;
+  record.target = event.target;
+  record.module = handled ? it->second.front().module : "(unhandled)";
+  record.detail = "param=" + std::to_string(event.param);
+  log_.Record(std::move(record));
+  if (!handled) return;
+  for (const Registration& reg : it->second) reg.hook(event);
+}
+
+void InjectorRegistry::RecordRecovery(const std::string& module,
+                                      FaultKind kind, uint64_t target,
+                                      std::string detail) {
+  FaultRecord record;
+  record.at_us = sim_->Now();
+  record.recovery = true;
+  record.kind = kind;
+  record.target = target;
+  record.module = module;
+  record.detail = std::move(detail);
+  log_.Record(std::move(record));
+}
+
+}  // namespace taureau::chaos

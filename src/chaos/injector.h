@@ -1,0 +1,110 @@
+// The fault-injection hub: modules register hooks, plans arm the
+// simulation, and every injected fault and every recovery action lands in
+// one deterministic FaultLog.
+//
+// Flow: each layer (cluster, faas, pubsub, jiffy, orchestration) calls
+// RegisterHook() for the fault kinds it understands. Arm(plan) schedules
+// every FaultEvent on the discrete-event simulator; when an event fires,
+// the registry dispatches it to the hooks for its kind (in registration
+// order — deterministic) and records the injection. Modules call
+// RecordRecovery() when they repair the damage (re-replication, retry
+// success, ensemble change), so tests can assert the full
+// injection/recovery ledger and E20 can report recovery times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
+
+namespace taureau::chaos {
+
+/// One line of the chaos ledger: an injected fault or a recovery action.
+struct FaultRecord {
+  SimTime at_us = 0;
+  bool recovery = false;  ///< false = injected fault, true = repair action.
+  FaultKind kind = FaultKind::kMachineCrash;
+  uint64_t target = 0;
+  std::string module;  ///< Who handled it ("cluster", "faas", ...).
+  std::string detail;  ///< Free-form, deterministic description.
+
+  bool operator==(const FaultRecord&) const = default;
+};
+
+/// Append-only record of everything chaos did and everything the platform
+/// did about it. Two runs with the same seed must produce equal logs.
+class FaultLog {
+ public:
+  void Record(FaultRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<FaultRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  size_t injected_count() const;
+  size_t recovery_count() const;
+  size_t CountKind(FaultKind kind, bool recovery) const;
+
+  /// Deterministic one-record-per-line rendering (the E20 determinism
+  /// assertion compares these byte-for-byte).
+  std::string ToString() const;
+
+  bool operator==(const FaultLog&) const = default;
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+/// Hook + dispatch registry. One per experiment; modules attach to it.
+class InjectorRegistry {
+ public:
+  explicit InjectorRegistry(sim::Simulation* sim) : sim_(sim) {}
+
+  InjectorRegistry(const InjectorRegistry&) = delete;
+  InjectorRegistry& operator=(const InjectorRegistry&) = delete;
+
+  using Hook = std::function<void(const FaultEvent&)>;
+
+  /// Registers `hook` for `kind`. `module` names the layer for the log.
+  void RegisterHook(const std::string& module, FaultKind kind, Hook hook);
+
+  /// Hooks registered for a kind (tests assert all five layers attached).
+  size_t hook_count(FaultKind kind) const;
+  /// Distinct module names that registered any hook.
+  std::vector<std::string> modules() const;
+
+  /// Schedules every event of `plan` on the simulation. May be called
+  /// multiple times (plans compose).
+  void Arm(const FaultPlan& plan);
+
+  /// Dispatches one event right now (targeted tests, and module-initiated
+  /// transitions like BookKeeper::CrashBookie that must flow through the
+  /// registry). Records the injection even when no hook handles it.
+  void Inject(const FaultEvent& event);
+
+  /// Modules report repair actions here.
+  void RecordRecovery(const std::string& module, FaultKind kind,
+                      uint64_t target, std::string detail);
+
+  FaultLog& log() { return log_; }
+  const FaultLog& log() const { return log_; }
+  sim::Simulation* sim() const { return sim_; }
+  uint64_t injected() const { return injected_; }
+
+ private:
+  struct Registration {
+    std::string module;
+    Hook hook;
+  };
+
+  sim::Simulation* sim_;
+  std::map<FaultKind, std::vector<Registration>> hooks_;
+  FaultLog log_;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace taureau::chaos

@@ -1,0 +1,35 @@
+#include "chaos/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace taureau::chaos {
+
+SimDuration RetryPolicy::BackoffFor(int failed_attempt, Rng* rng) const {
+  if (initial_backoff_us <= 0) return 0;
+  double backoff = double(initial_backoff_us) *
+                   std::pow(std::max(1.0, multiplier),
+                            double(std::max(0, failed_attempt)));
+  if (max_backoff_us > 0) {
+    backoff = std::min(backoff, double(max_backoff_us));
+  }
+  if (jitter > 0 && rng != nullptr) {
+    backoff *= rng->NextDouble(1.0 - jitter, 1.0 + jitter);
+  }
+  return static_cast<SimDuration>(std::max(0.0, backoff));
+}
+
+std::string RetryPolicy::ToString() const {
+  char buf[96];
+  if (initial_backoff_us <= 0) {
+    std::snprintf(buf, sizeof(buf), "%dx immediate", max_attempts);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%dx exp(%.0fms..%.1fs, x%.1f, j%.1f)",
+                  max_attempts, ToMillis(initial_backoff_us),
+                  ToSeconds(max_backoff_us), multiplier, jitter);
+  }
+  return buf;
+}
+
+}  // namespace taureau::chaos

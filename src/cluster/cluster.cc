@@ -203,6 +203,85 @@ size_t Cluster::CoResidentTenantPairs() const {
   return pairs;
 }
 
+Result<std::vector<UnitId>> Cluster::CrashMachine(MachineId id) {
+  if (id >= machines_.size()) {
+    return Status::NotFound("machine " + std::to_string(id));
+  }
+  Machine& m = *machines_[id];
+  m.set_healthy(false);
+  std::vector<UnitId> evicted;
+  evicted.reserve(m.unit_count());
+  for (const auto& [uid, unit] : m.units()) evicted.push_back(uid);
+  std::sort(evicted.begin(), evicted.end());
+  for (UnitId uid : evicted) {
+    m.Remove(uid);  // cannot fail: the id came from the unit map
+    unit_to_machine_.erase(uid);
+  }
+  return evicted;
+}
+
+Status Cluster::RestartMachine(MachineId id) {
+  if (id >= machines_.size()) {
+    return Status::NotFound("machine " + std::to_string(id));
+  }
+  machines_[id]->set_healthy(true);
+  return Status::OK();
+}
+
+Status Cluster::PartitionMachine(MachineId id) {
+  if (id >= machines_.size()) {
+    return Status::NotFound("machine " + std::to_string(id));
+  }
+  machines_[id]->set_reachable(false);
+  return Status::OK();
+}
+
+Status Cluster::HealPartition(MachineId id) {
+  if (id >= machines_.size()) {
+    return Status::NotFound("machine " + std::to_string(id));
+  }
+  machines_[id]->set_reachable(true);
+  return Status::OK();
+}
+
+size_t Cluster::usable_machine_count() const {
+  return static_cast<size_t>(
+      std::count_if(machines_.begin(), machines_.end(),
+                    [](const auto& m) { return m->usable(); }));
+}
+
+void Cluster::AttachChaos(chaos::InjectorRegistry* registry) {
+  using chaos::FaultKind;
+  registry->RegisterHook(
+      "cluster", FaultKind::kMachineCrash, [this](const chaos::FaultEvent& e) {
+        CrashMachine(static_cast<MachineId>(e.target % machines_.size()));
+      });
+  registry->RegisterHook(
+      "cluster", FaultKind::kMachineRestart,
+      [this, registry](const chaos::FaultEvent& e) {
+        const MachineId id = static_cast<MachineId>(e.target % machines_.size());
+        if (RestartMachine(id).ok()) {
+          registry->RecordRecovery("cluster", chaos::FaultKind::kMachineCrash,
+                                   id, "machine restarted empty");
+        }
+      });
+  registry->RegisterHook(
+      "cluster", FaultKind::kNetworkPartition,
+      [this](const chaos::FaultEvent& e) {
+        PartitionMachine(static_cast<MachineId>(e.target % machines_.size()));
+      });
+  registry->RegisterHook(
+      "cluster", FaultKind::kPartitionHeal,
+      [this, registry](const chaos::FaultEvent& e) {
+        const MachineId id = static_cast<MachineId>(e.target % machines_.size());
+        if (HealPartition(id).ok()) {
+          registry->RecordRecovery("cluster",
+                                   chaos::FaultKind::kNetworkPartition, id,
+                                   "partition healed");
+        }
+      });
+}
+
 Money Cluster::ReservedCost(size_t n, SimDuration duration) const {
   // Round to integer machine-microseconds to stay exact: price/hour * usec.
   const int64_t nano_per_hour = machine_hour_price_.nano_dollars();

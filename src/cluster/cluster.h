@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chaos/injector.h"
 #include "cluster/machine.h"
 #include "common/money.h"
 #include "common/status.h"
@@ -85,6 +86,32 @@ class Cluster {
   /// Cost of keeping `n` machines reserved for `duration` (server-centric
   /// pricing baseline for E3).
   Money ReservedCost(size_t n, SimDuration duration) const;
+
+  // ------------------------------------------------------------- chaos
+  // Fault transitions (E20). These are also reachable through an attached
+  // InjectorRegistry so every layer shares one failure semantics.
+
+  /// Crashes a machine: marks it down and force-evicts every hosted unit.
+  /// Returns the evicted unit ids in ascending order (the FaaS layer kills
+  /// the corresponding containers from its own hook).
+  Result<std::vector<UnitId>> CrashMachine(MachineId id);
+
+  /// Brings a crashed machine back empty.
+  Status RestartMachine(MachineId id);
+
+  /// Network partition: the machine keeps its units but accepts no new
+  /// placements and is unreachable until healed.
+  Status PartitionMachine(MachineId id);
+  Status HealPartition(MachineId id);
+
+  bool MachineUsable(MachineId id) const {
+    return id < machines_.size() && machines_[id]->usable();
+  }
+  size_t usable_machine_count() const;
+
+  /// Registers machine-crash/restart and partition/heal hooks under the
+  /// "cluster" module. Restart and heal actions are logged as recoveries.
+  void AttachChaos(chaos::InjectorRegistry* registry);
 
  private:
   /// Returns the chosen machine index or -1. When `sole_tenant` is

@@ -39,6 +39,18 @@ class Machine {
   const ResourceVector& allocated() const { return allocated_; }
   ResourceVector Free() const { return capacity_ - allocated_; }
 
+  /// Crash/restart state (chaos injection). A crashed machine hosts
+  /// nothing; its units are evicted by Cluster::CrashMachine.
+  bool healthy() const { return healthy_; }
+  void set_healthy(bool healthy) { healthy_ = healthy; }
+
+  /// Network partition state: a partitioned machine keeps its units but
+  /// accepts no new placements and cannot be reached.
+  bool reachable() const { return reachable_; }
+  void set_reachable(bool reachable) { reachable_ = reachable; }
+
+  bool usable() const { return healthy_ && reachable_; }
+
   /// Fraction of the dominant resource in use, in [0,1].
   double Utilization() const { return allocated_.DominantShare(capacity_); }
   double CpuUtilization() const {
@@ -52,9 +64,10 @@ class Machine {
                : 0.0;
   }
 
-  /// True when `footprint` fits in the remaining capacity.
+  /// True when the machine is usable and `footprint` fits in the remaining
+  /// capacity.
   bool CanHost(const ResourceVector& footprint) const {
-    return footprint.FitsIn(Free());
+    return usable() && footprint.FitsIn(Free());
   }
 
   /// Places a unit. Fails with ResourceExhausted if it does not fit.
@@ -72,6 +85,8 @@ class Machine {
   MachineId id_;
   ResourceVector capacity_;
   ResourceVector allocated_;
+  bool healthy_ = true;
+  bool reachable_ = true;
   std::unordered_map<UnitId, ExecutionUnit> units_;
 };
 

@@ -63,11 +63,15 @@ Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
   inv->attempt_start_us = sim_->Now();
   ++metrics_.invocations;
 
-  const double mu = std::log(std::max<double>(1, config_.dispatch_median_us));
-  const SimDuration dispatch = static_cast<SimDuration>(
-      rng_.NextLogNormal(mu, config_.dispatch_sigma));
-  sim_->Schedule(dispatch, [this, inv] { Dispatch(inv); });
+  sim_->Schedule(SampleDispatchDelay(), [this, inv] { Dispatch(inv); });
   return inv->id;
+}
+
+SimDuration FaasPlatform::SampleDispatchDelay() {
+  const double mu = std::log(std::max<double>(1, config_.dispatch_median_us));
+  return static_cast<SimDuration>(
+             rng_.NextLogNormal(mu, config_.dispatch_sigma)) +
+         extra_dispatch_delay_us_;
 }
 
 Result<InvocationResult> FaasPlatform::InvokeSync(const std::string& function,
@@ -100,19 +104,23 @@ bool FaasPlatform::TryPlace(std::shared_ptr<Invocation> inv) {
   const FunctionSpec& spec = functions_.at(inv->function);
 
   // Prefer a warm container (most recently used — best cache locality and
-  // lets older ones age out).
+  // lets older ones age out). Containers on partitioned machines are
+  // unreachable and stay parked until the partition heals.
   auto pool_it = warm_pools_.find(inv->function);
-  if (pool_it != warm_pools_.end() && !pool_it->second.empty()) {
-    const uint64_t cid = pool_it->second.back();
-    pool_it->second.pop_back();
-    Container* c = containers_.at(cid).get();
-    if (c->keep_alive_event != 0) {
-      sim_->Cancel(c->keep_alive_event);
-      c->keep_alive_event = 0;
+  if (pool_it != warm_pools_.end()) {
+    auto& dq = pool_it->second;
+    for (auto it = dq.rbegin(); it != dq.rend(); ++it) {
+      Container* c = containers_.at(*it).get();
+      if (!cluster_->MachineUsable(c->machine)) continue;
+      dq.erase(std::next(it).base());
+      if (c->keep_alive_event != 0) {
+        sim_->Cancel(c->keep_alive_event);
+        c->keep_alive_event = 0;
+      }
+      c->busy = true;
+      StartOnContainer(std::move(inv), c, /*cold=*/false, /*startup_us=*/0);
+      return true;
     }
-    c->busy = true;
-    StartOnContainer(std::move(inv), c, /*cold=*/false, /*startup_us=*/0);
-    return true;
   }
 
   if (containers_.size() >= config_.max_concurrency) return false;
@@ -133,6 +141,7 @@ bool FaasPlatform::TryPlace(std::shared_ptr<Invocation> inv) {
   c->id = next_container_id_++;
   c->function = inv->function;
   c->unit = *unit;
+  c->machine = cluster_->MachineOf(*unit).value_or(0);
   c->created_us = sim_->Now();
   c->memory_mb =
       spec.demand.memory_mb +
@@ -182,13 +191,21 @@ void FaasPlatform::StartOnContainer(std::shared_ptr<Invocation> inv,
   }
 
   const uint64_t cid = container->id;
-  sim_->Schedule(startup_us + exec, [this, inv, cid, cold, startup_us, exec,
-                                     attempt_status]() mutable {
-    auto it = containers_.find(cid);
-    assert(it != containers_.end() && "busy container destroyed");
-    FinishAttempt(std::move(inv), it->second.get(), cold, startup_us, exec,
-                  attempt_status, "");
-  });
+  container->inflight = inv;
+  container->inflight_cold = cold;
+  container->inflight_startup_us = startup_us;
+  container->exec_began_us = sim_->Now() + startup_us;
+  container->inflight_event = sim_->Schedule(
+      startup_us + exec, [this, inv, cid, cold, startup_us, exec,
+                          attempt_status]() mutable {
+        auto it = containers_.find(cid);
+        assert(it != containers_.end() && "busy container destroyed");
+        Container* c = it->second.get();
+        c->inflight_event = 0;
+        c->inflight.reset();
+        FinishAttempt(std::move(inv), c, cold, startup_us, exec,
+                      attempt_status, "");
+      });
 }
 
 void FaasPlatform::FinishAttempt(std::shared_ptr<Invocation> inv,
@@ -223,21 +240,26 @@ void FaasPlatform::FinishAttempt(std::shared_ptr<Invocation> inv,
   if (!attempt_status.ok()) ++metrics_.failures;
 
   ReleaseToWarmPool(container);
+  RetryOrComplete(std::move(inv), cold, startup_us, exec_us,
+                  std::move(attempt_status), std::move(output));
+}
 
-  if (!attempt_status.ok() && inv->attempt < config_.max_retries) {
+void FaasPlatform::RetryOrComplete(std::shared_ptr<Invocation> inv, bool cold,
+                                   SimDuration startup_us, SimDuration exec_us,
+                                   Status attempt_status, std::string output) {
+  if (!attempt_status.ok() && inv->attempt + 1 < EffectiveMaxAttempts()) {
+    const int failed_attempt = inv->attempt;
     ++inv->attempt;
     inv->attempt_start_us = sim_->Now();
-    const double mu =
-        std::log(std::max<double>(1, config_.dispatch_median_us));
-    const SimDuration dispatch = static_cast<SimDuration>(
-        rng_.NextLogNormal(mu, config_.dispatch_sigma));
-    sim_->Schedule(dispatch,
-                   [this, inv = std::move(inv)] { Dispatch(inv); });
+    // Backoff (zero under the legacy policy) plus the usual dispatch hop.
+    const SimDuration delay =
+        config_.retry.BackoffFor(failed_attempt, &rng_) + SampleDispatchDelay();
+    sim_->Schedule(delay, [this, inv = std::move(inv)] { Dispatch(inv); });
     return;
   }
 
   if (!attempt_status.ok()) ++metrics_.exhausted;
-  Complete(std::move(inv), cold, startup_us, exec_us, attempt_status,
+  Complete(std::move(inv), cold, startup_us, exec_us, std::move(attempt_status),
            std::move(output));
 }
 
@@ -258,6 +280,13 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
   res.cost = inv->cost_so_far;
   ++metrics_.completions;
   metrics_.e2e_latency_us.Add(double(res.EndToEnd()));
+  if (inv->chaos_killed && res.status.ok()) {
+    ++metrics_.chaos_recoveries;
+    if (chaos_ != nullptr) {
+      chaos_->RecordRecovery("faas", chaos::FaultKind::kContainerKill, inv->id,
+                             "invocation retried to success after kill");
+    }
+  }
   if (inv->cb) inv->cb(res);
 }
 
@@ -332,6 +361,7 @@ Result<size_t> FaasPlatform::Prewarm(const std::string& function,
     c->id = next_container_id_++;
     c->function = function;
     c->unit = *unit;
+    c->machine = cluster_->MachineOf(*unit).value_or(0);
     c->created_us = sim_->Now();
     c->memory_mb =
         spec.demand.memory_mb +
@@ -355,6 +385,96 @@ Result<size_t> FaasPlatform::Prewarm(const std::string& function,
     ++started;
   }
   return started;
+}
+
+bool FaasPlatform::KillContainer(uint64_t container_id,
+                                 const std::string& reason) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) return false;
+  Container* c = it->second.get();
+  ++metrics_.killed_containers;
+
+  if (c->inflight != nullptr) {
+    // A running attempt dies with its container: cancel the scheduled
+    // completion, bill the execution time burned so far, and push the
+    // invocation back through the retry path.
+    sim_->Cancel(c->inflight_event);
+    c->inflight_event = 0;
+    std::shared_ptr<Invocation> inv = std::move(c->inflight);
+    c->inflight.reset();
+    const FunctionSpec& spec = functions_.at(inv->function);
+    const SimDuration elapsed_exec =
+        std::max<SimDuration>(0, sim_->Now() - c->exec_began_us);
+    inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
+                                       elapsed_exec, spec.demand.memory_mb);
+    metrics_.exec_latency_us.Add(double(elapsed_exec));
+    ++metrics_.failures;
+    inv->chaos_killed = true;
+    const bool cold = c->inflight_cold;
+    const SimDuration startup_us = c->inflight_startup_us;
+    ForceDestroyContainer(container_id);
+    RetryOrComplete(std::move(inv), cold, startup_us, elapsed_exec,
+                    Status::Unavailable("container killed: " + reason), "");
+  } else {
+    ForceDestroyContainer(container_id);
+  }
+  DrainPending();  // freed capacity may admit a queued invocation
+  return true;
+}
+
+size_t FaasPlatform::KillContainersOnMachine(cluster::MachineId machine,
+                                             const std::string& reason) {
+  std::vector<uint64_t> victims;
+  for (const auto& [id, c] : containers_) {
+    if (c->machine == machine) victims.push_back(id);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (uint64_t id : victims) KillContainer(id, reason);
+  return victims.size();
+}
+
+void FaasPlatform::ForceDestroyContainer(uint64_t container_id) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) return;
+  Container* c = it->second.get();
+  if (c->keep_alive_event != 0) {
+    sim_->Cancel(c->keep_alive_event);
+    c->keep_alive_event = 0;
+  }
+  c->busy = false;  // let DestroyContainer proceed even mid-attempt
+  DestroyContainer(container_id);
+}
+
+void FaasPlatform::AttachChaos(chaos::InjectorRegistry* registry) {
+  chaos_ = registry;
+  using chaos::FaultKind;
+  registry->RegisterHook(
+      "faas", FaultKind::kContainerKill, [this](const chaos::FaultEvent& e) {
+        if (containers_.empty()) return;
+        std::vector<uint64_t> ids;
+        ids.reserve(containers_.size());
+        for (const auto& [id, c] : containers_) ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
+        KillContainer(ids[e.target % ids.size()], "chaos container kill");
+      });
+  registry->RegisterHook(
+      "faas", FaultKind::kMachineCrash, [this](const chaos::FaultEvent& e) {
+        // The cluster hook (registered first) already evicted the units;
+        // our per-container machine snapshot still identifies the victims.
+        const size_t n = cluster_->machine_count();
+        if (n == 0) return;
+        KillContainersOnMachine(static_cast<cluster::MachineId>(e.target % n),
+                                "machine crash");
+      });
+  registry->RegisterHook(
+      "faas", FaultKind::kNetworkDelay, [this](const chaos::FaultEvent& e) {
+        const SimDuration spike = static_cast<SimDuration>(e.param);
+        extra_dispatch_delay_us_ += spike;
+        sim_->Schedule(config_.network_delay_window_us, [this, spike] {
+          extra_dispatch_delay_us_ =
+              std::max<SimDuration>(0, extra_dispatch_delay_us_ - spike);
+        });
+      });
 }
 
 void FaasPlatform::FlushWarmPool() {

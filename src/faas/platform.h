@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chaos/injector.h"
+#include "chaos/retry_policy.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -31,7 +33,16 @@ struct FaasConfig {
   /// Lambda-style throttling).
   bool queue_on_throttle = true;
   /// Automatic re-execution attempts after a failed/timed-out attempt.
+  /// Used when `retry.max_attempts <= 0` (legacy knob).
   int max_retries = 2;
+  /// Retry policy shared with the orchestrator (chaos::RetryPolicy). The
+  /// default (`max_attempts = 0`, zero backoff) preserves the legacy
+  /// behaviour: `max_retries` immediate re-dispatches. Set a real policy
+  /// (e.g. RetryPolicy::ExponentialJitter) to get backoff + jitter between
+  /// attempts.
+  chaos::RetryPolicy retry{0, 0, 2.0, 10 * kSecond, 0.0};
+  /// How long one injected network-delay spike inflates dispatch latency.
+  SimDuration network_delay_window_us = 1 * kSecond;
   /// Median platform dispatch overhead (routing, auth, scheduling).
   SimDuration dispatch_median_us = 2 * kMillisecond;
   double dispatch_sigma = 0.3;
@@ -68,6 +79,8 @@ struct PlatformMetrics {
   uint64_t timeouts = 0;
   uint64_t failures = 0;       ///< Attempt-level failures (pre-retry).
   uint64_t exhausted = 0;      ///< Invocations that failed after all retries.
+  uint64_t killed_containers = 0;  ///< Chaos: containers killed (busy or warm).
+  uint64_t chaos_recoveries = 0;   ///< Killed invocations that retried to OK.
   uint64_t peak_containers = 0;
   /// Memory-time integral over all container lifetimes (MB * microseconds);
   /// the resource cost of keep-alive policies in E2.
@@ -127,16 +140,48 @@ class FaasPlatform {
   /// Tears down all idle warm containers immediately (test hook).
   void FlushWarmPool();
 
+  // ------------------------------------------------------------- chaos
+  /// Registers container-kill, machine-crash and network-delay hooks under
+  /// the "faas" module. Invocations whose container is killed mid-flight
+  /// fail the attempt immediately and re-enter the retry path; an
+  /// invocation that was chaos-killed and later completes OK is logged as
+  /// a recovery.
+  void AttachChaos(chaos::InjectorRegistry* registry);
+
+  /// Kills one container (busy or warm). The running attempt, if any,
+  /// fails Unavailable and is billed for its elapsed execution time.
+  /// Returns false when the container does not exist.
+  bool KillContainer(uint64_t container_id, const std::string& reason);
+
+  /// Kills every container placed on `machine` (machine crash). Returns
+  /// the number killed.
+  size_t KillContainersOnMachine(cluster::MachineId machine,
+                                 const std::string& reason);
+
+  /// Extra dispatch latency currently injected (network-delay spikes).
+  SimDuration injected_dispatch_delay_us() const {
+    return extra_dispatch_delay_us_;
+  }
+
  private:
+  struct Invocation;
+
   struct Container {
     uint64_t id = 0;
     std::string function;
     cluster::UnitId unit = 0;
+    cluster::MachineId machine = 0;
     SimTime created_us = 0;
     int64_t memory_mb = 0;
     bool busy = false;
     sim::EventId keep_alive_event = 0;
     std::unordered_map<std::string, std::string> cache;
+    /// In-flight attempt state, so a chaos kill can cancel and fail it.
+    sim::EventId inflight_event = 0;
+    std::shared_ptr<Invocation> inflight;
+    bool inflight_cold = false;
+    SimDuration inflight_startup_us = 0;
+    SimTime exec_began_us = 0;
   };
 
   struct Invocation {
@@ -148,7 +193,15 @@ class FaasPlatform {
     SimTime submit_us = 0;
     SimTime attempt_start_us = 0;  ///< When dispatch for this attempt began.
     Money cost_so_far;
+    bool chaos_killed = false;  ///< Some attempt died to fault injection.
   };
+
+  /// Total attempts allowed: the retry policy when set, else the legacy
+  /// max_retries knob.
+  int EffectiveMaxAttempts() const {
+    return config_.retry.max_attempts > 0 ? config_.retry.max_attempts
+                                          : config_.max_retries + 1;
+  }
 
   void Dispatch(std::shared_ptr<Invocation> inv);
   /// Attempts to start the invocation now; false means no capacity and the
@@ -159,12 +212,20 @@ class FaasPlatform {
   void FinishAttempt(std::shared_ptr<Invocation> inv, Container* container,
                      bool cold, SimDuration startup_us, SimDuration exec_us,
                      Status attempt_status, std::string output);
+  /// Retries the failed attempt (with the policy's backoff) when budget
+  /// remains, else completes the invocation.
+  void RetryOrComplete(std::shared_ptr<Invocation> inv, bool cold,
+                       SimDuration startup_us, SimDuration exec_us,
+                       Status attempt_status, std::string output);
   void Complete(std::shared_ptr<Invocation> inv, bool cold,
                 SimDuration startup_us, SimDuration exec_us, Status status,
                 std::string output);
   void ReleaseToWarmPool(Container* container);
   void DestroyContainer(uint64_t container_id);
+  /// DestroyContainer that also works on busy containers (chaos kill).
+  void ForceDestroyContainer(uint64_t container_id);
   void DrainPending();
+  SimDuration SampleDispatchDelay();
 
   sim::Simulation* sim_;
   cluster::Cluster* cluster_;
@@ -183,6 +244,8 @@ class FaasPlatform {
   std::deque<std::shared_ptr<Invocation>> pending_;
   uint64_t next_invocation_id_ = 1;
   uint64_t next_container_id_ = 1;
+  chaos::InjectorRegistry* chaos_ = nullptr;
+  SimDuration extra_dispatch_delay_us_ = 0;
 };
 
 }  // namespace taureau::faas

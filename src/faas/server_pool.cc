@@ -3,15 +3,27 @@
 namespace taureau::faas {
 
 ServerPool::ServerPool(sim::Simulation* sim, ServerPoolConfig config)
-    : sim_(sim), config_(config) {}
+    : sim_(sim), config_(config), breaker_(config.breaker) {}
 
-void ServerPool::Submit(SimDuration service_us, Callback cb) {
+bool ServerPool::Submit(SimDuration service_us, Callback cb) {
+  if (config_.enable_breaker && !breaker_.AllowRequest(sim_->Now())) {
+    ++shed_requests_;
+    if (shed_handler_) shed_handler_(service_us);
+    return false;
+  }
   Request req{sim_->Now(), service_us, std::move(cb)};
   if (busy_ < total_slots()) {
     Begin(std::move(req));
   } else {
     queue_.push_back(std::move(req));
+    // A saturated pool with a deep backlog is the failure signal: each
+    // over-depth enqueue counts toward tripping the breaker.
+    if (config_.enable_breaker && config_.max_queue_depth > 0 &&
+        queue_.size() > config_.max_queue_depth) {
+      breaker_.RecordFailure(sim_->Now());
+    }
   }
+  return true;
 }
 
 void ServerPool::Begin(Request req) {
@@ -23,6 +35,11 @@ void ServerPool::Begin(Request req) {
     --busy_;
     ++completed_;
     sojourn_us_.Add(double(sim_->Now() - req.submit_us));
+    if (config_.enable_breaker &&
+        (config_.max_queue_depth == 0 ||
+         queue_.size() <= config_.max_queue_depth)) {
+      breaker_.RecordSuccess(sim_->Now());
+    }
     if (req.cb) req.cb(wait);
     StartNext();
   });

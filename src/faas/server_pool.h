@@ -8,6 +8,7 @@
 #include <deque>
 #include <functional>
 
+#include "chaos/circuit_breaker.h"
 #include "common/money.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -20,6 +21,13 @@ struct ServerPoolConfig {
   /// Concurrent requests each server handles (threads/workers per box).
   size_t per_server_concurrency = 8;
   Money machine_hour_price = Money::FromDollars(0.10);
+  /// When >0 and the breaker is enabled, a queue deeper than this counts
+  /// as a failure signal; once the breaker trips, arriving requests are
+  /// shed to the overflow handler (e.g. prewarmed FaaS capacity) instead
+  /// of queueing into timeout.
+  size_t max_queue_depth = 0;
+  bool enable_breaker = false;
+  chaos::CircuitBreaker::Config breaker;
 };
 
 /// Statically provisioned request-serving fleet.
@@ -28,10 +36,20 @@ class ServerPool {
   ServerPool(sim::Simulation* sim, ServerPoolConfig config);
 
   using Callback = std::function<void(SimDuration wait_us)>;
+  /// Receives requests the breaker sheds (route to spillover capacity).
+  using ShedHandler = std::function<void(SimDuration service_us)>;
 
   /// Submits a request with a known service time; `cb` fires at completion
-  /// with the time it spent queued.
-  void Submit(SimDuration service_us, Callback cb = nullptr);
+  /// with the time it spent queued. Returns false when the circuit breaker
+  /// shed the request (the shed handler, if set, received it).
+  bool Submit(SimDuration service_us, Callback cb = nullptr);
+
+  /// Where shed requests go (e.g. FaasPlatform::Invoke on a prewarmed
+  /// function). Without a handler shed requests are simply dropped.
+  void set_shed_handler(ShedHandler handler) { shed_handler_ = std::move(handler); }
+
+  const chaos::CircuitBreaker& breaker() const { return breaker_; }
+  uint64_t shed_requests() const { return shed_requests_; }
 
   /// Reserved-capacity cost of keeping the whole pool on for `span`.
   Money CostFor(SimDuration span) const;
@@ -61,6 +79,9 @@ class ServerPool {
 
   sim::Simulation* sim_;
   ServerPoolConfig config_;
+  chaos::CircuitBreaker breaker_;
+  ShedHandler shed_handler_;
+  uint64_t shed_requests_ = 0;
   size_t busy_ = 0;
   uint64_t completed_ = 0;
   long double busy_slot_us_ = 0;  ///< Integral of busy slots over time.

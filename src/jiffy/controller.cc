@@ -260,4 +260,43 @@ Status JiffyController::Notify(const std::string& raw_path,
   return Status::OK();
 }
 
+void JiffyController::AttachChaos(chaos::InjectorRegistry* registry) {
+  using chaos::FaultKind;
+  registry->RegisterHook(
+      "jiffy", FaultKind::kMemoryNodeFail,
+      [this, registry](const chaos::FaultEvent& e) {
+        if (pool_.node_count() == 0) return;
+        const uint32_t node =
+            static_cast<uint32_t>(e.target % pool_.node_count());
+        if (!pool_.FailNode(node).ok()) return;
+        // Re-home every structure's blocks off the failed node; namespaces
+        // and structures iterate in sorted order so the repair sequence is
+        // deterministic.
+        size_t moved = 0;
+        bool exhausted = false;
+        for (auto& [path, ns] : namespaces_) {
+          for (auto& [name, structure] : ns.structures) {
+            auto r = structure->RepairBlocks();
+            if (r.ok()) {
+              moved += *r;
+            } else {
+              exhausted = true;
+            }
+          }
+        }
+        stats_.blocks_rehomed += moved;
+        if (!exhausted) {
+          registry->RecordRecovery("jiffy", FaultKind::kMemoryNodeFail, node,
+                                   "re-homed " + std::to_string(moved) +
+                                       " blocks from failed node");
+        }
+      });
+  registry->RegisterHook(
+      "jiffy", FaultKind::kMemoryNodeRecover,
+      [this](const chaos::FaultEvent& e) {
+        if (pool_.node_count() == 0) return;
+        pool_.RecoverNode(static_cast<uint32_t>(e.target % pool_.node_count()));
+      });
+}
+
 }  // namespace taureau::jiffy

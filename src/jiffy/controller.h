@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/injector.h"
 #include "common/status.h"
 #include "jiffy/data_structures.h"
 #include "jiffy/memory_pool.h"
@@ -42,6 +43,7 @@ struct ControllerStats {
   uint64_t namespaces_removed = 0;
   uint64_t leases_expired = 0;
   uint64_t notifications_sent = 0;
+  uint64_t blocks_rehomed = 0;  ///< Chaos: blocks moved off failed nodes.
 };
 
 /// The controller: owns the memory pool, the namespace tree, and all data
@@ -91,6 +93,11 @@ class JiffyController {
   /// Runs the periodic lease scan on the simulation.
   void StartLeaseScan();
   void StopLeaseScan();
+
+  /// Registers memory-node fail/recover hooks under the "jiffy" module. A
+  /// node failure immediately re-homes every structure's blocks from the
+  /// failed node onto healthy ones (recorded as the recovery).
+  void AttachChaos(chaos::InjectorRegistry* registry);
 
   MemoryPool& pool() { return pool_; }
   const ControllerStats& stats() const { return stats_; }

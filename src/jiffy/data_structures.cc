@@ -26,6 +26,19 @@ Status BlockBacked::ReconcileBlocks() {
   return Status::OK();
 }
 
+Result<size_t> BlockBacked::RepairBlocks() {
+  size_t moved = 0;
+  for (BlockId& id : block_ids_) {
+    if (!pool_->NodeFailed(id.node)) continue;
+    TAU_RETURN_IF_ERROR(pool_->Free(id));
+    // Allocate skips failed nodes, so the replacement lands healthy.
+    TAU_ASSIGN_OR_RETURN(BlockId fresh, pool_->Allocate(owner_));
+    id = fresh;
+    ++moved;
+  }
+  return moved;
+}
+
 Status BlockBacked::Destroy() {
   for (BlockId id : block_ids_) {
     TAU_RETURN_IF_ERROR(pool_->Free(id));

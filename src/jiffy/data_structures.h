@@ -49,6 +49,13 @@ class BlockBacked {
   /// namespace removal / lease expiry.
   virtual Status Destroy();
 
+  /// Re-homes blocks that sit on failed memory nodes: each is freed and a
+  /// replacement allocated from a healthy node, modelling restoration from
+  /// the replicated pool (the structure's contents stay intact). Returns
+  /// the number of blocks moved; fails ResourceExhausted when the healthy
+  /// capacity cannot absorb them.
+  Result<size_t> RepairBlocks();
+
  protected:
   /// Grows/shrinks the block reservation to cover `bytes_`. Growth failure
   /// surfaces pool exhaustion to the caller.

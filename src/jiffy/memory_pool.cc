@@ -21,7 +21,7 @@ Result<BlockId> MemoryPool::Allocate(const std::string& owner) {
   for (uint32_t probe = 0; probe < nodes_.size(); ++probe) {
     const uint32_t ni = (node_hint_ + probe) % nodes_.size();
     Node& node = nodes_[ni];
-    if (node.free_count == 0) continue;
+    if (node.failed || node.free_count == 0) continue;
     for (uint32_t s = 0; s < node.used.size(); ++s) {
       const uint32_t slot = (node.scan_hint + s) % node.used.size();
       if (node.used[slot]) continue;
@@ -62,6 +62,25 @@ Status MemoryPool::Free(BlockId id) {
     if (usage != owner_usage_.end() && usage->second > 0) usage->second -= 1;
     block_owner_.erase(it);
   }
+  return Status::OK();
+}
+
+Status MemoryPool::FailNode(uint32_t node) {
+  if (node >= nodes_.size()) {
+    return Status::NotFound("memory node " + std::to_string(node));
+  }
+  if (!nodes_[node].failed) {
+    nodes_[node].failed = true;
+    ++stats_.node_failures;
+  }
+  return Status::OK();
+}
+
+Status MemoryPool::RecoverNode(uint32_t node) {
+  if (node >= nodes_.size()) {
+    return Status::NotFound("memory node " + std::to_string(node));
+  }
+  nodes_[node].failed = false;
   return Status::OK();
 }
 

@@ -29,6 +29,7 @@ struct PoolStats {
   uint64_t peak_used_blocks = 0;
   uint64_t allocations = 0;
   uint64_t failed_allocations = 0;
+  uint64_t node_failures = 0;  ///< Chaos: memory nodes failed so far.
 };
 
 /// The pool. Allocation is first-free across nodes with per-node free
@@ -56,11 +57,22 @@ class MemoryPool {
   /// Blocks currently held by an owner tag.
   uint64_t OwnerUsage(const std::string& owner) const;
 
+  /// Fails a memory node: its blocks become unreadable and the allocator
+  /// skips it until RecoverNode. Structures holding blocks there must
+  /// re-home them (BlockBacked::RepairBlocks).
+  Status FailNode(uint32_t node);
+  Status RecoverNode(uint32_t node);
+  bool NodeFailed(uint32_t node) const {
+    return node < nodes_.size() && nodes_[node].failed;
+  }
+  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+
  private:
   struct Node {
     std::vector<bool> used;
     uint32_t free_count = 0;
     uint32_t scan_hint = 0;  ///< Next-fit scan start.
+    bool failed = false;     ///< Chaos: node down, skip in allocation.
   };
 
   uint32_t block_size_;

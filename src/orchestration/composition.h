@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "chaos/retry_policy.h"
+
 namespace taureau::orchestration {
 
 /// Joins parallel branch outputs into one payload. Default joins with '\n'.
@@ -57,7 +59,13 @@ class Composition {
 
   /// Re-run the child up to `attempts` times on failure (orchestration-
   /// level retry, on top of the platform's own attempt retries).
+  /// Re-attempts are immediate (no backoff) — the legacy behaviour.
   static Composition Retry(Composition child, int attempts);
+
+  /// Retry under a full policy: the orchestrator waits
+  /// `policy.BackoffFor(i)` between attempt i and i+1 (exponential backoff
+  /// with jitter, shared with the FaaS platform's chaos::RetryPolicy).
+  static Composition Retry(Composition child, chaos::RetryPolicy policy);
 
   /// Step-Functions-style Map state: splits the input on `delimiter`, runs
   /// `item` on every piece concurrently, and joins the outputs with the
@@ -71,6 +79,8 @@ class Composition {
     Aggregator aggregate;
     Predicate predicate;
     int retry_attempts = 1;
+    /// Backoff schedule between retry attempts (zero for plain Retry).
+    chaos::RetryPolicy retry_policy = chaos::RetryPolicy::None();
     char map_delimiter = '\n';
   };
 

@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace taureau::orchestration {
 
 Orchestrator::Orchestrator(sim::Simulation* sim, faas::FaasPlatform* platform)
@@ -21,8 +23,13 @@ Status Orchestrator::RegisterComposition(const std::string& name,
 
 void Orchestrator::Run(const Composition& comp, std::string input,
                        ExecutionCallback cb) {
+  RunKeyed("", comp, std::move(input), std::move(cb));
+}
+
+void Orchestrator::RunKeyed(const std::string& run_key, const Composition& comp,
+                            std::string input, ExecutionCallback cb) {
   const SimTime start = sim_->Now();
-  Exec(comp.root(), std::move(input),
+  Exec(comp.root(), std::move(input), run_key,
        [this, start, cb = std::move(cb)](Status s, std::string output,
                                          Money cost, uint64_t invocations) {
          ExecutionResult res;
@@ -34,6 +41,27 @@ void Orchestrator::Run(const Composition& comp, std::string input,
          res.end_us = sim_->Now();
          if (cb) cb(res);
        });
+}
+
+Result<ExecutionResult> Orchestrator::RunKeyedSync(const std::string& run_key,
+                                                   const Composition& comp,
+                                                   std::string input) {
+  std::optional<ExecutionResult> out;
+  RunKeyed(run_key, comp, std::move(input),
+           [&out](const ExecutionResult& res) { out = res; });
+  while (!out.has_value()) {
+    if (!sim_->Step()) {
+      return Status::Internal("simulation drained before composition ended");
+    }
+  }
+  return *out;
+}
+
+void Orchestrator::AttachChaos(chaos::InjectorRegistry* registry) {
+  chaos_ = registry;
+  registry->RegisterHook(
+      "orchestration", chaos::FaultKind::kStepRedeliver,
+      [this](const chaos::FaultEvent&) { ++armed_redelivers_; });
 }
 
 Status Orchestrator::RunNamed(const std::string& name, std::string input,
@@ -60,10 +88,47 @@ Result<ExecutionResult> Orchestrator::RunSync(const Composition& comp,
 }
 
 void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
-                        std::string input, NodeDone done) {
+                        std::string input, std::string key, NodeDone done) {
   using Kind = Composition::Kind;
   switch (node->kind) {
     case Kind::kTask: {
+      if (!key.empty()) {
+        // Idempotent execution: a step that already completed under this
+        // key replays its recorded result — no second invocation, no
+        // second side effect, no second charge.
+        const std::string step_key =
+            key + ":" + node->name + ":" + std::to_string(Fnv1a64(input));
+        if (const auto* hit = idempotency_.Lookup(step_key)) {
+          ++stats_.deduped_steps;
+          done(hit->status, hit->output, Money::Zero(), 0);
+          return;
+        }
+        auto r = platform_->Invoke(
+            node->name, std::move(input),
+            [this, step_key,
+             done = std::move(done)](const faas::InvocationResult& res) {
+              if (res.status.ok()) {
+                idempotency_.Record(step_key, res.status, res.output);
+                if (armed_redelivers_ > 0) {
+                  // Injected at-least-once duplicate: deliver the completed
+                  // step again and let the cache absorb it.
+                  --armed_redelivers_;
+                  ++stats_.redelivered_steps;
+                  if (idempotency_.Lookup(step_key) != nullptr) {
+                    ++stats_.deduped_steps;
+                    if (chaos_ != nullptr) {
+                      chaos_->RecordRecovery(
+                          "orchestration", chaos::FaultKind::kStepRedeliver,
+                          res.id, "duplicate step delivery deduped");
+                    }
+                  }
+                }
+              }
+              done(res.status, res.output, res.cost, 1);
+            });
+        if (!r.ok()) done(r.status(), "", Money::Zero(), 0);
+        return;
+      }
       auto r = platform_->Invoke(
           node->name, std::move(input),
           [done = std::move(done)](const faas::InvocationResult& res) {
@@ -79,7 +144,8 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
              Money::Zero(), 0);
         return;
       }
-      Exec(it->second.root(), std::move(input), std::move(done));
+      Exec(it->second.root(), std::move(input), std::move(key),
+           std::move(done));
       return;
     }
     case Kind::kSequence: {
@@ -93,25 +159,34 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         size_t index = 0;
         Money cost;
         uint64_t invocations = 0;
+        std::string key;
         NodeDone done;
       };
       auto state = std::make_shared<SeqState>();
       state->node = node;
+      state->key = std::move(key);
       state->done = std::move(done);
       auto step = std::make_shared<std::function<void(Status, std::string)>>();
-      *step = [this, state, step](Status s, std::string payload) {
+      // The stored closure holds only a weak self-reference; the strong
+      // reference travels with the pending continuation (a self-owning
+      // shared_ptr cycle would never free the closure).
+      *step = [this, state,
+               weak = std::weak_ptr(step)](Status s, std::string payload) {
         if (!s.ok() || state->index >= state->node->children.size()) {
           state->done(std::move(s), std::move(payload), state->cost,
                       state->invocations);
           return;
         }
-        const auto child = state->node->children[state->index++];
+        const size_t i = state->index++;
+        const auto child = state->node->children[i];
+        auto self = weak.lock();
         Exec(child, std::move(payload),
-             [state, step](Status cs, std::string out, Money cost,
+             state->key.empty() ? "" : state->key + "/s" + std::to_string(i),
+             [state, self](Status cs, std::string out, Money cost,
                            uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
-               (*step)(std::move(cs), std::move(out));
+               (*self)(std::move(cs), std::move(out));
              });
       };
       (*step)(Status::OK(), std::move(input));
@@ -138,6 +213,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       state->done = std::move(done);
       for (size_t i = 0; i < node->children.size(); ++i) {
         Exec(node->children[i], input,
+             key.empty() ? "" : key + "/p" + std::to_string(i),
              [state, i](Status s, std::string out, Money cost, uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
@@ -171,6 +247,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
     case Kind::kChoice: {
       const bool take_then = node->predicate && node->predicate(input);
       Exec(node->children[take_then ? 0 : 1], std::move(input),
+           key.empty() ? "" : key + (take_then ? "/c0" : "/c1"),
            std::move(done));
       return;
     }
@@ -210,6 +287,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       state->done = std::move(done);
       for (size_t i = 0; i < items.size(); ++i) {
         Exec(node->children[0], std::move(items[i]),
+             key.empty() ? "" : key + "/m" + std::to_string(i),
              [state, i](Status s, std::string out, Money cost, uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
@@ -243,23 +321,40 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         int attempts_left;
         Money cost;
         uint64_t invocations = 0;
+        std::string key;
         NodeDone done;
       };
       auto state = std::make_shared<RetryState>();
       state->node = node;
       state->input = std::move(input);
       state->attempts_left = node->retry_attempts;
+      // All attempts share the subtree key: steps that succeeded on an
+      // earlier attempt replay from the idempotency cache on the re-run.
+      state->key = std::move(key);
       state->done = std::move(done);
       auto attempt = std::make_shared<std::function<void()>>();
-      *attempt = [this, state, attempt] {
+      // Weak self-reference in the stored closure; each pending
+      // continuation carries the strong one (see the kSequence note).
+      *attempt = [this, state, weak = std::weak_ptr(attempt)] {
         --state->attempts_left;
-        Exec(state->node->children[0], state->input,
-             [state, attempt](Status s, std::string out, Money cost,
-                              uint64_t inv) {
+        auto self = weak.lock();
+        Exec(state->node->children[0], state->input, state->key,
+             [this, state, self](Status s, std::string out, Money cost,
+                                 uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
                if (!s.ok() && state->attempts_left > 0) {
-                 (*attempt)();
+                 // Exponential backoff (zero for plain Retry) before the
+                 // next attempt; 0-based index of the attempt that failed.
+                 const int failed =
+                     state->node->retry_attempts - state->attempts_left - 1;
+                 const SimDuration backoff =
+                     state->node->retry_policy.BackoffFor(failed, &rng_);
+                 if (backoff > 0) {
+                   sim_->Schedule(backoff, [self] { (*self)(); });
+                 } else {
+                   (*self)();
+                 }
                  return;
                }
                state->done(std::move(s), std::move(out), state->cost,

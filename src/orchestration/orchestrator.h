@@ -5,7 +5,10 @@
 #include <map>
 #include <string>
 
+#include "chaos/idempotency.h"
+#include "chaos/injector.h"
 #include "common/money.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "faas/platform.h"
 #include "orchestration/composition.h"
@@ -29,6 +32,12 @@ struct ExecutionResult {
 
 using ExecutionCallback = std::function<void(const ExecutionResult&)>;
 
+/// Chaos / at-least-once bookkeeping.
+struct OrchestratorStats {
+  uint64_t deduped_steps = 0;      ///< Task deliveries absorbed by the cache.
+  uint64_t redelivered_steps = 0;  ///< Injected duplicate step deliveries.
+};
+
 /// Executes compositions. The orchestrator itself never appends to the
 /// billing ledger: the only charges are those of the functions it invokes.
 class Orchestrator {
@@ -42,6 +51,20 @@ class Orchestrator {
   /// Runs a composition asynchronously; `cb` fires in simulated time.
   void Run(const Composition& comp, std::string input, ExecutionCallback cb);
 
+  /// Runs a composition under an idempotency key: each Task step derives a
+  /// key from (run_key, position in the tree, function, input hash), and a
+  /// completed step's result is cached so an at-least-once re-delivery (or
+  /// a retry of an already-succeeded subtree) returns the recorded output
+  /// instead of re-applying the side effect. Distinct run_keys never share
+  /// cache entries.
+  void RunKeyed(const std::string& run_key, const Composition& comp,
+                std::string input, ExecutionCallback cb);
+
+  /// Convenience: keyed run driven to completion.
+  Result<ExecutionResult> RunKeyedSync(const std::string& run_key,
+                                       const Composition& comp,
+                                       std::string input);
+
   /// Runs a registered composition by name.
   Status RunNamed(const std::string& name, std::string input,
                   ExecutionCallback cb);
@@ -53,16 +76,31 @@ class Orchestrator {
     return compositions_.count(name) > 0;
   }
 
+  // ------------------------------------------------------------- chaos
+  /// Registers the step-redeliver hook under the "orchestration" module:
+  /// each injected event arms one duplicate delivery of the next completed
+  /// keyed step, which the idempotency cache must absorb.
+  void AttachChaos(chaos::InjectorRegistry* registry);
+
+  const chaos::IdempotencyCache& idempotency() const { return idempotency_; }
+  const OrchestratorStats& stats() const { return stats_; }
+
  private:
   using NodeDone = std::function<void(Status, std::string output, Money cost,
                                       uint64_t invocations)>;
 
+  /// `key` is the idempotency scope for this subtree ("" = keying off).
   void Exec(std::shared_ptr<const Composition::Node> node, std::string input,
-            NodeDone done);
+            std::string key, NodeDone done);
 
   sim::Simulation* sim_;
   faas::FaasPlatform* platform_;
   std::map<std::string, Composition> compositions_;
+  Rng rng_{97};  ///< Retry-backoff jitter (deterministic).
+  chaos::IdempotencyCache idempotency_;
+  chaos::InjectorRegistry* chaos_ = nullptr;
+  uint32_t armed_redelivers_ = 0;
+  OrchestratorStats stats_;
 };
 
 }  // namespace taureau::orchestration

@@ -118,6 +118,64 @@ Status BookKeeper::HealEnsemble(Ledger* ledger) {
   return Status::OK();
 }
 
+Result<size_t> BookKeeper::RepairLedger(Ledger* ledger, SimTime now) {
+  if (ledger->offload_store_ != nullptr) return size_t{0};
+  std::vector<size_t> dead_slots;
+  for (size_t s = 0; s < ledger->ensemble_.size(); ++s) {
+    if (!bookies_[ledger->ensemble_[s]]->alive()) dead_slots.push_back(s);
+  }
+  if (dead_slots.empty()) return size_t{0};
+  TAU_RETURN_IF_ERROR(HealEnsemble(ledger));
+
+  // Under round-robin striping, entry e has replicas on slots
+  // (e + r) % ensemble_size for r < write_quorum — so the entries a dead
+  // slot hosted are exactly those; copy each from a surviving replica.
+  const uint64_t n = ledger->ensemble_.size();
+  size_t copied = 0;
+  for (size_t s : dead_slots) {
+    Bookie* replacement = bookies_[ledger->ensemble_[s]].get();
+    for (uint64_t e = 0; e < ledger->next_entry_; ++e) {
+      bool hosted = false;
+      for (uint32_t r = 0; r < ledger->write_quorum_; ++r) {
+        if ((e + r) % n == s) {
+          hosted = true;
+          break;
+        }
+      }
+      if (!hosted) continue;
+      auto data = Read(ledger->id_, e);
+      if (!data.ok()) continue;  // trimmed, or lost beyond the quorum
+      if (replacement->Write(ledger->id_, e, std::move(*data), now).ok()) {
+        ++copied;
+      }
+    }
+  }
+  return copied;
+}
+
+Result<size_t> BookKeeper::CrashBookie(BookieId id, SimTime now) {
+  if (id >= bookies_.size()) {
+    return Status::NotFound("bookie " + std::to_string(id));
+  }
+  bookies_[id]->Crash();
+  // Best-effort repair of every affected ledger (std::map order keeps the
+  // repair sequence deterministic).
+  size_t copied = 0;
+  for (auto& [lid, ledger] : ledgers_) {
+    auto r = RepairLedger(&ledger, now);
+    if (r.ok()) copied += *r;
+  }
+  return copied;
+}
+
+Status BookKeeper::RecoverBookie(BookieId id) {
+  if (id >= bookies_.size()) {
+    return Status::NotFound("bookie " + std::to_string(id));
+  }
+  bookies_[id]->Recover();
+  return Status::OK();
+}
+
 Result<AppendResult> BookKeeper::Append(LedgerId ledger_id,
                                         std::string payload, SimTime now) {
   auto it = ledgers_.find(ledger_id);

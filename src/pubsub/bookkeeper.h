@@ -136,6 +136,17 @@ class BookKeeper {
 
   Result<const Ledger*> GetLedger(LedgerId id) const;
 
+  /// Crashes a bookie and immediately re-replicates: every ledger whose
+  /// ensemble contained it gets a live replacement (same slot, preserving
+  /// the striping layout) and the entries the dead bookie hosted are copied
+  /// onto the replacement from surviving replicas. Returns the number of
+  /// entry replicas copied. Reads keep succeeding through the repair.
+  Result<size_t> CrashBookie(BookieId id, SimTime now);
+
+  /// Marks a crashed bookie live again (it rejoins empty; ledgers that
+  /// replaced it keep their healed ensembles).
+  Status RecoverBookie(BookieId id);
+
   Bookie& bookie(BookieId id) { return *bookies_[id]; }
   size_t bookie_count() const { return bookies_.size(); }
   size_t live_bookie_count() const;
@@ -144,6 +155,10 @@ class BookKeeper {
  private:
   /// Replaces crashed members of the ledger's ensemble with live bookies.
   Status HealEnsemble(Ledger* ledger);
+
+  /// Heals one ledger's ensemble and copies the lost replicas onto the
+  /// replacements. Returns entry replicas copied (0 if nothing was dead).
+  Result<size_t> RepairLedger(Ledger* ledger, SimTime now);
 
   std::vector<std::unique_ptr<Bookie>> bookies_;
   std::map<LedgerId, Ledger> ledgers_;

@@ -104,6 +104,16 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
     return Status::NotFound("topic '" + topic + "'");
   }
   Topic& t = tit->second;
+  if (armed_drops_ > 0) {
+    --armed_drops_;
+    ++metrics_.dropped;
+    return Status::Unavailable("message dropped (injected network fault)");
+  }
+  const bool duplicate = armed_duplicates_ > 0;
+  if (duplicate) {
+    --armed_duplicates_;
+    ++metrics_.duplicated;
+  }
   const uint32_t pidx =
       key.empty()
           ? static_cast<uint32_t>(t.publish_rr++ % t.partitions.size())
@@ -160,7 +170,40 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
       DispatchFrom(&tt, &sub, pidx, sim_->Now());
     }
   });
+  if (duplicate) {
+    // At-least-once duplication: the same message is appended and
+    // dispatched a second time (consumers see it twice).
+    Publish(topic, key, payload, replicated_from);
+  }
   return id;
+}
+
+void PulsarCluster::AttachChaos(chaos::InjectorRegistry* registry) {
+  using chaos::FaultKind;
+  registry->RegisterHook(
+      "pubsub", FaultKind::kBookieCrash,
+      [this, registry](const chaos::FaultEvent& e) {
+        const BookieId id =
+            static_cast<BookieId>(e.target % bookkeeper_.bookie_count());
+        auto copied = bookkeeper_.CrashBookie(id, sim_->Now());
+        if (copied.ok()) {
+          registry->RecordRecovery(
+              "pubsub", FaultKind::kBookieCrash, id,
+              "re-replicated " + std::to_string(*copied) +
+                  " entry replicas; write quorum restored");
+        }
+      });
+  registry->RegisterHook(
+      "pubsub", FaultKind::kBookieRecover, [this](const chaos::FaultEvent& e) {
+        bookkeeper_.RecoverBookie(
+            static_cast<BookieId>(e.target % bookkeeper_.bookie_count()));
+      });
+  registry->RegisterHook(
+      "pubsub", FaultKind::kMessageDrop,
+      [this](const chaos::FaultEvent&) { ArmMessageDrop(); });
+  registry->RegisterHook(
+      "pubsub", FaultKind::kMessageDuplicate,
+      [this](const chaos::FaultEvent&) { ArmMessageDuplicate(); });
 }
 
 PulsarCluster::ConsumerInfo* PulsarCluster::PickConsumer(Subscription* sub) {

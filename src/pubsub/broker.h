@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chaos/injector.h"
 #include "common/stats.h"
 #include "pubsub/bookkeeper.h"
 #include "pubsub/message.h"
@@ -59,6 +60,8 @@ struct PulsarMetrics {
   uint64_t delivered = 0;
   uint64_t redelivered = 0;
   uint64_t acked = 0;
+  uint64_t dropped = 0;     ///< Chaos: publishes lost to injected drops.
+  uint64_t duplicated = 0;  ///< Chaos: publishes duplicated (at-least-once).
   Histogram publish_latency_us{double(kMinute)};   ///< Submit -> durable ack.
   Histogram delivery_latency_us{double(kMinute)};  ///< Submit -> consumer.
   SimTime last_ack_time_us = 0;  ///< For throughput computations.
@@ -117,6 +120,16 @@ class PulsarCluster {
 
   /// Number of partitions currently owned by each broker (load map).
   std::vector<size_t> BrokerLoad() const;
+
+  // ------------------------------------------------------------- chaos
+  /// Registers bookie crash/recover and message drop/duplicate hooks under
+  /// the "pubsub" module. A crashed bookie's ledgers are healed and
+  /// re-replicated immediately (recorded as the recovery).
+  void AttachChaos(chaos::InjectorRegistry* registry);
+
+  /// Arms one injected fault against the next Publish call.
+  void ArmMessageDrop() { ++armed_drops_; }
+  void ArmMessageDuplicate() { ++armed_duplicates_; }
 
  private:
   struct Broker {
@@ -189,6 +202,8 @@ class PulsarCluster {
   std::map<MessageId, SimTime> publish_times_;
   ConsumerId next_consumer_ = 1;
   PulsarMetrics metrics_;
+  uint32_t armed_drops_ = 0;       ///< Pending injected publish drops.
+  uint32_t armed_duplicates_ = 0;  ///< Pending injected publish duplicates.
 };
 
 std::string_view SubscriptionTypeName(SubscriptionType type);

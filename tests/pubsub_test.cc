@@ -71,10 +71,13 @@ TEST(BookKeeperTest, SurvivesBookieCrashWithinQuorum) {
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(bk.Append(*ledger, "e" + std::to_string(i), 0).ok());
   }
-  // Crash one ensemble member: reads fall back to surviving replicas, and
-  // new appends heal the ensemble.
+  // Crash one ensemble member through the managed transition: the ensemble
+  // heals, the lost replicas re-replicate, reads fall back to surviving
+  // replicas, and new appends keep working.
   const auto* meta = *bk.GetLedger(*ledger);
-  bk.bookie(meta->ensemble()[0]).Crash();
+  auto copied = bk.CrashBookie(meta->ensemble()[0], 0);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_GT(*copied, 0u);
   for (int i = 0; i < 20; ++i) {
     EXPECT_TRUE(bk.Read(*ledger, i).ok()) << i;
   }
