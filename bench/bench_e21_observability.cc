@@ -1,0 +1,287 @@
+// E21: observability of the simulated landscape (taureau::obs).
+//
+// Traces three request shapes through the causally-instrumented stack and
+// lets the critical-path analyzer attribute every microsecond of
+// end-to-end latency to queue / cold / exec / shuffle / retry / other:
+//
+//   cold-heavy    E2-style:  sparse arrivals, tiny keep-alive — every
+//                            invocation pays container + runtime init.
+//   warm-steady   E2-style:  prewarmed pool, tight arrivals — cold time
+//                            vanishes, queue + exec dominate.
+//   shuffle-heavy E10-style: each request chains Jiffy put/enqueue/get/
+//                            dequeue ops, all parented under one root.
+//   fault-heavy   E20-style: chaos kills containers mid-flight; retries
+//                            mask the faults and the retry slice shows
+//                            exactly what the masking cost.
+//
+// The breakdown table is exact: per request the category durations sum to
+// the end-to-end latency (the analyzer charges each instant to exactly one
+// category), so the percentage columns of a row always total 100.
+//
+// The final section demonstrates the determinism contract: the fault-heavy
+// cell is run twice with the same seed and its full observability export
+// (trace + metrics) compared byte-for-byte, then re-run with a different
+// seed to show the export actually depends on the schedule.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "chaos/fault_plan.h"
+#include "chaos/injector.h"
+#include "chaos/retry_policy.h"
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "faas/platform.h"
+#include "jiffy/controller.h"
+#include "obs/critical_path.h"
+#include "obs/observability.h"
+#include "sim/simulation.h"
+
+namespace taureau {
+namespace {
+
+constexpr uint64_t kSeed = 21;
+constexpr SimDuration kHorizon = 30 * kSecond;
+constexpr int kRequests = 400;
+constexpr size_t kMachines = 8;
+
+struct ScenarioResult {
+  int requests = 0;
+  obs::Breakdown agg;              ///< Accumulated over all traced roots.
+  std::vector<double> e2e_us;      ///< Per-request end-to-end samples.
+  size_t spans = 0;
+  bool sums_exact = true;          ///< Breakdown::Sum() == total on every root.
+  std::string export_all;          ///< Full trace + metrics serialization.
+};
+
+/// Sums the critical-path breakdowns of every finished root span.
+void CollectRoots(const obs::Observability& o, ScenarioResult* out) {
+  for (uint64_t root : o.tracer.Roots()) {
+    const obs::Span* s = o.tracer.Find(root);
+    if (s == nullptr || !s->ended()) continue;
+    auto r = obs::AnalyzeCriticalPath(o.tracer, root);
+    if (!r.ok()) continue;
+    if (r->Sum() != r->total_us) out->sums_exact = false;
+    out->agg.Accumulate(*r);
+    out->e2e_us.push_back(double(s->duration_us()));
+  }
+  out->spans = o.tracer.span_count();
+  out->export_all = o.ExportAll();
+}
+
+/// E2-style FaaS cell: `warm` prewarns the pool and packs arrivals; cold
+/// mode spaces them past the keep-alive so every start is cold.
+ScenarioResult RunFaasCell(bool warm, bool faulty, uint64_t seed) {
+  sim::Simulation sim;
+  obs::Observability o(&sim);
+  cluster::Cluster cluster(kMachines, {32000, 65536});
+
+  faas::FaasConfig config;
+  config.seed = seed;
+  config.keep_alive_us = warm ? 10 * kMinute : 50 * kMillisecond;
+  if (faulty) config.retry = chaos::RetryPolicy::ExponentialJitter(4);
+  faas::FaasPlatform platform(&sim, &cluster, config);
+  platform.AttachObservability(&o);
+
+  chaos::InjectorRegistry registry(&sim);
+  if (faulty) {
+    cluster.AttachChaos(&registry);
+    platform.AttachChaos(&registry);
+    registry.AttachObservability(&o);
+  }
+
+  faas::FunctionSpec spec;
+  spec.name = "serve";
+  spec.exec = {faas::ExecTimeModel::Kind::kFixed, 15 * kMillisecond, 0, 0};
+  spec.init_us = 120 * kMillisecond;
+  platform.RegisterFunction(spec);
+
+  if (faulty) {
+    chaos::FaultPlanConfig plan_cfg;
+    plan_cfg.horizon_us = kHorizon;
+    plan_cfg.num_machines = kMachines;
+    plan_cfg.container_kill_per_s = 3.0;
+    Rng plan_rng(seed + 1);
+    registry.Arm(chaos::FaultPlan::Generate(plan_cfg, &plan_rng));
+  }
+  if (warm) platform.Prewarm("serve", 8);
+
+  // Cold mode leaves >keep-alive gaps between arrivals; warm mode floods.
+  const SimDuration gap =
+      warm ? 5 * kMillisecond : (faulty ? kHorizon / kRequests
+                                        : 70 * kMillisecond);
+  // Warm mode holds arrivals until the prewarmed pool has initialized, so
+  // the row isolates steady-state behaviour instead of the cold ramp.
+  const SimTime first = warm ? 500 * kMillisecond : 0;
+  ScenarioResult result;
+  result.requests = kRequests;
+  for (int i = 0; i < kRequests; ++i) {
+    sim.ScheduleAt(first + i * gap, [&platform] {
+      platform.Invoke("serve", "req", [](const faas::InvocationResult&) {});
+    });
+  }
+  sim.Run();
+  CollectRoots(o, &result);
+  return result;
+}
+
+/// E10-style shuffle cell: each request runs a put -> enqueue -> get ->
+/// dequeue chain against Jiffy, every op parented under one root span.
+ScenarioResult RunShuffleCell(uint64_t seed) {
+  sim::Simulation sim;
+  obs::Observability o(&sim);
+  jiffy::JiffyController controller(&sim, {});
+  controller.AttachObservability(&o);
+  controller.CreateNamespace("/e21", -1);
+  jiffy::JiffyHashTable* ht = *controller.CreateHashTable("/e21", "ht", 4);
+  jiffy::JiffyQueue* q = *controller.CreateQueue("/e21", "q");
+
+  const std::string value(4096, 'x');
+  ScenarioResult result;
+  result.requests = kRequests;
+  for (int i = 0; i < kRequests; ++i) {
+    sim.ScheduleAt(SimTime(i) * 2 * kMillisecond + SimTime(seed % 2), [&sim,
+                                                                       &o, ht,
+                                                                       q, i,
+                                                                       &value] {
+      auto root = o.tracer.StartSpan("shuffle-req", "bench", {});
+      const std::string key = "k" + std::to_string(i);
+      auto put = ht->Put(key, value, root);
+      sim.Schedule(put.latency_us, [&sim, &o, ht, q, root, key] {
+        auto enq = q->Enqueue(std::string(1024, 'y'), root);
+        sim.Schedule(enq.latency_us, [&sim, &o, ht, q, root, key] {
+          std::string v;
+          auto get = ht->Get(key, &v, root);
+          sim.Schedule(get.latency_us, [&sim, &o, q, root] {
+            std::string out;
+            auto deq = q->Dequeue(&out, root);
+            sim.Schedule(deq.latency_us,
+                         [&o, root] { o.tracer.EndSpan(root); });
+          });
+        });
+      });
+    });
+  }
+  sim.Run();
+  CollectRoots(o, &result);
+  return result;
+}
+
+void AddScenarioRow(bench::Table* table, const char* name,
+                    const ScenarioResult& r) {
+  auto pct = [&r](obs::Category c) {
+    return bench::Fmt("%.1f", r.agg.Fraction(c) * 100.0);
+  };
+  std::vector<std::string> cells = {name, bench::FmtInt(r.requests)};
+  const auto p = bench::PercentileCells(r.e2e_us, double(kMillisecond));
+  cells.insert(cells.end(), {p[0], p[2]});
+  cells.insert(cells.end(),
+               {pct(obs::Category::kQueue), pct(obs::Category::kColdStart),
+                pct(obs::Category::kExec), pct(obs::Category::kShuffle),
+                pct(obs::Category::kRetry), pct(obs::Category::kOther),
+                bench::FmtInt(int64_t(r.spans)),
+                r.sums_exact ? "yes" : "NO"});
+  table->AddRow(std::move(cells));
+}
+
+void RunExperiment() {
+  bench::Table table({"scenario", "requests", "p50_ms", "p99_ms", "queue%",
+                      "cold%", "exec%", "shuffle%", "retry%", "other%",
+                      "spans", "exact"});
+  AddScenarioRow(&table, "cold-heavy", RunFaasCell(false, false, kSeed));
+  AddScenarioRow(&table, "warm-steady", RunFaasCell(true, false, kSeed));
+  AddScenarioRow(&table, "shuffle-heavy", RunShuffleCell(kSeed));
+  AddScenarioRow(&table, "fault-heavy", RunFaasCell(false, true, kSeed));
+  table.Print("E21: critical-path attribution of end-to-end latency");
+  std::printf(
+      "\nEach row's category percentages sum to 100: the analyzer charges\n"
+      "every instant of a request to exactly one category ('exact' column\n"
+      "asserts Sum() == total per request).\n");
+
+  // Determinism contract: same seed -> byte-identical full export.
+  const ScenarioResult a = RunFaasCell(false, true, kSeed);
+  const ScenarioResult b = RunFaasCell(false, true, kSeed);
+  const ScenarioResult c = RunFaasCell(false, true, kSeed + 1);
+  std::printf(
+      "\nDeterminism: same-seed exports identical: %s (%zu bytes); "
+      "different-seed exports differ: %s\n",
+      a.export_all == b.export_all ? "yes" : "NO", a.export_all.size(),
+      a.export_all != c.export_all ? "yes" : "NO");
+}
+
+// ----------------------------------------------------------- microbench
+
+void BM_EmitSpan(benchmark::State& state) {
+  sim::Simulation sim;
+  obs::Tracer tracer(&sim);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto ctx = tracer.EmitSpan("op", "bench", {}, SimTime(i), SimTime(i + 10),
+                               {{obs::kCategoryAttr, "exec"}});
+    benchmark::DoNotOptimize(ctx);
+    ++i;
+  }
+  state.SetItemsProcessed(int64_t(i));
+}
+BENCHMARK(BM_EmitSpan);
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter* c = registry.GetCounter("bench.ops");
+  for (auto _ : state) {
+    c->Inc();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Registry registry;
+  Histogram* h = registry.GetHistogram("bench.latency_us", 1e9);
+  double v = 1.0;
+  for (auto _ : state) {
+    h->Add(v);
+    v = v < 1e8 ? v * 1.0001 : 1.0;
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_CriticalPath(benchmark::State& state) {
+  sim::Simulation sim;
+  obs::Tracer tracer(&sim);
+  const int n = int(state.range(0));
+  auto root = tracer.EmitSpan("root", "bench", {}, 0, SimTime(n) * 10);
+  for (int i = 0; i < n; ++i) {
+    tracer.EmitSpan("child", "bench", root, SimTime(i) * 10,
+                    SimTime(i + 1) * 10,
+                    {{obs::kCategoryAttr, i % 2 ? "exec" : "queue"}});
+  }
+  for (auto _ : state) {
+    auto r = obs::AnalyzeCriticalPath(tracer, root.span_id);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CriticalPath)->Arg(16)->Arg(256);
+
+void BM_RegistryExport(benchmark::State& state) {
+  obs::Registry registry;
+  for (int i = 0; i < 64; ++i) {
+    registry.GetCounter("bench.c" + std::to_string(i))->Inc(uint64_t(i));
+    registry.GetHistogram("bench.h" + std::to_string(i))->Add(double(i));
+  }
+  for (auto _ : state) {
+    std::string out = registry.ExportText();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RegistryExport);
+
+}  // namespace
+}  // namespace taureau
+
+TAUREAU_BENCH_MAIN(taureau::RunExperiment)

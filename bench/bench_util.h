@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
+
 namespace taureau::bench {
 
 /// Fixed-width table printer.
@@ -58,6 +60,23 @@ inline std::string Fmt(const char* fmt, double v) {
   return buf;
 }
 inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+/// Percentile of raw samples, delegated to the shared nearest-rank rule in
+/// common/stats so every bench table agrees with Histogram::Quantile's
+/// definition (and with the oracle the obs tests pin).
+inline double Percentile(const std::vector<double>& samples, double q) {
+  return ExactQuantile(samples, q);
+}
+
+/// p50/p90/p99 table cells for a sample vector, each divided by `scale`
+/// (e.g. kMillisecond to render microsecond samples in ms).
+inline std::vector<std::string> PercentileCells(
+    const std::vector<double>& samples, double scale,
+    const char* fmt = "%.2f") {
+  return {Fmt(fmt, Percentile(samples, 0.50) / scale),
+          Fmt(fmt, Percentile(samples, 0.90) / scale),
+          Fmt(fmt, Percentile(samples, 0.99) / scale)};
+}
 
 /// Standard bench main: run the experiment table, then microbenchmarks.
 #define TAUREAU_BENCH_MAIN(experiment_fn)              \

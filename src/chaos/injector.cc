@@ -66,8 +66,22 @@ void InjectorRegistry::Arm(const FaultPlan& plan) {
   }
 }
 
+void InjectorRegistry::BindMetrics() {
+  h_.injected = registry_->GetCounter("chaos.injected");
+  h_.recovered = registry_->GetCounter("chaos.recovered");
+}
+
+void InjectorRegistry::AttachObservability(obs::Observability* o) {
+  if (o == nullptr || registry_ == &o->registry) return;
+  o->registry.MergeFrom(*registry_);
+  if (registry_ == &own_registry_) own_registry_.Reset();
+  registry_ = &o->registry;
+  obs_ = o;
+  BindMetrics();
+}
+
 void InjectorRegistry::Inject(const FaultEvent& event) {
-  ++injected_;
+  h_.injected->Inc();
   auto it = hooks_.find(event.kind);
   const bool handled = it != hooks_.end() && !it->second.empty();
   FaultRecord record;
@@ -78,6 +92,14 @@ void InjectorRegistry::Inject(const FaultEvent& event) {
   record.module = handled ? it->second.front().module : "(unhandled)";
   record.detail = "param=" + std::to_string(event.param);
   log_.Record(std::move(record));
+  if (obs_ != nullptr) {
+    const SimTime now = sim_->Now();
+    obs_->tracer.EmitSpan(
+        "fault:" + std::string(FaultKindName(event.kind)), "chaos", {}, now,
+        now,
+        {{"target", std::to_string(event.target)},
+         {"param", std::to_string(event.param)}});
+  }
   if (!handled) return;
   for (const Registration& reg : it->second) reg.hook(event);
 }
@@ -85,6 +107,7 @@ void InjectorRegistry::Inject(const FaultEvent& event) {
 void InjectorRegistry::RecordRecovery(const std::string& module,
                                       FaultKind kind, uint64_t target,
                                       std::string detail) {
+  h_.recovered->Inc();
   FaultRecord record;
   record.at_us = sim_->Now();
   record.recovery = true;

@@ -20,6 +20,7 @@
 
 #include "chaos/fault_plan.h"
 #include "common/time_types.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 
 namespace taureau::chaos {
@@ -62,7 +63,9 @@ class FaultLog {
 /// Hook + dispatch registry. One per experiment; modules attach to it.
 class InjectorRegistry {
  public:
-  explicit InjectorRegistry(sim::Simulation* sim) : sim_(sim) {}
+  explicit InjectorRegistry(sim::Simulation* sim) : sim_(sim) {
+    BindMetrics();
+  }
 
   InjectorRegistry(const InjectorRegistry&) = delete;
   InjectorRegistry& operator=(const InjectorRegistry&) = delete;
@@ -90,10 +93,16 @@ class InjectorRegistry {
   void RecordRecovery(const std::string& module, FaultKind kind,
                       uint64_t target, std::string detail);
 
+  /// Re-homes the injection/recovery counters ("chaos.injected",
+  /// "chaos.recovered") onto the shared registry and enables a zero-length
+  /// "fault:<kind>" span per injected event.
+  void AttachObservability(obs::Observability* o);
+
   FaultLog& log() { return log_; }
   const FaultLog& log() const { return log_; }
   sim::Simulation* sim() const { return sim_; }
-  uint64_t injected() const { return injected_; }
+  uint64_t injected() const { return h_.injected->value(); }
+  uint64_t recovered() const { return h_.recovered->value(); }
 
  private:
   struct Registration {
@@ -101,10 +110,21 @@ class InjectorRegistry {
     Hook hook;
   };
 
+  /// Cached registry handles; rebound by AttachObservability.
+  struct MetricHandles {
+    obs::Counter* injected = nullptr;
+    obs::Counter* recovered = nullptr;
+  };
+
+  void BindMetrics();
+
   sim::Simulation* sim_;
   std::map<FaultKind, std::vector<Registration>> hooks_;
   FaultLog log_;
-  uint64_t injected_ = 0;
+  obs::Registry own_registry_;
+  obs::Registry* registry_ = &own_registry_;
+  MetricHandles h_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace taureau::chaos

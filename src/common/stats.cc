@@ -127,6 +127,27 @@ void Histogram::Reset() {
   max_ = -std::numeric_limits<double>::infinity();
 }
 
+std::vector<std::pair<size_t, uint64_t>> Histogram::NonzeroBuckets() const {
+  std::vector<std::pair<size_t, uint64_t>> out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0) out.emplace_back(i, buckets_[i]);
+  }
+  return out;
+}
+
+double ExactQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: smallest value with cumulative fraction >= q, mirroring
+  // Histogram::Quantile's ceil(q*n) target so the two agree up to bucket
+  // resolution.
+  const size_t rank =
+      static_cast<size_t>(std::ceil(q * double(values.size())));
+  const size_t idx = rank == 0 ? 0 : rank - 1;
+  std::nth_element(values.begin(), values.begin() + idx, values.end());
+  return values[idx];
+}
+
 std::string Histogram::ToString() const {
   char buf[200];
   std::snprintf(buf, sizeof(buf),

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace taureau {
@@ -68,6 +69,10 @@ class Histogram {
   /// One-line rendering: "n=... mean=... p50=... p99=... max=...".
   std::string ToString() const;
 
+  /// (bucket index, count) for every non-empty bucket, in index order.
+  /// Exposed for the property tests (monotonicity, count conservation).
+  std::vector<std::pair<size_t, uint64_t>> NonzeroBuckets() const;
+
  private:
   size_t BucketFor(double value) const;
   double BucketMid(size_t bucket) const;
@@ -79,6 +84,12 @@ class Histogram {
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
+
+/// Exact quantile of a sample set via sorting (nearest-rank, matching the
+/// cumulative-count rule Histogram::Quantile approximates). The shared
+/// oracle for percentile reporting in tests and benches: O(n log n), use
+/// Histogram when the sample count is unbounded.
+double ExactQuantile(std::vector<double> values, double q);
 
 /// Pretty-printing helpers for the bench harnesses.
 std::string FormatDuration(double micros);

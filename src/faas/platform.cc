@@ -15,15 +15,108 @@ FaasPlatform::FaasPlatform(sim::Simulation* sim, cluster::Cluster* cluster,
       cluster_(cluster),
       config_(config),
       rng_(config.seed),
-      ledger_(config.rates) {}
+      ledger_(config.rates) {
+  BindMetrics();
+}
 
 FaasPlatform::~FaasPlatform() {
-  // Account the residual memory-time of containers alive at teardown.
+  // Account the residual memory-time of containers alive at teardown into
+  // the native integral only: an attached shared registry is allowed to be
+  // destroyed before the platform, so the gauge must not be touched here.
   for (auto& [id, c] : containers_) {
-    metrics_.container_mb_us +=
-        static_cast<long double>(sim_->Now() - c->created_us) *
-        static_cast<long double>(c->memory_mb);
+    container_mb_us_ += static_cast<long double>(sim_->Now() - c->created_us) *
+                        static_cast<long double>(c->memory_mb);
   }
+}
+
+void FaasPlatform::BindMetrics() {
+  h_.invocations = registry_->GetCounter("faas.invocations");
+  h_.completions = registry_->GetCounter("faas.completions");
+  h_.cold_starts = registry_->GetCounter("faas.cold_starts");
+  h_.warm_starts = registry_->GetCounter("faas.warm_starts");
+  h_.throttled = registry_->GetCounter("faas.throttled");
+  h_.timeouts = registry_->GetCounter("faas.timeouts");
+  h_.failures = registry_->GetCounter("faas.failures");
+  h_.exhausted = registry_->GetCounter("faas.exhausted");
+  h_.killed_containers = registry_->GetCounter("faas.killed_containers");
+  h_.chaos_recoveries = registry_->GetCounter("faas.chaos_recoveries");
+  h_.peak_containers = registry_->GetGauge("faas.peak_containers");
+  h_.container_mb_us = registry_->GetGauge("faas.container_mb_us");
+  h_.e2e_latency_us =
+      registry_->GetHistogram("faas.e2e_latency_us", double(kHour));
+  h_.queue_latency_us =
+      registry_->GetHistogram("faas.queue_latency_us", double(kHour));
+  h_.startup_latency_us =
+      registry_->GetHistogram("faas.startup_latency_us", double(kHour));
+  h_.exec_latency_us =
+      registry_->GetHistogram("faas.exec_latency_us", double(kHour));
+}
+
+void FaasPlatform::AttachObservability(obs::Observability* o) {
+  if (o == nullptr || registry_ == &o->registry) return;
+  o->registry.MergeFrom(*registry_);
+  if (registry_ == &own_registry_) own_registry_.Reset();
+  registry_ = &o->registry;
+  obs_ = o;
+  BindMetrics();
+}
+
+void FaasPlatform::AccumulateMemoryTime(const Container& c) {
+  container_mb_us_ += static_cast<long double>(sim_->Now() - c.created_us) *
+                      static_cast<long double>(c.memory_mb);
+  h_.container_mb_us->Set(static_cast<double>(container_mb_us_));
+}
+
+const PlatformMetrics& FaasPlatform::metrics() const {
+  PlatformMetrics& m = metrics_view_;
+  m.invocations = h_.invocations->value();
+  m.completions = h_.completions->value();
+  m.cold_starts = h_.cold_starts->value();
+  m.warm_starts = h_.warm_starts->value();
+  m.throttled = h_.throttled->value();
+  m.timeouts = h_.timeouts->value();
+  m.failures = h_.failures->value();
+  m.exhausted = h_.exhausted->value();
+  m.killed_containers = h_.killed_containers->value();
+  m.chaos_recoveries = h_.chaos_recoveries->value();
+  m.peak_containers = static_cast<uint64_t>(h_.peak_containers->value());
+  m.container_mb_us = container_mb_us_;
+  m.e2e_latency_us.Reset();
+  m.e2e_latency_us.Merge(*h_.e2e_latency_us);
+  m.queue_latency_us.Reset();
+  m.queue_latency_us.Merge(*h_.queue_latency_us);
+  m.startup_latency_us.Reset();
+  m.startup_latency_us.Merge(*h_.startup_latency_us);
+  m.exec_latency_us.Reset();
+  m.exec_latency_us.Merge(*h_.exec_latency_us);
+  return m;
+}
+
+void FaasPlatform::EmitAttemptSpans(const Invocation& inv,
+                                    SimTime attempt_end_us,
+                                    SimDuration startup_us,
+                                    SimDuration exec_us, bool cold,
+                                    const Status& attempt_status,
+                                    bool killed) {
+  if (obs_ == nullptr || !inv.root_ctx.valid()) return;
+  const std::string attempt = std::to_string(inv.attempt);
+  const SimTime exec_start = attempt_end_us - exec_us;
+  const SimTime place_us = exec_start - startup_us;
+  obs_->tracer.EmitSpan("queue", "faas", inv.root_ctx, inv.attempt_start_us,
+                        place_us,
+                        {{obs::kCategoryAttr, "queue"}, {"attempt", attempt}});
+  if (cold && startup_us > 0) {
+    obs_->tracer.EmitSpan("cold-start", "faas", inv.root_ctx, place_us,
+                          exec_start,
+                          {{obs::kCategoryAttr, "cold"}, {"attempt", attempt}});
+  }
+  std::vector<std::pair<std::string, std::string>> exec_attrs = {
+      {obs::kCategoryAttr, "exec"},
+      {"attempt", attempt},
+      {"status", std::string(StatusCodeName(attempt_status.code()))}};
+  if (killed) exec_attrs.emplace_back("killed", "1");
+  obs_->tracer.EmitSpan("exec", "faas", inv.root_ctx, exec_start,
+                        attempt_end_us, std::move(exec_attrs));
 }
 
 Status FaasPlatform::RegisterFunction(FunctionSpec spec) {
@@ -50,7 +143,8 @@ Result<FunctionSpec> FaasPlatform::GetFunction(const std::string& name) const {
 }
 
 Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
-                                      std::string payload, InvokeCallback cb) {
+                                      std::string payload, InvokeCallback cb,
+                                      obs::TraceContext parent) {
   if (!functions_.count(function)) {
     return Status::NotFound("function '" + function + "' not registered");
   }
@@ -61,7 +155,11 @@ Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
   inv->cb = std::move(cb);
   inv->submit_us = sim_->Now();
   inv->attempt_start_us = sim_->Now();
-  ++metrics_.invocations;
+  h_.invocations->Inc();
+  if (obs_ != nullptr) {
+    inv->root_ctx = obs_->tracer.StartSpan("invoke:" + function, "faas",
+                                           parent);
+  }
 
   sim_->Schedule(SampleDispatchDelay(), [this, inv] { Dispatch(inv); });
   return inv->id;
@@ -94,7 +192,7 @@ void FaasPlatform::Dispatch(std::shared_ptr<Invocation> inv) {
     pending_.push_back(std::move(inv));
     return;
   }
-  ++metrics_.throttled;
+  h_.throttled->Inc();
   Complete(std::move(inv), /*cold=*/false, 0, 0,
            Status::ResourceExhausted("throttled: concurrency limit reached"),
            "");
@@ -151,8 +249,7 @@ bool FaasPlatform::TryPlace(std::shared_ptr<Invocation> inv) {
   Container* raw = c.get();
   containers_.emplace(raw->id, std::move(c));
   containers_per_function_[raw->function] += 1;
-  metrics_.peak_containers =
-      std::max<uint64_t>(metrics_.peak_containers, containers_.size());
+  h_.peak_containers->SetMax(double(containers_.size()));
 
   const SimDuration startup =
       cluster::DefaultStartupModel(cluster::IsolationLevel::kLambda)
@@ -167,12 +264,12 @@ void FaasPlatform::StartOnContainer(std::shared_ptr<Invocation> inv,
                                     SimDuration startup_us) {
   const FunctionSpec& spec = functions_.at(inv->function);
   const SimDuration queue_us = sim_->Now() - inv->attempt_start_us;
-  metrics_.queue_latency_us.Add(double(queue_us));
-  metrics_.startup_latency_us.Add(double(startup_us));
+  h_.queue_latency_us->Add(double(queue_us));
+  h_.startup_latency_us->Add(double(startup_us));
   if (cold) {
-    ++metrics_.cold_starts;
+    h_.cold_starts->Inc();
   } else {
-    ++metrics_.warm_starts;
+    h_.warm_starts->Inc();
   }
 
   // Determine how this attempt ends, ahead of time (simulated outcome).
@@ -234,11 +331,13 @@ void FaasPlatform::FinishAttempt(std::shared_ptr<Invocation> inv,
   // timed-out attempts, as on production FaaS platforms.
   inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
                                      exec_us, spec.demand.memory_mb);
-  metrics_.exec_latency_us.Add(double(exec_us));
+  h_.exec_latency_us->Add(double(exec_us));
 
-  if (attempt_status.IsTimeout()) ++metrics_.timeouts;
-  if (!attempt_status.ok()) ++metrics_.failures;
+  if (attempt_status.IsTimeout()) h_.timeouts->Inc();
+  if (!attempt_status.ok()) h_.failures->Inc();
 
+  EmitAttemptSpans(*inv, sim_->Now(), startup_us, exec_us, cold,
+                   attempt_status, /*killed=*/false);
   ReleaseToWarmPool(container);
   RetryOrComplete(std::move(inv), cold, startup_us, exec_us,
                   std::move(attempt_status), std::move(output));
@@ -254,11 +353,20 @@ void FaasPlatform::RetryOrComplete(std::shared_ptr<Invocation> inv, bool cold,
     // Backoff (zero under the legacy policy) plus the usual dispatch hop.
     const SimDuration delay =
         config_.retry.BackoffFor(failed_attempt, &rng_) + SampleDispatchDelay();
+    if (obs_ != nullptr && inv->root_ctx.valid() && delay > 0) {
+      // Overlaps the next attempt's queue span from the same instant; the
+      // analyzer breaks the tie toward this (earlier-created) span, so the
+      // backoff window is charged to retry and only the excess to queue.
+      obs_->tracer.EmitSpan(
+          "retry-wait", "faas", inv->root_ctx, sim_->Now(), sim_->Now() + delay,
+          {{obs::kCategoryAttr, "retry"},
+           {"after_attempt", std::to_string(failed_attempt)}});
+    }
     sim_->Schedule(delay, [this, inv = std::move(inv)] { Dispatch(inv); });
     return;
   }
 
-  if (!attempt_status.ok()) ++metrics_.exhausted;
+  if (!attempt_status.ok()) h_.exhausted->Inc();
   Complete(std::move(inv), cold, startup_us, exec_us, std::move(attempt_status),
            std::move(output));
 }
@@ -278,14 +386,22 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
   res.startup_us = startup_us;
   res.exec_us = exec_us;
   res.cost = inv->cost_so_far;
-  ++metrics_.completions;
-  metrics_.e2e_latency_us.Add(double(res.EndToEnd()));
+  h_.completions->Inc();
+  h_.e2e_latency_us->Add(double(res.EndToEnd()));
   if (inv->chaos_killed && res.status.ok()) {
-    ++metrics_.chaos_recoveries;
+    h_.chaos_recoveries->Inc();
     if (chaos_ != nullptr) {
       chaos_->RecordRecovery("faas", chaos::FaultKind::kContainerKill, inv->id,
                              "invocation retried to success after kill");
     }
+  }
+  if (obs_ != nullptr && inv->root_ctx.valid()) {
+    obs_->tracer.SetAttr(inv->root_ctx, "cold", res.cold_start ? "1" : "0");
+    obs_->tracer.SetAttr(inv->root_ctx, "attempts",
+                         std::to_string(res.attempts));
+    obs_->tracer.SetAttr(inv->root_ctx, "status",
+                         std::string(StatusCodeName(res.status.code())));
+    obs_->tracer.EndSpan(inv->root_ctx);
   }
   if (inv->cb) inv->cb(res);
 }
@@ -309,9 +425,7 @@ void FaasPlatform::DestroyContainer(uint64_t container_id) {
   if (it == containers_.end()) return;
   Container* c = it->second.get();
   if (c->busy) return;  // raced with reuse; keep-alive was logically void
-  metrics_.container_mb_us +=
-      static_cast<long double>(sim_->Now() - c->created_us) *
-      static_cast<long double>(c->memory_mb);
+  AccumulateMemoryTime(*c);
   auto pool_it = warm_pools_.find(c->function);
   if (pool_it != warm_pools_.end()) {
     auto& dq = pool_it->second;
@@ -371,8 +485,7 @@ Result<size_t> FaasPlatform::Prewarm(const std::string& function,
     const uint64_t cid = c->id;
     containers_.emplace(cid, std::move(c));
     containers_per_function_[function] += 1;
-    metrics_.peak_containers =
-        std::max<uint64_t>(metrics_.peak_containers, containers_.size());
+    h_.peak_containers->SetMax(double(containers_.size()));
     const SimDuration startup =
         cluster::DefaultStartupModel(cluster::IsolationLevel::kLambda)
             .SampleStartup(&rng_) +
@@ -392,7 +505,7 @@ bool FaasPlatform::KillContainer(uint64_t container_id,
   auto it = containers_.find(container_id);
   if (it == containers_.end()) return false;
   Container* c = it->second.get();
-  ++metrics_.killed_containers;
+  h_.killed_containers->Inc();
 
   if (c->inflight != nullptr) {
     // A running attempt dies with its container: cancel the scheduled
@@ -405,16 +518,25 @@ bool FaasPlatform::KillContainer(uint64_t container_id,
     const FunctionSpec& spec = functions_.at(inv->function);
     const SimDuration elapsed_exec =
         std::max<SimDuration>(0, sim_->Now() - c->exec_began_us);
+    // A container killed mid-startup only burned part of its init; report
+    // the actual elapsed startup so the attempt timeline stays contiguous.
+    const SimTime place_us = c->exec_began_us - c->inflight_startup_us;
+    const SimDuration startup_us =
+        std::min(c->inflight_startup_us,
+                 std::max<SimDuration>(0, sim_->Now() - place_us));
     inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
                                        elapsed_exec, spec.demand.memory_mb);
-    metrics_.exec_latency_us.Add(double(elapsed_exec));
-    ++metrics_.failures;
+    h_.exec_latency_us->Add(double(elapsed_exec));
+    h_.failures->Inc();
     inv->chaos_killed = true;
     const bool cold = c->inflight_cold;
-    const SimDuration startup_us = c->inflight_startup_us;
+    const Status kill_status =
+        Status::Unavailable("container killed: " + reason);
+    EmitAttemptSpans(*inv, sim_->Now(), startup_us, elapsed_exec, cold,
+                     kill_status, /*killed=*/true);
     ForceDestroyContainer(container_id);
     RetryOrComplete(std::move(inv), cold, startup_us, elapsed_exec,
-                    Status::Unavailable("container killed: " + reason), "");
+                    kill_status, "");
   } else {
     ForceDestroyContainer(container_id);
   }

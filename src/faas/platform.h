@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "faas/billing.h"
 #include "faas/function.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 
 namespace taureau::faas {
@@ -70,6 +71,13 @@ struct InvocationResult {
 using InvokeCallback = std::function<void(const InvocationResult&)>;
 
 /// Counters and latency distributions exposed for the experiments.
+///
+/// Since the observability subsystem landed this struct is a *view*: the
+/// canonical store is an obs::Registry (the platform's own, or a shared one
+/// wired in via AttachObservability) and `FaasPlatform::metrics()`
+/// materializes this struct from it on demand. Only `container_mb_us` is
+/// kept natively (long double — the memory-time integral needs more
+/// precision than a metrics gauge carries).
 struct PlatformMetrics {
   uint64_t invocations = 0;
   uint64_t completions = 0;
@@ -111,15 +119,21 @@ class FaasPlatform {
   /// Asynchronously invokes `function` with `payload`; `cb` fires (in
   /// simulated time) when the invocation reaches a terminal state.
   /// Returns the invocation id.
+  ///
+  /// When observability is attached, the invocation emits a span tree
+  /// rooted at "invoke:<function>" — parented under `parent` when one is
+  /// passed — with per-attempt queue/cold/exec child spans and retry-wait
+  /// spans, all categorized for the critical-path analyzer.
   Result<uint64_t> Invoke(const std::string& function, std::string payload,
-                          InvokeCallback cb);
+                          InvokeCallback cb, obs::TraceContext parent = {});
 
   /// Convenience: invoke and run the simulation until this invocation
   /// completes. Intended for tests/examples, not concurrent workloads.
   Result<InvocationResult> InvokeSync(const std::string& function,
                                       std::string payload);
 
-  const PlatformMetrics& metrics() const { return metrics_; }
+  /// Snapshot of the platform metrics, materialized from the registry.
+  const PlatformMetrics& metrics() const;
   BillingLedger& ledger() { return ledger_; }
   const BillingLedger& ledger() const { return ledger_; }
   const FaasConfig& config() const { return config_; }
@@ -139,6 +153,11 @@ class FaasPlatform {
 
   /// Tears down all idle warm containers immediately (test hook).
   void FlushWarmPool();
+
+  // ----------------------------------------------------------- obs
+  /// Re-homes the platform's metrics onto `o->registry` (folding in any
+  /// values recorded so far) and enables span emission via `o->tracer`.
+  void AttachObservability(obs::Observability* o);
 
   // ------------------------------------------------------------- chaos
   /// Registers container-kill, machine-crash and network-delay hooks under
@@ -194,6 +213,28 @@ class FaasPlatform {
     SimTime attempt_start_us = 0;  ///< When dispatch for this attempt began.
     Money cost_so_far;
     bool chaos_killed = false;  ///< Some attempt died to fault injection.
+    obs::TraceContext root_ctx;  ///< "invoke:<fn>" span (invalid: untraced).
+  };
+
+  /// Cached registry handles — the record path is a pointer deref, no map
+  /// lookups. Rebound by BindMetrics() when the registry changes.
+  struct MetricHandles {
+    obs::Counter* invocations = nullptr;
+    obs::Counter* completions = nullptr;
+    obs::Counter* cold_starts = nullptr;
+    obs::Counter* warm_starts = nullptr;
+    obs::Counter* throttled = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* exhausted = nullptr;
+    obs::Counter* killed_containers = nullptr;
+    obs::Counter* chaos_recoveries = nullptr;
+    obs::Gauge* peak_containers = nullptr;
+    obs::Gauge* container_mb_us = nullptr;
+    Histogram* e2e_latency_us = nullptr;
+    Histogram* queue_latency_us = nullptr;
+    Histogram* startup_latency_us = nullptr;
+    Histogram* exec_latency_us = nullptr;
   };
 
   /// Total attempts allowed: the retry policy when set, else the legacy
@@ -227,12 +268,28 @@ class FaasPlatform {
   void DrainPending();
   SimDuration SampleDispatchDelay();
 
+  void BindMetrics();
+  /// Adds memory-time to the native integral and mirrors it to the gauge.
+  void AccumulateMemoryTime(const Container& c);
+  /// Emits the queue/cold/exec spans of one finished (or killed) attempt,
+  /// all parented under the invocation's root span.
+  void EmitAttemptSpans(const Invocation& inv, SimTime attempt_end_us,
+                        SimDuration startup_us, SimDuration exec_us, bool cold,
+                        const Status& attempt_status, bool killed);
+
   sim::Simulation* sim_;
   cluster::Cluster* cluster_;
   FaasConfig config_;
   Rng rng_;
   BillingLedger ledger_;
-  PlatformMetrics metrics_;
+  /// Canonical metric store: the platform's own registry until
+  /// AttachObservability() re-homes it onto a shared one.
+  obs::Registry own_registry_;
+  obs::Registry* registry_ = &own_registry_;
+  MetricHandles h_;
+  obs::Observability* obs_ = nullptr;
+  long double container_mb_us_ = 0;
+  mutable PlatformMetrics metrics_view_;
 
   std::unordered_map<std::string, FunctionSpec> functions_;
   std::unordered_map<uint64_t, std::unique_ptr<Container>> containers_;

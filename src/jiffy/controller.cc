@@ -174,6 +174,7 @@ Result<JiffyHashTable*> JiffyController::CreateHashTable(
   auto table = std::make_unique<JiffyHashTable>(&pool_, OwnerTag(path),
                                                 partitions);
   JiffyHashTable* raw = table.get();
+  raw->AttachObservability(obs_);
   ns->structures.emplace(name, std::move(table));
   return raw;
 }
@@ -188,6 +189,7 @@ Result<JiffyQueue*> JiffyController::CreateQueue(const std::string& raw_path,
   }
   auto queue = std::make_unique<JiffyQueue>(&pool_, OwnerTag(path));
   JiffyQueue* raw = queue.get();
+  raw->AttachObservability(obs_);
   ns->structures.emplace(name, std::move(queue));
   return raw;
 }
@@ -202,6 +204,7 @@ Result<JiffyFile*> JiffyController::CreateFile(const std::string& raw_path,
   }
   auto file = std::make_unique<JiffyFile>(&pool_, OwnerTag(path));
   JiffyFile* raw = file.get();
+  raw->AttachObservability(obs_);
   ns->structures.emplace(name, std::move(file));
   return raw;
 }
@@ -258,6 +261,16 @@ Status JiffyController::Notify(const std::string& raw_path,
     ++stats_.notifications_sent;
   }
   return Status::OK();
+}
+
+void JiffyController::AttachObservability(obs::Observability* o) {
+  obs_ = o;
+  pool_.AttachObservability(o);
+  for (auto& [path, ns] : namespaces_) {
+    for (auto& [name, structure] : ns.structures) {
+      structure->AttachObservability(o);
+    }
+  }
 }
 
 void JiffyController::AttachChaos(chaos::InjectorRegistry* registry) {

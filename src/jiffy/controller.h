@@ -94,6 +94,11 @@ class JiffyController {
   void StartLeaseScan();
   void StopLeaseScan();
 
+  /// Re-homes the pool's stats onto the shared registry and enables op
+  /// metrics + cat=shuffle span emission on every data structure, existing
+  /// and future.
+  void AttachObservability(obs::Observability* o);
+
   /// Registers memory-node fail/recover hooks under the "jiffy" module. A
   /// node failure immediately re-homes every structure's blocks from the
   /// failed node onto healthy ones (recorded as the recovery).
@@ -132,6 +137,7 @@ class JiffyController {
                                                  ///< subtrees are contiguous.
   std::unique_ptr<sim::PeriodicProcess> lease_scan_;
   ControllerStats stats_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace taureau::jiffy

@@ -9,6 +9,35 @@ namespace taureau::jiffy {
 BlockBacked::BlockBacked(MemoryPool* pool, std::string owner)
     : pool_(pool), owner_(std::move(owner)) {}
 
+void BlockBacked::AttachObservability(obs::Observability* o) {
+  obs_ = o;
+  if (o != nullptr) {
+    ops_counter_ = o->registry.GetCounter("jiffy.ops");
+    op_latency_ =
+        o->registry.GetHistogram("jiffy.op_latency_us", double(kMinute));
+  }
+}
+
+void BlockBacked::RecordOp(const char* name, obs::TraceContext parent,
+                           SimDuration latency_us,
+                           const Status& status) const {
+  if (obs_ == nullptr) return;
+  ops_counter_->Inc();
+  op_latency_->Add(double(latency_us));
+  const SimTime now = obs_->tracer.sim()->Now();
+  obs_->tracer.EmitSpan(
+      name, "jiffy", parent, now, now + latency_us,
+      {{obs::kCategoryAttr, "shuffle"},
+       {obs::kAsyncAttr, "1"},
+       {"status", std::string(StatusCodeName(status.code()))}});
+}
+
+JiffyOp BlockBacked::Done(JiffyOp op, const char* name,
+                          obs::TraceContext parent) const {
+  RecordOp(name, parent, op.latency_us, op.status);
+  return op;
+}
+
 Status BlockBacked::ReconcileBlocks() {
   const uint64_t bs = pool_->block_size();
   const uint64_t needed = (bytes_ + bs - 1) / bs;
@@ -60,8 +89,11 @@ uint32_t JiffyHashTable::PartitionOf(std::string_view key) const {
   return static_cast<uint32_t>(Fnv1a64(key) % partitions_.size());
 }
 
-JiffyOp JiffyHashTable::Put(std::string_view key, std::string value) {
-  if (key.empty()) return {Status::InvalidArgument("empty key"), 0};
+JiffyOp JiffyHashTable::Put(std::string_view key, std::string value,
+                            obs::TraceContext parent) {
+  if (key.empty()) {
+    return Done({Status::InvalidArgument("empty key"), 0}, "ht.put", parent);
+  }
   const SimDuration lat = latency_.Sample(&rng_, key.size() + value.size());
   Partition& part = partitions_[PartitionOf(key)];
   const uint64_t add = key.size() + value.size();
@@ -75,7 +107,7 @@ JiffyOp JiffyHashTable::Put(std::string_view key, std::string value) {
   const Status grow = ReconcileBlocks();
   if (!grow.ok()) {
     bytes_ -= add;
-    return {grow, lat};
+    return Done({grow, lat}, "ht.put", parent);
   }
   if (it != part.data.end()) {
     part.bytes -= key.size() + it->second.size();
@@ -87,26 +119,32 @@ JiffyOp JiffyHashTable::Put(std::string_view key, std::string value) {
   bytes_ -= remove;
   part.bytes += add - remove;
   ReconcileBlocks();  // shrink side never fails
-  return {Status::OK(), lat};
+  return Done({Status::OK(), lat}, "ht.put", parent);
 }
 
-JiffyOp JiffyHashTable::Get(std::string_view key, std::string* value) {
+JiffyOp JiffyHashTable::Get(std::string_view key, std::string* value,
+                            obs::TraceContext parent) {
   const Partition& part = partitions_[PartitionOf(key)];
   auto it = part.data.find(std::string(key));
   if (it == part.data.end()) {
-    return {Status::NotFound("key '" + std::string(key) + "'"),
-            latency_.Sample(&rng_, key.size())};
+    return Done({Status::NotFound("key '" + std::string(key) + "'"),
+                 latency_.Sample(&rng_, key.size())},
+                "ht.get", parent);
   }
   *value = it->second;
-  return {Status::OK(), latency_.Sample(&rng_, key.size() + value->size())};
+  return Done(
+      {Status::OK(), latency_.Sample(&rng_, key.size() + value->size())},
+      "ht.get", parent);
 }
 
-JiffyOp JiffyHashTable::Remove(std::string_view key) {
+JiffyOp JiffyHashTable::Remove(std::string_view key,
+                               obs::TraceContext parent) {
   Partition& part = partitions_[PartitionOf(key)];
   auto it = part.data.find(std::string(key));
   if (it == part.data.end()) {
-    return {Status::NotFound("key '" + std::string(key) + "'"),
-            latency_.Sample(&rng_, key.size())};
+    return Done({Status::NotFound("key '" + std::string(key) + "'"),
+                 latency_.Sample(&rng_, key.size())},
+                "ht.remove", parent);
   }
   const uint64_t removed = key.size() + it->second.size();
   part.data.erase(it);
@@ -114,7 +152,8 @@ JiffyOp JiffyHashTable::Remove(std::string_view key) {
   bytes_ -= removed;
   --item_count_;
   ReconcileBlocks();
-  return {Status::OK(), latency_.Sample(&rng_, key.size())};
+  return Done({Status::OK(), latency_.Sample(&rng_, key.size())}, "ht.remove",
+              parent);
 }
 
 Result<RepartitionStats> JiffyHashTable::Resize(uint32_t new_partitions) {
@@ -159,43 +198,49 @@ void JiffyQueue::EnableSpill(baas::BlobStore* cold_store) {
   spill_store_ = cold_store;
 }
 
-JiffyOp JiffyQueue::Enqueue(std::string value) {
+JiffyOp JiffyQueue::Enqueue(std::string value, obs::TraceContext parent) {
   const SimDuration lat = latency_.Sample(&rng_, value.size());
   bytes_ += value.size();
   const Status grow = ReconcileBlocks();
   if (!grow.ok()) {
     bytes_ -= value.size();
     if (spill_store_ == nullptr || !grow.IsResourceExhausted()) {
-      return {grow, lat};
+      return Done({grow, lat}, "q.enqueue", parent);
     }
     // Pressure relief: spill to cold storage instead of failing.
     const std::string key = owner_ + "/spill/" + std::to_string(spill_seq_++);
     auto put = spill_store_->Put(key, std::move(value));
-    if (!put.status.ok()) return {put.status, lat + put.latency_us};
+    if (!put.status.ok()) {
+      return Done({put.status, lat + put.latency_us}, "q.enqueue", parent);
+    }
     items_.push_back(Item{true, key});
     ++spilled_;
-    return {Status::OK(), lat + put.latency_us};
+    return Done({Status::OK(), lat + put.latency_us}, "q.enqueue", parent);
   }
   items_.push_back(Item{false, std::move(value)});
-  return {Status::OK(), lat};
+  return Done({Status::OK(), lat}, "q.enqueue", parent);
 }
 
-JiffyOp JiffyQueue::Dequeue(std::string* value) {
+JiffyOp JiffyQueue::Dequeue(std::string* value, obs::TraceContext parent) {
   if (items_.empty()) {
-    return {Status::NotFound("queue empty"), latency_.Sample(&rng_, 0)};
+    return Done({Status::NotFound("queue empty"), latency_.Sample(&rng_, 0)},
+                "q.dequeue", parent);
   }
   Item item = std::move(items_.front());
   items_.pop_front();
   if (item.spilled) {
     auto get = spill_store_->Get(item.value_or_key, value);
-    if (!get.status.ok()) return {get.status, get.latency_us};
+    if (!get.status.ok()) {
+      return Done({get.status, get.latency_us}, "q.dequeue", parent);
+    }
     (void)spill_store_->Delete(item.value_or_key);
-    return {Status::OK(), get.latency_us};
+    return Done({Status::OK(), get.latency_us}, "q.dequeue", parent);
   }
   *value = std::move(item.value_or_key);
   bytes_ -= value->size();
   ReconcileBlocks();
-  return {Status::OK(), latency_.Sample(&rng_, value->size())};
+  return Done({Status::OK(), latency_.Sample(&rng_, value->size())},
+              "q.dequeue", parent);
 }
 
 JiffyOp JiffyQueue::Peek(std::string* value) const {
@@ -217,29 +262,35 @@ JiffyFile::JiffyFile(MemoryPool* pool, std::string owner, uint64_t seed)
       rng_(seed) {}
 
 Result<uint64_t> JiffyFile::Append(std::string_view data,
-                                   SimDuration* latency_us) {
-  if (latency_us) *latency_us = latency_.Sample(&rng_, data.size());
+                                   SimDuration* latency_us,
+                                   obs::TraceContext parent) {
+  const SimDuration lat = latency_.Sample(&rng_, data.size());
+  if (latency_us) *latency_us = lat;
   bytes_ += data.size();
   const Status grow = ReconcileBlocks();
   if (!grow.ok()) {
     bytes_ -= data.size();
+    RecordOp("file.append", parent, lat, grow);
     return grow;
   }
   const uint64_t offset = data_.size();
   data_.append(data);
+  RecordOp("file.append", parent, lat, Status::OK());
   return offset;
 }
 
-JiffyOp JiffyFile::Read(uint64_t offset, uint64_t len,
-                        std::string* out) const {
+JiffyOp JiffyFile::Read(uint64_t offset, uint64_t len, std::string* out,
+                        obs::TraceContext parent) const {
   if (offset >= data_.size()) {
-    return {Status::OutOfRange("offset " + std::to_string(offset) +
-                               " beyond EOF " + std::to_string(data_.size())),
-            latency_.Sample(&rng_, 0)};
+    return Done(
+        {Status::OutOfRange("offset " + std::to_string(offset) +
+                            " beyond EOF " + std::to_string(data_.size())),
+         latency_.Sample(&rng_, 0)},
+        "file.read", parent);
   }
   const uint64_t n = std::min<uint64_t>(len, data_.size() - offset);
   out->assign(data_, offset, n);
-  return {Status::OK(), latency_.Sample(&rng_, n)};
+  return Done({Status::OK(), latency_.Sample(&rng_, n)}, "file.read", parent);
 }
 
 }  // namespace taureau::jiffy

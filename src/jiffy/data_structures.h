@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "jiffy/memory_pool.h"
+#include "obs/observability.h"
 
 namespace taureau::jiffy {
 
@@ -56,7 +57,18 @@ class BlockBacked {
   /// capacity cannot absorb them.
   Result<size_t> RepairBlocks();
 
+  /// Enables op metrics ("jiffy.ops", "jiffy.op_latency_us") and
+  /// cat=shuffle span emission for this structure's data-plane operations.
+  /// Ops accept an optional parent TraceContext; since jiffy ops *return*
+  /// their latency instead of scheduling it, the emitted spans cover
+  /// [Now(), Now() + latency] and are marked async.
+  void AttachObservability(obs::Observability* o);
+
  protected:
+  /// Records op metrics + span, then passes `op` through (wraps returns).
+  JiffyOp Done(JiffyOp op, const char* name, obs::TraceContext parent) const;
+  void RecordOp(const char* name, obs::TraceContext parent,
+                SimDuration latency_us, const Status& status) const;
   /// Grows/shrinks the block reservation to cover `bytes_`. Growth failure
   /// surfaces pool exhaustion to the caller.
   Status ReconcileBlocks();
@@ -66,6 +78,9 @@ class BlockBacked {
   uint64_t bytes_ = 0;
   uint64_t blocks_held_ = 0;
   std::vector<BlockId> block_ids_;
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* ops_counter_ = nullptr;
+  Histogram* op_latency_ = nullptr;
 };
 
 /// Hash table partitioned over blocks; partitions scale independently.
@@ -74,9 +89,11 @@ class JiffyHashTable : public BlockBacked {
   JiffyHashTable(MemoryPool* pool, std::string owner,
                  uint32_t initial_partitions, uint64_t seed = 43);
 
-  JiffyOp Put(std::string_view key, std::string value);
-  JiffyOp Get(std::string_view key, std::string* value);
-  JiffyOp Remove(std::string_view key);
+  JiffyOp Put(std::string_view key, std::string value,
+              obs::TraceContext parent = {});
+  JiffyOp Get(std::string_view key, std::string* value,
+              obs::TraceContext parent = {});
+  JiffyOp Remove(std::string_view key, obs::TraceContext parent = {});
 
   /// Elastic scaling: rehashes *this table's* data into `new_partitions`.
   /// Returns how much data moved — the isolation metric of E8.
@@ -117,9 +134,9 @@ class JiffyQueue : public BlockBacked {
   /// namespaced under "<owner>/spill/". Call before the pool fills.
   void EnableSpill(baas::BlobStore* cold_store);
 
-  JiffyOp Enqueue(std::string value);
+  JiffyOp Enqueue(std::string value, obs::TraceContext parent = {});
   /// Dequeues into *value; NotFound on empty (latency still charged).
-  JiffyOp Dequeue(std::string* value);
+  JiffyOp Dequeue(std::string* value, obs::TraceContext parent = {});
   JiffyOp Peek(std::string* value) const;
 
   uint64_t size() const { return items_.size(); }
@@ -145,10 +162,12 @@ class JiffyFile : public BlockBacked {
   JiffyFile(MemoryPool* pool, std::string owner, uint64_t seed = 53);
 
   /// Appends and returns the write offset.
-  Result<uint64_t> Append(std::string_view data, SimDuration* latency_us);
+  Result<uint64_t> Append(std::string_view data, SimDuration* latency_us,
+                          obs::TraceContext parent = {});
 
   /// Reads [offset, offset+len); truncates at EOF.
-  JiffyOp Read(uint64_t offset, uint64_t len, std::string* out) const;
+  JiffyOp Read(uint64_t offset, uint64_t len, std::string* out,
+               obs::TraceContext parent = {}) const;
 
   uint64_t file_size() const { return data_.size(); }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/observability.h"
 
 namespace taureau::jiffy {
 
@@ -23,6 +24,9 @@ struct BlockId {
   auto operator<=>(const BlockId&) const = default;
 };
 
+/// View materialized from the obs::Registry on each `stats()` call; the
+/// registry (the pool's own, or a shared one via AttachObservability) is
+/// the canonical store.
 struct PoolStats {
   uint64_t total_blocks = 0;
   uint64_t used_blocks = 0;
@@ -52,7 +56,13 @@ class MemoryPool {
   uint64_t capacity_blocks() const { return total_blocks_; }
   uint64_t used_blocks() const { return used_blocks_; }
   uint64_t free_blocks() const { return total_blocks_ - used_blocks_; }
-  const PoolStats& stats() const { return stats_; }
+  /// Snapshot of the pool stats, materialized from the registry.
+  const PoolStats& stats() const;
+
+  /// Re-homes the pool's stats onto `o->registry` (folding in values
+  /// recorded so far). The pool emits no spans — its operations are
+  /// instantaneous; timing lives with the data structures on top.
+  void AttachObservability(obs::Observability* o);
 
   /// Blocks currently held by an owner tag.
   uint64_t OwnerUsage(const std::string& owner) const;
@@ -75,6 +85,17 @@ class MemoryPool {
     bool failed = false;     ///< Chaos: node down, skip in allocation.
   };
 
+  /// Cached registry handles; rebound by BindMetrics().
+  struct MetricHandles {
+    obs::Counter* allocations = nullptr;
+    obs::Counter* failed_allocations = nullptr;
+    obs::Counter* node_failures = nullptr;
+    obs::Gauge* used_blocks = nullptr;
+    obs::Gauge* peak_used_blocks = nullptr;
+    obs::Gauge* total_blocks = nullptr;
+  };
+  void BindMetrics();
+
   uint32_t block_size_;
   uint64_t total_blocks_ = 0;
   uint64_t used_blocks_ = 0;
@@ -83,7 +104,10 @@ class MemoryPool {
   std::unordered_map<std::string, uint64_t> owner_usage_;
   /// Owner of each live block, for Free() bookkeeping.
   std::unordered_map<uint64_t, std::string> block_owner_;
-  PoolStats stats_;
+  obs::Registry own_registry_;
+  obs::Registry* registry_ = &own_registry_;
+  MetricHandles h_;
+  mutable PoolStats stats_view_;
 
   static uint64_t KeyOf(BlockId id) {
     return (uint64_t(id.node) << 32) | id.slot;

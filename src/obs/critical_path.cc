@@ -1,0 +1,137 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace taureau::obs {
+
+std::string_view CategoryName(Category c) {
+  switch (c) {
+    case Category::kQueue:
+      return "queue";
+    case Category::kColdStart:
+      return "cold";
+    case Category::kExec:
+      return "exec";
+    case Category::kShuffle:
+      return "shuffle";
+    case Category::kRetry:
+      return "retry";
+    case Category::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::optional<Category> ParseCategory(std::string_view name) {
+  for (size_t i = 0; i < kCategoryCount; ++i) {
+    const auto c = static_cast<Category>(i);
+    if (CategoryName(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
+SimDuration Breakdown::Sum() const {
+  SimDuration total = 0;
+  for (SimDuration d : by_category) total += d;
+  return total;
+}
+
+void Breakdown::Accumulate(const Breakdown& other) {
+  total_us += other.total_us;
+  for (size_t i = 0; i < kCategoryCount; ++i) {
+    by_category[i] += other.by_category[i];
+  }
+}
+
+std::string Breakdown::ToString() const {
+  std::string out = "total=" + std::to_string(total_us) + "us";
+  char buf[64];
+  for (size_t i = 0; i < kCategoryCount; ++i) {
+    const auto c = static_cast<Category>(i);
+    std::snprintf(buf, sizeof(buf), " %s=%lld (%.1f%%)",
+                  std::string(CategoryName(c)).c_str(),
+                  static_cast<long long>(by_category[i]),
+                  100.0 * Fraction(c));
+    out += buf;
+  }
+  return out;
+}
+
+Result<Breakdown> AnalyzeCriticalPath(const Tracer& tracer,
+                                      uint64_t root_span_id) {
+  const Span* root = tracer.Find(root_span_id);
+  if (root == nullptr) {
+    return Status::NotFound("no span with id " + std::to_string(root_span_id));
+  }
+  if (root->parent != 0) {
+    return Status::FailedPrecondition("span " + std::to_string(root_span_id) +
+                                      " is not a trace root");
+  }
+  if (!root->ended()) {
+    return Status::FailedPrecondition("root span " +
+                                      std::to_string(root_span_id) +
+                                      " is still open");
+  }
+
+  Breakdown out;
+  out.total_us = root->duration_us();
+  if (out.total_us == 0) return out;
+
+  // Parents always precede children in id order, so a single forward pass
+  // both computes tree depth under the root and collects the categorized
+  // descendant intervals, clipped to the root window.
+  struct Interval {
+    SimTime start;
+    SimTime end;
+    int depth;
+    uint64_t id;
+    Category cat;
+  };
+  const auto& spans = tracer.spans();
+  std::vector<int> depth(spans.size() + 1, -1);
+  depth[root_span_id] = 0;
+  std::vector<Interval> intervals;
+  std::vector<SimTime> bounds{root->start_us, root->end_us};
+  for (const Span& s : spans) {
+    if (s.id == root_span_id || s.parent == 0 || depth[s.parent] < 0) continue;
+    depth[s.id] = depth[s.parent] + 1;
+    if (!s.ended()) continue;
+    const auto it = s.attrs.find(kCategoryAttr);
+    if (it == s.attrs.end()) continue;
+    const auto cat = ParseCategory(it->second);
+    if (!cat.has_value()) continue;
+    const SimTime lo = std::max(s.start_us, root->start_us);
+    const SimTime hi = std::min(s.end_us, root->end_us);
+    if (hi <= lo) continue;
+    intervals.push_back({lo, hi, depth[s.id], s.id, *cat});
+    bounds.push_back(lo);
+    bounds.push_back(hi);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  // Each elementary interval between consecutive boundary points is covered
+  // by a fixed set of spans; charge it to the deepest categorized one
+  // (ties broken toward the earliest-created span), or to kOther when no
+  // categorized span covers it. Charging every elementary interval exactly
+  // once is what makes Sum() == total_us hold without tolerance.
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const SimTime lo = bounds[i];
+    const SimTime hi = bounds[i + 1];
+    const Interval* best = nullptr;
+    for (const Interval& iv : intervals) {
+      if (iv.start > lo || iv.end < hi) continue;
+      if (best == nullptr || iv.depth > best->depth ||
+          (iv.depth == best->depth && iv.id < best->id)) {
+        best = &iv;
+      }
+    }
+    const Category cat = best != nullptr ? best->cat : Category::kOther;
+    out.by_category[static_cast<size_t>(cat)] += hi - lo;
+  }
+  return out;
+}
+
+}  // namespace taureau::obs

@@ -1,0 +1,64 @@
+// Critical-path analysis: walks a finished trace tree and attributes the
+// root span's end-to-end latency to queueing vs cold-start vs execution vs
+// shuffle vs retry (paper §6: double billing, cold starts and failure
+// masking must be visible per request, not just in aggregate).
+//
+// Attribution is exact by construction: every instant of the root interval
+// is charged to exactly one category — the deepest descendant span covering
+// it that carries a category attribute, or kOther when none does — so the
+// per-category durations always sum to the end-to-end latency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/time_types.h"
+#include "obs/trace.h"
+
+namespace taureau::obs {
+
+/// Where a slice of end-to-end latency went.
+enum class Category {
+  kQueue = 0,   ///< Dispatch + throttle queueing ("cat=queue").
+  kColdStart,   ///< Container + runtime init ("cat=cold").
+  kExec,        ///< Function execution ("cat=exec").
+  kShuffle,     ///< Ephemeral-state / shuffle I/O ("cat=shuffle").
+  kRetry,       ///< Retry backoff + re-dispatch after failures ("cat=retry").
+  kOther,       ///< Root time covered by no categorized span.
+};
+inline constexpr size_t kCategoryCount = 6;
+
+std::string_view CategoryName(Category c);
+std::optional<Category> ParseCategory(std::string_view name);
+
+/// Per-request latency attribution. Invariant (asserted by the tests):
+/// Sum() == total_us exactly.
+struct Breakdown {
+  SimDuration total_us = 0;
+  std::array<SimDuration, kCategoryCount> by_category{};
+
+  SimDuration Get(Category c) const {
+    return by_category[static_cast<size_t>(c)];
+  }
+  SimDuration Sum() const;
+  double Fraction(Category c) const {
+    return total_us > 0 ? double(Get(c)) / double(total_us) : 0.0;
+  }
+
+  /// Accumulates another request's breakdown (aggregate reporting).
+  void Accumulate(const Breakdown& other);
+
+  std::string ToString() const;
+};
+
+/// Attributes the latency of the trace tree rooted at `root_span_id`.
+/// Fails NotFound for unknown ids, FailedPrecondition for non-root or
+/// unfinished roots.
+Result<Breakdown> AnalyzeCriticalPath(const Tracer& tracer,
+                                      uint64_t root_span_id);
+
+}  // namespace taureau::obs

@@ -1,0 +1,113 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace taureau::obs {
+
+Counter* Registry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, double max_value) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(max_value);
+  return slot.get();
+}
+
+bool Registry::Has(const std::string& name) const {
+  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+         histograms_.count(name) > 0;
+}
+
+void Registry::MergeFrom(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    GetCounter(name)->Inc(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    GetGauge(name)->Add(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    GetHistogram(name)->Merge(*h);
+  }
+}
+
+std::string Registry::ExportText() const {
+  // The three maps are each name-sorted; a three-way merge keeps the whole
+  // export in one global name order.
+  std::string out;
+  char buf[64];
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  auto h = histograms_.begin();
+  while (c != counters_.end() || g != gauges_.end() || h != histograms_.end()) {
+    const std::string* cn = c != counters_.end() ? &c->first : nullptr;
+    const std::string* gn = g != gauges_.end() ? &g->first : nullptr;
+    const std::string* hn = h != histograms_.end() ? &h->first : nullptr;
+    const std::string* next = cn;
+    if (next == nullptr || (gn != nullptr && *gn < *next)) next = gn;
+    if (next == nullptr || (hn != nullptr && *hn < *next)) next = hn;
+    if (next == cn && cn != nullptr) {
+      std::snprintf(buf, sizeof(buf), " %llu",
+                    static_cast<unsigned long long>(c->second->value()));
+      out += c->first + buf + "\n";
+      ++c;
+    } else if (next == gn && gn != nullptr) {
+      std::snprintf(buf, sizeof(buf), " %.6g", g->second->value());
+      out += g->first + buf + "\n";
+      ++g;
+    } else {
+      out += h->first + " " + h->second->ToString() + "\n";
+      ++h;
+    }
+  }
+  return out;
+}
+
+std::string Registry::ExportJson() const {
+  std::string out = "{";
+  char buf[256];
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& [name, c] : counters_) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "\"%s\":%llu", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", name.c_str(), g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    sep();
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"%s\":{\"n\":%llu,\"mean\":%.6g,\"p50\":%.6g,\"p90\":%.6g,"
+        "\"p99\":%.6g,\"max\":%.6g}",
+        name.c_str(), static_cast<unsigned long long>(h->count()), h->mean(),
+        h->P50(), h->P90(), h->P99(), h->max());
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+void Registry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace taureau::obs

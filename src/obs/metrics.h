@@ -1,0 +1,86 @@
+// Metrics registry: named counters, gauges and log-bucketed histograms with
+// cheap record-path cost (callers cache the handle pointer once; recording
+// is a member increment) and a deterministic snapshot/export API.
+//
+// This replaces the ad-hoc per-module stat structs as the canonical store:
+// FaasPlatform, PulsarCluster, MemoryPool and InjectorRegistry register
+// their metrics here and materialize their legacy metric structs from the
+// registry on demand, so one `Registry::ExportText()` covers the whole
+// simulated landscape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+
+namespace taureau::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time level (queue depth, live containers, memory-time).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  /// Keeps the running maximum (peak tracking).
+  void SetMax(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// The registry. Get*() returns a stable handle (pointers live as long as
+/// the registry); the same name always maps to the same handle. Names are
+/// "<module>.<metric>" by convention and exports are sorted by name, so
+/// serialization order is independent of registration order.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `max_value` bounds the log-bucketed range; only the first Get for a
+  /// name applies it.
+  Histogram* GetHistogram(const std::string& name, double max_value = 1e12);
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  bool Has(const std::string& name) const;
+
+  /// Folds another registry's current values into this one (used when a
+  /// module's private registry is re-homed onto a shared one).
+  void MergeFrom(const Registry& other);
+
+  /// Deterministic "name value" / "name <histogram summary>" lines, sorted
+  /// by metric name. Same seed => byte-identical export.
+  std::string ExportText() const;
+
+  /// Deterministic JSON object keyed by metric name.
+  std::string ExportJson() const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace taureau::obs

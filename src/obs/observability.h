@@ -1,0 +1,29 @@
+// One bundle a world wires into every module: a shared Tracer plus a shared
+// metrics Registry. Modules expose `AttachObservability(Observability*)`;
+// attaching re-homes the module's private registry handles onto the shared
+// one so a single export covers the whole landscape.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace taureau::obs {
+
+struct Observability {
+  explicit Observability(sim::Simulation* sim) : tracer(sim) {}
+
+  Tracer tracer;
+  Registry registry;
+
+  /// Trace + metrics in one deterministic blob; the E21 determinism check
+  /// byte-compares this across same-seed runs.
+  std::string ExportAll() const {
+    return "== trace ==\n" + tracer.ExportText() + "== metrics ==\n" +
+           registry.ExportText();
+  }
+};
+
+}  // namespace taureau::obs

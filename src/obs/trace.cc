@@ -1,0 +1,208 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace taureau::obs {
+namespace {
+
+/// Minimal JSON string escaping (module/name/attr values are plain ASCII
+/// identifiers in practice, but stay safe anyway).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceContext Tracer::StartTrace(std::string name, std::string module) {
+  return StartSpan(std::move(name), std::move(module), TraceContext{});
+}
+
+TraceContext Tracer::StartSpan(std::string name, std::string module,
+                               TraceContext parent) {
+  return StartSpanAt(std::move(name), std::move(module), parent, sim_->Now());
+}
+
+TraceContext Tracer::StartSpanAt(std::string name, std::string module,
+                                 TraceContext parent, SimTime start_us) {
+  Span span;
+  span.id = spans_.size() + 1;
+  span.name = std::move(name);
+  span.module = std::move(module);
+  span.start_us = start_us;
+  if (parent.valid() && parent.span_id <= spans_.size()) {
+    span.parent = parent.span_id;
+    span.trace = parent.trace_id;
+  } else {
+    span.trace = next_trace_++;
+  }
+  const TraceContext ctx{span.trace, span.id};
+  spans_.push_back(std::move(span));
+  return ctx;
+}
+
+Span* Tracer::FindMutable(TraceContext ctx) {
+  if (!ctx.valid() || ctx.span_id > spans_.size()) return nullptr;
+  return &spans_[ctx.span_id - 1];
+}
+
+void Tracer::SetAttr(TraceContext ctx, const std::string& key,
+                     std::string value) {
+  if (Span* s = FindMutable(ctx)) s->attrs[key] = std::move(value);
+}
+
+void Tracer::EndSpan(TraceContext ctx) { EndSpanAt(ctx, sim_->Now()); }
+
+void Tracer::EndSpanAt(TraceContext ctx, SimTime end_us) {
+  Span* s = FindMutable(ctx);
+  if (s == nullptr || s->ended()) return;
+  s->end_us = std::max(end_us, s->start_us);
+}
+
+TraceContext Tracer::EmitSpan(
+    std::string name, std::string module, TraceContext parent,
+    SimTime start_us, SimTime end_us,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  const TraceContext ctx =
+      StartSpanAt(std::move(name), std::move(module), parent, start_us);
+  for (auto& [k, v] : attrs) spans_[ctx.span_id - 1].attrs[k] = std::move(v);
+  EndSpanAt(ctx, end_us);
+  return ctx;
+}
+
+const Span* Tracer::Find(uint64_t span_id) const {
+  if (span_id == 0 || span_id > spans_.size()) return nullptr;
+  return &spans_[span_id - 1];
+}
+
+std::vector<uint64_t> Tracer::Roots() const {
+  std::vector<uint64_t> out;
+  for (const Span& s : spans_) {
+    if (s.parent == 0) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<uint64_t> Tracer::ChildrenOf(uint64_t span_id) const {
+  std::vector<uint64_t> out;
+  for (const Span& s : spans_) {
+    if (s.parent == span_id) out.push_back(s.id);
+  }
+  return out;
+}
+
+Status Tracer::Validate() const {
+  for (const Span& s : spans_) {
+    const std::string tag = "span " + std::to_string(s.id) + " (" + s.name +
+                            ")";
+    if (!s.ended()) {
+      return Status::FailedPrecondition(tag + " never ended");
+    }
+    if (s.end_us < s.start_us) {
+      return Status::Internal(tag + " ends before it starts");
+    }
+    if (s.parent != 0) {
+      if (s.parent >= s.id) {
+        // Ids are issued in creation order, so a parent always precedes
+        // its children; a forward reference means a corrupted context.
+        return Status::Internal(tag + " references a later/unknown parent");
+      }
+      const Span& p = spans_[s.parent - 1];
+      if (p.trace != s.trace) {
+        return Status::Internal(tag + " crosses traces to its parent");
+      }
+      if (s.start_us < p.start_us) {
+        return Status::Internal(tag + " starts before parent span " +
+                                std::to_string(p.id));
+      }
+      if (p.ended() && s.end_us > p.end_us && !s.attrs.count(kAsyncAttr)) {
+        return Status::Internal(tag + " interval escapes parent span " +
+                                std::to_string(p.id));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Tracer::ExportText() const {
+  std::string out;
+  char buf[256];
+  for (const Span& s : spans_) {
+    std::snprintf(buf, sizeof(buf),
+                  "span=%llu parent=%llu trace=%llu [%lld,%lld] %s/%s",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<unsigned long long>(s.trace),
+                  static_cast<long long>(s.start_us),
+                  static_cast<long long>(s.end_us), s.module.c_str(),
+                  s.name.c_str());
+    out += buf;
+    for (const auto& [k, v] : s.attrs) {
+      out += ' ';
+      out += k;
+      out += '=';
+      out += v;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::ExportJson() const {
+  std::string out = "[";
+  char buf[192];
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"id\":%llu,\"parent\":%llu,\"trace\":%llu,"
+                  "\"start_us\":%lld,\"end_us\":%lld",
+                  i ? "," : "", static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<unsigned long long>(s.trace),
+                  static_cast<long long>(s.start_us),
+                  static_cast<long long>(s.end_us));
+    out += buf;
+    out += ",\"module\":\"" + JsonEscape(s.module) + "\"";
+    out += ",\"name\":\"" + JsonEscape(s.name) + "\"";
+    if (!s.attrs.empty()) {
+      out += ",\"attrs\":{";
+      bool first = true;
+      for (const auto& [k, v] : s.attrs) {
+        if (!first) out += ',';
+        first = false;
+        out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]";
+  return out;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  next_trace_ = 1;
+}
+
+}  // namespace taureau::obs

@@ -1,0 +1,135 @@
+// Causal tracing for the simulated serverless landscape (paper §6: the
+// platform must make behaviour *legible* — cold starts, stragglers, retries
+// and failure masking are invisible without per-invocation accounting).
+//
+// A TraceContext names one span; spans form parent-linked trees rooted at a
+// request (an invocation, an orchestration run, a publish). All timestamps
+// are simulated time, so two runs with the same seed serialize to
+// byte-identical traces — the determinism contract the obs test suite pins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
+
+namespace taureau::obs {
+
+/// Propagated through module boundaries to parent-link child spans.
+/// A default-constructed context is "not traced" — every emission API
+/// accepts one and degrades to a root span / no-op accordingly.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return span_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// One timed, attributed node of a trace tree.
+struct Span {
+  uint64_t id = 0;      ///< Sequential from 1; index into Tracer::spans().
+  uint64_t parent = 0;  ///< 0 for roots.
+  uint64_t trace = 0;   ///< Shared by every span of one request tree.
+  std::string name;
+  std::string module;  ///< Emitting layer ("faas", "pubsub", "jiffy", ...).
+  SimTime start_us = 0;
+  SimTime end_us = -1;  ///< < start_us means still open.
+  /// Sorted so serialization is deterministic. The "cat" attribute feeds
+  /// the critical-path analyzer (see critical_path.h).
+  std::map<std::string, std::string> attrs;
+
+  bool ended() const { return end_us >= start_us; }
+  SimDuration duration_us() const { return ended() ? end_us - start_us : 0; }
+};
+
+/// Span attribute key whose value assigns the span to a critical-path
+/// category ("queue", "cold", "exec", "shuffle", "retry").
+inline constexpr const char* kCategoryAttr = "cat";
+
+/// Marks a span as causally *following from* its parent rather than nested
+/// inside it (e.g. a pubsub delivery follows the publish that produced it).
+/// Async spans may end after their parent; Validate() exempts them from the
+/// interval-containment check but still requires same-trace linkage and
+/// start >= parent start.
+inline constexpr const char* kAsyncAttr = "async";
+
+/// Collects spans for one experiment. Append-only; span ids and trace ids
+/// are handed out sequentially, so creation order (and therefore the
+/// serialized trace) is a pure function of the simulation schedule.
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulation* sim) : sim_(sim) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a root span of a fresh trace at Now().
+  TraceContext StartTrace(std::string name, std::string module);
+
+  /// Opens a span at Now(). An invalid `parent` starts a fresh trace.
+  TraceContext StartSpan(std::string name, std::string module,
+                         TraceContext parent);
+
+  /// StartSpan with an explicit start time (retrospective emission).
+  TraceContext StartSpanAt(std::string name, std::string module,
+                           TraceContext parent, SimTime start_us);
+
+  /// Sets one attribute (overwriting) on an open or closed span.
+  void SetAttr(TraceContext ctx, const std::string& key, std::string value);
+
+  /// Closes the span at Now() / at `end_us`. Closing twice keeps the first
+  /// end time; invalid contexts are ignored.
+  void EndSpan(TraceContext ctx);
+  void EndSpanAt(TraceContext ctx, SimTime end_us);
+
+  /// Emits a fully-formed span in one call (retrospective instrumentation:
+  /// the platform knows an attempt's queue/startup/exec intervals only once
+  /// the attempt finishes).
+  TraceContext EmitSpan(
+      std::string name, std::string module, TraceContext parent,
+      SimTime start_us, SimTime end_us,
+      std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t span_count() const { return spans_.size(); }
+
+  /// The clock this tracer stamps spans with (for modules that compute
+  /// retrospective intervals relative to Now()).
+  sim::Simulation* sim() const { return sim_; }
+
+  /// nullptr when the id was never issued.
+  const Span* Find(uint64_t span_id) const;
+
+  /// Ids of root spans / of `span_id`'s direct children, in id order.
+  std::vector<uint64_t> Roots() const;
+  std::vector<uint64_t> ChildrenOf(uint64_t span_id) const;
+
+  /// Structural well-formedness: every parent exists and precedes its
+  /// child, traces are consistent along edges, every span is closed with
+  /// start <= end, and every child interval lies within its parent's.
+  Status Validate() const;
+
+  /// Deterministic one-span-per-line rendering; the determinism regression
+  /// tests compare two same-seed runs of this byte-for-byte.
+  std::string ExportText() const;
+
+  /// Deterministic JSON array of span objects.
+  std::string ExportJson() const;
+
+  void Clear();
+
+ private:
+  Span* FindMutable(TraceContext ctx);
+
+  sim::Simulation* sim_;
+  std::vector<Span> spans_;  ///< spans_[id - 1] holds span `id`.
+  uint64_t next_trace_ = 1;
+};
+
+}  // namespace taureau::obs

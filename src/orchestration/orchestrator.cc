@@ -29,9 +29,15 @@ void Orchestrator::Run(const Composition& comp, std::string input,
 void Orchestrator::RunKeyed(const std::string& run_key, const Composition& comp,
                             std::string input, ExecutionCallback cb) {
   const SimTime start = sim_->Now();
-  Exec(comp.root(), std::move(input), run_key,
-       [this, start, cb = std::move(cb)](Status s, std::string output,
-                                         Money cost, uint64_t invocations) {
+  obs::TraceContext root;
+  if (obs_ != nullptr) {
+    root = obs_->tracer.StartSpan(
+        run_key.empty() ? "run" : "run:" + run_key, "orchestration", {});
+  }
+  Exec(comp.root(), std::move(input), run_key, root,
+       [this, start, root, cb = std::move(cb)](Status s, std::string output,
+                                               Money cost,
+                                               uint64_t invocations) {
          ExecutionResult res;
          res.status = std::move(s);
          res.output = std::move(output);
@@ -39,6 +45,13 @@ void Orchestrator::RunKeyed(const std::string& run_key, const Composition& comp,
          res.function_invocations = invocations;
          res.start_us = start;
          res.end_us = sim_->Now();
+         if (obs_ != nullptr && root.valid()) {
+           obs_->tracer.SetAttr(root, "status",
+                                std::string(StatusCodeName(res.status.code())));
+           obs_->tracer.SetAttr(root, "invocations",
+                                std::to_string(invocations));
+           obs_->tracer.EndSpan(root);
+         }
          if (cb) cb(res);
        });
 }
@@ -56,6 +69,8 @@ Result<ExecutionResult> Orchestrator::RunKeyedSync(const std::string& run_key,
   }
   return *out;
 }
+
+void Orchestrator::AttachObservability(obs::Observability* o) { obs_ = o; }
 
 void Orchestrator::AttachChaos(chaos::InjectorRegistry* registry) {
   chaos_ = registry;
@@ -88,10 +103,23 @@ Result<ExecutionResult> Orchestrator::RunSync(const Composition& comp,
 }
 
 void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
-                        std::string input, std::string key, NodeDone done) {
+                        std::string input, std::string key,
+                        obs::TraceContext ctx, NodeDone done) {
   using Kind = Composition::Kind;
   switch (node->kind) {
     case Kind::kTask: {
+      obs::TraceContext step;
+      if (obs_ != nullptr) {
+        step = obs_->tracer.StartSpan("step:" + node->name, "orchestration",
+                                      ctx);
+      }
+      // Closes the step span with the outcome; safe to call when untraced.
+      auto end_step = [this, step](const Status& s) {
+        if (obs_ == nullptr || !step.valid()) return;
+        obs_->tracer.SetAttr(step, "status",
+                             std::string(StatusCodeName(s.code())));
+        obs_->tracer.EndSpan(step);
+      };
       if (!key.empty()) {
         // Idempotent execution: a step that already completed under this
         // key replays its recorded result — no second invocation, no
@@ -100,12 +128,16 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
             key + ":" + node->name + ":" + std::to_string(Fnv1a64(input));
         if (const auto* hit = idempotency_.Lookup(step_key)) {
           ++stats_.deduped_steps;
+          if (obs_ != nullptr && step.valid()) {
+            obs_->tracer.SetAttr(step, "deduped", "1");
+          }
+          end_step(hit->status);
           done(hit->status, hit->output, Money::Zero(), 0);
           return;
         }
         auto r = platform_->Invoke(
             node->name, std::move(input),
-            [this, step_key,
+            [this, step_key, end_step,
              done = std::move(done)](const faas::InvocationResult& res) {
               if (res.status.ok()) {
                 idempotency_.Record(step_key, res.status, res.output);
@@ -124,17 +156,27 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
                   }
                 }
               }
+              end_step(res.status);
               done(res.status, res.output, res.cost, 1);
-            });
-        if (!r.ok()) done(r.status(), "", Money::Zero(), 0);
+            },
+            step);
+        if (!r.ok()) {
+          end_step(r.status());
+          done(r.status(), "", Money::Zero(), 0);
+        }
         return;
       }
       auto r = platform_->Invoke(
           node->name, std::move(input),
-          [done = std::move(done)](const faas::InvocationResult& res) {
+          [end_step, done = std::move(done)](const faas::InvocationResult& res) {
+            end_step(res.status);
             done(res.status, res.output, res.cost, 1);
-          });
-      if (!r.ok()) done(r.status(), "", Money::Zero(), 0);
+          },
+          step);
+      if (!r.ok()) {
+        end_step(r.status());
+        done(r.status(), "", Money::Zero(), 0);
+      }
       return;
     }
     case Kind::kNamed: {
@@ -144,7 +186,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
              Money::Zero(), 0);
         return;
       }
-      Exec(it->second.root(), std::move(input), std::move(key),
+      Exec(it->second.root(), std::move(input), std::move(key), ctx,
            std::move(done));
       return;
     }
@@ -160,11 +202,13 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         Money cost;
         uint64_t invocations = 0;
         std::string key;
+        obs::TraceContext ctx;
         NodeDone done;
       };
       auto state = std::make_shared<SeqState>();
       state->node = node;
       state->key = std::move(key);
+      state->ctx = ctx;
       state->done = std::move(done);
       auto step = std::make_shared<std::function<void(Status, std::string)>>();
       // The stored closure holds only a weak self-reference; the strong
@@ -182,6 +226,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         auto self = weak.lock();
         Exec(child, std::move(payload),
              state->key.empty() ? "" : state->key + "/s" + std::to_string(i),
+             state->ctx,
              [state, self](Status cs, std::string out, Money cost,
                            uint64_t inv) {
                state->cost += cost;
@@ -213,7 +258,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       state->done = std::move(done);
       for (size_t i = 0; i < node->children.size(); ++i) {
         Exec(node->children[i], input,
-             key.empty() ? "" : key + "/p" + std::to_string(i),
+             key.empty() ? "" : key + "/p" + std::to_string(i), ctx,
              [state, i](Status s, std::string out, Money cost, uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
@@ -247,7 +292,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
     case Kind::kChoice: {
       const bool take_then = node->predicate && node->predicate(input);
       Exec(node->children[take_then ? 0 : 1], std::move(input),
-           key.empty() ? "" : key + (take_then ? "/c0" : "/c1"),
+           key.empty() ? "" : key + (take_then ? "/c0" : "/c1"), ctx,
            std::move(done));
       return;
     }
@@ -287,7 +332,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       state->done = std::move(done);
       for (size_t i = 0; i < items.size(); ++i) {
         Exec(node->children[0], std::move(items[i]),
-             key.empty() ? "" : key + "/m" + std::to_string(i),
+             key.empty() ? "" : key + "/m" + std::to_string(i), ctx,
              [state, i](Status s, std::string out, Money cost, uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
@@ -322,6 +367,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         Money cost;
         uint64_t invocations = 0;
         std::string key;
+        obs::TraceContext ctx;
         NodeDone done;
       };
       auto state = std::make_shared<RetryState>();
@@ -331,6 +377,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       // All attempts share the subtree key: steps that succeeded on an
       // earlier attempt replay from the idempotency cache on the re-run.
       state->key = std::move(key);
+      state->ctx = ctx;
       state->done = std::move(done);
       auto attempt = std::make_shared<std::function<void()>>();
       // Weak self-reference in the stored closure; each pending
@@ -338,7 +385,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       *attempt = [this, state, weak = std::weak_ptr(attempt)] {
         --state->attempts_left;
         auto self = weak.lock();
-        Exec(state->node->children[0], state->input, state->key,
+        Exec(state->node->children[0], state->input, state->key, state->ctx,
              [this, state, self](Status s, std::string out, Money cost,
                                  uint64_t inv) {
                state->cost += cost;
@@ -351,6 +398,14 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
                  const SimDuration backoff =
                      state->node->retry_policy.BackoffFor(failed, &rng_);
                  if (backoff > 0) {
+                   if (obs_ != nullptr && state->ctx.valid()) {
+                     const SimTime now = sim_->Now();
+                     obs_->tracer.EmitSpan(
+                         "retry-wait", "orchestration", state->ctx, now,
+                         now + backoff,
+                         {{obs::kCategoryAttr, "retry"},
+                          {"failed_attempt", std::to_string(failed)}});
+                   }
                    sim_->Schedule(backoff, [self] { (*self)(); });
                  } else {
                    (*self)();

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "faas/platform.h"
+#include "obs/observability.h"
 #include "orchestration/composition.h"
 #include "sim/simulation.h"
 
@@ -82,6 +83,12 @@ class Orchestrator {
   /// keyed step, which the idempotency cache must absorb.
   void AttachChaos(chaos::InjectorRegistry* registry);
 
+  /// Enables causal tracing: every Run opens a root span, each Task step a
+  /// child span (deduped replays are zero-length, attr deduped=1), Retry
+  /// backoffs emit cat=retry waits, and the platform's per-attempt spans
+  /// nest beneath the step via the propagated context.
+  void AttachObservability(obs::Observability* o);
+
   const chaos::IdempotencyCache& idempotency() const { return idempotency_; }
   const OrchestratorStats& stats() const { return stats_; }
 
@@ -89,9 +96,10 @@ class Orchestrator {
   using NodeDone = std::function<void(Status, std::string output, Money cost,
                                       uint64_t invocations)>;
 
-  /// `key` is the idempotency scope for this subtree ("" = keying off).
+  /// `key` is the idempotency scope for this subtree ("" = keying off);
+  /// `ctx` is the enclosing span for emitted step spans.
   void Exec(std::shared_ptr<const Composition::Node> node, std::string input,
-            std::string key, NodeDone done);
+            std::string key, obs::TraceContext ctx, NodeDone done);
 
   sim::Simulation* sim_;
   faas::FaasPlatform* platform_;
@@ -101,6 +109,7 @@ class Orchestrator {
   chaos::InjectorRegistry* chaos_ = nullptr;
   uint32_t armed_redelivers_ = 0;
   OrchestratorStats stats_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace taureau::orchestration

@@ -28,6 +28,62 @@ PulsarCluster::PulsarCluster(sim::Simulation* sim, PulsarConfig config)
   for (size_t i = 0; i < config_.num_brokers; ++i) {
     brokers_.push_back(Broker{static_cast<BrokerId>(i), true, 0});
   }
+  BindMetrics();
+}
+
+void PulsarCluster::BindMetrics() {
+  h_.published = registry_->GetCounter("pubsub.published");
+  h_.delivered = registry_->GetCounter("pubsub.delivered");
+  h_.redelivered = registry_->GetCounter("pubsub.redelivered");
+  h_.acked = registry_->GetCounter("pubsub.acked");
+  h_.dropped = registry_->GetCounter("pubsub.dropped");
+  h_.duplicated = registry_->GetCounter("pubsub.duplicated");
+  h_.publish_latency_us =
+      registry_->GetHistogram("pubsub.publish_latency_us", double(kMinute));
+  h_.delivery_latency_us =
+      registry_->GetHistogram("pubsub.delivery_latency_us", double(kMinute));
+}
+
+void PulsarCluster::AttachObservability(obs::Observability* o) {
+  if (o == nullptr || registry_ == &o->registry) return;
+  o->registry.MergeFrom(*registry_);
+  if (registry_ == &own_registry_) own_registry_.Reset();
+  registry_ = &o->registry;
+  obs_ = o;
+  BindMetrics();
+}
+
+const PulsarMetrics& PulsarCluster::metrics() const {
+  PulsarMetrics& m = metrics_view_;
+  m.published = h_.published->value();
+  m.delivered = h_.delivered->value();
+  m.redelivered = h_.redelivered->value();
+  m.acked = h_.acked->value();
+  m.dropped = h_.dropped->value();
+  m.duplicated = h_.duplicated->value();
+  m.publish_latency_us.Reset();
+  m.publish_latency_us.Merge(*h_.publish_latency_us);
+  m.delivery_latency_us.Reset();
+  m.delivery_latency_us.Merge(*h_.delivery_latency_us);
+  m.last_ack_time_us = last_ack_time_us_;
+  return m;
+}
+
+void PulsarCluster::EmitDeliverSpan(const MessageId& id, SimTime start_us,
+                                    SimTime deliver_at,
+                                    const std::string& subscription,
+                                    bool redelivery) {
+  if (obs_ == nullptr) return;
+  auto it = publish_spans_.find(id);
+  const obs::TraceContext parent =
+      it != publish_spans_.end() ? it->second : obs::TraceContext{};
+  std::vector<std::pair<std::string, std::string>> attrs = {
+      {obs::kCategoryAttr, "queue"},
+      {obs::kAsyncAttr, "1"},
+      {"sub", subscription}};
+  if (redelivery) attrs.emplace_back("redelivery", "1");
+  obs_->tracer.EmitSpan("deliver", "pubsub", parent, start_us, deliver_at,
+                        std::move(attrs));
 }
 
 Status PulsarCluster::CreateTopic(const std::string& topic,
@@ -98,7 +154,8 @@ void PulsarCluster::DecodeEntry(const std::string& entry, std::string* key,
 
 Result<MessageId> PulsarCluster::Publish(const std::string& topic,
                                          std::string key, std::string payload,
-                                         std::string replicated_from) {
+                                         std::string replicated_from,
+                                         obs::TraceContext parent) {
   auto tit = topics_.find(topic);
   if (tit == topics_.end()) {
     return Status::NotFound("topic '" + topic + "'");
@@ -106,13 +163,13 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   Topic& t = tit->second;
   if (armed_drops_ > 0) {
     --armed_drops_;
-    ++metrics_.dropped;
+    h_.dropped->Inc();
     return Status::Unavailable("message dropped (injected network fault)");
   }
   const bool duplicate = armed_duplicates_ > 0;
   if (duplicate) {
     --armed_duplicates_;
-    ++metrics_.duplicated;
+    h_.duplicated->Inc();
   }
   const uint32_t pidx =
       key.empty()
@@ -151,9 +208,14 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
 
   const MessageId id{pidx, part.ledger, appended->entry_id};
   const SimTime ack_time = appended->ack_time_us;
-  ++metrics_.published;
-  metrics_.publish_latency_us.Add(double(ack_time - now));
-  metrics_.last_ack_time_us = std::max(metrics_.last_ack_time_us, ack_time);
+  h_.published->Inc();
+  h_.publish_latency_us->Add(double(ack_time - now));
+  last_ack_time_us_ = std::max(last_ack_time_us_, ack_time);
+  if (obs_ != nullptr) {
+    publish_spans_[id] = obs_->tracer.EmitSpan(
+        "publish:" + topic, "pubsub", parent, now, ack_time,
+        {{"partition", std::to_string(pidx)}});
+  }
 
   // Once durable, the entry becomes dispatchable to every subscription.
   const std::string topic_name = topic;
@@ -173,7 +235,7 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   if (duplicate) {
     // At-least-once duplication: the same message is appended and
     // dispatched a second time (consumers see it twice).
-    Publish(topic, key, payload, replicated_from);
+    Publish(topic, key, payload, replicated_from, parent);
   }
   return id;
 }
@@ -245,13 +307,15 @@ void PulsarCluster::DispatchFrom(Topic* topic, Subscription* sub,
     DecodeEntry(*raw, &msg.key, &msg.replicated_from, &msg.payload);
     auto pt = publish_times_.find(id);
     msg.publish_time_us = pt != publish_times_.end() ? pt->second : not_before;
-    const SimTime deliver_at =
-        std::max(not_before, sim_->Now()) + config_.dispatch_latency_us;
+    const SimTime dispatch_us = std::max(not_before, sim_->Now());
+    const SimTime deliver_at = dispatch_us + config_.dispatch_latency_us;
     msg.deliver_time_us = deliver_at;
+    EmitDeliverSpan(id, dispatch_us, deliver_at, sub->name,
+                    /*redelivery=*/false);
     auto cb = consumer->cb;
     sim_->ScheduleAt(deliver_at, [this, cb, msg] {
-      ++metrics_.delivered;
-      metrics_.delivery_latency_us.Add(
+      h_.delivered->Inc();
+      h_.delivery_latency_us->Add(
           double(msg.deliver_time_us - msg.publish_time_us));
       cb(msg);
     });
@@ -310,7 +374,7 @@ Status PulsarCluster::Ack(ConsumerId consumer, const MessageId& id) {
     return Status::NotFound("message not pending on subscription");
   }
   sub.unacked.erase(uit);
-  ++metrics_.acked;
+  h_.acked->Inc();
   return Status::OK();
 }
 
@@ -327,10 +391,12 @@ void PulsarCluster::Redeliver(Topic* /*topic*/, Subscription* sub) {
     msg.publish_time_us = pt != publish_times_.end() ? pt->second : 0;
     const SimTime deliver_at = sim_->Now() + config_.dispatch_latency_us;
     msg.deliver_time_us = deliver_at;
+    EmitDeliverSpan(id, sim_->Now(), deliver_at, sub->name,
+                    /*redelivery=*/true);
     auto cb = consumer->cb;
     sim_->ScheduleAt(deliver_at, [this, cb, msg] {
-      ++metrics_.delivered;
-      ++metrics_.redelivered;
+      h_.delivered->Inc();
+      h_.redelivered->Inc();
       cb(msg);
     });
   }
@@ -379,9 +445,10 @@ Result<uint64_t> PulsarCluster::TrimConsumedBacklog(const std::string& topic) {
     TAU_RETURN_IF_ERROR(bookkeeper_.TrimLedger(part.ledger, floor));
     trimmed += floor - part.trimmed_below;
     part.trimmed_below = floor;
-    // Drop the latency bookkeeping for reclaimed entries.
+    // Drop the latency/span bookkeeping for reclaimed entries.
     for (uint64_t e = 0; e < floor; ++e) {
       publish_times_.erase(MessageId{p, part.ledger, e});
+      publish_spans_.erase(MessageId{p, part.ledger, e});
     }
   }
   return trimmed;

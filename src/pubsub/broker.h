@@ -21,6 +21,7 @@
 
 #include "chaos/injector.h"
 #include "common/stats.h"
+#include "obs/observability.h"
 #include "pubsub/bookkeeper.h"
 #include "pubsub/message.h"
 #include "sim/simulation.h"
@@ -55,6 +56,10 @@ struct PulsarConfig {
   uint64_t seed = 41;
 };
 
+/// View materialized from the obs::Registry on each `metrics()` call; the
+/// registry (the cluster's own, or a shared one via AttachObservability) is
+/// the canonical store. `last_ack_time_us` stays native (it is a timestamp,
+/// not a metric).
 struct PulsarMetrics {
   uint64_t published = 0;
   uint64_t delivered = 0;
@@ -85,9 +90,15 @@ class PulsarCluster {
   /// round-robin. The message becomes visible to subscriptions once its
   /// ledger append reaches the ack quorum (simulated time).
   /// `replicated_from` marks geo-replicated traffic (set by GeoReplicator).
+  ///
+  /// With observability attached, each accepted publish emits a
+  /// "publish:<topic>" span covering submit -> durable ack (optionally
+  /// parented under `parent`), and every delivery emits an async child
+  /// "deliver" span covering dispatch -> consumer callback.
   Result<MessageId> Publish(const std::string& topic, std::string key,
                             std::string payload,
-                            std::string replicated_from = "");
+                            std::string replicated_from = "",
+                            obs::TraceContext parent = {});
 
   /// Attaches a consumer to a (topic, subscription). The subscription is
   /// created on first use with the given type; later consumers must match.
@@ -114,12 +125,18 @@ class PulsarCluster {
   Status CrashBroker(BrokerId id);
   Status RecoverBroker(BrokerId id);
 
-  const PulsarMetrics& metrics() const { return metrics_; }
+  /// Snapshot of the cluster metrics, materialized from the registry.
+  const PulsarMetrics& metrics() const;
   BookKeeper& bookkeeper() { return bookkeeper_; }
   size_t broker_count() const { return brokers_.size(); }
 
   /// Number of partitions currently owned by each broker (load map).
   std::vector<size_t> BrokerLoad() const;
+
+  // ----------------------------------------------------------- obs
+  /// Re-homes the cluster's metrics onto `o->registry` (folding in values
+  /// recorded so far) and enables publish/deliver span emission.
+  void AttachObservability(obs::Observability* o);
 
   // ------------------------------------------------------------- chaos
   /// Registers bookie crash/recover and message drop/duplicate hooks under
@@ -191,6 +208,23 @@ class PulsarCluster {
 
   void Redeliver(Topic* topic, Subscription* sub);
 
+  /// Cached registry handles (see obs::Registry); rebound by BindMetrics().
+  struct MetricHandles {
+    obs::Counter* published = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* redelivered = nullptr;
+    obs::Counter* acked = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* duplicated = nullptr;
+    Histogram* publish_latency_us = nullptr;
+    Histogram* delivery_latency_us = nullptr;
+  };
+  void BindMetrics();
+  /// Emits one async "deliver" span under the message's publish span.
+  void EmitDeliverSpan(const MessageId& id, SimTime start_us,
+                       SimTime deliver_at, const std::string& subscription,
+                       bool redelivery);
+
   sim::Simulation* sim_;
   PulsarConfig config_;
   BookKeeper bookkeeper_;
@@ -200,8 +234,15 @@ class PulsarCluster {
   std::unordered_map<ConsumerId, ConsumerInfo> consumers_;
   /// Publish timestamps for end-to-end latency accounting.
   std::map<MessageId, SimTime> publish_times_;
+  /// Publish spans, so deliveries can parent-link to their cause.
+  std::map<MessageId, obs::TraceContext> publish_spans_;
   ConsumerId next_consumer_ = 1;
-  PulsarMetrics metrics_;
+  obs::Registry own_registry_;
+  obs::Registry* registry_ = &own_registry_;
+  MetricHandles h_;
+  obs::Observability* obs_ = nullptr;
+  SimTime last_ack_time_us_ = 0;
+  mutable PulsarMetrics metrics_view_;
   uint32_t armed_drops_ = 0;       ///< Pending injected publish drops.
   uint32_t armed_duplicates_ = 0;  ///< Pending injected publish duplicates.
 };

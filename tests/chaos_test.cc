@@ -144,6 +144,74 @@ TEST(CircuitBreakerTest, HalfOpenFailureReopens) {
 
 // ------------------------------------------------------- IdempotencyCache
 
+TEST(CircuitBreakerTest, HalfOpenAdmitsOnlyConfiguredProbes) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_duration_us = 100;
+  cfg.half_open_probes = 1;
+  CircuitBreaker cb(cfg);
+  cb.RecordFailure(0);
+  ASSERT_EQ(cb.state(0), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(cb.AllowRequest(150));  // the single probe
+  EXPECT_EQ(cb.state(150), CircuitBreaker::State::kHalfOpen);
+  // A second request during the same half-open window is shed, and the
+  // breaker stays half-open waiting on the in-flight probe.
+  const uint64_t shed_before = cb.shed_count();
+  EXPECT_FALSE(cb.AllowRequest(160));
+  EXPECT_EQ(cb.shed_count(), shed_before + 1);
+  EXPECT_EQ(cb.state(160), CircuitBreaker::State::kHalfOpen);
+  cb.RecordSuccess(170);
+  EXPECT_EQ(cb.state(170), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenSuccessResetsFailureCount) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 2;
+  cfg.open_duration_us = 100;
+  CircuitBreaker cb(cfg);
+  cb.RecordFailure(0);
+  cb.RecordFailure(1);  // trips
+  ASSERT_EQ(cb.state(1), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(cb.AllowRequest(150));
+  cb.RecordSuccess(151);
+  EXPECT_EQ(cb.consecutive_failures(), 0);
+  // Closing cleared the streak: one new failure must not re-trip.
+  cb.RecordFailure(200);
+  EXPECT_EQ(cb.state(200), CircuitBreaker::State::kClosed);
+  cb.RecordFailure(201);  // ...but a full fresh streak does
+  EXPECT_EQ(cb.state(201), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.trip_count(), 2u);
+}
+
+TEST(CircuitBreakerTest, ReopenAfterProbeFailureStartsFreshWindow) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_duration_us = 100;
+  CircuitBreaker cb(cfg);
+  cb.RecordFailure(0);
+  EXPECT_TRUE(cb.AllowRequest(150));  // probe
+  cb.RecordFailure(160);              // probe fails -> re-opens at t=160
+  EXPECT_EQ(cb.state(160), CircuitBreaker::State::kOpen);
+  // The open window restarts from the re-open, not the original trip.
+  EXPECT_FALSE(cb.AllowRequest(200));
+  EXPECT_FALSE(cb.AllowRequest(259));
+  EXPECT_TRUE(cb.AllowRequest(261));
+}
+
+TEST(CircuitBreakerTest, OpenWindowShedsEveryRequestUntilExpiry) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_duration_us = 1 * kSecond;
+  CircuitBreaker cb(cfg);
+  cb.RecordFailure(0);
+  for (SimTime t = 1; t <= 1000; t += 100) {
+    EXPECT_FALSE(cb.AllowRequest(t)) << "t=" << t;
+  }
+  EXPECT_EQ(cb.shed_count(), 10u);
+  EXPECT_EQ(cb.state(1000), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(cb.AllowRequest(1 * kSecond + 1));
+}
+
 TEST(IdempotencyTest, FirstWriterWinsAndHitsCount) {
   IdempotencyCache cache;
   EXPECT_EQ(cache.Lookup("k"), nullptr);
@@ -154,6 +222,21 @@ TEST(IdempotencyTest, FirstWriterWinsAndHitsCount) {
   EXPECT_EQ(e->output, "v1");
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.duplicate_records(), 1u);
+}
+
+TEST(IdempotencyTest, SameKeyDifferentPayloadKeepsFirstRecord) {
+  IdempotencyCache cache;
+  ASSERT_TRUE(cache.Record("k", Status::OK(), "committed"));
+  // A duplicate delivery carrying a *different* payload (e.g. the retry
+  // raced a concurrent writer) must not overwrite the recorded outcome —
+  // not even its status.
+  EXPECT_FALSE(cache.Record("k", Status::Aborted("raced"), "other"));
+  const auto* e = cache.Lookup("k");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->status.ok());
+  EXPECT_EQ(e->output, "committed");
+  EXPECT_EQ(cache.duplicate_records(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 // ------------------------------------------------- Determinism end-to-end
@@ -520,6 +603,60 @@ TEST(OrchestrationChaosTest, DistinctRunKeysDoNotShareResults) {
   ASSERT_TRUE(f.orch.RunKeyedSync("run-a", comp, "in").ok());
   ASSERT_TRUE(f.orch.RunKeyedSync("run-b", comp, "in").ok());
   EXPECT_EQ(f.side_effects, 2);
+}
+
+TEST(OrchestrationChaosTest, SameRunKeyDifferentInputBothExecute) {
+  OrchFixture f;
+  const auto comp = orchestration::Composition::Task("step");
+  // The step key hashes the input, so the same run key with different
+  // inputs is two distinct units of work, not a replay.
+  auto r1 = f.orch.RunKeyedSync("run-x", comp, "in-1");
+  auto r2 = f.orch.RunKeyedSync("run-x", comp, "in-2");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(f.side_effects, 2);
+  EXPECT_EQ(r1->output, "out:in-1");
+  EXPECT_EQ(r2->output, "out:in-2");
+  EXPECT_EQ(f.orch.stats().deduped_steps, 0u);
+}
+
+TEST(OrchestrationChaosTest, SameRunKeySameInputReplaysAcrossRuns) {
+  OrchFixture f;
+  const auto comp = orchestration::Composition::Task("step");
+  auto r1 = f.orch.RunKeyedSync("run-x", comp, "in");
+  auto r2 = f.orch.RunKeyedSync("run-x", comp, "in");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(f.side_effects, 1);  // the second run replayed the cache
+  EXPECT_EQ(r2->output, r1->output);
+  EXPECT_EQ(r2->function_invocations, 0u);  // nothing re-invoked
+  EXPECT_EQ(f.orch.stats().deduped_steps, 1u);
+}
+
+TEST(FaasChaosTest, RecoveryCountersMatchFaultLog) {
+  sim::Simulation sim;
+  InjectorRegistry registry(&sim);
+  cluster::Cluster cl(4, {32000, 65536});
+  faas::FaasConfig cfg;
+  cfg.retry = RetryPolicy::ExponentialJitter(3, 5 * kMillisecond, 0.0);
+  faas::FaasPlatform platform(&sim, &cl, cfg);
+  cl.AttachChaos(&registry);
+  platform.AttachChaos(&registry);
+  faas::FunctionSpec spec;
+  spec.name = "fn";
+  spec.exec = {faas::ExecTimeModel::Kind::kFixed, 100 * kMillisecond, 0, 0};
+  platform.RegisterFunction(spec);
+
+  platform.Invoke("fn", "x", nullptr);
+  sim.Schedule(60 * kMillisecond, [&registry] {
+    registry.Inject({0, FaultKind::kContainerKill, 0, 0});
+  });
+  sim.Run();
+  // The registry's counters (the obs-registry-backed ones) agree with the
+  // authoritative fault log.
+  EXPECT_EQ(registry.injected(), registry.log().injected_count());
+  EXPECT_EQ(registry.recovered(), registry.log().recovery_count());
+  EXPECT_EQ(registry.recovered(), 1u);
 }
 
 TEST(OrchestrationChaosTest, RetryBackoffDelaysReattempts) {
