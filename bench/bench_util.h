@@ -8,6 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,7 +17,129 @@
 
 namespace taureau::bench {
 
-/// Fixed-width table printer.
+/// Machine-readable mirror of everything a bench binary prints: every
+/// Table::Print registers its table here and TAUREAU_BENCH_MAIN writes the
+/// accumulated document to BENCH_E<k>.json (k parsed from the binary name),
+/// so CI archives results without scraping stdout. The JSON is
+/// deterministic: tables appear in print order, notes in insertion order.
+class JsonReport {
+ public:
+  static JsonReport& Instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  void AddTable(const std::string& title,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+    tables_.push_back({title, headers, rows});
+  }
+
+  /// Scalar result outside any table (e.g. "determinism" -> "yes").
+  void Note(const std::string& key, const std::string& value) {
+    notes_.push_back({key, value});
+  }
+
+  std::string ToJson(const std::string& binary) const {
+    std::string out = "{\n  \"binary\": \"" + Escape(binary) + "\",\n";
+    out += "  \"notes\": {";
+    for (size_t i = 0; i < notes_.size(); ++i) {
+      out += (i ? ", " : "") + ("\"" + Escape(notes_[i].first) + "\": \"" +
+                                Escape(notes_[i].second) + "\"");
+    }
+    out += "},\n  \"tables\": [";
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      const TableData& td = tables_[t];
+      out += t ? ",\n    {" : "\n    {";
+      out += "\"title\": \"" + Escape(td.title) + "\", \"headers\": ";
+      AppendStringArray(td.headers, &out);
+      out += ", \"rows\": [";
+      for (size_t r = 0; r < td.rows.size(); ++r) {
+        if (r) out += ", ";
+        AppendStringArray(td.rows[r], &out);
+      }
+      out += "]}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_E<k>.json next to the cwd (or $TAUREAU_BENCH_JSON_DIR).
+  /// <k> comes from the binary basename ("bench_e22_scale_obs" -> 22);
+  /// binaries outside that convention fall back to "<basename>.json".
+  bool WriteForBinary(const char* argv0) const {
+    std::string base = argv0 ? argv0 : "bench";
+    const size_t slash = base.find_last_of('/');
+    if (slash != std::string::npos) base = base.substr(slash + 1);
+    std::string file = base + ".json";
+    if (base.rfind("bench_e", 0) == 0) {
+      size_t i = std::strlen("bench_e");
+      std::string digits;
+      while (i < base.size() && base[i] >= '0' && base[i] <= '9') {
+        digits += base[i++];
+      }
+      if (!digits.empty()) file = "BENCH_E" + digits + ".json";
+    }
+    std::string path = file;
+    if (const char* dir = std::getenv("TAUREAU_BENCH_JSON_DIR")) {
+      if (*dir != '\0') path = std::string(dir) + "/" + file;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson(base);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct TableData {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  static void AppendStringArray(const std::vector<std::string>& v,
+                                std::string* out) {
+    *out += "[";
+    for (size_t i = 0; i < v.size(); ++i) {
+      *out += (i ? ", \"" : "\"") + Escape(v[i]) + "\"";
+    }
+    *out += "]";
+  }
+
+  std::vector<TableData> tables_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+/// Fixed-width table printer. Printing also records the table into the
+/// process-wide JsonReport so the bench's JSON artifact mirrors stdout.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
@@ -26,6 +150,7 @@ class Table {
   }
 
   void Print(const std::string& title) const {
+    JsonReport::Instance().AddTable(title, headers_, rows_);
     std::printf("\n=== %s ===\n", title.c_str());
     std::vector<size_t> widths(headers_.size());
     for (size_t c = 0; c < headers_.size(); ++c) {
@@ -78,10 +203,12 @@ inline std::vector<std::string> PercentileCells(
           Fmt(fmt, Percentile(samples, 0.99) / scale)};
 }
 
-/// Standard bench main: run the experiment table, then microbenchmarks.
+/// Standard bench main: run the experiment table, write the BENCH_E<k>.json
+/// artifact, then microbenchmarks.
 #define TAUREAU_BENCH_MAIN(experiment_fn)              \
   int main(int argc, char** argv) {                    \
     experiment_fn();                                   \
+    ::taureau::bench::JsonReport::Instance().WriteForBinary(argv[0]); \
     ::benchmark::Initialize(&argc, argv);              \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();             \

@@ -94,11 +94,33 @@ void InjectorRegistry::Inject(const FaultEvent& event) {
   log_.Record(std::move(record));
   if (obs_ != nullptr) {
     const SimTime now = sim_->Now();
+    // Destructive kinds are errors; recoveries/heals are informational;
+    // everything else (kills, delays, drops) is a warning. The fault
+    // outcome makes every marker trace tail-retained.
+    const char* sev = "warn";
+    switch (event.kind) {
+      case FaultKind::kMachineCrash:
+      case FaultKind::kBookieCrash:
+      case FaultKind::kMemoryNodeFail:
+      case FaultKind::kNetworkPartition:
+        sev = "error";
+        break;
+      case FaultKind::kMachineRestart:
+      case FaultKind::kPartitionHeal:
+      case FaultKind::kBookieRecover:
+      case FaultKind::kMemoryNodeRecover:
+        sev = "info";
+        break;
+      default:
+        break;
+    }
     obs_->tracer.EmitSpan(
         "fault:" + std::string(FaultKindName(event.kind)), "chaos", {}, now,
         now,
         {{"target", std::to_string(event.target)},
-         {"param", std::to_string(event.param)}});
+         {"param", std::to_string(event.param)},
+         {obs::kOutcomeAttr, obs::kOutcomeFault},
+         {obs::kSeverityAttr, sev}});
   }
   if (!handled) return;
   for (const Registration& reg : it->second) reg.hook(event);

@@ -401,6 +401,17 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
                          std::to_string(res.attempts));
     obs_->tracer.SetAttr(inv->root_ctx, "status",
                          std::string(StatusCodeName(res.status.code())));
+    // Outcome/severity for tail sampling: terminal failures are errors, a
+    // chaos kill retried to success is a masked fault (warn) — both must
+    // survive any sampling rate.
+    const char* outcome = !res.status.ok() ? obs::kOutcomeError
+                          : inv->chaos_killed ? obs::kOutcomeFault
+                                              : obs::kOutcomeOk;
+    const char* sev = !res.status.ok()  ? "error"
+                      : inv->chaos_killed ? "warn"
+                                          : "info";
+    obs_->tracer.SetAttr(inv->root_ctx, obs::kOutcomeAttr, outcome);
+    obs_->tracer.SetAttr(inv->root_ctx, obs::kSeverityAttr, sev);
     obs_->tracer.EndSpan(inv->root_ctx);
   }
   if (inv->cb) inv->cb(res);

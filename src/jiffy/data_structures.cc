@@ -29,7 +29,10 @@ void BlockBacked::RecordOp(const char* name, obs::TraceContext parent,
       name, "jiffy", parent, now, now + latency_us,
       {{obs::kCategoryAttr, "shuffle"},
        {obs::kAsyncAttr, "1"},
-       {"status", std::string(StatusCodeName(status.code()))}});
+       {"status", std::string(StatusCodeName(status.code()))},
+       {obs::kOutcomeAttr,
+        status.ok() ? obs::kOutcomeOk : obs::kOutcomeError},
+       {obs::kSeverityAttr, status.ok() ? "info" : "error"}});
 }
 
 JiffyOp BlockBacked::Done(JiffyOp op, const char* name,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_map>
 #include <vector>
 
 namespace taureau::obs {
@@ -59,6 +60,106 @@ std::string Breakdown::ToString() const {
   return out;
 }
 
+Result<TraceAttribution> AttributeTrace(const std::vector<Span>& spans,
+                                        uint64_t root_span_id) {
+  const Span* root = nullptr;
+  for (const Span& s : spans) {
+    if (s.id == root_span_id) {
+      root = &s;
+      break;
+    }
+  }
+  if (root == nullptr) {
+    return Status::NotFound("no span with id " + std::to_string(root_span_id));
+  }
+  if (!root->ended()) {
+    return Status::FailedPrecondition("root span " +
+                                      std::to_string(root_span_id) +
+                                      " is still open");
+  }
+
+  TraceAttribution out;
+  out.breakdown.total_us = root->duration_us();
+  out.self_us.assign(spans.size(), 0);
+  if (out.breakdown.total_us == 0) return out;
+
+  // Parents always precede children in id order, so a single forward pass
+  // both computes tree depth under the root and collects the descendant
+  // intervals, clipped to the root window. Every finished descendant is an
+  // interval (self-time needs all of them); only categorized ones carry a
+  // category.
+  struct Interval {
+    SimTime start;
+    SimTime end;
+    int depth;
+    uint64_t id;
+    size_t index;  ///< Position in `spans` (for self-time charging).
+    bool has_cat;
+    Category cat;
+  };
+  std::unordered_map<uint64_t, int> depth;
+  depth.reserve(spans.size());
+  depth[root_span_id] = 0;
+  size_t root_index = 0;
+  std::vector<Interval> intervals;
+  std::vector<SimTime> bounds{root->start_us, root->end_us};
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (s.id == root_span_id) {
+      root_index = i;
+      continue;
+    }
+    if (s.parent == 0) continue;
+    const auto dit = depth.find(s.parent);
+    if (dit == depth.end()) continue;
+    depth[s.id] = dit->second + 1;
+    if (!s.ended()) continue;
+    const auto it = s.attrs.find(kCategoryAttr);
+    const auto cat = it != s.attrs.end() ? ParseCategory(it->second)
+                                         : std::nullopt;
+    const SimTime lo = std::max(s.start_us, root->start_us);
+    const SimTime hi = std::min(s.end_us, root->end_us);
+    if (hi <= lo) continue;
+    intervals.push_back({lo, hi, depth[s.id], s.id, i, cat.has_value(),
+                         cat.value_or(Category::kOther)});
+    bounds.push_back(lo);
+    bounds.push_back(hi);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  // Each elementary interval between consecutive boundary points is covered
+  // by a fixed set of spans; charge its category to the deepest categorized
+  // cover (ties broken toward the earliest-created span), or to kOther when
+  // no categorized span covers it, and its self-time to the deepest cover
+  // of any kind (the root when none). Charging every elementary interval
+  // exactly once is what makes both partitions sum to total_us without
+  // tolerance.
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const SimTime lo = bounds[i];
+    const SimTime hi = bounds[i + 1];
+    const Interval* best_cat = nullptr;
+    const Interval* best_any = nullptr;
+    for (const Interval& iv : intervals) {
+      if (iv.start > lo || iv.end < hi) continue;
+      const bool deeper_any =
+          best_any == nullptr || iv.depth > best_any->depth ||
+          (iv.depth == best_any->depth && iv.id < best_any->id);
+      if (deeper_any) best_any = &iv;
+      if (!iv.has_cat) continue;
+      if (best_cat == nullptr || iv.depth > best_cat->depth ||
+          (iv.depth == best_cat->depth && iv.id < best_cat->id)) {
+        best_cat = &iv;
+      }
+    }
+    const Category cat =
+        best_cat != nullptr ? best_cat->cat : Category::kOther;
+    out.breakdown.by_category[static_cast<size_t>(cat)] += hi - lo;
+    out.self_us[best_any != nullptr ? best_any->index : root_index] += hi - lo;
+  }
+  return out;
+}
+
 Result<Breakdown> AnalyzeCriticalPath(const Tracer& tracer,
                                       uint64_t root_span_id) {
   const Span* root = tracer.Find(root_span_id);
@@ -74,64 +175,9 @@ Result<Breakdown> AnalyzeCriticalPath(const Tracer& tracer,
                                       std::to_string(root_span_id) +
                                       " is still open");
   }
-
-  Breakdown out;
-  out.total_us = root->duration_us();
-  if (out.total_us == 0) return out;
-
-  // Parents always precede children in id order, so a single forward pass
-  // both computes tree depth under the root and collects the categorized
-  // descendant intervals, clipped to the root window.
-  struct Interval {
-    SimTime start;
-    SimTime end;
-    int depth;
-    uint64_t id;
-    Category cat;
-  };
-  const auto& spans = tracer.spans();
-  std::vector<int> depth(spans.size() + 1, -1);
-  depth[root_span_id] = 0;
-  std::vector<Interval> intervals;
-  std::vector<SimTime> bounds{root->start_us, root->end_us};
-  for (const Span& s : spans) {
-    if (s.id == root_span_id || s.parent == 0 || depth[s.parent] < 0) continue;
-    depth[s.id] = depth[s.parent] + 1;
-    if (!s.ended()) continue;
-    const auto it = s.attrs.find(kCategoryAttr);
-    if (it == s.attrs.end()) continue;
-    const auto cat = ParseCategory(it->second);
-    if (!cat.has_value()) continue;
-    const SimTime lo = std::max(s.start_us, root->start_us);
-    const SimTime hi = std::min(s.end_us, root->end_us);
-    if (hi <= lo) continue;
-    intervals.push_back({lo, hi, depth[s.id], s.id, *cat});
-    bounds.push_back(lo);
-    bounds.push_back(hi);
-  }
-  std::sort(bounds.begin(), bounds.end());
-  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
-
-  // Each elementary interval between consecutive boundary points is covered
-  // by a fixed set of spans; charge it to the deepest categorized one
-  // (ties broken toward the earliest-created span), or to kOther when no
-  // categorized span covers it. Charging every elementary interval exactly
-  // once is what makes Sum() == total_us hold without tolerance.
-  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
-    const SimTime lo = bounds[i];
-    const SimTime hi = bounds[i + 1];
-    const Interval* best = nullptr;
-    for (const Interval& iv : intervals) {
-      if (iv.start > lo || iv.end < hi) continue;
-      if (best == nullptr || iv.depth > best->depth ||
-          (iv.depth == best->depth && iv.id < best->id)) {
-        best = &iv;
-      }
-    }
-    const Category cat = best != nullptr ? best->cat : Category::kOther;
-    out.by_category[static_cast<size_t>(cat)] += hi - lo;
-  }
-  return out;
+  auto attributed = AttributeTrace(tracer.spans(), root_span_id);
+  TAU_RETURN_IF_ERROR(attributed.status());
+  return attributed->breakdown;
 }
 
 }  // namespace taureau::obs

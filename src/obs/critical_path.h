@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "common/time_types.h"
@@ -60,5 +61,24 @@ struct Breakdown {
 /// unfinished roots.
 Result<Breakdown> AnalyzeCriticalPath(const Tracer& tracer,
                                       uint64_t root_span_id);
+
+/// Full attribution of one span subtree: the category breakdown plus a
+/// per-span *self time* — the portion of the root window each span is the
+/// deepest cover of. Both partitions are exact: the breakdown categories
+/// and the self times each sum to the root window independently.
+struct TraceAttribution {
+  Breakdown breakdown;
+  /// Parallel to the input span vector; 0 for spans outside the subtree.
+  std::vector<SimDuration> self_us;
+};
+
+/// Storage-agnostic core shared by AnalyzeCriticalPath and the flame
+/// aggregator: attributes the subtree of `root_span_id` within `spans`
+/// (any id-ascending slice of one or more traces — parents must precede
+/// children, as the tracer guarantees). Unlike AnalyzeCriticalPath the
+/// root may itself have a parent outside `spans` (late/async span groups).
+/// NotFound for an absent root, FailedPrecondition for an unfinished one.
+Result<TraceAttribution> AttributeTrace(const std::vector<Span>& spans,
+                                        uint64_t root_span_id);
 
 }  // namespace taureau::obs

@@ -1,0 +1,110 @@
+#include "obs/flame.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace taureau::obs {
+
+void FlameProfile::FoldTrace(const std::vector<Span>& spans) {
+  if (spans.empty()) return;
+  ++folded_traces_;
+
+  std::unordered_set<uint64_t> present;
+  present.reserve(spans.size());
+  for (const Span& s : spans) present.insert(s.id);
+
+  // Path of each span: parent path + ";" + name; group roots start fresh.
+  std::unordered_map<uint64_t, const std::string*> path_of;
+  std::vector<std::string> paths(spans.size());
+  std::vector<uint64_t> group_roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    const bool is_root = s.parent == 0 || !present.count(s.parent);
+    if (is_root) {
+      paths[i] = s.name;
+      group_roots.push_back(s.id);
+    } else {
+      auto it = path_of.find(s.parent);
+      paths[i] = it != path_of.end() ? *it->second + ";" + s.name : s.name;
+    }
+    path_of[s.id] = &paths[i];
+  }
+
+  // One attribution pass per subtree root charges every span's self time
+  // and the root's category breakdown. Each span belongs to exactly one
+  // subtree, so accumulating self_us across the passes never double-counts.
+  std::vector<SimDuration> self(spans.size(), 0);
+  for (uint64_t root_id : group_roots) {
+    auto attributed = AttributeTrace(spans, root_id);
+    if (!attributed.ok()) continue;  // unfinished root: skip its subtree
+    for (size_t i = 0; i < spans.size(); ++i) {
+      self[i] += attributed->self_us[i];
+    }
+    const Span* root = nullptr;
+    for (const Span& s : spans) {
+      if (s.id == root_id) root = &s;
+    }
+    RootAggregate& agg = by_root_[root->name];
+    ++agg.count;
+    agg.breakdown.Accumulate(attributed->breakdown);
+  }
+
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (!s.ended()) continue;
+    PathStat& stat = paths_[paths[i]];
+    ++stat.count;
+    stat.total_us += s.duration_us();
+    stat.self_us += self[i];
+    ++folded_spans_;
+  }
+}
+
+std::vector<std::pair<std::string, PathStat>> FlameProfile::TopKBySelf(
+    size_t k) const {
+  std::vector<std::pair<std::string, PathStat>> out(paths_.begin(),
+                                                    paths_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_us != b.second.self_us) {
+      return a.second.self_us > b.second.self_us;
+    }
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::string FlameProfile::ExportText() const {
+  std::string out;
+  char buf[96];
+  for (const auto& [path, stat] : paths_) {
+    std::snprintf(buf, sizeof(buf), " count=%llu total=%lld self=%lld\n",
+                  static_cast<unsigned long long>(stat.count),
+                  static_cast<long long>(stat.total_us),
+                  static_cast<long long>(stat.self_us));
+    out += path + buf;
+  }
+  return out;
+}
+
+void FlameProfile::Clear() {
+  paths_.clear();
+  by_root_.clear();
+  folded_spans_ = 0;
+  folded_traces_ = 0;
+}
+
+std::string FormatRootAggregates(
+    const std::map<std::string, RootAggregate>& by_root) {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, agg] : by_root) {
+    std::snprintf(buf, sizeof(buf), " count=%llu ",
+                  static_cast<unsigned long long>(agg.count));
+    out += name + buf + agg.breakdown.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace taureau::obs

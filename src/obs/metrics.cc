@@ -105,9 +105,9 @@ std::string Registry::ExportJson() const {
 }
 
 void Registry::Reset() {
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
 }
 
 }  // namespace taureau::obs

@@ -23,6 +23,7 @@ class Counter {
  public:
   void Inc(uint64_t n = 1) { value_ += n; }
   uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
 
  private:
   uint64_t value_ = 0;
@@ -38,6 +39,7 @@ class Gauge {
     if (v > value_) value_ = v;
   }
   double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
 
  private:
   double value_ = 0.0;
@@ -75,6 +77,9 @@ class Registry {
   /// Deterministic JSON object keyed by metric name.
   std::string ExportJson() const;
 
+  /// Zeroes every metric *in place*: the Counter*/Gauge*/Histogram*
+  /// handles modules cached stay valid (the header's "pointers live as
+  /// long as the registry" promise), names stay registered, values reset.
   void Reset();
 
  private:

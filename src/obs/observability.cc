@@ -1,0 +1,60 @@
+#include "obs/observability.h"
+
+#include "obs/critical_path.h"
+
+namespace taureau::obs {
+
+bool Observability::EnableScale(const ScaleConfig& config) {
+  if (config.stream && !tracer.SetStoreMode(Tracer::StoreMode::kStream)) {
+    return false;
+  }
+  flame_ = std::make_unique<FlameProfile>();
+  slo_ = std::make_unique<SloEngine>();
+  for (const SloObjective& o : config.objectives) slo_->AddObjective(o);
+  pipeline_ = std::make_unique<SamplingPipeline>(config.sampler, flame_.get(),
+                                                 slo_.get());
+  tracer.SetSink(pipeline_.get());
+  return true;
+}
+
+std::string Observability::ExportAll() const {
+  std::string out = "== trace ==\n";
+  if (tracer.store_mode() == Tracer::StoreMode::kStream && pipeline_) {
+    out += pipeline_->ExportText();
+  } else {
+    out += tracer.ExportText();
+  }
+  out += "== metrics ==\n" + registry.ExportText();
+
+  out += "== critical-path ==\n";
+  if (flame_) {
+    out += FormatRootAggregates(flame_->by_root());
+  } else {
+    // Retain mode without the scale layer: aggregate every finished root
+    // through the same exact attribution the flame aggregator uses.
+    std::map<std::string, RootAggregate> by_root;
+    for (uint64_t root_id : tracer.Roots()) {
+      const Span* root = tracer.Find(root_id);
+      if (root == nullptr || !root->ended()) continue;
+      auto attributed = AttributeTrace(tracer.spans(), root_id);
+      if (!attributed.ok()) continue;
+      RootAggregate& agg = by_root[root->name];
+      ++agg.count;
+      agg.breakdown.Accumulate(attributed->breakdown);
+    }
+    out += FormatRootAggregates(by_root);
+  }
+
+  if (pipeline_) {
+    out += "== sampler ==\n" + pipeline_->ExportSummaryText();
+  }
+  if (flame_) {
+    out += "== flame ==\n" + flame_->ExportText();
+  }
+  if (slo_) {
+    out += "== slo ==\n" + slo_->ExportText();
+  }
+  return out;
+}
+
+}  // namespace taureau::obs

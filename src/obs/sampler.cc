@@ -1,0 +1,262 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace taureau::obs {
+
+std::string_view RetainReasonName(RetainReason r) {
+  switch (r) {
+    case RetainReason::kPending:
+      return "pending";
+    case RetainReason::kDropped:
+      return "dropped";
+    case RetainReason::kHead:
+      return "head";
+    case RetainReason::kSlow:
+      return "slow";
+    case RetainReason::kFault:
+      return "fault";
+    case RetainReason::kError:
+      return "error";
+  }
+  return "?";
+}
+
+SamplingPipeline::SamplingPipeline(SamplerConfig config, FlameProfile* flame,
+                                   SloEngine* slo)
+    : config_(config), flame_(flame), slo_(slo) {}
+
+bool SamplingPipeline::HeadKeeps(uint64_t trace_id) const {
+  if (config_.head_rate >= 1.0) return true;
+  if (config_.head_rate <= 0.0) return false;
+  const uint64_t h = MixU64(HashCombine(MixU64(trace_id), config_.seed));
+  return double(h) < config_.head_rate * double(UINT64_MAX);
+}
+
+RetainReason SamplingPipeline::DecisionFor(uint64_t trace_id) const {
+  if (trace_id == 0 || trace_id > decisions_.size()) {
+    return RetainReason::kPending;
+  }
+  return decisions_[trace_id - 1];
+}
+
+void SamplingPipeline::OnSpanStart(const Span& span) {
+  Pending& group = pending_[span.trace];
+  ++group.open;
+  if (span.parent == 0 && group.root_id == 0) {
+    group.root_id = span.id;
+  }
+  if (DecisionFor(span.trace) != RetainReason::kPending) group.late = true;
+}
+
+void SamplingPipeline::NoteMarkers(const Span& span, Pending* group) {
+  const auto it = span.attrs.find(kOutcomeAttr);
+  if (it == span.attrs.end()) return;
+  if (it->second == kOutcomeError) group->saw_error = true;
+  if (it->second == kOutcomeFault) group->saw_fault = true;
+}
+
+void SamplingPipeline::OnSpanEnd(const Span& span) {
+  ++stats_.spans_seen;
+  auto it = pending_.find(span.trace);
+  if (it == pending_.end()) return;  // start was never seen; ignore
+  Pending& group = it->second;
+  NoteMarkers(span, &group);
+  if (span.id == group.root_id) {
+    group.root_ended = true;
+    group.root_module = span.module;
+    group.root_name = span.name;
+    group.root_end_us = span.end_us;
+    group.root_duration_us = span.duration_us();
+  }
+  group.spans.push_back(span);
+  if (group.open > 0) --group.open;
+  if (group.open == 0 && (group.root_ended || group.late)) {
+    Pending done = std::move(group);
+    pending_.erase(it);
+    const bool complete = !done.late;
+    Finalize(span.trace, std::move(done), complete);
+  }
+}
+
+void SamplingPipeline::Finalize(uint64_t trace_id, Pending&& group,
+                                bool complete) {
+  std::sort(group.spans.begin(), group.spans.end(),
+            [](const Span& a, const Span& b) { return a.id < b.id; });
+  if (flame_ != nullptr) flame_->FoldTrace(group.spans);
+
+  if (group.late) {
+    ++stats_.late_groups;
+    // Late span groups (async follow-from work such as pubsub deliveries)
+    // inherit their trace's original decision.
+    const RetainReason prior = DecisionFor(trace_id);
+    if (prior != RetainReason::kDropped && prior != RetainReason::kPending) {
+      auto rit = retained_.find(trace_id);
+      if (rit != retained_.end()) {
+        for (Span& s : group.spans) {
+          retained_span_count_ += 1;
+          retained_bytes_ += ApproxSpanBytes(s);
+          ++stats_.spans_retained;
+          rit->second.spans.push_back(std::move(s));
+        }
+        EvictIfOver();
+      }
+    }
+    return;
+  }
+
+  ++stats_.traces_finalized;
+  if (!complete || !group.root_ended) ++stats_.incomplete_traces;
+
+  bool slow = false;
+  if (group.root_ended) {
+    SimDuration budget =
+        slo_ != nullptr ? slo_->SlowBudgetFor(group.root_module) : -1;
+    if (budget < 0) budget = config_.slow_threshold_us;
+    slow = budget >= 0 && group.root_duration_us > budget;
+    if (slo_ != nullptr) {
+      slo_->Record(group.root_module, group.root_end_us,
+                   group.root_duration_us, !group.saw_error);
+    }
+  }
+
+  RetainReason reason = RetainReason::kDropped;
+  if (group.saw_error) {
+    reason = RetainReason::kError;
+  } else if (group.saw_fault) {
+    reason = RetainReason::kFault;
+  } else if (slow) {
+    reason = RetainReason::kSlow;
+  } else if (HeadKeeps(trace_id)) {
+    reason = RetainReason::kHead;
+  }
+
+  if (trace_id > decisions_.size()) {
+    decisions_.resize(trace_id, RetainReason::kPending);
+  }
+  decisions_[trace_id - 1] = reason;
+
+  const bool important = group.saw_error || group.saw_fault || slow;
+  if (important) ++stats_.important_seen;
+  if (reason == RetainReason::kDropped) {
+    ++stats_.traces_dropped;
+    return;
+  }
+  ++stats_.traces_retained;
+  if (important) ++stats_.important_retained;
+  Retain(trace_id, reason, std::move(group.spans));
+}
+
+void SamplingPipeline::Retain(uint64_t trace_id, RetainReason reason,
+                              std::vector<Span>&& spans) {
+  RetainedTrace entry;
+  entry.reason = reason;
+  for (const Span& s : spans) {
+    retained_span_count_ += 1;
+    retained_bytes_ += ApproxSpanBytes(s);
+    ++stats_.spans_retained;
+  }
+  entry.spans = std::move(spans);
+  retained_.insert_or_assign(trace_id, std::move(entry));
+  if (reason == RetainReason::kHead) healthy_.insert(trace_id);
+  EvictIfOver();
+}
+
+void SamplingPipeline::EvictIfOver() {
+  while (retained_span_count_ > config_.max_retained_spans &&
+         !retained_.empty()) {
+    uint64_t victim;
+    bool victim_important = false;
+    if (!healthy_.empty()) {
+      victim = *healthy_.begin();
+      healthy_.erase(healthy_.begin());
+    } else {
+      victim = retained_.begin()->first;
+      victim_important = true;
+    }
+    auto it = retained_.find(victim);
+    if (it == retained_.end()) continue;
+    for (const Span& s : it->second.spans) {
+      retained_span_count_ -= 1;
+      retained_bytes_ -= ApproxSpanBytes(s);
+    }
+    retained_.erase(it);
+    ++stats_.evicted_traces;
+    if (victim_important) ++stats_.evicted_important;
+  }
+}
+
+void SamplingPipeline::Flush() {
+  // Finalize in trace-id order so same-seed runs flush identically.
+  std::vector<uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [tid, group] : pending_) ids.push_back(tid);
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t tid : ids) {
+    auto it = pending_.find(tid);
+    if (it == pending_.end()) continue;
+    Pending group = std::move(it->second);
+    pending_.erase(it);
+    Finalize(tid, std::move(group), /*complete=*/false);
+  }
+}
+
+size_t SamplingPipeline::pending_span_count() const {
+  size_t n = 0;
+  for (const auto& [tid, group] : pending_) {
+    n += group.spans.size() + group.open;
+  }
+  return n;
+}
+
+size_t SamplingPipeline::ApproxSpanBytes(const Span& span) {
+  size_t bytes = sizeof(Span) + span.name.size() + span.module.size();
+  for (const auto& [k, v] : span.attrs) {
+    bytes += k.size() + v.size() + 32;  // node + pointer overhead estimate
+  }
+  return bytes;
+}
+
+std::string SamplingPipeline::ExportText() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [tid, entry] : retained_) {
+    std::snprintf(buf, sizeof(buf), "trace=%llu reason=",
+                  static_cast<unsigned long long>(tid));
+    out += buf;
+    out += RetainReasonName(entry.reason);
+    out += '\n';
+    for (const Span& s : entry.spans) AppendSpanLine(s, &out);
+  }
+  return out;
+}
+
+std::string SamplingPipeline::ExportSummaryText() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "spans_seen %llu\ntraces_finalized %llu\ntraces_retained %llu\n"
+      "traces_dropped %llu\nspans_retained %llu\nimportant_seen %llu\n"
+      "important_retained %llu\nlate_groups %llu\nincomplete_traces %llu\n"
+      "evicted_traces %llu\nevicted_important %llu\n"
+      "retained_span_count %llu\nretained_bytes %llu\n",
+      static_cast<unsigned long long>(stats_.spans_seen),
+      static_cast<unsigned long long>(stats_.traces_finalized),
+      static_cast<unsigned long long>(stats_.traces_retained),
+      static_cast<unsigned long long>(stats_.traces_dropped),
+      static_cast<unsigned long long>(stats_.spans_retained),
+      static_cast<unsigned long long>(stats_.important_seen),
+      static_cast<unsigned long long>(stats_.important_retained),
+      static_cast<unsigned long long>(stats_.late_groups),
+      static_cast<unsigned long long>(stats_.incomplete_traces),
+      static_cast<unsigned long long>(stats_.evicted_traces),
+      static_cast<unsigned long long>(stats_.evicted_important),
+      static_cast<unsigned long long>(retained_span_count_),
+      static_cast<unsigned long long>(retained_bytes_));
+  return buf;
+}
+
+}  // namespace taureau::obs

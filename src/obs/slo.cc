@@ -1,0 +1,139 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace taureau::obs {
+
+void SloEngine::AddObjective(SloObjective objective) {
+  State st;
+  st.max_window_us = 0;
+  for (const BurnRatePolicy& p : objective.policies) {
+    st.max_window_us = std::max(
+        st.max_window_us, std::max(p.long_window_us, p.short_window_us));
+    st.firing[p.name] = false;
+  }
+  st.spec = std::move(objective);
+  objectives_.insert_or_assign(st.spec.name, std::move(st));
+}
+
+void SloEngine::Record(const std::string& module, SimTime at_us,
+                       SimDuration latency_us, bool ok) {
+  for (auto& [name, st] : objectives_) {
+    if (st.spec.module != module) continue;
+    const bool good =
+        ok && (st.spec.latency_budget_us < 0 ||
+               latency_us <= st.spec.latency_budget_us);
+    ++st.total;
+    if (!good) ++st.bad;
+    if (st.max_window_us > 0) {
+      st.window.push_back({at_us, good});
+      // Window semantics are (now - W, now]: an event exactly W old has
+      // aged out.
+      while (!st.window.empty() &&
+             st.window.front().at_us <= at_us - st.max_window_us) {
+        st.window.pop_front();
+      }
+    }
+    Evaluate(&st, at_us);
+  }
+}
+
+SimDuration SloEngine::SlowBudgetFor(const std::string& module) const {
+  SimDuration best = -1;
+  for (const auto& [name, st] : objectives_) {
+    if (st.spec.module != module || st.spec.latency_budget_us < 0) continue;
+    if (best < 0 || st.spec.latency_budget_us < best) {
+      best = st.spec.latency_budget_us;
+    }
+  }
+  return best;
+}
+
+double SloEngine::WindowBurn(const State& st, SimDuration window_us,
+                             SimTime now_us) const {
+  uint64_t total = 0;
+  uint64_t bad = 0;
+  for (auto it = st.window.rbegin(); it != st.window.rend(); ++it) {
+    if (it->at_us <= now_us - window_us) break;
+    ++total;
+    if (!it->good) ++bad;
+  }
+  if (total == 0) return 0.0;
+  const double bad_fraction = double(bad) / double(total);
+  const double budget = 1.0 - st.spec.target;
+  return budget > 0 ? bad_fraction / budget : (bad > 0 ? 1e18 : 0.0);
+}
+
+void SloEngine::Evaluate(State* st, SimTime now_us) {
+  for (const BurnRatePolicy& p : st->spec.policies) {
+    const double burn_long = WindowBurn(*st, p.long_window_us, now_us);
+    const double burn_short = WindowBurn(*st, p.short_window_us, now_us);
+    const bool fire =
+        burn_long >= p.burn_threshold && burn_short >= p.burn_threshold;
+    bool& firing = st->firing[p.name];
+    if (fire == firing) continue;
+    firing = fire;
+    alerts_.push_back(
+        {now_us, st->spec.name, p.name, fire, burn_long, burn_short});
+  }
+}
+
+double SloEngine::BurnRate(const std::string& objective,
+                           SimDuration window_us, SimTime now_us) const {
+  const auto it = objectives_.find(objective);
+  return it != objectives_.end() ? WindowBurn(it->second, window_us, now_us)
+                                 : 0.0;
+}
+
+double SloEngine::BudgetRemaining(const std::string& objective) const {
+  const auto it = objectives_.find(objective);
+  if (it == objectives_.end() || it->second.total == 0) return 1.0;
+  const State& st = it->second;
+  const double allowed = double(st.total) * (1.0 - st.spec.target);
+  if (allowed <= 0) return st.bad == 0 ? 1.0 : 0.0;
+  return std::max(0.0, 1.0 - double(st.bad) / allowed);
+}
+
+uint64_t SloEngine::TotalEvents(const std::string& objective) const {
+  const auto it = objectives_.find(objective);
+  return it != objectives_.end() ? it->second.total : 0;
+}
+
+uint64_t SloEngine::BadEvents(const std::string& objective) const {
+  const auto it = objectives_.find(objective);
+  return it != objectives_.end() ? it->second.bad : 0;
+}
+
+bool SloEngine::IsFiring(const std::string& objective,
+                         const std::string& policy) const {
+  const auto it = objectives_.find(objective);
+  if (it == objectives_.end()) return false;
+  const auto pit = it->second.firing.find(policy);
+  return pit != it->second.firing.end() && pit->second;
+}
+
+std::string SloEngine::ExportText() const {
+  std::string out;
+  char buf[192];
+  for (const auto& [name, st] : objectives_) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s module=%s target=%.6g total=%llu bad=%llu budget_remaining=%.6g\n",
+        name.c_str(), st.spec.module.c_str(), st.spec.target,
+        static_cast<unsigned long long>(st.total),
+        static_cast<unsigned long long>(st.bad), BudgetRemaining(name));
+    out += buf;
+  }
+  for (const AlertEvent& a : alerts_) {
+    std::snprintf(buf, sizeof(buf),
+                  "alert %s/%s %s at=%lld burn_long=%.6g burn_short=%.6g\n",
+                  a.objective.c_str(), a.policy.c_str(),
+                  a.firing ? "FIRING" : "clear",
+                  static_cast<long long>(a.at_us), a.burn_long, a.burn_short);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace taureau::obs

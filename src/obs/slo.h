@@ -1,0 +1,118 @@
+// SLO engine: per-module latency/availability objectives, error budgets,
+// and multi-window burn-rate alerting, all evaluated in simulated time.
+//
+// Each finalized trace becomes one good/bad event against every objective
+// whose module matches the trace's root span. Burn rate over a window W is
+// bad_fraction(W) / (1 - target): burn 1.0 consumes the error budget
+// exactly at the rate that exhausts it at the end of the (implied) budget
+// period; the classic multi-window rule fires only when BOTH a long and a
+// short window burn above the threshold — the long window gives
+// significance, the short one confirms the problem is still happening
+// (and clears the alert quickly once it stops).
+//
+// Everything is driven by event timestamps the caller passes in, so two
+// same-seed simulations produce byte-identical alert logs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace taureau::obs {
+
+/// One alerting rule attached to an objective.
+struct BurnRatePolicy {
+  std::string name;             ///< "page", "ticket", ...
+  SimDuration long_window_us = 0;
+  SimDuration short_window_us = 0;
+  double burn_threshold = 1.0;  ///< Fire when both windows burn >= this.
+};
+
+/// One objective. `latency_budget_us >= 0` makes it a latency objective
+/// (good = ok AND within budget); negative makes it availability-only
+/// (good = ok).
+struct SloObjective {
+  std::string name;    ///< Unique key, e.g. "faas-latency".
+  std::string module;  ///< Root-span module this objective scores.
+  double target = 0.999;  ///< Required good fraction.
+  SimDuration latency_budget_us = -1;
+  std::vector<BurnRatePolicy> policies;
+};
+
+/// One rising or falling edge of an alert.
+struct AlertEvent {
+  SimTime at_us = 0;
+  std::string objective;
+  std::string policy;
+  bool firing = false;
+  double burn_long = 0;
+  double burn_short = 0;
+};
+
+class SloEngine {
+ public:
+  SloEngine() = default;
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  void AddObjective(SloObjective objective);
+
+  /// Scores one finished request against every objective matching
+  /// `module`, then re-evaluates that objective's alert rules at `at_us`.
+  /// Events must arrive in non-decreasing time order (simulation order).
+  void Record(const std::string& module, SimTime at_us,
+              SimDuration latency_us, bool ok);
+
+  /// Smallest latency budget among latency objectives for `module`
+  /// (the "p99 budget" tail sampling treats as the slow threshold);
+  /// -1 when none is configured.
+  SimDuration SlowBudgetFor(const std::string& module) const;
+
+  /// Burn rate of `objective` over the trailing window ending at `now`
+  /// (events in (now - window, now]). 0 when no events or unknown name.
+  double BurnRate(const std::string& objective, SimDuration window_us,
+                  SimTime now_us) const;
+
+  /// Fraction of the total error budget still unspent, assuming the
+  /// events seen so far are the whole budget period: 1 - bad/(total*(1 -
+  /// target)). Clamped at 0; 1.0 when no events. Budget exhaustion is
+  /// BudgetRemaining() == 0.
+  double BudgetRemaining(const std::string& objective) const;
+
+  uint64_t TotalEvents(const std::string& objective) const;
+  uint64_t BadEvents(const std::string& objective) const;
+  bool IsFiring(const std::string& objective, const std::string& policy) const;
+
+  /// Every alert edge so far, in the order they happened.
+  const std::vector<AlertEvent>& alerts() const { return alerts_; }
+
+  /// Deterministic objective summaries + the alert edge log.
+  std::string ExportText() const;
+
+ private:
+  struct Event {
+    SimTime at_us;
+    bool good;
+  };
+  struct State {
+    SloObjective spec;
+    uint64_t total = 0;
+    uint64_t bad = 0;
+    std::deque<Event> window;      ///< Events within the longest window.
+    SimDuration max_window_us = 0;
+    std::map<std::string, bool> firing;  ///< By policy name.
+  };
+
+  double WindowBurn(const State& st, SimDuration window_us,
+                    SimTime now_us) const;
+  void Evaluate(State* st, SimTime now_us);
+
+  std::map<std::string, State> objectives_;
+  std::vector<AlertEvent> alerts_;
+};
+
+}  // namespace taureau::obs

@@ -34,6 +34,32 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+void AppendSpanLine(const Span& s, std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "span=%llu parent=%llu trace=%llu [%lld,%lld] %s/%s",
+                static_cast<unsigned long long>(s.id),
+                static_cast<unsigned long long>(s.parent),
+                static_cast<unsigned long long>(s.trace),
+                static_cast<long long>(s.start_us),
+                static_cast<long long>(s.end_us), s.module.c_str(),
+                s.name.c_str());
+  *out += buf;
+  for (const auto& [k, v] : s.attrs) {
+    *out += ' ';
+    *out += k;
+    *out += '=';
+    *out += v;
+  }
+  *out += '\n';
+}
+
+bool Tracer::SetStoreMode(StoreMode mode) {
+  if (emitted_ != 0 && mode != mode_) return false;
+  mode_ = mode;
+  return true;
+}
+
 TraceContext Tracer::StartTrace(std::string name, std::string module) {
   return StartSpan(std::move(name), std::move(module), TraceContext{});
 }
@@ -46,23 +72,36 @@ TraceContext Tracer::StartSpan(std::string name, std::string module,
 TraceContext Tracer::StartSpanAt(std::string name, std::string module,
                                  TraceContext parent, SimTime start_us) {
   Span span;
-  span.id = spans_.size() + 1;
+  span.id = next_span_++;
   span.name = std::move(name);
   span.module = std::move(module);
   span.start_us = start_us;
-  if (parent.valid() && parent.span_id <= spans_.size()) {
+  if (parent.valid() && parent.span_id < span.id) {
     span.parent = parent.span_id;
     span.trace = parent.trace_id;
   } else {
     span.trace = next_trace_++;
   }
+  ++emitted_;
   const TraceContext ctx{span.trace, span.id};
-  spans_.push_back(std::move(span));
+  const Span* stored;
+  if (mode_ == StoreMode::kStream) {
+    stored = &open_.emplace(span.id, std::move(span)).first->second;
+  } else {
+    spans_.push_back(std::move(span));
+    stored = &spans_.back();
+  }
+  if (sink_ != nullptr) sink_->OnSpanStart(*stored);
   return ctx;
 }
 
 Span* Tracer::FindMutable(TraceContext ctx) {
-  if (!ctx.valid() || ctx.span_id > spans_.size()) return nullptr;
+  if (!ctx.valid()) return nullptr;
+  if (mode_ == StoreMode::kStream) {
+    auto it = open_.find(ctx.span_id);
+    return it != open_.end() ? &it->second : nullptr;
+  }
+  if (ctx.span_id > spans_.size()) return nullptr;
   return &spans_[ctx.span_id - 1];
 }
 
@@ -77,6 +116,8 @@ void Tracer::EndSpanAt(TraceContext ctx, SimTime end_us) {
   Span* s = FindMutable(ctx);
   if (s == nullptr || s->ended()) return;
   s->end_us = std::max(end_us, s->start_us);
+  if (sink_ != nullptr) sink_->OnSpanEnd(*s);
+  if (mode_ == StoreMode::kStream) open_.erase(ctx.span_id);
 }
 
 TraceContext Tracer::EmitSpan(
@@ -85,13 +126,20 @@ TraceContext Tracer::EmitSpan(
     std::vector<std::pair<std::string, std::string>> attrs) {
   const TraceContext ctx =
       StartSpanAt(std::move(name), std::move(module), parent, start_us);
-  for (auto& [k, v] : attrs) spans_[ctx.span_id - 1].attrs[k] = std::move(v);
+  if (Span* s = FindMutable(ctx)) {
+    for (auto& [k, v] : attrs) s->attrs[k] = std::move(v);
+  }
   EndSpanAt(ctx, end_us);
   return ctx;
 }
 
 const Span* Tracer::Find(uint64_t span_id) const {
-  if (span_id == 0 || span_id > spans_.size()) return nullptr;
+  if (span_id == 0) return nullptr;
+  if (mode_ == StoreMode::kStream) {
+    auto it = open_.find(span_id);
+    return it != open_.end() ? &it->second : nullptr;
+  }
+  if (span_id > spans_.size()) return nullptr;
   return &spans_[span_id - 1];
 }
 
@@ -146,25 +194,7 @@ Status Tracer::Validate() const {
 
 std::string Tracer::ExportText() const {
   std::string out;
-  char buf[256];
-  for (const Span& s : spans_) {
-    std::snprintf(buf, sizeof(buf),
-                  "span=%llu parent=%llu trace=%llu [%lld,%lld] %s/%s",
-                  static_cast<unsigned long long>(s.id),
-                  static_cast<unsigned long long>(s.parent),
-                  static_cast<unsigned long long>(s.trace),
-                  static_cast<long long>(s.start_us),
-                  static_cast<long long>(s.end_us), s.module.c_str(),
-                  s.name.c_str());
-    out += buf;
-    for (const auto& [k, v] : s.attrs) {
-      out += ' ';
-      out += k;
-      out += '=';
-      out += v;
-    }
-    out += '\n';
-  }
+  for (const Span& s : spans_) AppendSpanLine(s, &out);
   return out;
 }
 
@@ -202,7 +232,10 @@ std::string Tracer::ExportJson() const {
 
 void Tracer::Clear() {
   spans_.clear();
+  open_.clear();
   next_trace_ = 1;
+  next_span_ = 1;
+  emitted_ = 0;
 }
 
 }  // namespace taureau::obs

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -52,6 +53,11 @@ struct Span {
 /// category ("queue", "cold", "exec", "shuffle", "retry").
 inline constexpr const char* kCategoryAttr = "cat";
 
+/// Appends the canonical one-line text rendering of `s` (the format
+/// Tracer::ExportText and the sampling pipeline's retained-store export
+/// share) to `*out`.
+void AppendSpanLine(const Span& s, std::string* out);
+
 /// Marks a span as causally *following from* its parent rather than nested
 /// inside it (e.g. a pubsub delivery follows the publish that produced it).
 /// Async spans may end after their parent; Validate() exempts them from the
@@ -59,11 +65,48 @@ inline constexpr const char* kCategoryAttr = "cat";
 /// start >= parent start.
 inline constexpr const char* kAsyncAttr = "async";
 
-/// Collects spans for one experiment. Append-only; span ids and trace ids
-/// are handed out sequentially, so creation order (and therefore the
-/// serialized trace) is a pure function of the simulation schedule.
+/// Trace outcome, set by the owning module when it closes a root span so
+/// tail sampling can decide retention: "ok", "error" (terminal failure) or
+/// "fault" (a chaos fault touched the request — even when retries masked
+/// it). Any span of a trace may carry it; one error/fault marker anywhere
+/// makes the whole trace important.
+inline constexpr const char* kOutcomeAttr = "outcome";
+inline constexpr const char* kOutcomeOk = "ok";
+inline constexpr const char* kOutcomeError = "error";
+inline constexpr const char* kOutcomeFault = "fault";
+
+/// Severity companion to the outcome ("info", "warn", "error"); "warn"
+/// marks masked trouble such as a chaos kill retried to success.
+inline constexpr const char* kSeverityAttr = "sev";
+
+/// Receives every span as it is emitted; the hook the sampling pipeline
+/// (obs/sampler.h) attaches to make tracing stream instead of accumulate.
+/// OnSpanStart fires before any attributes exist; OnSpanEnd fires exactly
+/// once per span with the final attribute set (modules set attrs before
+/// closing). Attributes set on an already-closed span are not re-delivered.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void OnSpanStart(const Span& span) = 0;
+  virtual void OnSpanEnd(const Span& span) = 0;
+};
+
+/// Collects spans for one experiment. Span ids and trace ids are handed out
+/// sequentially, so creation order (and therefore the serialized trace) is
+/// a pure function of the simulation schedule.
+///
+/// Two storage modes:
+///  - kRetainAll (default): append-only vector, every span kept — the
+///    post-hoc analysis mode the original obs layer shipped with.
+///  - kStream: only *open* spans are stored; a closed span is handed to the
+///    attached SpanSink and released, so tracer memory is O(in-flight) and
+///    retention policy lives entirely in the sink (see SamplingPipeline).
+///    Read APIs (spans()/Find/Roots/Validate/Export*) only see what is
+///    still stored; serve reads from the sink's retained store instead.
 class Tracer {
  public:
+  enum class StoreMode { kRetainAll, kStream };
+
   explicit Tracer(sim::Simulation* sim) : sim_(sim) {}
 
   Tracer(const Tracer&) = delete;
@@ -96,8 +139,25 @@ class Tracer {
       SimTime start_us, SimTime end_us,
       std::vector<std::pair<std::string, std::string>> attrs = {});
 
+  /// Streams every span through `sink` as it opens/closes (nullptr
+  /// detaches). Works in both store modes; in kStream the sink is the only
+  /// place closed spans survive.
+  void SetSink(SpanSink* sink) { sink_ = sink; }
+
+  /// Must be chosen before the first span is emitted; switching a tracer
+  /// that already holds spans is refused (returns false).
+  bool SetStoreMode(StoreMode mode);
+  StoreMode store_mode() const { return mode_; }
+
+  /// Spans currently stored (all of them in kRetainAll; open only in
+  /// kStream).
   const std::vector<Span>& spans() const { return spans_; }
-  size_t span_count() const { return spans_.size(); }
+  /// Total spans ever emitted, independent of storage mode.
+  size_t span_count() const { return emitted_; }
+  /// Spans currently held by the tracer itself.
+  size_t stored_span_count() const {
+    return mode_ == StoreMode::kStream ? open_.size() : spans_.size();
+  }
 
   /// The clock this tracer stamps spans with (for modules that compute
   /// retrospective intervals relative to Now()).
@@ -128,8 +188,13 @@ class Tracer {
   Span* FindMutable(TraceContext ctx);
 
   sim::Simulation* sim_;
-  std::vector<Span> spans_;  ///< spans_[id - 1] holds span `id`.
+  StoreMode mode_ = StoreMode::kRetainAll;
+  SpanSink* sink_ = nullptr;
+  std::vector<Span> spans_;  ///< kRetainAll: spans_[id - 1] holds span `id`.
+  std::unordered_map<uint64_t, Span> open_;  ///< kStream: open spans by id.
   uint64_t next_trace_ = 1;
+  uint64_t next_span_ = 1;
+  uint64_t emitted_ = 0;
 };
 
 }  // namespace taureau::obs

@@ -50,6 +50,13 @@ void Orchestrator::RunKeyed(const std::string& run_key, const Composition& comp,
                                 std::string(StatusCodeName(res.status.code())));
            obs_->tracer.SetAttr(root, "invocations",
                                 std::to_string(invocations));
+           // Outcome/severity at root close so tail sampling keeps every
+           // failed run regardless of the head-sampling rate.
+           obs_->tracer.SetAttr(root, obs::kOutcomeAttr,
+                                res.status.ok() ? obs::kOutcomeOk
+                                                : obs::kOutcomeError);
+           obs_->tracer.SetAttr(root, obs::kSeverityAttr,
+                                res.status.ok() ? "info" : "error");
            obs_->tracer.EndSpan(root);
          }
          if (cb) cb(res);

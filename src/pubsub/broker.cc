@@ -81,7 +81,12 @@ void PulsarCluster::EmitDeliverSpan(const MessageId& id, SimTime start_us,
       {obs::kCategoryAttr, "queue"},
       {obs::kAsyncAttr, "1"},
       {"sub", subscription}};
-  if (redelivery) attrs.emplace_back("redelivery", "1");
+  // A redelivery means the first delivery was lost/unacked — masked
+  // trouble the tail sampler should see even on the async follow-up.
+  if (redelivery) {
+    attrs.emplace_back("redelivery", "1");
+    attrs.emplace_back(obs::kSeverityAttr, "warn");
+  }
   obs_->tracer.EmitSpan("deliver", "pubsub", parent, start_us, deliver_at,
                         std::move(attrs));
 }
@@ -214,7 +219,9 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   if (obs_ != nullptr) {
     publish_spans_[id] = obs_->tracer.EmitSpan(
         "publish:" + topic, "pubsub", parent, now, ack_time,
-        {{"partition", std::to_string(pidx)}});
+        {{"partition", std::to_string(pidx)},
+         {obs::kOutcomeAttr, obs::kOutcomeOk},
+         {obs::kSeverityAttr, "info"}});
   }
 
   // Once durable, the entry becomes dispatchable to every subscription.

@@ -1,0 +1,608 @@
+// Tests for the production-scale observability layer (E22): the sampling
+// pipeline (head + tail retention, bounded store), the flame-profile
+// aggregator (exact self-time partition), the SLO burn-rate engine, and
+// the Observability::EnableScale wiring.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "chaos/injector.h"
+#include "chaos/retry_policy.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "faas/platform.h"
+#include "obs/critical_path.h"
+#include "obs/flame.h"
+#include "obs/observability.h"
+#include "obs/sampler.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace taureau::obs {
+namespace {
+
+using taureau::Rng;
+using taureau::SimDuration;
+using taureau::SimTime;
+
+// ------------------------------------------------------------- helpers
+
+/// Emits one three-span trace (root + exec child [+ optional marker
+/// attrs on the root]) through `o.tracer` and returns its trace id.
+uint64_t EmitTrace(Observability* o, SimTime start, SimDuration dur,
+                   const std::string& outcome = "") {
+  auto root = o->tracer.StartSpanAt("req", "svc", {}, start);
+  o->tracer.EmitSpan("exec", "svc", root, start, start + dur,
+                     {{kCategoryAttr, "exec"}});
+  if (!outcome.empty()) o->tracer.SetAttr(root, kOutcomeAttr, outcome);
+  o->tracer.EndSpanAt(root, start + dur);
+  return root.trace_id;
+}
+
+ScaleConfig Config(double head_rate, SimDuration slow_us = -1) {
+  ScaleConfig cfg;
+  cfg.sampler.head_rate = head_rate;
+  cfg.sampler.seed = 7;
+  cfg.sampler.slow_threshold_us = slow_us;
+  return cfg;
+}
+
+/// Small E20-style faulty FaaS world; returns the full export and copies
+/// out the sampler stats. Chaos kills force fault/error/slow traces.
+std::string RunFaultyWorld(uint64_t seed, double head_rate,
+                           SamplingPipeline::Stats* stats_out = nullptr) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ScaleConfig cfg = Config(head_rate);
+  SloObjective latency;
+  latency.name = "faas-latency";
+  latency.module = "faas";
+  latency.target = 0.99;
+  latency.latency_budget_us = 50 * kMillisecond;
+  cfg.objectives.push_back(std::move(latency));
+  EXPECT_TRUE(o.EnableScale(cfg));
+
+  cluster::Cluster cluster(4, {32000, 65536});
+  faas::FaasConfig config;
+  config.seed = seed;
+  config.keep_alive_us = 10 * kMinute;
+  config.retry = chaos::RetryPolicy::ExponentialJitter(4);
+  faas::FaasPlatform platform(&sim, &cluster, config);
+  platform.AttachObservability(&o);
+
+  chaos::InjectorRegistry registry(&sim);
+  cluster.AttachChaos(&registry);
+  platform.AttachChaos(&registry);
+  registry.AttachObservability(&o);
+  chaos::FaultPlanConfig plan_cfg;
+  plan_cfg.horizon_us = 5 * kSecond;
+  plan_cfg.num_machines = 4;
+  plan_cfg.container_kill_per_s = 4.0;
+  Rng plan_rng(seed + 1);
+  registry.Arm(chaos::FaultPlan::Generate(plan_cfg, &plan_rng));
+
+  faas::FunctionSpec spec;
+  spec.name = "serve";
+  spec.exec = {faas::ExecTimeModel::Kind::kFixed, 15 * kMillisecond, 0, 0};
+  spec.init_us = 120 * kMillisecond;
+  platform.RegisterFunction(spec);
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleAt(SimTime(i) * 40 * kMillisecond, [&platform] {
+      platform.Invoke("serve", "req", [](const faas::InvocationResult&) {});
+    });
+  }
+  sim.Run();
+  o.Flush();
+  if (stats_out != nullptr) *stats_out = o.pipeline()->stats();
+  return o.ExportAll();
+}
+
+// ------------------------------------------------------------- sampler
+
+TEST(SamplerTest, HeadDecisionDeterministicAndSeedDependent) {
+  SamplerConfig a;
+  a.head_rate = 0.3;
+  a.seed = 1;
+  SamplerConfig b = a;
+  SamplerConfig c = a;
+  c.seed = 2;
+  SamplingPipeline pa(a, nullptr, nullptr);
+  SamplingPipeline pb(b, nullptr, nullptr);
+  SamplingPipeline pc(c, nullptr, nullptr);
+  bool seed_changes_some = false;
+  for (uint64_t id = 1; id <= 500; ++id) {
+    EXPECT_EQ(pa.HeadKeeps(id), pb.HeadKeeps(id));
+    if (pa.HeadKeeps(id) != pc.HeadKeeps(id)) seed_changes_some = true;
+  }
+  EXPECT_TRUE(seed_changes_some);
+}
+
+TEST(SamplerTest, HeadRateZeroAndOneAreAbsolute) {
+  SamplerConfig none;
+  none.head_rate = 0.0;
+  SamplerConfig all;
+  all.head_rate = 1.0;
+  SamplingPipeline p_none(none, nullptr, nullptr);
+  SamplingPipeline p_all(all, nullptr, nullptr);
+  for (uint64_t id = 1; id <= 200; ++id) {
+    EXPECT_FALSE(p_none.HeadKeeps(id));
+    EXPECT_TRUE(p_all.HeadKeeps(id));
+  }
+}
+
+TEST(SamplerTest, HeadRateApproximatesFraction) {
+  SamplerConfig cfg;
+  cfg.head_rate = 0.2;
+  SamplingPipeline p(cfg, nullptr, nullptr);
+  int kept = 0;
+  for (uint64_t id = 1; id <= 10000; ++id) {
+    if (p.HeadKeeps(id)) ++kept;
+  }
+  EXPECT_GT(kept, 1700);
+  EXPECT_LT(kept, 2300);
+}
+
+TEST(SamplerTest, TailKeepsErrorFaultAndSlowAtHeadRateZero) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ASSERT_TRUE(o.EnableScale(Config(0.0, /*slow_us=*/100)));
+  const uint64_t healthy = EmitTrace(&o, 0, 50);
+  const uint64_t err = EmitTrace(&o, 100, 50, kOutcomeError);
+  const uint64_t fault = EmitTrace(&o, 200, 50, kOutcomeFault);
+  const uint64_t slow = EmitTrace(&o, 300, 500);
+  const SamplingPipeline* p = o.pipeline();
+  EXPECT_EQ(p->DecisionFor(healthy), RetainReason::kDropped);
+  EXPECT_EQ(p->DecisionFor(err), RetainReason::kError);
+  EXPECT_EQ(p->DecisionFor(fault), RetainReason::kFault);
+  EXPECT_EQ(p->DecisionFor(slow), RetainReason::kSlow);
+  EXPECT_EQ(p->stats().important_seen, 3u);
+  EXPECT_EQ(p->stats().important_retained, 3u);
+  EXPECT_EQ(p->stats().traces_dropped, 1u);
+}
+
+TEST(SamplerTest, ErrorOutranksFaultOutranksSlow) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ASSERT_TRUE(o.EnableScale(Config(0.0, /*slow_us=*/100)));
+  // Slow AND fault AND error: one marker anywhere decides the reason.
+  auto root = o.tracer.StartSpanAt("req", "svc", {}, 0);
+  o.tracer.EmitSpan("mark", "svc", root, 0, 1, {{kOutcomeAttr, kOutcomeFault}});
+  o.tracer.SetAttr(root, kOutcomeAttr, kOutcomeError);
+  o.tracer.EndSpanAt(root, 500);
+  EXPECT_EQ(o.pipeline()->DecisionFor(root.trace_id), RetainReason::kError);
+}
+
+TEST(SamplerTest, SloBudgetDrivesSlowThreshold) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ScaleConfig cfg = Config(0.0);  // no global slow threshold
+  SloObjective objective;
+  objective.name = "svc-latency";
+  objective.module = "svc";
+  objective.latency_budget_us = 200;
+  cfg.objectives.push_back(std::move(objective));
+  ASSERT_TRUE(o.EnableScale(cfg));
+  const uint64_t fast = EmitTrace(&o, 0, 150);
+  const uint64_t slow = EmitTrace(&o, 1000, 300);
+  EXPECT_EQ(o.pipeline()->DecisionFor(fast), RetainReason::kDropped);
+  EXPECT_EQ(o.pipeline()->DecisionFor(slow), RetainReason::kSlow);
+}
+
+TEST(SamplerTest, DroppedTracesStillFoldedIntoFlame) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ASSERT_TRUE(o.EnableScale(Config(0.0)));
+  for (int i = 0; i < 10; ++i) {
+    EmitTrace(&o, SimTime(i) * 100, 50);
+  }
+  EXPECT_EQ(o.pipeline()->stats().traces_retained, 0u);
+  EXPECT_EQ(o.pipeline()->retained_span_count(), 0u);
+  EXPECT_EQ(o.flame()->folded_traces(), 10u);
+  const auto& by_root = o.flame()->by_root();
+  ASSERT_TRUE(by_root.count("req"));
+  EXPECT_EQ(by_root.at("req").count, 10u);
+  EXPECT_EQ(by_root.at("req").breakdown.total_us, 10 * 50);
+}
+
+TEST(SamplerTest, BoundedStoreEvictsHealthyBeforeImportant) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ScaleConfig cfg = Config(1.0, /*slow_us=*/1000);
+  cfg.sampler.max_retained_spans = 8;  // four 2-span traces
+  ASSERT_TRUE(o.EnableScale(cfg));
+  const uint64_t err = EmitTrace(&o, 0, 50, kOutcomeError);
+  for (int i = 1; i <= 5; ++i) {
+    EmitTrace(&o, SimTime(i) * 100, 50);
+  }
+  const SamplingPipeline* p = o.pipeline();
+  EXPECT_GT(p->stats().evicted_traces, 0u);
+  EXPECT_EQ(p->stats().evicted_important, 0u);
+  EXPECT_LE(p->retained_span_count(), 8u);
+  // The error trace is still in the retained export.
+  const std::string text = p->ExportText();
+  EXPECT_NE(text.find("trace=" + std::to_string(err) + " reason=error"),
+            std::string::npos);
+}
+
+TEST(SamplerTest, LateSpanGroupsFollowTraceDecision) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ASSERT_TRUE(o.EnableScale(Config(0.0)));
+  // Retained trace (error); a late async span arrives after the decision.
+  auto kept = o.tracer.StartSpanAt("req", "svc", {}, 0);
+  o.tracer.SetAttr(kept, kOutcomeAttr, kOutcomeError);
+  o.tracer.EndSpanAt(kept, 100);
+  auto late_kept = o.tracer.StartSpanAt("deliver", "svc", kept, 150);
+  o.tracer.EndSpanAt(late_kept, 200);
+  // Dropped trace; its late span must not resurrect it.
+  auto dropped = o.tracer.StartSpanAt("req", "svc", {}, 300);
+  o.tracer.EndSpanAt(dropped, 400);
+  auto late_dropped = o.tracer.StartSpanAt("deliver", "svc", dropped, 450);
+  o.tracer.EndSpanAt(late_dropped, 500);
+
+  const SamplingPipeline* p = o.pipeline();
+  EXPECT_EQ(p->stats().late_groups, 2u);
+  const std::string text = p->ExportText();
+  EXPECT_NE(text.find("deliver"), std::string::npos);
+  EXPECT_EQ(p->retained_span_count(), 2u);  // root + late span, kept trace
+  // Late groups still fold into the flame regardless of retention.
+  EXPECT_EQ(o.flame()->folded_spans(), 4u);
+}
+
+TEST(SamplerTest, StreamModeKeepsTracerEmptyAndCountsEmitted) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ASSERT_TRUE(o.EnableScale(Config(1.0)));
+  for (int i = 0; i < 5; ++i) EmitTrace(&o, SimTime(i) * 100, 50);
+  EXPECT_EQ(o.tracer.stored_span_count(), 0u);
+  EXPECT_EQ(o.tracer.span_count(), 10u);
+  EXPECT_EQ(o.pipeline()->retained_span_count(), 10u);
+}
+
+TEST(SamplerTest, FlushFinalizesOpenTracesAsIncomplete) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ASSERT_TRUE(o.EnableScale(Config(1.0)));
+  auto root = o.tracer.StartSpanAt("req", "svc", {}, 0);
+  o.tracer.EmitSpan("exec", "svc", root, 0, 10, {});
+  // Root never closes; Flush must still account for the trace.
+  o.Flush();
+  EXPECT_EQ(o.pipeline()->stats().incomplete_traces, 1u);
+  EXPECT_EQ(o.pipeline()->stats().traces_finalized, 1u);
+}
+
+TEST(SamplerTest, RetainedBytesTrackStoreContent) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ASSERT_TRUE(o.EnableScale(Config(1.0)));
+  EXPECT_EQ(o.pipeline()->retained_bytes(), 0u);
+  EmitTrace(&o, 0, 50);
+  const size_t one = o.pipeline()->retained_bytes();
+  EXPECT_GT(one, 0u);
+  EmitTrace(&o, 100, 50);
+  EXPECT_GT(o.pipeline()->retained_bytes(), one);
+}
+
+// ------------------------------------------------- sampler properties
+
+TEST(SamplerPropertyTest, ImportantTracesAlwaysRetainedAcrossChaosSeeds) {
+  bool saw_important = false;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SamplingPipeline::Stats stats;
+    RunFaultyWorld(seed, /*head_rate=*/0.02, &stats);
+    EXPECT_EQ(stats.important_retained, stats.important_seen)
+        << "seed " << seed;
+    if (stats.important_seen > 0) saw_important = true;
+  }
+  EXPECT_TRUE(saw_important) << "chaos plans never produced an incident";
+}
+
+TEST(SamplerPropertyTest, SameSeedSampledExportsByteIdentical) {
+  const std::string a = RunFaultyWorld(3, 0.05);
+  const std::string b = RunFaultyWorld(3, 0.05);
+  const std::string c = RunFaultyWorld(4, 0.05);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// --------------------------------------------------------------- flame
+
+Span MakeSpan(uint64_t id, uint64_t parent, uint64_t trace,
+              const std::string& name, SimTime start, SimTime end,
+              const std::string& cat = "") {
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.trace = trace;
+  s.name = name;
+  s.module = "t";
+  s.start_us = start;
+  s.end_us = end;
+  if (!cat.empty()) s.attrs[kCategoryAttr] = cat;
+  return s;
+}
+
+TEST(FlameTest, SelfTimesSumToRootWallTimeOnRandomTrees) {
+  Rng rng(99);
+  FlameProfile flame;
+  SimDuration total_roots = 0;
+  for (int t = 1; t <= 50; ++t) {
+    std::vector<Span> spans;
+    const SimDuration root_dur = 100 + SimDuration(rng.NextBounded(900));
+    spans.push_back(
+        MakeSpan(1, 0, uint64_t(t), "root", 0, SimTime(root_dur)));
+    total_roots += root_dur;
+    uint64_t next_id = 2;
+    // Random children nested under random earlier spans, clipped inside
+    // the parent's window; overlapping siblings are allowed on purpose.
+    const int n = 1 + int(rng.NextBounded(6));
+    for (int c = 0; c < n; ++c) {
+      const size_t pi = size_t(rng.NextBounded(spans.size()));
+      const Span& parent = spans[pi];
+      if (parent.end_us - parent.start_us < 2) continue;
+      const SimTime lo =
+          parent.start_us +
+          SimTime(rng.NextBounded(
+              uint64_t(parent.end_us - parent.start_us - 1)));
+      const SimTime hi =
+          lo + 1 + SimTime(rng.NextBounded(uint64_t(parent.end_us - lo)));
+      const char* cats[] = {"exec", "queue", "shuffle", ""};
+      spans.push_back(MakeSpan(next_id, parent.id, uint64_t(t),
+                               "c" + std::to_string(c), lo, hi,
+                               cats[rng.NextBounded(4)]));
+      ++next_id;
+    }
+    flame.FoldTrace(spans);
+  }
+  SimDuration total_self = 0;
+  for (const auto& [path, stat] : flame.paths()) total_self += stat.self_us;
+  EXPECT_EQ(total_self, total_roots);
+}
+
+TEST(FlameTest, ByRootBreakdownMatchesAnalyzeCriticalPath) {
+  sim::Simulation sim;
+  Tracer tracer(&sim);
+  auto root = tracer.EmitSpan("req", "t", {}, 0, 100);
+  tracer.EmitSpan("queue", "t", root, 0, 30, {{kCategoryAttr, "queue"}});
+  tracer.EmitSpan("exec", "t", root, 30, 90, {{kCategoryAttr, "exec"}});
+  auto oracle = AnalyzeCriticalPath(tracer, root.span_id);
+  ASSERT_TRUE(oracle.ok());
+
+  FlameProfile flame;
+  flame.FoldTrace(tracer.spans());
+  const auto& agg = flame.by_root().at("req");
+  EXPECT_EQ(agg.count, 1u);
+  EXPECT_EQ(agg.breakdown.total_us, oracle->total_us);
+  for (size_t c = 0; c < kCategoryCount; ++c) {
+    EXPECT_EQ(agg.breakdown.by_category[c], oracle->by_category[c]);
+  }
+}
+
+TEST(FlameTest, PathKeysAreSemicolonJoinedFromGroupRoot) {
+  FlameProfile flame;
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, 0, 1, "a", 0, 100));
+  spans.push_back(MakeSpan(2, 1, 1, "b", 10, 60));
+  spans.push_back(MakeSpan(3, 2, 1, "c", 20, 40));
+  flame.FoldTrace(spans);
+  EXPECT_TRUE(flame.paths().count("a"));
+  EXPECT_TRUE(flame.paths().count("a;b"));
+  EXPECT_TRUE(flame.paths().count("a;b;c"));
+  EXPECT_EQ(flame.paths().at("a;b;c").self_us, 20);
+  EXPECT_EQ(flame.paths().at("a;b").self_us, 30);  // 50 minus c's 20
+  EXPECT_EQ(flame.paths().at("a").self_us, 50);
+}
+
+TEST(FlameTest, TopKBySelfIsDeterministicWithLexicalTieBreak) {
+  FlameProfile flame;
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(1, 0, 1, "root", 0, 100));
+  spans.push_back(MakeSpan(2, 1, 1, "bb", 0, 40));
+  spans.push_back(MakeSpan(3, 1, 1, "aa", 40, 80));
+  flame.FoldTrace(spans);
+  auto top = flame.TopKBySelf(2);
+  ASSERT_EQ(top.size(), 2u);
+  // bb and aa both have 40us self; the tie breaks lexicographically.
+  EXPECT_EQ(top[0].first, "root;aa");
+  EXPECT_EQ(top[1].first, "root;bb");
+}
+
+TEST(FlameTest, AggregatesIdenticalRegardlessOfSamplingRate) {
+  auto run = [](double head_rate) {
+    sim::Simulation sim;
+    Observability o(&sim);
+    EXPECT_TRUE(o.EnableScale(Config(head_rate)));
+    Rng rng(5);
+    for (int i = 0; i < 40; ++i) {
+      EmitTrace(&o, SimTime(i) * 1000, 50 + SimDuration(rng.NextBounded(100)));
+    }
+    return FormatRootAggregates(o.flame()->by_root()) +
+           o.flame()->ExportText();
+  };
+  EXPECT_EQ(run(1.0), run(0.05));
+  EXPECT_EQ(run(1.0), run(0.0));
+}
+
+// ----------------------------------------------------------------- slo
+
+SloObjective Availability(const std::string& name, double target,
+                          std::vector<BurnRatePolicy> policies) {
+  SloObjective o;
+  o.name = name;
+  o.module = "svc";
+  o.target = target;
+  o.policies = std::move(policies);
+  return o;
+}
+
+TEST(SloTest, BurnRateIsBadFractionOverBudget) {
+  SloEngine slo;
+  slo.AddObjective(Availability("a", 0.99, {{"page", 1000, 100, 1e9}}));
+  for (int i = 0; i < 90; ++i) slo.Record("svc", SimTime(i), 10, true);
+  for (int i = 90; i < 100; ++i) slo.Record("svc", SimTime(i), 10, false);
+  // 10 bad / 100 events over the window, budget 0.01 -> burn 10.
+  EXPECT_NEAR(slo.BurnRate("a", 1000, 99), 10.0, 1e-9);
+  EXPECT_EQ(slo.TotalEvents("a"), 100u);
+  EXPECT_EQ(slo.BadEvents("a"), 10u);
+}
+
+TEST(SloTest, LatencyObjectiveCountsSlowAsBad) {
+  SloEngine slo;
+  SloObjective o;
+  o.name = "lat";
+  o.module = "svc";
+  o.target = 0.9;
+  o.latency_budget_us = 100;
+  slo.AddObjective(std::move(o));
+  slo.Record("svc", 0, 50, true);    // good
+  slo.Record("svc", 1, 150, true);   // ok but slow -> bad
+  slo.Record("svc", 2, 50, false);   // failed -> bad
+  EXPECT_EQ(slo.BadEvents("lat"), 2u);
+  EXPECT_EQ(slo.SlowBudgetFor("svc"), 100);
+  EXPECT_EQ(slo.SlowBudgetFor("other"), -1);
+}
+
+TEST(SloTest, MultiWindowAlertRequiresBothWindowsBurning) {
+  SloEngine slo;
+  // Long 1000us, short 100us, threshold 5 (target 0.99 -> 5% bad fires).
+  slo.AddObjective(Availability("a", 0.99, {{"page", 1000, 100, 5.0}}));
+  // An incident: both windows burn -> one rising edge.
+  for (int i = 0; i < 20; ++i) slo.Record("svc", SimTime(i), 10, false);
+  EXPECT_TRUE(slo.IsFiring("a", "page"));
+  // The incident stops. The long window still burns far above threshold,
+  // but the short window has drained -> the alert clears. This is the
+  // multi-window rule: significance alone (long) does not hold the page
+  // once the problem stopped happening (short).
+  for (int i = 0; i < 40; ++i) {
+    slo.Record("svc", SimTime(420 + i), 10, true);
+  }
+  EXPECT_GE(slo.BurnRate("a", 1000, 459), 5.0);
+  EXPECT_LT(slo.BurnRate("a", 100, 459), 5.0);
+  EXPECT_FALSE(slo.IsFiring("a", "page"));
+  // Exactly one rising and one falling edge were logged.
+  size_t rising = 0;
+  size_t falling = 0;
+  for (const AlertEvent& a : slo.alerts()) {
+    (a.firing ? rising : falling) += 1;
+  }
+  EXPECT_EQ(rising, 1u);
+  EXPECT_EQ(falling, 1u);
+}
+
+TEST(SloTest, WindowBoundaryExcludesEventsExactlyWindowOld) {
+  SloEngine slo;
+  slo.AddObjective(Availability("a", 0.9, {{"page", 100, 10, 1e9}}));
+  slo.Record("svc", 0, 10, false);
+  slo.Record("svc", 50, 10, true);
+  // Window (now-100, now] at now=100 excludes the t=0 bad event.
+  EXPECT_DOUBLE_EQ(slo.BurnRate("a", 100, 100), 0.0);
+  // At now=99 the t=0 event is still inside: 1 bad / 2 events.
+  EXPECT_DOUBLE_EQ(slo.BurnRate("a", 100, 99), 5.0);
+}
+
+TEST(SloTest, BudgetExhaustionClampsAtZero) {
+  SloEngine slo;
+  slo.AddObjective(Availability("a", 0.9, {}));
+  EXPECT_DOUBLE_EQ(slo.BudgetRemaining("a"), 1.0);
+  for (int i = 0; i < 9; ++i) slo.Record("svc", SimTime(i), 10, true);
+  slo.Record("svc", 9, 10, false);
+  // 1 bad of 10 with 10% budget: exactly exhausted.
+  EXPECT_DOUBLE_EQ(slo.BudgetRemaining("a"), 0.0);
+  slo.Record("svc", 10, 10, false);
+  EXPECT_DOUBLE_EQ(slo.BudgetRemaining("a"), 0.0);  // clamped, not negative
+}
+
+TEST(SloTest, ExportTextIsDeterministic) {
+  auto build = [] {
+    SloEngine slo;
+    slo.AddObjective(Availability("a", 0.99, {{"page", 100, 10, 2.0}}));
+    for (int i = 0; i < 20; ++i) {
+      slo.Record("svc", SimTime(i), 10, i % 4 != 0);
+    }
+    return slo.ExportText();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  EXPECT_NE(a.find("module=svc"), std::string::npos);
+  EXPECT_NE(a.find("alert a/page FIRING"), std::string::npos);
+}
+
+// ------------------------------------------------------- observability
+
+std::string Section(const std::string& all, const std::string& header) {
+  const size_t start = all.find(header);
+  if (start == std::string::npos) return "";
+  const size_t body = start + header.size();
+  const size_t end = all.find("== ", body);
+  return all.substr(body, end == std::string::npos ? std::string::npos
+                                                   : end - body);
+}
+
+TEST(ObservabilityTest, ExportAllHasCriticalPathSectionInRetainMode) {
+  sim::Simulation sim;
+  Observability o(&sim);  // no scale layer: legacy retain mode
+  auto root = o.tracer.EmitSpan("req", "svc", {}, 0, 100);
+  o.tracer.EmitSpan("exec", "svc", root, 0, 80, {{kCategoryAttr, "exec"}});
+  const std::string all = o.ExportAll();
+  const std::string section = Section(all, "== critical-path ==\n");
+  EXPECT_NE(section.find("req count=1"), std::string::npos);
+  EXPECT_NE(section.find("exec="), std::string::npos);
+}
+
+TEST(ObservabilityTest, CriticalPathSectionIdenticalRetainVsStream) {
+  auto run = [](bool scale) {
+    sim::Simulation sim;
+    Observability o(&sim);
+    if (scale) {
+      EXPECT_TRUE(o.EnableScale(Config(1.0)));
+    }
+    Rng rng(11);
+    for (int i = 0; i < 25; ++i) {
+      const SimTime start = SimTime(i) * 500;
+      auto root = o.tracer.StartSpanAt("req", "svc", {}, start);
+      const SimDuration q = SimDuration(rng.NextBounded(40));
+      const SimDuration e = 20 + SimDuration(rng.NextBounded(60));
+      o.tracer.EmitSpan("queue", "svc", root, start, start + q,
+                        {{kCategoryAttr, "queue"}});
+      o.tracer.EmitSpan("exec", "svc", root, start + q, start + q + e,
+                        {{kCategoryAttr, "exec"}});
+      o.tracer.EndSpanAt(root, start + q + e);
+    }
+    o.Flush();
+    return Section(o.ExportAll(), "== critical-path ==\n");
+  };
+  const std::string retain = run(false);
+  const std::string stream = run(true);
+  EXPECT_FALSE(retain.empty());
+  EXPECT_EQ(retain, stream);
+}
+
+TEST(ObservabilityTest, ExportAllScaleSectionsPresent) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  ScaleConfig cfg = Config(1.0);
+  cfg.objectives.push_back(Availability("a", 0.99, {}));
+  cfg.objectives.back().module = "svc";
+  ASSERT_TRUE(o.EnableScale(cfg));
+  EmitTrace(&o, 0, 50);
+  o.Flush();
+  const std::string all = o.ExportAll();
+  EXPECT_NE(all.find("== sampler ==\n"), std::string::npos);
+  EXPECT_NE(all.find("== flame ==\n"), std::string::npos);
+  EXPECT_NE(all.find("== slo ==\n"), std::string::npos);
+  EXPECT_NE(Section(all, "== sampler ==\n").find("traces_retained 1"),
+            std::string::npos);
+}
+
+TEST(ObservabilityTest, EnableScaleRefusedAfterSpansEmitted) {
+  sim::Simulation sim;
+  Observability o(&sim);
+  o.tracer.EmitSpan("req", "svc", {}, 0, 10);
+  EXPECT_FALSE(o.EnableScale(Config(1.0)));
+}
+
+}  // namespace
+}  // namespace taureau::obs

@@ -257,13 +257,42 @@ TEST(RegistryTest, MergeFromFoldsCountersGaugesHistograms) {
   EXPECT_EQ(a.GetHistogram("h")->count(), 1u);
 }
 
-TEST(RegistryTest, ResetDropsEverything) {
+TEST(RegistryTest, ResetZeroesInPlaceKeepingNames) {
   Registry registry;
-  registry.GetCounter("c")->Inc();
+  registry.GetCounter("c")->Inc(7);
+  registry.GetGauge("g")->Set(3.5);
+  registry.GetHistogram("h")->Add(42.0);
   registry.Reset();
-  EXPECT_EQ(registry.size(), 0u);
-  EXPECT_FALSE(registry.Has("c"));
-  EXPECT_TRUE(registry.ExportText().empty());
+  // Names stay registered with zeroed values — Reset must not dangle the
+  // handles modules cached.
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_TRUE(registry.Has("c"));
+  EXPECT_EQ(registry.GetCounter("c")->value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("h")->count(), 0u);
+  EXPECT_NE(registry.ExportText().find("c 0"), std::string::npos);
+}
+
+TEST(RegistryTest, PreResetHandlesStayLiveAndRecord) {
+  // Regression for the original Reset() destroying the metric objects: a
+  // module records through a handle cached *before* Reset and the new
+  // value must land in the same registry slot.
+  Registry registry;
+  Counter* c = registry.GetCounter("m.ops");
+  Gauge* g = registry.GetGauge("m.level");
+  Histogram* h = registry.GetHistogram("m.lat");
+  c->Inc(9);
+  g->Set(2.0);
+  h->Add(5.0);
+  registry.Reset();
+  c->Inc(4);
+  g->Add(1.5);
+  h->Add(7.0);
+  EXPECT_EQ(registry.GetCounter("m.ops"), c);  // same handle, not a clone
+  EXPECT_EQ(registry.GetCounter("m.ops")->value(), 4u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("m.level")->value(), 1.5);
+  EXPECT_EQ(registry.GetHistogram("m.lat")->count(), 1u);
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("m.lat")->max(), 7.0);
 }
 
 // ------------------------------------------------- Histogram properties
