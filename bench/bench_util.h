@@ -10,10 +10,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "sim/simulation.h"
 
 namespace taureau::bench {
 
@@ -201,6 +204,44 @@ inline std::vector<std::string> PercentileCells(
   return {Fmt(fmt, Percentile(samples, 0.50) / scale),
           Fmt(fmt, Percentile(samples, 0.90) / scale),
           Fmt(fmt, Percentile(samples, 0.99) / scale)};
+}
+
+// ---------------------------------------------------------------- drives
+//
+// Arrival pacing for simulated experiment drives. The historical pattern —
+// submit the whole stream at t=0 and let the queues drain — is an open-loop
+// burst: latency percentiles then mostly measure self-inflicted queueing at
+// the serial service devices. These helpers give benches two realistic
+// alternatives.
+
+/// Paced open-loop drive: schedules `submit(i)` for i in [0, count) at a
+/// fixed `gap_us` inter-arrival spacing (arrival rate = 1e6/gap_us per
+/// second), independent of completions.
+template <typename SubmitFn>
+inline void PaceArrivals(sim::Simulation* sim, int count, SimDuration gap_us,
+                         SubmitFn submit) {
+  for (int i = 0; i < count; ++i) {
+    sim->ScheduleAt(SimTime(i) * gap_us, [submit, i] { submit(i); });
+  }
+}
+
+/// Closed-loop drive: keeps at most `concurrency` requests outstanding,
+/// submitting the next only when one completes — a fixed client population
+/// rather than an unbounded burst. `submit(index, on_complete)` must invoke
+/// `on_complete()` exactly once when request `index` finishes.
+template <typename SubmitFn>
+inline void DriveClosedLoop(int count, int concurrency, SubmitFn submit) {
+  auto next = std::make_shared<int>(0);
+  auto launch = std::make_shared<std::function<void()>>();
+  // Weak self-reference in the stored closure; each pending completion
+  // carries the strong one, so the loop frees itself when the drive ends.
+  *launch = [next, count, submit, weak = std::weak_ptr(launch)] {
+    if (*next >= count) return;
+    const int i = (*next)++;
+    auto self = weak.lock();
+    submit(i, [self] { (*self)(); });
+  };
+  for (int c = 0; c < concurrency && c < count; ++c) (*launch)();
 }
 
 /// Standard bench main: run the experiment table, write the BENCH_E<k>.json

@@ -1,12 +1,49 @@
 #include "chaos/circuit_breaker.h"
 
+#include <algorithm>
+
 namespace taureau::chaos {
+
+void CircuitBreaker::BindMetrics(obs::Registry* registry,
+                                 const std::string& prefix) {
+  if (registry == nullptr) {
+    m_ = Metrics{};
+    return;
+  }
+  m_.trips = registry->GetCounter(prefix + ".breaker_trips");
+  m_.half_opens = registry->GetCounter(prefix + ".breaker_half_opens");
+  m_.closes = registry->GetCounter(prefix + ".breaker_closes");
+  m_.shed = registry->GetCounter(prefix + ".breaker_shed");
+  m_.state = registry->GetGauge(prefix + ".breaker_state");
+  m_.state->Set(static_cast<double>(state_));
+}
+
+void CircuitBreaker::SetState(State next) {
+  if (next == state_) return;
+  state_ = next;
+  switch (next) {
+    case State::kOpen:
+      ++trips_;
+      if (m_.trips != nullptr) m_.trips->Inc();
+      break;
+    case State::kHalfOpen:
+      ++half_opens_;
+      if (m_.half_opens != nullptr) m_.half_opens->Inc();
+      break;
+    case State::kClosed:
+      ++closes_;
+      if (m_.closes != nullptr) m_.closes->Inc();
+      break;
+  }
+  if (m_.state != nullptr) m_.state->Set(static_cast<double>(state_));
+}
 
 void CircuitBreaker::Advance(SimTime now) {
   if (state_ == State::kOpen &&
       now - opened_at_us_ >= config_.open_duration_us) {
-    state_ = State::kHalfOpen;
+    SetState(State::kHalfOpen);
     probes_in_flight_ = 0;
+    half_open_successes_ = 0;
   }
 }
 
@@ -17,6 +54,7 @@ bool CircuitBreaker::AllowRequest(SimTime now) {
       return true;
     case State::kOpen:
       ++shed_;
+      if (m_.shed != nullptr) m_.shed->Inc();
       return false;
     case State::kHalfOpen:
       if (probes_in_flight_ < config_.half_open_probes) {
@@ -24,6 +62,7 @@ bool CircuitBreaker::AllowRequest(SimTime now) {
         return true;
       }
       ++shed_;
+      if (m_.shed != nullptr) m_.shed->Inc();
       return false;
   }
   return true;
@@ -33,8 +72,15 @@ void CircuitBreaker::RecordSuccess(SimTime now) {
   Advance(now);
   consecutive_failures_ = 0;
   if (state_ == State::kHalfOpen) {
-    state_ = State::kClosed;
-    probes_in_flight_ = 0;
+    ++half_open_successes_;
+    if (half_open_successes_ >= std::max(1, config_.half_open_successes)) {
+      SetState(State::kClosed);
+      probes_in_flight_ = 0;
+      half_open_successes_ = 0;
+    } else if (probes_in_flight_ > 0) {
+      // The finished probe frees its slot so the next one can run.
+      --probes_in_flight_;
+    }
   }
 }
 
@@ -44,10 +90,10 @@ void CircuitBreaker::RecordFailure(SimTime now) {
   if (state_ == State::kHalfOpen ||
       (state_ == State::kClosed &&
        consecutive_failures_ >= config_.failure_threshold)) {
-    state_ = State::kOpen;
+    SetState(State::kOpen);
     opened_at_us_ = now;
     probes_in_flight_ = 0;
-    ++trips_;
+    half_open_successes_ = 0;
   }
 }
 

@@ -5,13 +5,20 @@
 // caller (no simulator dependency, so it embeds anywhere):
 //   closed    — requests flow; consecutive failures are counted.
 //   open      — requests are refused (shed) until `open_duration_us` passes.
-//   half-open — a limited number of probe requests are admitted; one
-//               success closes the breaker, one failure re-opens it.
+//   half-open — a limited number of probe requests are admitted;
+//               `half_open_successes` consecutive probe successes close the
+//               breaker, one failure re-opens it.
+//
+// State transitions can be surfaced as obs metrics via BindMetrics so any
+// embedder (server pool, broker, controller) exports trip/half-open/close
+// counts and the live state without bespoke plumbing.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/time_types.h"
+#include "obs/metrics.h"
 
 namespace taureau::chaos {
 
@@ -24,12 +31,18 @@ class CircuitBreaker {
     SimDuration open_duration_us = 1 * kSecond;
     /// Probes admitted while half-open.
     int half_open_probes = 1;
+    /// Probe successes required to close from half-open. Clamped to >= 1.
+    int half_open_successes = 1;
   };
 
   enum class State { kClosed, kOpen, kHalfOpen };
 
   CircuitBreaker() : CircuitBreaker(Config()) {}
   explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// Registers transition counters and a live-state gauge under
+  /// "<prefix>.breaker_*". Pass nullptr to detach.
+  void BindMetrics(obs::Registry* registry, const std::string& prefix);
 
   /// True when the request may proceed at `now`; false = shed it.
   bool AllowRequest(SimTime now);
@@ -41,18 +54,33 @@ class CircuitBreaker {
 
   uint64_t shed_count() const { return shed_; }
   uint64_t trip_count() const { return trips_; }
+  uint64_t half_open_count() const { return half_opens_; }
+  uint64_t close_count() const { return closes_; }
   int consecutive_failures() const { return consecutive_failures_; }
 
  private:
   void Advance(SimTime now);  ///< open -> half-open when the window lapses.
+  void SetState(State next);
 
   Config config_;
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   int probes_in_flight_ = 0;
+  int half_open_successes_ = 0;
   SimTime opened_at_us_ = 0;
   uint64_t shed_ = 0;
   uint64_t trips_ = 0;
+  uint64_t half_opens_ = 0;
+  uint64_t closes_ = 0;
+
+  struct Metrics {
+    obs::Counter* trips = nullptr;
+    obs::Counter* half_opens = nullptr;
+    obs::Counter* closes = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Gauge* state = nullptr;
+  };
+  Metrics m_;
 };
 
 }  // namespace taureau::chaos

@@ -7,21 +7,49 @@ const IdempotencyCache::Entry* IdempotencyCache::Lookup(
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   ++hits_;
-  return &it->second;
+  Touch(it->second);
+  return &it->second.entry;
 }
 
 bool IdempotencyCache::Record(const std::string& key, Status status,
                               std::string output) {
-  auto [it, inserted] =
-      entries_.emplace(key, Entry{std::move(status), std::move(output)});
-  if (!inserted) ++duplicate_records_;
-  return inserted;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++duplicate_records_;
+    Touch(it->second);
+    return false;
+  }
+  lru_.push_front(key);
+  entries_.emplace(
+      key, Slot{Entry{std::move(status), std::move(output)}, lru_.begin()});
+  EvictToCapacity();
+  return true;
+}
+
+void IdempotencyCache::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  EvictToCapacity();
+}
+
+void IdempotencyCache::Touch(Slot& slot) {
+  lru_.splice(lru_.begin(), lru_, slot.lru_it);
+}
+
+void IdempotencyCache::EvictToCapacity() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
 }
 
 void IdempotencyCache::Clear() {
   entries_.clear();
+  lru_.clear();
   hits_ = 0;
   duplicate_records_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace taureau::chaos

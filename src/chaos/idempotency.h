@@ -7,9 +7,16 @@
 // "<run key>:<node path>:<input hash>"; a re-delivered step with the same
 // key replays the recorded output instead of re-invoking the function — no
 // second side effect, no second charge.
+//
+// The cache can be bounded: with a nonzero capacity it evicts the least
+// recently used entry (Lookup and Record both refresh recency) so a long
+// run cannot grow it without limit. Eviction trades safety for memory — an
+// evicted key's re-delivery re-executes — so `evictions()` is surfaced for
+// operators to size the cache against their redelivery window.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <string>
 #include <unordered_map>
 
@@ -24,25 +31,47 @@ class IdempotencyCache {
     std::string output;
   };
 
+  /// `capacity` == 0 means unbounded (the historical behaviour).
+  explicit IdempotencyCache(size_t capacity = 0) : capacity_(capacity) {}
+
   /// The recorded completion for `key`, or nullptr if none. Counts a hit
-  /// when found.
+  /// and refreshes the key's recency when found.
   const Entry* Lookup(const std::string& key);
 
   /// Records a completion. First writer wins: returns false (and leaves
-  /// the original record) when the key was already recorded — the caller
-  /// is the duplicate.
+  /// the original record, refreshing its recency) when the key was already
+  /// recorded — the caller is the duplicate. When bounded and full, the
+  /// least recently used entry is evicted to make room.
   bool Record(const std::string& key, Status status, std::string output);
 
+  /// Re-bounds the cache, evicting LRU entries if the new capacity is
+  /// smaller than the current size. 0 = unbounded.
+  void set_capacity(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
   size_t size() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t duplicate_records() const { return duplicate_records_; }
+  uint64_t evictions() const { return evictions_; }
 
   void Clear();
 
  private:
-  std::unordered_map<std::string, Entry> entries_;
+  struct Slot {
+    Entry entry;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void Touch(Slot& slot);
+  void EvictToCapacity();
+
+  size_t capacity_ = 0;
+  std::unordered_map<std::string, Slot> entries_;
+  /// Front = most recently used, back = eviction candidate.
+  std::list<std::string> lru_;
   uint64_t hits_ = 0;
   uint64_t duplicate_records_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace taureau::chaos

@@ -30,6 +30,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "PermissionDenied";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

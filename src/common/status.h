@@ -28,6 +28,8 @@ enum class StatusCode : int {
   kInternal,
   kPermissionDenied,
   kUnimplemented,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode ("NotFound", ...).
@@ -79,6 +81,12 @@ class Status {
   static Status PermissionDenied(std::string msg) {
     return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
@@ -101,6 +109,10 @@ class Status {
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -15,7 +15,8 @@ FaasPlatform::FaasPlatform(sim::Simulation* sim, cluster::Cluster* cluster,
       cluster_(cluster),
       config_(config),
       rng_(config.seed),
-      ledger_(config.rates) {
+      ledger_(config.rates),
+      admission_(config.admission) {
   BindMetrics();
 }
 
@@ -144,7 +145,8 @@ Result<FunctionSpec> FaasPlatform::GetFunction(const std::string& name) const {
 
 Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
                                       std::string payload, InvokeCallback cb,
-                                      obs::TraceContext parent) {
+                                      obs::TraceContext parent,
+                                      guard::Deadline deadline) {
   if (!functions_.count(function)) {
     return Status::NotFound("function '" + function + "' not registered");
   }
@@ -155,10 +157,33 @@ Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
   inv->cb = std::move(cb);
   inv->submit_us = sim_->Now();
   inv->attempt_start_us = sim_->Now();
+  inv->deadline = deadline;
   h_.invocations->Inc();
   if (obs_ != nullptr) {
     inv->root_ctx = obs_->tracer.StartSpan("invoke:" + function, "faas",
                                            parent);
+  }
+  live_[inv->id] = inv;
+
+  // Reject-on-arrival: when the pending backlog is over its bound or the
+  // remaining deadline cannot cover the expected wait + service, finishing
+  // this request is impossible — shed it now, before it costs anything.
+  if (GuardActive()) {
+    const auto decision = admission_.Admit(
+        pending_.size(), AdmissionParallelism(), deadline, sim_->Now());
+    if (decision != guard::AdmissionDecision::kAdmit) {
+      guard_->RecordShed("faas", decision, inv->root_ctx, sim_->Now());
+      Status shed_status =
+          decision == guard::AdmissionDecision::kShedDeadline
+              ? Status::DeadlineExceeded(
+                    "shed on arrival: deadline cannot be met")
+              : Status::ResourceExhausted("shed on arrival: admission queue "
+                                          "full");
+      sim_->Schedule(0, [this, inv, shed_status = std::move(shed_status)] {
+        Complete(inv, /*cold=*/false, 0, 0, shed_status, "");
+      });
+      return inv->id;
+    }
   }
 
   sim_->Schedule(SampleDispatchDelay(), [this, inv] { Dispatch(inv); });
@@ -187,6 +212,18 @@ Result<InvocationResult> FaasPlatform::InvokeSync(const std::string& function,
 }
 
 void FaasPlatform::Dispatch(std::shared_ptr<Invocation> inv) {
+  if (inv->abandoned) {
+    Complete(std::move(inv), /*cold=*/false, 0, 0,
+             Status::Cancelled("cancelled before dispatch"), "");
+    return;
+  }
+  if (GuardActive() && inv->deadline.Expired(sim_->Now())) {
+    guard_->RecordDeadlineExceeded("faas", inv->root_ctx,
+                                   inv->attempt_start_us, sim_->Now());
+    Complete(std::move(inv), /*cold=*/false, 0, 0,
+             Status::DeadlineExceeded("deadline expired before dispatch"), "");
+    return;
+  }
   if (TryPlace(inv)) return;
   if (config_.queue_on_throttle) {
     pending_.push_back(std::move(inv));
@@ -332,6 +369,7 @@ void FaasPlatform::FinishAttempt(std::shared_ptr<Invocation> inv,
   inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
                                      exec_us, spec.demand.memory_mb);
   h_.exec_latency_us->Add(double(exec_us));
+  admission_.RecordService(startup_us + exec_us);
 
   if (attempt_status.IsTimeout()) h_.timeouts->Inc();
   if (!attempt_status.ok()) h_.failures->Inc();
@@ -346,7 +384,26 @@ void FaasPlatform::FinishAttempt(std::shared_ptr<Invocation> inv,
 void FaasPlatform::RetryOrComplete(std::shared_ptr<Invocation> inv, bool cold,
                                    SimDuration startup_us, SimDuration exec_us,
                                    Status attempt_status, std::string output) {
-  if (!attempt_status.ok() && inv->attempt + 1 < EffectiveMaxAttempts()) {
+  bool want_retry =
+      !attempt_status.ok() && inv->attempt + 1 < EffectiveMaxAttempts() &&
+      !inv->abandoned && !attempt_status.IsCancelled();
+  if (want_retry && GuardActive() &&
+      inv->deadline.Expired(sim_->Now())) {
+    guard_->RecordDeadlineExceeded("faas", inv->root_ctx, sim_->Now(),
+                                   sim_->Now());
+    attempt_status = Status::DeadlineExceeded(
+        "deadline expired; not retrying: " + attempt_status.ToString());
+    want_retry = false;
+  }
+  if (want_retry && guard_ != nullptr) {
+    // Retry budget: each retry spends a token refilled by successes, so
+    // retry traffic cannot exceed a fixed fraction of the offered load no
+    // matter how hard the backends fail (the anti-retry-storm valve).
+    const bool granted = guard_->retry_budget().TryAcquire();
+    guard_->RecordRetryDecision("faas", granted, inv->root_ctx, sim_->Now());
+    want_retry = granted;
+  }
+  if (want_retry) {
     const int failed_attempt = inv->attempt;
     ++inv->attempt;
     inv->attempt_start_us = sim_->Now();
@@ -386,8 +443,13 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
   res.startup_us = startup_us;
   res.exec_us = exec_us;
   res.cost = inv->cost_so_far;
+  live_.erase(inv->id);
   h_.completions->Inc();
   h_.e2e_latency_us->Add(double(res.EndToEnd()));
+  if (guard_ != nullptr && res.status.ok()) {
+    guard_->retry_budget().RecordSuccess();
+    guard_->hedge().Record(res.EndToEnd());
+  }
   if (inv->chaos_killed && res.status.ok()) {
     h_.chaos_recoveries->Inc();
     if (chaos_ != nullptr) {
@@ -453,6 +515,22 @@ void FaasPlatform::DestroyContainer(uint64_t container_id) {
 void FaasPlatform::DrainPending() {
   while (!pending_.empty()) {
     auto inv = pending_.front();
+    // Queued work that was cancelled or whose deadline lapsed is doomed —
+    // running it would burn a container on a result nobody will read.
+    if (inv->abandoned) {
+      pending_.pop_front();
+      Complete(std::move(inv), /*cold=*/false, 0, 0,
+               Status::Cancelled("cancelled while queued"), "");
+      continue;
+    }
+    if (GuardActive() && inv->deadline.Expired(sim_->Now())) {
+      pending_.pop_front();
+      guard_->RecordDeadlineExceeded("faas", inv->root_ctx,
+                                     inv->attempt_start_us, sim_->Now());
+      Complete(std::move(inv), /*cold=*/false, 0, 0,
+               Status::DeadlineExceeded("deadline expired while queued"), "");
+      continue;
+    }
     // TryPlace either schedules the attempt (true) or cannot make progress
     // right now (false) — in which case the invocation stays queued.
     if (!TryPlace(inv)) break;
@@ -576,6 +654,163 @@ void FaasPlatform::ForceDestroyContainer(uint64_t container_id) {
   }
   c->busy = false;  // let DestroyContainer proceed even mid-attempt
   DestroyContainer(container_id);
+}
+
+bool FaasPlatform::CancelInvocation(uint64_t id) {
+  return CancelInvocationInternal(id, "cancelled by caller") >= 0;
+}
+
+SimDuration FaasPlatform::CancelInvocationInternal(uint64_t id,
+                                                   const std::string& why) {
+  // Waiting for capacity?
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if ((*it)->id != id) continue;
+    auto inv = *it;
+    pending_.erase(it);
+    Complete(std::move(inv), /*cold=*/false, 0, 0, Status::Cancelled(why),
+             "");
+    return 0;
+  }
+  // Running on a container? Stop the attempt, bill the execution burned so
+  // far, and return the (healthy) container to the warm pool.
+  for (auto& [cid, c] : containers_) {
+    if (c->inflight == nullptr || c->inflight->id != id) continue;
+    sim_->Cancel(c->inflight_event);
+    c->inflight_event = 0;
+    std::shared_ptr<Invocation> inv = std::move(c->inflight);
+    c->inflight.reset();
+    const FunctionSpec& spec = functions_.at(inv->function);
+    const SimDuration elapsed_exec =
+        std::max<SimDuration>(0, sim_->Now() - c->exec_began_us);
+    const SimTime place_us = c->exec_began_us - c->inflight_startup_us;
+    const SimDuration startup_us =
+        std::min(c->inflight_startup_us,
+                 std::max<SimDuration>(0, sim_->Now() - place_us));
+    inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
+                                       elapsed_exec, spec.demand.memory_mb);
+    h_.exec_latency_us->Add(double(elapsed_exec));
+    const bool cold = c->inflight_cold;
+    const Status cancel_status = Status::Cancelled(why);
+    EmitAttemptSpans(*inv, sim_->Now(), startup_us, elapsed_exec, cold,
+                     cancel_status, /*killed=*/false);
+    ReleaseToWarmPool(c.get());
+    Complete(std::move(inv), cold, startup_us, elapsed_exec, cancel_status,
+             "");
+    return elapsed_exec;
+  }
+  // Between events (dispatch delay or retry backoff): flag it; the next
+  // Dispatch completes it Cancelled.
+  auto live_it = live_.find(id);
+  if (live_it != live_.end()) {
+    if (auto inv = live_it->second.lock()) {
+      inv->abandoned = true;
+      return 0;
+    }
+  }
+  return -1;
+}
+
+Result<uint64_t> FaasPlatform::InvokeHedged(const std::string& function,
+                                            std::string payload,
+                                            InvokeCallback cb,
+                                            obs::TraceContext parent,
+                                            guard::Deadline deadline,
+                                            std::string hedge_key) {
+  if (guard_ == nullptr) {
+    return Invoke(function, std::move(payload), std::move(cb), parent,
+                  deadline);
+  }
+  if (!functions_.count(function)) {
+    return Status::NotFound("function '" + function + "' not registered");
+  }
+  auto hs = std::make_shared<HedgeState>();
+  hs->cb = std::move(cb);
+  hs->submit_us = sim_->Now();
+  hs->key = std::move(hedge_key);
+  if (obs_ != nullptr) {
+    hs->root_ctx =
+        obs_->tracer.StartSpan("hedged:" + function, "faas", parent);
+  }
+  auto primary = Invoke(
+      function, payload,
+      [this, hs](const InvocationResult& res) {
+        OnHedgeResult(hs, res, /*from_hedge=*/false);
+      },
+      hs->root_ctx, deadline);
+  if (!primary.ok()) {
+    if (obs_ != nullptr && hs->root_ctx.valid()) {
+      obs_->tracer.EndSpan(hs->root_ctx);
+    }
+    return primary;
+  }
+  hs->primary_id = *primary;
+  if (hs->key.empty()) {
+    hs->key = "hedge:" + function + ":" + std::to_string(hs->primary_id);
+  }
+  const SimDuration delay = guard_->hedge().Delay();
+  hs->hedge_timer = sim_->Schedule(
+      delay, [this, hs, function, payload = std::move(payload), deadline] {
+        hs->hedge_timer = 0;
+        if (hs->done) return;
+        guard_->RecordHedgeLaunched();
+        // The wait-before-duplicating window is guard policy time: charge
+        // it to the guard category wherever no deeper span covers it.
+        guard_->EmitGuardSpan("hedge-wait", "faas", hs->root_ctx,
+                              hs->submit_us, sim_->Now(), {});
+        auto hedge = Invoke(
+            function, payload,
+            [this, hs](const InvocationResult& res) {
+              OnHedgeResult(hs, res, /*from_hedge=*/true);
+            },
+            hs->root_ctx, deadline);
+        if (hedge.ok()) hs->hedge_id = *hedge;
+      });
+  return hs->primary_id;
+}
+
+void FaasPlatform::OnHedgeResult(std::shared_ptr<HedgeState> hs,
+                                 const InvocationResult& res,
+                                 bool from_hedge) {
+  // The loser we cancelled ourselves reports Cancelled — already handled.
+  if (res.status.IsCancelled()) return;
+  if (hs->done) {
+    // A duplicate ran to completion after the winner (both finished before
+    // the cancel could land): the idempotency cache absorbs it — recorded
+    // as a duplicate, never applied or delivered a second time.
+    guard_->dedupe().Record(hs->key, res.status, res.output);
+    guard_->RecordHedgeDeduped();
+    return;
+  }
+  hs->done = true;
+  if (hs->hedge_timer != 0) {
+    sim_->Cancel(hs->hedge_timer);
+    hs->hedge_timer = 0;
+  }
+  guard_->dedupe().Record(hs->key, res.status, res.output);
+  if (from_hedge) guard_->RecordHedgeWin();
+  const uint64_t loser = from_hedge ? hs->primary_id : hs->hedge_id;
+  if (loser != 0) {
+    const SimDuration wasted =
+        CancelInvocationInternal(loser, "hedge loser cancelled");
+    if (wasted >= 0) guard_->RecordHedgeCancelled(wasted);
+  }
+  // The caller sees the winner's result and only the winner's bill; the
+  // duplicate's burn is accounted as guard.hedge_wasted_us.
+  InvocationResult out = res;
+  out.submit_us = hs->submit_us;
+  if (obs_ != nullptr && hs->root_ctx.valid()) {
+    obs_->tracer.SetAttr(hs->root_ctx, "hedged", hs->hedge_id != 0 ? "1" : "0");
+    obs_->tracer.SetAttr(hs->root_ctx, "winner",
+                         from_hedge ? "hedge" : "primary");
+    obs_->tracer.SetAttr(hs->root_ctx, "status",
+                         std::string(StatusCodeName(out.status.code())));
+    obs_->tracer.SetAttr(hs->root_ctx, obs::kOutcomeAttr,
+                         out.status.ok() ? obs::kOutcomeOk : obs::kOutcomeError);
+    obs_->tracer.SetAttr(hs->root_ctx, obs::kSeverityAttr,
+                         out.status.ok() ? "info" : "error");
+    obs_->tracer.EndSpan(hs->root_ctx);
+  }
+  if (hs->cb) hs->cb(out);
 }
 
 void FaasPlatform::AttachChaos(chaos::InjectorRegistry* registry) {

@@ -3,6 +3,7 @@
 // transparent retries, and fine-grained billing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -18,6 +19,9 @@
 #include "common/stats.h"
 #include "faas/billing.h"
 #include "faas/function.h"
+#include "guard/admission.h"
+#include "guard/deadline.h"
+#include "guard/guard.h"
 #include "obs/observability.h"
 #include "sim/simulation.h"
 
@@ -49,6 +53,14 @@ struct FaasConfig {
   double dispatch_sigma = 0.3;
   BillingRates rates;
   uint64_t seed = 42;
+  /// Overload protection (taureau::guard). Takes effect once a Guard is
+  /// wired in via AttachGuard: arriving invocations are rejected when the
+  /// pending queue is over its bound or their remaining deadline cannot
+  /// cover the expected wait + service; queued/retrying invocations whose
+  /// deadline lapses are cancelled instead of run; retries must acquire a
+  /// token from the shared retry budget.
+  bool enable_admission = false;
+  guard::AdmissionConfig admission;
 };
 
 /// Outcome of one invocation, delivered to the caller's callback.
@@ -125,7 +137,29 @@ class FaasPlatform {
   /// passed — with per-attempt queue/cold/exec child spans and retry-wait
   /// spans, all categorized for the critical-path analyzer.
   Result<uint64_t> Invoke(const std::string& function, std::string payload,
-                          InvokeCallback cb, obs::TraceContext parent = {});
+                          InvokeCallback cb, obs::TraceContext parent = {},
+                          guard::Deadline deadline = {});
+
+  /// Invoke with a deterministic hedge (taureau::guard, "The Tail at
+  /// Scale"): if the primary attempt is still running after the tracked
+  /// hedge delay (~p95 of observed latencies), a duplicate launches; the
+  /// first terminal result wins, the loser is cancelled (its burned
+  /// execution is billed as duplicate-work cost, never to the caller), and
+  /// late duplicate completions are absorbed by the guard's idempotency
+  /// cache so the callback fires exactly once. Requires an attached Guard
+  /// (falls back to a plain Invoke otherwise). `hedge_key` deduplicates
+  /// side-effect application; empty derives one from the invocation id.
+  Result<uint64_t> InvokeHedged(const std::string& function,
+                                std::string payload, InvokeCallback cb,
+                                obs::TraceContext parent = {},
+                                guard::Deadline deadline = {},
+                                std::string hedge_key = "");
+
+  /// Cancels a pending or in-flight invocation: it completes Cancelled,
+  /// any running attempt stops (billed for the execution burned so far)
+  /// and its container returns to the warm pool. False when the
+  /// invocation is unknown or already terminal.
+  bool CancelInvocation(uint64_t id);
 
   /// Convenience: invoke and run the simulation until this invocation
   /// completes. Intended for tests/examples, not concurrent workloads.
@@ -158,6 +192,15 @@ class FaasPlatform {
   /// Re-homes the platform's metrics onto `o->registry` (folding in any
   /// values recorded so far) and enables span emission via `o->tracer`.
   void AttachObservability(obs::Observability* o);
+
+  // ------------------------------------------------------------- guard
+  /// Wires in the shared overload-protection bundle: admission control
+  /// (when `enable_admission`), deadline enforcement, retry-budget gating
+  /// and hedging all activate. Attach observability to the same Guard to
+  /// get "cat=guard" spans itemized on the critical path.
+  void AttachGuard(guard::Guard* g) { guard_ = g; }
+  guard::Guard* guard() { return guard_; }
+  const guard::AdmissionController& admission() const { return admission_; }
 
   // ------------------------------------------------------------- chaos
   /// Registers container-kill, machine-crash and network-delay hooks under
@@ -214,6 +257,20 @@ class FaasPlatform {
     Money cost_so_far;
     bool chaos_killed = false;  ///< Some attempt died to fault injection.
     obs::TraceContext root_ctx;  ///< "invoke:<fn>" span (invalid: untraced).
+    guard::Deadline deadline;    ///< Client deadline (absolute; may be none).
+    bool abandoned = false;      ///< Cancelled while between events.
+  };
+
+  /// Shared state of one hedged request (primary + optional duplicate).
+  struct HedgeState {
+    bool done = false;
+    uint64_t primary_id = 0;
+    uint64_t hedge_id = 0;
+    sim::EventId hedge_timer = 0;
+    InvokeCallback cb;
+    std::string key;
+    obs::TraceContext root_ctx;  ///< "hedged:<fn>" span.
+    SimTime submit_us = 0;
   };
 
   /// Cached registry handles — the record path is a pointer deref, no map
@@ -267,6 +324,20 @@ class FaasPlatform {
   void ForceDestroyContainer(uint64_t container_id);
   void DrainPending();
   SimDuration SampleDispatchDelay();
+  /// Cancel + Complete(Cancelled); returns the execution time billed to
+  /// the cancelled attempt (the hedge's duplicate-work cost).
+  SimDuration CancelInvocationInternal(uint64_t id, const std::string& why);
+  /// One hedged attempt finished; first terminal result wins.
+  void OnHedgeResult(std::shared_ptr<HedgeState> hs,
+                     const InvocationResult& res, bool from_hedge);
+  /// Structural drain parallelism the admission controller assumes.
+  size_t AdmissionParallelism() const {
+    return std::max<size_t>(1, config_.max_concurrency);
+  }
+  /// True when guard admission/deadline enforcement is active.
+  bool GuardActive() const {
+    return guard_ != nullptr && config_.enable_admission;
+  }
 
   void BindMetrics();
   /// Adds memory-time to the native integral and mirrors it to the gauge.
@@ -299,6 +370,10 @@ class FaasPlatform {
   std::unordered_map<std::string, std::deque<uint64_t>> warm_pools_;
   /// Invocations waiting for capacity.
   std::deque<std::shared_ptr<Invocation>> pending_;
+  /// Non-terminal invocations by id (cancellation lookup).
+  std::unordered_map<uint64_t, std::weak_ptr<Invocation>> live_;
+  guard::Guard* guard_ = nullptr;
+  guard::AdmissionController admission_;
   uint64_t next_invocation_id_ = 1;
   uint64_t next_container_id_ = 1;
   chaos::InjectorRegistry* chaos_ = nullptr;

@@ -3,15 +3,38 @@
 namespace taureau::faas {
 
 ServerPool::ServerPool(sim::Simulation* sim, ServerPoolConfig config)
-    : sim_(sim), config_(config), breaker_(config.breaker) {}
+    : sim_(sim),
+      config_(config),
+      breaker_(config.breaker),
+      admission_(config.admission) {}
 
-bool ServerPool::Submit(SimDuration service_us, Callback cb) {
-  if (config_.enable_breaker && !breaker_.AllowRequest(sim_->Now())) {
+void ServerPool::AttachObservability(obs::Observability* o) {
+  if (o == nullptr) return;
+  breaker_.BindMetrics(&o->registry, "pool");
+}
+
+bool ServerPool::Submit(SimDuration service_us, Callback cb,
+                        guard::Deadline deadline) {
+  const SimTime now = sim_->Now();
+  if (config_.enable_breaker && !breaker_.AllowRequest(now)) {
     ++shed_requests_;
     if (shed_handler_) shed_handler_(service_us);
     return false;
   }
-  Request req{sim_->Now(), service_us, std::move(cb)};
+  if (config_.enable_admission) {
+    const size_t idle = busy_ < total_slots() ? total_slots() - busy_ : 0;
+    const auto decision =
+        idle > 0 ? guard::AdmissionDecision::kAdmit
+                 : admission_.Admit(queue_.size(), total_slots(), deadline,
+                                    now);
+    if (decision != guard::AdmissionDecision::kAdmit) {
+      ++shed_requests_;
+      if (guard_ != nullptr) guard_->RecordShed("pool", decision, {}, now);
+      if (shed_handler_) shed_handler_(service_us);
+      return false;
+    }
+  }
+  Request req{now, service_us, std::move(cb), deadline};
   if (busy_ < total_slots()) {
     Begin(std::move(req));
   } else {
@@ -31,6 +54,7 @@ void ServerPool::Begin(Request req) {
   const SimDuration wait = sim_->Now() - req.submit_us;
   wait_us_.Add(double(wait));
   busy_slot_us_ += static_cast<long double>(req.service_us);
+  admission_.RecordService(req.service_us);
   sim_->Schedule(req.service_us, [this, req = std::move(req), wait]() mutable {
     --busy_;
     ++completed_;
@@ -49,6 +73,16 @@ void ServerPool::StartNext() {
   while (!queue_.empty() && busy_ < total_slots()) {
     Request req = std::move(queue_.front());
     queue_.pop_front();
+    // Queued work whose deadline lapsed is doomed — running it would only
+    // burn a slot the caller has already given up on.
+    if (config_.enable_admission && req.deadline.Expired(sim_->Now())) {
+      ++deadline_expired_;
+      if (guard_ != nullptr) {
+        guard_->RecordDeadlineExceeded("pool", {}, req.submit_us,
+                                       sim_->Now());
+      }
+      continue;
+    }
     Begin(std::move(req));
   }
 }

@@ -12,6 +12,10 @@
 #include "common/money.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "guard/admission.h"
+#include "guard/deadline.h"
+#include "guard/guard.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 
 namespace taureau::faas {
@@ -28,6 +32,11 @@ struct ServerPoolConfig {
   size_t max_queue_depth = 0;
   bool enable_breaker = false;
   chaos::CircuitBreaker::Config breaker;
+  /// Deadline-aware admission control (taureau::guard): bounded queue +
+  /// reject-on-arrival when the remaining deadline cannot cover the
+  /// expected wait + service.
+  bool enable_admission = false;
+  guard::AdmissionConfig admission;
 };
 
 /// Statically provisioned request-serving fleet.
@@ -41,15 +50,25 @@ class ServerPool {
 
   /// Submits a request with a known service time; `cb` fires at completion
   /// with the time it spent queued. Returns false when the circuit breaker
-  /// shed the request (the shed handler, if set, received it).
-  bool Submit(SimDuration service_us, Callback cb = nullptr);
+  /// or the admission controller shed the request (the shed handler, if
+  /// set, received it). A queued request whose deadline expires before a
+  /// slot frees is dropped without running (counted in deadline_expired()).
+  bool Submit(SimDuration service_us, Callback cb = nullptr,
+              guard::Deadline deadline = {});
 
   /// Where shed requests go (e.g. FaasPlatform::Invoke on a prewarmed
   /// function). Without a handler shed requests are simply dropped.
   void set_shed_handler(ShedHandler handler) { shed_handler_ = std::move(handler); }
 
+  /// Shed decisions + admission counters feed the shared guard.
+  void AttachGuard(guard::Guard* g) { guard_ = g; }
+  /// Surfaces breaker state transitions as "pool.breaker_*" metrics.
+  void AttachObservability(obs::Observability* o);
+
   const chaos::CircuitBreaker& breaker() const { return breaker_; }
+  const guard::AdmissionController& admission() const { return admission_; }
   uint64_t shed_requests() const { return shed_requests_; }
+  uint64_t deadline_expired() const { return deadline_expired_; }
 
   /// Reserved-capacity cost of keeping the whole pool on for `span`.
   Money CostFor(SimDuration span) const;
@@ -72,6 +91,7 @@ class ServerPool {
     SimTime submit_us;
     SimDuration service_us;
     Callback cb;
+    guard::Deadline deadline;
   };
 
   void StartNext();
@@ -80,8 +100,11 @@ class ServerPool {
   sim::Simulation* sim_;
   ServerPoolConfig config_;
   chaos::CircuitBreaker breaker_;
+  guard::AdmissionController admission_;
+  guard::Guard* guard_ = nullptr;
   ShedHandler shed_handler_;
   uint64_t shed_requests_ = 0;
+  uint64_t deadline_expired_ = 0;
   size_t busy_ = 0;
   uint64_t completed_ = 0;
   long double busy_slot_us_ = 0;  ///< Integral of busy slots over time.

@@ -1,0 +1,72 @@
+#include "guard/admission.h"
+
+namespace taureau::guard {
+
+const char* AdmissionDecisionName(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kShedQueueFull:
+      return "shed-queue-full";
+    case AdmissionDecision::kShedDeadline:
+      return "shed-deadline";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config), expected_service_(config.expected_service_us) {}
+
+SimDuration AdmissionController::ExpectedWait(size_t queue_depth,
+                                              size_t parallelism) const {
+  if (parallelism == 0) parallelism = 1;
+  // Every queued request ahead of us must be served; with `parallelism`
+  // drains running, the expected wait is depth/parallelism service times
+  // (rounded up so a depth-1 queue on a busy single server still waits).
+  const uint64_t rounds = (queue_depth + parallelism - 1) / parallelism;
+  return static_cast<SimDuration>(rounds) * expected_service_;
+}
+
+AdmissionDecision AdmissionController::Decide(size_t queue_depth,
+                                              SimDuration expected_wait_us,
+                                              Deadline d, SimTime now) {
+  if (config_.max_queue_depth > 0 && queue_depth >= config_.max_queue_depth) {
+    ++shed_queue_full_;
+    return AdmissionDecision::kShedQueueFull;
+  }
+  if (config_.max_wait_us > 0 && expected_wait_us > config_.max_wait_us) {
+    ++shed_queue_full_;
+    return AdmissionDecision::kShedQueueFull;
+  }
+  if (d.has_deadline() &&
+      expected_wait_us + expected_service_ > d.Remaining(now)) {
+    ++shed_deadline_;
+    return AdmissionDecision::kShedDeadline;
+  }
+  ++admitted_;
+  return AdmissionDecision::kAdmit;
+}
+
+AdmissionDecision AdmissionController::Admit(size_t queue_depth,
+                                             size_t parallelism, Deadline d,
+                                             SimTime now) {
+  return Decide(queue_depth, ExpectedWait(queue_depth, parallelism), d, now);
+}
+
+AdmissionDecision AdmissionController::AdmitWithWait(
+    SimDuration expected_wait_us, Deadline d, SimTime now) {
+  return Decide(0, expected_wait_us, d, now);
+}
+
+void AdmissionController::RecordService(SimDuration service_us) {
+  if (!have_sample_) {
+    expected_service_ = service_us;
+    have_sample_ = true;
+    return;
+  }
+  expected_service_ = static_cast<SimDuration>(
+      config_.ewma_alpha * double(service_us) +
+      (1.0 - config_.ewma_alpha) * double(expected_service_));
+}
+
+}  // namespace taureau::guard

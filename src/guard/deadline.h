@@ -1,0 +1,55 @@
+// Deadline propagation (§6 reliability: a platform that retries and queues
+// on the caller's behalf must know when the caller has stopped waiting —
+// otherwise it burns capacity completing work nobody will read).
+//
+// A Deadline is an *absolute* simulated time. Absolute deadlines make the
+// shrinking-budget semantics of nested compositions automatic: a child
+// handed its parent's Deadline can never outlive the parent's remaining
+// budget, and `Capped` tightens it further for per-stage budgets. The
+// default-constructed Deadline means "no deadline" so every API that gains
+// a deadline parameter stays source-compatible with existing callers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/time_types.h"
+
+namespace taureau::guard {
+
+struct Deadline {
+  /// Absolute expiry, simulated microseconds. max() = no deadline.
+  SimTime at_us = std::numeric_limits<SimTime>::max();
+
+  static Deadline None() { return Deadline{}; }
+  static Deadline At(SimTime when_us) { return Deadline{when_us}; }
+  /// Expires `budget_us` from `now`.
+  static Deadline In(SimTime now, SimDuration budget_us) {
+    return Deadline{now + budget_us};
+  }
+
+  bool has_deadline() const {
+    return at_us != std::numeric_limits<SimTime>::max();
+  }
+
+  /// Microseconds left at `now`; never negative. Unbounded when no
+  /// deadline is set.
+  SimDuration Remaining(SimTime now) const {
+    if (!has_deadline()) return std::numeric_limits<SimDuration>::max();
+    return at_us > now ? at_us - now : 0;
+  }
+
+  bool Expired(SimTime now) const { return has_deadline() && now >= at_us; }
+
+  /// The tighter of this deadline and `budget_us` from `now` — how a
+  /// composition stage hands a child a per-stage budget without ever
+  /// exceeding the parent's remaining time.
+  Deadline Capped(SimTime now, SimDuration budget_us) const {
+    const SimTime capped = now + budget_us;
+    return Deadline{capped < at_us ? capped : at_us};
+  }
+
+  bool operator==(const Deadline&) const = default;
+};
+
+}  // namespace taureau::guard

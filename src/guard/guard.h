@@ -1,0 +1,141 @@
+// taureau::guard — overload protection, bundled.
+//
+// E20 showed retries close the availability gap; this module keeps the
+// same retries from amplifying an overload into a metastable storm. One
+// Guard instance is shared by every request path of a deployment and
+// carries the cross-cutting state:
+//
+//   - a RetryBudget gating all retry decisions (platform retries,
+//     orchestrator Retry nodes, client resubmits),
+//   - a HedgeDelayTracker feeding the p95-tracked hedge delay,
+//   - a bounded IdempotencyCache deduplicating hedged duplicates,
+//   - obs metrics + span emission for every guard decision, so the E21
+//     critical path itemizes shed / deadline / hedge time ("cat=guard").
+//
+// AdmissionControllers stay with the queues they front (server pool,
+// platform, broker, Jiffy controller) — each module owns its controller
+// and reports its decisions here for uniform accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/idempotency.h"
+#include "common/time_types.h"
+#include "guard/admission.h"
+#include "guard/hedging.h"
+#include "guard/retry_budget.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
+
+namespace taureau::guard {
+
+struct GuardConfig {
+  RetryBudgetConfig retry_budget;
+  HedgeConfig hedge;
+  /// Capacity of the hedge-deduplication idempotency cache (0 = unbounded).
+  size_t dedupe_capacity = 4096;
+};
+
+/// Aggregate counters, materialized from the metric registry on demand.
+struct GuardStats {
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t retries_granted = 0;
+  uint64_t retries_denied = 0;
+  uint64_t hedges_launched = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t hedge_cancelled = 0;
+  uint64_t hedge_deduped = 0;
+};
+
+class Guard {
+ public:
+  Guard() : Guard(GuardConfig{}) {}
+  explicit Guard(GuardConfig config);
+
+  const GuardConfig& config() const { return config_; }
+  RetryBudget& retry_budget() { return retry_budget_; }
+  HedgeDelayTracker& hedge() { return hedge_; }
+  chaos::IdempotencyCache& dedupe() { return dedupe_; }
+
+  /// Re-homes guard metrics into the shared registry (same contract as
+  /// every other module's AttachObservability) and enables span emission.
+  void AttachObservability(obs::Observability* o);
+  obs::Observability* observability() const { return obs_; }
+  obs::Registry& registry() { return *registry_; }
+
+  // ---- decision recording -------------------------------------------------
+  // Each Record* bumps the matching counter and, when tracing is attached
+  // and `parent` is valid, emits a "cat=guard" span under the request so
+  // the critical path itemizes the decision.
+
+  /// A shed decision from any module's AdmissionController ("faas",
+  /// "pubsub", "jiffy", "pool"). Admits are not recorded here — the
+  /// controller counts them.
+  void RecordShed(const std::string& module, AdmissionDecision d,
+                  obs::TraceContext parent, SimTime now);
+
+  /// In-flight work cancelled because its deadline expired. The span
+  /// covers [start_us, now] — the time the doomed work held resources —
+  /// charged to the guard category.
+  void RecordDeadlineExceeded(const std::string& module,
+                              obs::TraceContext parent, SimTime start_us,
+                              SimTime now);
+
+  /// A retry-budget decision (granted or denied).
+  void RecordRetryDecision(const std::string& module, bool granted,
+                           obs::TraceContext parent, SimTime now);
+
+  void RecordHedgeLaunched();
+  void RecordHedgeWin();
+  /// `wasted_us` = execution time billed to the cancelled duplicate.
+  void RecordHedgeCancelled(SimDuration wasted_us);
+  void RecordHedgeDeduped();
+
+  /// Emits a finished guard-category span (e.g. the hedge wait window).
+  /// No-op without tracing or a valid parent.
+  obs::TraceContext EmitGuardSpan(
+      const std::string& name, const std::string& module,
+      obs::TraceContext parent, SimTime start_us, SimTime end_us,
+      std::vector<std::pair<std::string, std::string>> extra_attrs = {});
+
+  GuardStats stats() const;
+  /// Total duplicate execution time billed to cancelled hedges.
+  SimDuration hedge_wasted_us() const { return hedge_wasted_us_; }
+
+ private:
+  void BindMetrics();
+
+  GuardConfig config_;
+  RetryBudget retry_budget_;
+  HedgeDelayTracker hedge_;
+  chaos::IdempotencyCache dedupe_;
+
+  obs::Registry own_registry_;
+  obs::Registry* registry_ = &own_registry_;
+  obs::Observability* obs_ = nullptr;
+
+  SimDuration hedge_wasted_us_ = 0;
+
+  struct MetricHandles {
+    obs::Counter* shed_queue_full = nullptr;
+    obs::Counter* shed_deadline = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* retries_granted = nullptr;
+    obs::Counter* retries_denied = nullptr;
+    obs::Counter* hedges_launched = nullptr;
+    obs::Counter* hedge_wins = nullptr;
+    obs::Counter* hedge_cancelled = nullptr;
+    obs::Counter* hedge_deduped = nullptr;
+    obs::Gauge* retry_tokens = nullptr;
+    Histogram* hedge_wasted = nullptr;
+  };
+  MetricHandles h_;
+};
+
+}  // namespace taureau::guard

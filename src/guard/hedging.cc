@@ -1,0 +1,23 @@
+#include "guard/hedging.h"
+
+#include <algorithm>
+
+namespace taureau::guard {
+
+HedgeDelayTracker::HedgeDelayTracker(HedgeConfig config)
+    : config_(config), latencies_(/*max_value=*/1e12) {}
+
+void HedgeDelayTracker::Record(SimDuration latency_us) {
+  latencies_.Add(double(latency_us));
+}
+
+SimDuration HedgeDelayTracker::Delay() const {
+  SimDuration delay = config_.default_delay_us;
+  if (latencies_.count() >= config_.min_samples) {
+    delay = static_cast<SimDuration>(
+        latencies_.Quantile(config_.delay_quantile));
+  }
+  return std::max(delay, config_.min_delay_us);
+}
+
+}  // namespace taureau::guard

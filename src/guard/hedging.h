@@ -1,0 +1,52 @@
+// Hedged requests ("The Tail at Scale"): after waiting long enough that
+// the outstanding request is probably in the latency tail, launch a
+// duplicate and take whichever answer lands first. The hedge delay tracks
+// the observed latency distribution — duplicating at ~p95 bounds the extra
+// load at ~5% of traffic while cutting exactly the tail that hurts.
+//
+// HedgeDelayTracker owns that estimate: a log-bucketed histogram of
+// completed-request latencies, quantile-queried on demand, with a
+// configured default until enough samples accumulate to trust the
+// estimate. Deterministic: same completion sequence, same delays.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/time_types.h"
+
+namespace taureau::guard {
+
+struct HedgeConfig {
+  /// Latency quantile after which the duplicate launches.
+  double delay_quantile = 0.95;
+  /// Samples required before the quantile estimate replaces the default.
+  uint64_t min_samples = 20;
+  /// Hedge delay until `min_samples` latencies are recorded.
+  SimDuration default_delay_us = 50 * kMillisecond;
+  /// Floor on the computed delay (a degenerate p95 of 0 would duplicate
+  /// everything immediately).
+  SimDuration min_delay_us = 1 * kMillisecond;
+};
+
+class HedgeDelayTracker {
+ public:
+  HedgeDelayTracker() : HedgeDelayTracker(HedgeConfig{}) {}
+  explicit HedgeDelayTracker(HedgeConfig config);
+
+  /// Feeds one completed-request latency.
+  void Record(SimDuration latency_us);
+
+  /// Current hedge delay: p`delay_quantile` of recorded latencies, or the
+  /// configured default below `min_samples`, floored at `min_delay_us`.
+  SimDuration Delay() const;
+
+  uint64_t samples() const { return latencies_.count(); }
+  const HedgeConfig& config() const { return config_; }
+
+ private:
+  HedgeConfig config_;
+  Histogram latencies_;
+};
+
+}  // namespace taureau::guard

@@ -1,0 +1,35 @@
+#include "guard/retry_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taureau::guard {
+
+RetryBudget::RetryBudget(RetryBudgetConfig config)
+    : config_(config),
+      refill_milli_(static_cast<int64_t>(
+          std::llround(config.refill_ratio * kMilliPerToken))),
+      max_milli_(static_cast<int64_t>(
+          std::llround(config.max_tokens * kMilliPerToken))),
+      tokens_milli_(std::min(
+          static_cast<int64_t>(
+              std::llround(config.initial_tokens * kMilliPerToken)),
+          static_cast<int64_t>(
+              std::llround(config.max_tokens * kMilliPerToken)))) {}
+
+void RetryBudget::RecordSuccess() {
+  ++successes_;
+  tokens_milli_ = std::min(tokens_milli_ + refill_milli_, max_milli_);
+}
+
+bool RetryBudget::TryAcquire() {
+  if (tokens_milli_ >= kMilliPerToken) {
+    tokens_milli_ -= kMilliPerToken;
+    ++granted_;
+    return true;
+  }
+  ++denied_;
+  return false;
+}
+
+}  // namespace taureau::guard

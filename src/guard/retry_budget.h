@@ -1,0 +1,67 @@
+// Per-client retry budgets (the anti-retry-storm half of overload
+// protection, after Google SRE's "retry budget" and Envoy's retry
+// admission): a token bucket where every *success* refills a configured
+// fraction of a token and every retry spends a whole one. Under sustained
+// failure the bucket drains and retries stop, capping retry traffic at
+// ~`refill_ratio` of the goodput instead of letting each failure multiply
+// into `max_attempts` more requests.
+//
+// Accounting is exact integer arithmetic in milli-tokens (1 token = 1000
+// milli-tokens) so the property tests can mirror it without floating-point
+// drift: successes add round(refill_ratio * 1000) milli-tokens capped at
+// `max_tokens`, a retry needs and spends exactly 1000.
+#pragma once
+
+#include <cstdint>
+
+namespace taureau::guard {
+
+struct RetryBudgetConfig {
+  /// Tokens refilled per success (~0.1 = retries capped near 10% of
+  /// successful load).
+  double refill_ratio = 0.1;
+  /// Bucket capacity, whole tokens.
+  double max_tokens = 10.0;
+  /// Starting fill, whole tokens (lets a cold client retry immediately).
+  double initial_tokens = 10.0;
+};
+
+class RetryBudget {
+ public:
+  static constexpr int64_t kMilliPerToken = 1000;
+
+  RetryBudget() : RetryBudget(RetryBudgetConfig{}) {}
+  explicit RetryBudget(RetryBudgetConfig config);
+
+  /// Refills `refill_ratio` tokens, saturating at `max_tokens`.
+  void RecordSuccess();
+
+  /// Spends one token if available. False = budget exhausted, do not
+  /// retry. Counts the decision either way.
+  bool TryAcquire();
+
+  int64_t tokens_milli() const { return tokens_milli_; }
+  double tokens() const { return double(tokens_milli_) / kMilliPerToken; }
+
+  uint64_t granted() const { return granted_; }
+  uint64_t denied() const { return denied_; }
+  uint64_t successes() const { return successes_; }
+
+  const RetryBudgetConfig& config() const { return config_; }
+
+  /// The exact per-success refill in milli-tokens (exposed so tests can
+  /// mirror the arithmetic).
+  int64_t refill_milli() const { return refill_milli_; }
+  int64_t max_milli() const { return max_milli_; }
+
+ private:
+  RetryBudgetConfig config_;
+  int64_t refill_milli_ = 0;
+  int64_t max_milli_ = 0;
+  int64_t tokens_milli_ = 0;
+  uint64_t granted_ = 0;
+  uint64_t denied_ = 0;
+  uint64_t successes_ = 0;
+};
+
+}  // namespace taureau::guard

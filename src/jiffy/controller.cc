@@ -8,7 +8,35 @@ JiffyController::JiffyController(sim::Simulation* sim, JiffyConfig config)
     : sim_(sim),
       config_(config),
       pool_(config.num_memory_nodes, config.blocks_per_node,
-            config.block_size_bytes) {}
+            config.block_size_bytes),
+      admission_(config.admission) {}
+
+Status JiffyController::AdmitControlOp(guard::Deadline deadline) {
+  if (!config_.enable_admission) return Status::OK();
+  const SimTime now = sim_->Now();
+  // Pool pressure: a create that lands when the block pool is nearly
+  // exhausted will fail (or starve tenants) downstream — shed it at the
+  // control plane where the rejection is cheap and explicit.
+  const uint64_t capacity = pool_.capacity_blocks();
+  if (capacity > 0 && double(pool_.free_blocks()) <
+                          config_.min_free_block_fraction * double(capacity)) {
+    ++stats_.ops_shed;
+    if (guard_ != nullptr) {
+      guard_->RecordShed("jiffy", guard::AdmissionDecision::kShedQueueFull, {},
+                         now);
+    }
+    return Status::ResourceExhausted(
+        "control op shed: memory pool under pressure");
+  }
+  const auto decision = admission_.AdmitWithWait(0, deadline, now);
+  if (decision != guard::AdmissionDecision::kAdmit) {
+    ++stats_.ops_shed;
+    if (guard_ != nullptr) guard_->RecordShed("jiffy", decision, {}, now);
+    return Status::DeadlineExceeded(
+        "control op shed: deadline cannot be met");
+  }
+  return Status::OK();
+}
 
 JiffyController::~JiffyController() { StopLeaseScan(); }
 
@@ -48,7 +76,9 @@ const JiffyController::Namespace* JiffyController::Find(
 }
 
 Status JiffyController::CreateNamespace(const std::string& raw_path,
-                                        SimDuration lease_us) {
+                                        SimDuration lease_us,
+                                        guard::Deadline deadline) {
+  TAU_RETURN_IF_ERROR(AdmitControlOp(deadline));
   const std::string path = NormalizePath(raw_path);
   if (path.empty()) {
     return Status::InvalidArgument("invalid namespace path '" + raw_path +
@@ -163,8 +193,9 @@ void JiffyController::StopLeaseScan() {
 }
 
 Result<JiffyHashTable*> JiffyController::CreateHashTable(
-    const std::string& raw_path, const std::string& name,
-    uint32_t partitions) {
+    const std::string& raw_path, const std::string& name, uint32_t partitions,
+    guard::Deadline deadline) {
+  TAU_RETURN_IF_ERROR(AdmitControlOp(deadline));
   const std::string path = NormalizePath(raw_path);
   Namespace* ns = Find(path);
   if (!ns) return Status::NotFound("namespace '" + path + "'");
@@ -180,7 +211,9 @@ Result<JiffyHashTable*> JiffyController::CreateHashTable(
 }
 
 Result<JiffyQueue*> JiffyController::CreateQueue(const std::string& raw_path,
-                                                 const std::string& name) {
+                                                 const std::string& name,
+                                                 guard::Deadline deadline) {
+  TAU_RETURN_IF_ERROR(AdmitControlOp(deadline));
   const std::string path = NormalizePath(raw_path);
   Namespace* ns = Find(path);
   if (!ns) return Status::NotFound("namespace '" + path + "'");
@@ -195,7 +228,9 @@ Result<JiffyQueue*> JiffyController::CreateQueue(const std::string& raw_path,
 }
 
 Result<JiffyFile*> JiffyController::CreateFile(const std::string& raw_path,
-                                               const std::string& name) {
+                                               const std::string& name,
+                                               guard::Deadline deadline) {
+  TAU_RETURN_IF_ERROR(AdmitControlOp(deadline));
   const std::string path = NormalizePath(raw_path);
   Namespace* ns = Find(path);
   if (!ns) return Status::NotFound("namespace '" + path + "'");

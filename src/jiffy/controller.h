@@ -18,6 +18,9 @@
 
 #include "chaos/injector.h"
 #include "common/status.h"
+#include "guard/admission.h"
+#include "guard/deadline.h"
+#include "guard/guard.h"
 #include "jiffy/data_structures.h"
 #include "jiffy/memory_pool.h"
 #include "sim/simulation.h"
@@ -32,6 +35,14 @@ struct JiffyConfig {
   SimDuration default_lease_us = 30 * kSecond;
   /// Period of the controller's lease-expiry scan.
   SimDuration lease_scan_period_us = 1 * kSecond;
+  /// Overload protection on the control plane (taureau::guard): with
+  /// admission enabled, block-allocating create ops are shed when pool
+  /// pressure leaves less than `min_free_block_fraction` of capacity free,
+  /// and ops whose caller deadline has no room for the expected control-op
+  /// service time are rejected on arrival.
+  bool enable_admission = false;
+  guard::AdmissionConfig admission;
+  double min_free_block_fraction = 0.02;
 };
 
 /// Notification callback: (event, namespace path).
@@ -44,6 +55,7 @@ struct ControllerStats {
   uint64_t leases_expired = 0;
   uint64_t notifications_sent = 0;
   uint64_t blocks_rehomed = 0;  ///< Chaos: blocks moved off failed nodes.
+  uint64_t ops_shed = 0;        ///< Guard: control-plane ops rejected.
 };
 
 /// The controller: owns the memory pool, the namespace tree, and all data
@@ -56,7 +68,10 @@ class JiffyController {
   /// Creates a namespace (and any missing ancestors, which inherit the same
   /// lease). lease_us == 0 uses the configured default; lease_us < 0 means
   /// permanent (pinned).
-  Status CreateNamespace(const std::string& path, SimDuration lease_us = 0);
+  /// `deadline` (optional, here and on the structure factories) enables
+  /// deadline-aware shedding when admission is enabled.
+  Status CreateNamespace(const std::string& path, SimDuration lease_us = 0,
+                         guard::Deadline deadline = {});
 
   /// Extends the namespace's lease to Now() + its original duration.
   Status RenewLease(const std::string& path);
@@ -73,11 +88,14 @@ class JiffyController {
   /// destroyed with it; pointers remain valid until then.
   Result<JiffyHashTable*> CreateHashTable(const std::string& path,
                                           const std::string& name,
-                                          uint32_t partitions = 1);
+                                          uint32_t partitions = 1,
+                                          guard::Deadline deadline = {});
   Result<JiffyQueue*> CreateQueue(const std::string& path,
-                                  const std::string& name);
+                                  const std::string& name,
+                                  guard::Deadline deadline = {});
   Result<JiffyFile*> CreateFile(const std::string& path,
-                                const std::string& name);
+                                const std::string& name,
+                                guard::Deadline deadline = {});
 
   Result<JiffyHashTable*> GetHashTable(const std::string& path,
                                        const std::string& name);
@@ -104,6 +122,11 @@ class JiffyController {
   /// failed node onto healthy ones (recorded as the recovery).
   void AttachChaos(chaos::InjectorRegistry* registry);
 
+  /// Wires control-plane shed decisions into the guard's metric/span
+  /// stream (taureau::guard).
+  void AttachGuard(guard::Guard* g) { guard_ = g; }
+  const guard::AdmissionController& admission() const { return admission_; }
+
   MemoryPool& pool() { return pool_; }
   const ControllerStats& stats() const { return stats_; }
   size_t namespace_count() const { return namespaces_.size(); }
@@ -122,6 +145,9 @@ class JiffyController {
     std::vector<NotificationCallback> subscribers;
   };
 
+  /// Admission gate for block-allocating control ops; OK = admitted.
+  Status AdmitControlOp(guard::Deadline deadline);
+
   Namespace* Find(const std::string& path);
   const Namespace* Find(const std::string& path) const;
   Status RemoveSubtree(const std::string& path, const std::string& event);
@@ -138,6 +164,8 @@ class JiffyController {
   std::unique_ptr<sim::PeriodicProcess> lease_scan_;
   ControllerStats stats_;
   obs::Observability* obs_ = nullptr;
+  guard::AdmissionController admission_;
+  guard::Guard* guard_ = nullptr;
 };
 
 }  // namespace taureau::jiffy

@@ -19,6 +19,8 @@ std::string_view CategoryName(Category c) {
       return "shuffle";
     case Category::kRetry:
       return "retry";
+    case Category::kGuard:
+      return "guard";
     case Category::kOther:
       return "other";
   }

@@ -29,9 +29,11 @@ enum class Category {
   kExec,        ///< Function execution ("cat=exec").
   kShuffle,     ///< Ephemeral-state / shuffle I/O ("cat=shuffle").
   kRetry,       ///< Retry backoff + re-dispatch after failures ("cat=retry").
+  kGuard,       ///< Overload-protection decisions: admission shed, deadline
+                ///< cancellation, hedge wait ("cat=guard").
   kOther,       ///< Root time covered by no categorized span.
 };
-inline constexpr size_t kCategoryCount = 6;
+inline constexpr size_t kCategoryCount = 7;
 
 std::string_view CategoryName(Category c);
 std::optional<Category> ParseCategory(std::string_view name);

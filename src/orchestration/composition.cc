@@ -65,6 +65,15 @@ Composition Composition::Map(Composition item, char delimiter) {
   return Composition(std::move(node));
 }
 
+Composition Composition::WithDeadline(Composition child,
+                                      SimDuration budget_us) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kDeadline;
+  node->deadline_budget_us = budget_us < 0 ? 0 : budget_us;
+  node->children = {child.root()};
+  return Composition(std::move(node));
+}
+
 namespace {
 size_t CountLeaves(const Composition::Node& node) {
   if (node.kind == Composition::Kind::kTask ||

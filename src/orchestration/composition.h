@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chaos/retry_policy.h"
+#include "common/time_types.h"
 
 namespace taureau::orchestration {
 
@@ -37,6 +38,7 @@ class Composition {
     kNamed,
     kRetry,
     kMap,
+    kDeadline,
   };
 
   /// Invoke one registered platform function (input payload flows in).
@@ -72,6 +74,13 @@ class Composition {
   /// same delimiter (order preserved).
   static Composition Map(Composition item, char delimiter = '\n');
 
+  /// Caps the child's deadline at `budget_us` from the moment the node
+  /// executes — but never looser than the deadline already in force, so a
+  /// child's deadline can only shrink as it nests (taureau::guard deadline
+  /// propagation). A subtree whose deadline has expired is cancelled
+  /// (DeadlineExceeded) without invoking any of its functions.
+  static Composition WithDeadline(Composition child, SimDuration budget_us);
+
   struct Node {
     Kind kind = Kind::kTask;
     std::string name;  // function or composition name
@@ -82,6 +91,8 @@ class Composition {
     /// Backoff schedule between retry attempts (zero for plain Retry).
     chaos::RetryPolicy retry_policy = chaos::RetryPolicy::None();
     char map_delimiter = '\n';
+    /// kDeadline: per-stage time budget applied when the node executes.
+    SimDuration deadline_budget_us = 0;
   };
 
   const std::shared_ptr<const Node>& root() const { return root_; }

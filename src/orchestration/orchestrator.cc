@@ -22,19 +22,23 @@ Status Orchestrator::RegisterComposition(const std::string& name,
 }
 
 void Orchestrator::Run(const Composition& comp, std::string input,
-                       ExecutionCallback cb) {
-  RunKeyed("", comp, std::move(input), std::move(cb));
+                       ExecutionCallback cb, guard::Deadline deadline) {
+  RunKeyed("", comp, std::move(input), std::move(cb), deadline);
 }
 
 void Orchestrator::RunKeyed(const std::string& run_key, const Composition& comp,
-                            std::string input, ExecutionCallback cb) {
+                            std::string input, ExecutionCallback cb,
+                            guard::Deadline deadline) {
   const SimTime start = sim_->Now();
   obs::TraceContext root;
   if (obs_ != nullptr) {
     root = obs_->tracer.StartSpan(
         run_key.empty() ? "run" : "run:" + run_key, "orchestration", {});
   }
-  Exec(comp.root(), std::move(input), run_key, root,
+  if (obs_ != nullptr && root.valid() && deadline.has_deadline()) {
+    obs_->tracer.SetAttr(root, "deadline_us", std::to_string(deadline.at_us));
+  }
+  Exec(comp.root(), std::move(input), run_key, root, deadline,
        [this, start, root, cb = std::move(cb)](Status s, std::string output,
                                                Money cost,
                                                uint64_t invocations) {
@@ -111,14 +115,32 @@ Result<ExecutionResult> Orchestrator::RunSync(const Composition& comp,
 
 void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
                         std::string input, std::string key,
-                        obs::TraceContext ctx, NodeDone done) {
+                        obs::TraceContext ctx, guard::Deadline deadline,
+                        NodeDone done) {
   using Kind = Composition::Kind;
+  // Doomed work is cancelled before it invokes anything: a subtree whose
+  // deadline has already passed cannot produce an output anyone waits for.
+  if (deadline.Expired(sim_->Now())) {
+    if (guard_ != nullptr) {
+      guard_->RecordDeadlineExceeded("orchestration", ctx, sim_->Now(),
+                                     sim_->Now());
+    }
+    done(Status::DeadlineExceeded("composition deadline expired"), "",
+         Money::Zero(), 0);
+    return;
+  }
   switch (node->kind) {
     case Kind::kTask: {
       obs::TraceContext step;
       if (obs_ != nullptr) {
         step = obs_->tracer.StartSpan("step:" + node->name, "orchestration",
                                       ctx);
+        if (step.valid() && deadline.has_deadline()) {
+          // The deadline in force for this step — property-tested to never
+          // exceed any enclosing stage's remaining budget.
+          obs_->tracer.SetAttr(step, "deadline_us",
+                               std::to_string(deadline.at_us));
+        }
       }
       // Closes the step span with the outcome; safe to call when untraced.
       auto end_step = [this, step](const Status& s) {
@@ -166,7 +188,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
               end_step(res.status);
               done(res.status, res.output, res.cost, 1);
             },
-            step);
+            step, deadline);
         if (!r.ok()) {
           end_step(r.status());
           done(r.status(), "", Money::Zero(), 0);
@@ -179,7 +201,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
             end_step(res.status);
             done(res.status, res.output, res.cost, 1);
           },
-          step);
+          step, deadline);
       if (!r.ok()) {
         end_step(r.status());
         done(r.status(), "", Money::Zero(), 0);
@@ -193,7 +215,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
              Money::Zero(), 0);
         return;
       }
-      Exec(it->second.root(), std::move(input), std::move(key), ctx,
+      Exec(it->second.root(), std::move(input), std::move(key), ctx, deadline,
            std::move(done));
       return;
     }
@@ -210,12 +232,14 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         uint64_t invocations = 0;
         std::string key;
         obs::TraceContext ctx;
+        guard::Deadline deadline;
         NodeDone done;
       };
       auto state = std::make_shared<SeqState>();
       state->node = node;
       state->key = std::move(key);
       state->ctx = ctx;
+      state->deadline = deadline;
       state->done = std::move(done);
       auto step = std::make_shared<std::function<void(Status, std::string)>>();
       // The stored closure holds only a weak self-reference; the strong
@@ -233,7 +257,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         auto self = weak.lock();
         Exec(child, std::move(payload),
              state->key.empty() ? "" : state->key + "/s" + std::to_string(i),
-             state->ctx,
+             state->ctx, state->deadline,
              [state, self](Status cs, std::string out, Money cost,
                            uint64_t inv) {
                state->cost += cost;
@@ -265,7 +289,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       state->done = std::move(done);
       for (size_t i = 0; i < node->children.size(); ++i) {
         Exec(node->children[i], input,
-             key.empty() ? "" : key + "/p" + std::to_string(i), ctx,
+             key.empty() ? "" : key + "/p" + std::to_string(i), ctx, deadline,
              [state, i](Status s, std::string out, Money cost, uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
@@ -299,7 +323,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
     case Kind::kChoice: {
       const bool take_then = node->predicate && node->predicate(input);
       Exec(node->children[take_then ? 0 : 1], std::move(input),
-           key.empty() ? "" : key + (take_then ? "/c0" : "/c1"), ctx,
+           key.empty() ? "" : key + (take_then ? "/c0" : "/c1"), ctx, deadline,
            std::move(done));
       return;
     }
@@ -339,7 +363,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       state->done = std::move(done);
       for (size_t i = 0; i < items.size(); ++i) {
         Exec(node->children[0], std::move(items[i]),
-             key.empty() ? "" : key + "/m" + std::to_string(i), ctx,
+             key.empty() ? "" : key + "/m" + std::to_string(i), ctx, deadline,
              [state, i](Status s, std::string out, Money cost, uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
@@ -375,6 +399,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         uint64_t invocations = 0;
         std::string key;
         obs::TraceContext ctx;
+        guard::Deadline deadline;
         NodeDone done;
       };
       auto state = std::make_shared<RetryState>();
@@ -385,6 +410,7 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
       // earlier attempt replay from the idempotency cache on the re-run.
       state->key = std::move(key);
       state->ctx = ctx;
+      state->deadline = deadline;
       state->done = std::move(done);
       auto attempt = std::make_shared<std::function<void()>>();
       // Weak self-reference in the stored closure; each pending
@@ -393,11 +419,31 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
         --state->attempts_left;
         auto self = weak.lock();
         Exec(state->node->children[0], state->input, state->key, state->ctx,
+             state->deadline,
              [this, state, self](Status s, std::string out, Money cost,
                                  uint64_t inv) {
                state->cost += cost;
                state->invocations += inv;
-               if (!s.ok() && state->attempts_left > 0) {
+               bool want_retry = !s.ok() && state->attempts_left > 0 &&
+                                 !s.IsCancelled();
+               if (want_retry && state->deadline.Expired(sim_->Now())) {
+                 // No budget left to spend another attempt in.
+                 if (guard_ != nullptr) {
+                   guard_->RecordDeadlineExceeded("orchestration", state->ctx,
+                                                  sim_->Now(), sim_->Now());
+                 }
+                 want_retry = false;
+               }
+               if (want_retry && guard_ != nullptr) {
+                 // Orchestration-level re-attempts draw from the same
+                 // per-client retry budget as platform attempts, so total
+                 // retries stay a bounded fraction of offered load.
+                 const bool granted = guard_->retry_budget().TryAcquire();
+                 guard_->RecordRetryDecision("orchestration", granted,
+                                             state->ctx, sim_->Now());
+                 want_retry = granted;
+               }
+               if (want_retry) {
                  // Exponential backoff (zero for plain Retry) before the
                  // next attempt; 0-based index of the attempt that failed.
                  const int failed =
@@ -424,6 +470,21 @@ void Orchestrator::Exec(std::shared_ptr<const Composition::Node> node,
              });
       };
       (*attempt)();
+      return;
+    }
+    case Kind::kDeadline: {
+      // Tighten-only: the child sees min(parent deadline, now + budget).
+      const SimTime now = sim_->Now();
+      const guard::Deadline child =
+          deadline.Capped(now, node->deadline_budget_us);
+      if (obs_ != nullptr && ctx.valid()) {
+        obs_->tracer.EmitSpan(
+            "deadline-scope", "orchestration", ctx, now, now,
+            {{"budget_us", std::to_string(node->deadline_budget_us)},
+             {"deadline_us", std::to_string(child.at_us)}});
+      }
+      Exec(node->children[0], std::move(input), std::move(key), ctx, child,
+           std::move(done));
       return;
     }
   }

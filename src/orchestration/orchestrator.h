@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "faas/platform.h"
+#include "guard/deadline.h"
+#include "guard/guard.h"
 #include "obs/observability.h"
 #include "orchestration/composition.h"
 #include "sim/simulation.h"
@@ -50,7 +52,12 @@ class Orchestrator {
   Status RegisterComposition(const std::string& name, Composition comp);
 
   /// Runs a composition asynchronously; `cb` fires in simulated time.
-  void Run(const Composition& comp, std::string input, ExecutionCallback cb);
+  /// `deadline` (optional) is propagated to every child: nested stages only
+  /// ever see a deadline at least as tight as their parent's, expired
+  /// subtrees are cancelled before invoking functions, and WithDeadline
+  /// nodes tighten it further (taureau::guard).
+  void Run(const Composition& comp, std::string input, ExecutionCallback cb,
+           guard::Deadline deadline = {});
 
   /// Runs a composition under an idempotency key: each Task step derives a
   /// key from (run_key, position in the tree, function, input hash), and a
@@ -59,7 +66,8 @@ class Orchestrator {
   /// instead of re-applying the side effect. Distinct run_keys never share
   /// cache entries.
   void RunKeyed(const std::string& run_key, const Composition& comp,
-                std::string input, ExecutionCallback cb);
+                std::string input, ExecutionCallback cb,
+                guard::Deadline deadline = {});
 
   /// Convenience: keyed run driven to completion.
   Result<ExecutionResult> RunKeyedSync(const std::string& run_key,
@@ -89,6 +97,16 @@ class Orchestrator {
   /// nest beneath the step via the propagated context.
   void AttachObservability(obs::Observability* o);
 
+  /// Wires overload protection: orchestration-level Retry re-attempts draw
+  /// from the guard's shared retry budget, and deadline expiries are
+  /// recorded as guard metrics/spans.
+  void AttachGuard(guard::Guard* g) { guard_ = g; }
+
+  /// Bounds the step idempotency cache (0 = unbounded, the default).
+  void set_idempotency_capacity(size_t capacity) {
+    idempotency_.set_capacity(capacity);
+  }
+
   const chaos::IdempotencyCache& idempotency() const { return idempotency_; }
   const OrchestratorStats& stats() const { return stats_; }
 
@@ -97,9 +115,12 @@ class Orchestrator {
                                       uint64_t invocations)>;
 
   /// `key` is the idempotency scope for this subtree ("" = keying off);
-  /// `ctx` is the enclosing span for emitted step spans.
+  /// `ctx` is the enclosing span for emitted step spans; `deadline` is the
+  /// absolute budget in force — children only ever receive it unchanged or
+  /// tightened (kDeadline nodes), never loosened.
   void Exec(std::shared_ptr<const Composition::Node> node, std::string input,
-            std::string key, obs::TraceContext ctx, NodeDone done);
+            std::string key, obs::TraceContext ctx, guard::Deadline deadline,
+            NodeDone done);
 
   sim::Simulation* sim_;
   faas::FaasPlatform* platform_;
@@ -110,6 +131,7 @@ class Orchestrator {
   uint32_t armed_redelivers_ = 0;
   OrchestratorStats stats_;
   obs::Observability* obs_ = nullptr;
+  guard::Guard* guard_ = nullptr;
 };
 
 }  // namespace taureau::orchestration

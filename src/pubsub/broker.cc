@@ -23,7 +23,8 @@ PulsarCluster::PulsarCluster(sim::Simulation* sim, PulsarConfig config)
     : sim_(sim),
       config_(config),
       bookkeeper_(config.num_bookies, config.seed ^ 0xB00C),
-      rng_(config.seed) {
+      rng_(config.seed),
+      admission_(config.admission) {
   brokers_.reserve(config_.num_brokers);
   for (size_t i = 0; i < config_.num_brokers; ++i) {
     brokers_.push_back(Broker{static_cast<BrokerId>(i), true, 0});
@@ -38,6 +39,7 @@ void PulsarCluster::BindMetrics() {
   h_.acked = registry_->GetCounter("pubsub.acked");
   h_.dropped = registry_->GetCounter("pubsub.dropped");
   h_.duplicated = registry_->GetCounter("pubsub.duplicated");
+  h_.shed = registry_->GetCounter("pubsub.shed");
   h_.publish_latency_us =
       registry_->GetHistogram("pubsub.publish_latency_us", double(kMinute));
   h_.delivery_latency_us =
@@ -61,6 +63,7 @@ const PulsarMetrics& PulsarCluster::metrics() const {
   m.acked = h_.acked->value();
   m.dropped = h_.dropped->value();
   m.duplicated = h_.duplicated->value();
+  m.shed = h_.shed->value();
   m.publish_latency_us.Reset();
   m.publish_latency_us.Merge(*h_.publish_latency_us);
   m.delivery_latency_us.Reset();
@@ -160,7 +163,8 @@ void PulsarCluster::DecodeEntry(const std::string& entry, std::string* key,
 Result<MessageId> PulsarCluster::Publish(const std::string& topic,
                                          std::string key, std::string payload,
                                          std::string replicated_from,
-                                         obs::TraceContext parent) {
+                                         obs::TraceContext parent,
+                                         guard::Deadline deadline) {
   auto tit = topics_.find(topic);
   if (tit == topics_.end()) {
     return Status::NotFound("topic '" + topic + "'");
@@ -199,6 +203,27 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   // Broker is a serial service device: queue + per-message processing.
   Broker& broker = brokers_[part.owner];
   const SimTime now = sim_->Now();
+
+  // Admission control (taureau::guard): the broker's next-free time IS the
+  // expected wait, so reject-on-arrival decisions are exact — a publish
+  // that cannot reach durability inside its deadline, or that would push
+  // the backlog past the configured bound, is shed before it consumes
+  // broker or bookie capacity.
+  if (config_.enable_admission) {
+    const SimDuration wait =
+        broker.next_free_us > now ? broker.next_free_us - now : 0;
+    const auto decision = admission_.AdmitWithWait(wait, deadline, now);
+    if (decision != guard::AdmissionDecision::kAdmit) {
+      h_.shed->Inc();
+      if (guard_ != nullptr) guard_->RecordShed("pubsub", decision, parent, now);
+      if (decision == guard::AdmissionDecision::kShedDeadline) {
+        return Status::DeadlineExceeded(
+            "publish shed: deadline cannot be met by broker backlog");
+      }
+      return Status::ResourceExhausted("publish shed: broker backlog full");
+    }
+  }
+
   const SimDuration proc =
       config_.broker_proc_base_us +
       static_cast<SimDuration>(config_.broker_proc_us_per_byte *
@@ -213,6 +238,9 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
 
   const MessageId id{pidx, part.ledger, appended->entry_id};
   const SimTime ack_time = appended->ack_time_us;
+  // Feed the guard's service estimate: processing + durable-append time,
+  // excluding queueing (the wait is measured separately at admission).
+  admission_.RecordService(ack_time - start);
   h_.published->Inc();
   h_.publish_latency_us->Add(double(ack_time - now));
   last_ack_time_us_ = std::max(last_ack_time_us_, ack_time);
@@ -242,7 +270,7 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   if (duplicate) {
     // At-least-once duplication: the same message is appended and
     // dispatched a second time (consumers see it twice).
-    Publish(topic, key, payload, replicated_from, parent);
+    Publish(topic, key, payload, replicated_from, parent, deadline);
   }
   return id;
 }

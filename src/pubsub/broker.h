@@ -21,6 +21,9 @@
 
 #include "chaos/injector.h"
 #include "common/stats.h"
+#include "guard/admission.h"
+#include "guard/deadline.h"
+#include "guard/guard.h"
 #include "obs/observability.h"
 #include "pubsub/bookkeeper.h"
 #include "pubsub/message.h"
@@ -54,6 +57,12 @@ struct PulsarConfig {
   /// Broker -> consumer dispatch latency.
   SimDuration dispatch_latency_us = 300;
   uint64_t seed = 41;
+  /// Overload protection on the publish path (taureau::guard): sheds a
+  /// publish on arrival when the owning broker's backlog exceeds
+  /// `admission.max_wait_us`, or when the caller's deadline cannot be met
+  /// by the expected wait + durable-append time.
+  bool enable_admission = false;
+  guard::AdmissionConfig admission;
 };
 
 /// View materialized from the obs::Registry on each `metrics()` call; the
@@ -67,6 +76,7 @@ struct PulsarMetrics {
   uint64_t acked = 0;
   uint64_t dropped = 0;     ///< Chaos: publishes lost to injected drops.
   uint64_t duplicated = 0;  ///< Chaos: publishes duplicated (at-least-once).
+  uint64_t shed = 0;        ///< Guard: publishes rejected on arrival.
   Histogram publish_latency_us{double(kMinute)};   ///< Submit -> durable ack.
   Histogram delivery_latency_us{double(kMinute)};  ///< Submit -> consumer.
   SimTime last_ack_time_us = 0;  ///< For throughput computations.
@@ -95,10 +105,15 @@ class PulsarCluster {
   /// "publish:<topic>" span covering submit -> durable ack (optionally
   /// parented under `parent`), and every delivery emits an async child
   /// "deliver" span covering dispatch -> consumer callback.
+  /// `deadline` (optional) enables deadline-aware shedding: with admission
+  /// enabled, a publish whose deadline cannot be met by the broker's
+  /// expected wait + append time is rejected on arrival
+  /// (DeadlineExceeded) instead of queueing doomed work.
   Result<MessageId> Publish(const std::string& topic, std::string key,
                             std::string payload,
                             std::string replicated_from = "",
-                            obs::TraceContext parent = {});
+                            obs::TraceContext parent = {},
+                            guard::Deadline deadline = {});
 
   /// Attaches a consumer to a (topic, subscription). The subscription is
   /// created on first use with the given type; later consumers must match.
@@ -147,6 +162,11 @@ class PulsarCluster {
   /// Arms one injected fault against the next Publish call.
   void ArmMessageDrop() { ++armed_drops_; }
   void ArmMessageDuplicate() { ++armed_duplicates_; }
+
+  // ------------------------------------------------------------- guard
+  /// Wires shed decisions into the guard's metrics and span stream.
+  void AttachGuard(guard::Guard* g) { guard_ = g; }
+  const guard::AdmissionController& admission() const { return admission_; }
 
  private:
   struct Broker {
@@ -216,6 +236,7 @@ class PulsarCluster {
     obs::Counter* acked = nullptr;
     obs::Counter* dropped = nullptr;
     obs::Counter* duplicated = nullptr;
+    obs::Counter* shed = nullptr;
     Histogram* publish_latency_us = nullptr;
     Histogram* delivery_latency_us = nullptr;
   };
@@ -245,6 +266,8 @@ class PulsarCluster {
   mutable PulsarMetrics metrics_view_;
   uint32_t armed_drops_ = 0;       ///< Pending injected publish drops.
   uint32_t armed_duplicates_ = 0;  ///< Pending injected publish duplicates.
+  guard::AdmissionController admission_;
+  guard::Guard* guard_ = nullptr;
 };
 
 std::string_view SubscriptionTypeName(SubscriptionType type);
