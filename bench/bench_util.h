@@ -7,12 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -220,9 +223,15 @@ inline std::vector<std::string> PercentileCells(
 template <typename SubmitFn>
 inline void PaceArrivals(sim::Simulation* sim, int count, SimDuration gap_us,
                          SubmitFn submit) {
+  // One bulk insert instead of `count` sift-ups: the kernel heapifies the
+  // whole arrival plan in O(n) when the batch dominates the pending set.
+  std::vector<std::pair<SimTime, sim::Callback>> batch;
+  batch.reserve(count);
   for (int i = 0; i < count; ++i) {
-    sim->ScheduleAt(SimTime(i) * gap_us, [submit, i] { submit(i); });
+    batch.emplace_back(SimTime(i) * gap_us,
+                       sim::Callback([submit, i] { submit(i); }));
   }
+  sim->ScheduleBulkAt(std::move(batch));
 }
 
 /// Closed-loop drive: keeps at most `concurrency` requests outstanding,
@@ -242,6 +251,51 @@ inline void DriveClosedLoop(int count, int concurrency, SubmitFn submit) {
     submit(i, [self] { (*self)(); });
   };
   for (int c = 0; c < concurrency && c < count; ++c) (*launch)();
+}
+
+// ---------------------------------------------------------------- sweeps
+//
+// Seed/config sweeps (the E20/E23 fault grids, elasticity ladders) run many
+// *independent* Simulation instances. Each run owns its whole world —
+// simulation, registry, tracer — so runs can execute on any thread without
+// sharing state, and merging results in index order makes the sweep output
+// a pure function of the run list, not of the thread count.
+
+/// Deterministic parallel sweep driver: executes `run(i)` for i in [0, n)
+/// on a pool of `threads` workers and returns the results ordered by index.
+/// `run` must build every simulation object it touches locally (per-run
+/// isolated Simulation/Registry/Tracer) and return a value; it must not
+/// touch shared mutable state. With those rules the merged vector is
+/// byte-identical at 1 thread and at N — the contract bench_e24_kernel
+/// asserts. `threads == 0` means hardware concurrency.
+template <typename RunFn>
+auto RunSweep(int n, RunFn run, unsigned threads = 0)
+    -> std::vector<decltype(run(0))> {
+  using Result = decltype(run(0));
+  std::vector<Result> out(n > 0 ? n : 0);
+  if (n <= 0) return out;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw != 0 ? hw : 1;
+  }
+  if (threads > unsigned(n)) threads = unsigned(n);
+  if (threads <= 1) {
+    for (int i = 0; i < n; ++i) out[i] = run(i);
+    return out;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      out[i] = run(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
 }
 
 /// Standard bench main: run the experiment table, write the BENCH_E<k>.json

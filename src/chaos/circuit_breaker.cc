@@ -10,12 +10,12 @@ void CircuitBreaker::BindMetrics(obs::Registry* registry,
     m_ = Metrics{};
     return;
   }
-  m_.trips = registry->GetCounter(prefix + ".breaker_trips");
-  m_.half_opens = registry->GetCounter(prefix + ".breaker_half_opens");
-  m_.closes = registry->GetCounter(prefix + ".breaker_closes");
-  m_.shed = registry->GetCounter(prefix + ".breaker_shed");
-  m_.state = registry->GetGauge(prefix + ".breaker_state");
-  m_.state->Set(static_cast<double>(state_));
+  m_.trips = registry->ResolveCounter(prefix + ".breaker_trips");
+  m_.half_opens = registry->ResolveCounter(prefix + ".breaker_half_opens");
+  m_.closes = registry->ResolveCounter(prefix + ".breaker_closes");
+  m_.shed = registry->ResolveCounter(prefix + ".breaker_shed");
+  m_.state = registry->ResolveGauge(prefix + ".breaker_state");
+  m_.state.Set(static_cast<double>(state_));
 }
 
 void CircuitBreaker::SetState(State next) {
@@ -24,18 +24,18 @@ void CircuitBreaker::SetState(State next) {
   switch (next) {
     case State::kOpen:
       ++trips_;
-      if (m_.trips != nullptr) m_.trips->Inc();
+      m_.trips.Inc();
       break;
     case State::kHalfOpen:
       ++half_opens_;
-      if (m_.half_opens != nullptr) m_.half_opens->Inc();
+      m_.half_opens.Inc();
       break;
     case State::kClosed:
       ++closes_;
-      if (m_.closes != nullptr) m_.closes->Inc();
+      m_.closes.Inc();
       break;
   }
-  if (m_.state != nullptr) m_.state->Set(static_cast<double>(state_));
+  m_.state.Set(static_cast<double>(state_));
 }
 
 void CircuitBreaker::Advance(SimTime now) {
@@ -54,7 +54,7 @@ bool CircuitBreaker::AllowRequest(SimTime now) {
       return true;
     case State::kOpen:
       ++shed_;
-      if (m_.shed != nullptr) m_.shed->Inc();
+      m_.shed.Inc();
       return false;
     case State::kHalfOpen:
       if (probes_in_flight_ < config_.half_open_probes) {
@@ -62,7 +62,7 @@ bool CircuitBreaker::AllowRequest(SimTime now) {
         return true;
       }
       ++shed_;
-      if (m_.shed != nullptr) m_.shed->Inc();
+      m_.shed.Inc();
       return false;
   }
   return true;

@@ -74,11 +74,11 @@ class CircuitBreaker {
   uint64_t closes_ = 0;
 
   struct Metrics {
-    obs::Counter* trips = nullptr;
-    obs::Counter* half_opens = nullptr;
-    obs::Counter* closes = nullptr;
-    obs::Counter* shed = nullptr;
-    obs::Gauge* state = nullptr;
+    obs::CounterHandle trips;
+    obs::CounterHandle half_opens;
+    obs::CounterHandle closes;
+    obs::CounterHandle shed;
+    obs::GaugeHandle state;
   };
   Metrics m_;
 };

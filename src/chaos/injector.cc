@@ -67,8 +67,8 @@ void InjectorRegistry::Arm(const FaultPlan& plan) {
 }
 
 void InjectorRegistry::BindMetrics() {
-  h_.injected = registry_->GetCounter("chaos.injected");
-  h_.recovered = registry_->GetCounter("chaos.recovered");
+  h_.injected = registry_->ResolveCounter("chaos.injected");
+  h_.recovered = registry_->ResolveCounter("chaos.recovered");
 }
 
 void InjectorRegistry::AttachObservability(obs::Observability* o) {
@@ -81,7 +81,7 @@ void InjectorRegistry::AttachObservability(obs::Observability* o) {
 }
 
 void InjectorRegistry::Inject(const FaultEvent& event) {
-  h_.injected->Inc();
+  h_.injected.Inc();
   auto it = hooks_.find(event.kind);
   const bool handled = it != hooks_.end() && !it->second.empty();
   FaultRecord record;
@@ -129,7 +129,7 @@ void InjectorRegistry::Inject(const FaultEvent& event) {
 void InjectorRegistry::RecordRecovery(const std::string& module,
                                       FaultKind kind, uint64_t target,
                                       std::string detail) {
-  h_.recovered->Inc();
+  h_.recovered.Inc();
   FaultRecord record;
   record.at_us = sim_->Now();
   record.recovery = true;

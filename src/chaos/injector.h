@@ -101,8 +101,8 @@ class InjectorRegistry {
   FaultLog& log() { return log_; }
   const FaultLog& log() const { return log_; }
   sim::Simulation* sim() const { return sim_; }
-  uint64_t injected() const { return h_.injected->value(); }
-  uint64_t recovered() const { return h_.recovered->value(); }
+  uint64_t injected() const { return h_.injected.value(); }
+  uint64_t recovered() const { return h_.recovered.value(); }
 
  private:
   struct Registration {
@@ -112,8 +112,8 @@ class InjectorRegistry {
 
   /// Cached registry handles; rebound by AttachObservability.
   struct MetricHandles {
-    obs::Counter* injected = nullptr;
-    obs::Counter* recovered = nullptr;
+    obs::CounterHandle injected;
+    obs::CounterHandle recovered;
   };
 
   void BindMetrics();

@@ -31,26 +31,26 @@ FaasPlatform::~FaasPlatform() {
 }
 
 void FaasPlatform::BindMetrics() {
-  h_.invocations = registry_->GetCounter("faas.invocations");
-  h_.completions = registry_->GetCounter("faas.completions");
-  h_.cold_starts = registry_->GetCounter("faas.cold_starts");
-  h_.warm_starts = registry_->GetCounter("faas.warm_starts");
-  h_.throttled = registry_->GetCounter("faas.throttled");
-  h_.timeouts = registry_->GetCounter("faas.timeouts");
-  h_.failures = registry_->GetCounter("faas.failures");
-  h_.exhausted = registry_->GetCounter("faas.exhausted");
-  h_.killed_containers = registry_->GetCounter("faas.killed_containers");
-  h_.chaos_recoveries = registry_->GetCounter("faas.chaos_recoveries");
-  h_.peak_containers = registry_->GetGauge("faas.peak_containers");
-  h_.container_mb_us = registry_->GetGauge("faas.container_mb_us");
+  h_.invocations = registry_->ResolveCounter("faas.invocations");
+  h_.completions = registry_->ResolveCounter("faas.completions");
+  h_.cold_starts = registry_->ResolveCounter("faas.cold_starts");
+  h_.warm_starts = registry_->ResolveCounter("faas.warm_starts");
+  h_.throttled = registry_->ResolveCounter("faas.throttled");
+  h_.timeouts = registry_->ResolveCounter("faas.timeouts");
+  h_.failures = registry_->ResolveCounter("faas.failures");
+  h_.exhausted = registry_->ResolveCounter("faas.exhausted");
+  h_.killed_containers = registry_->ResolveCounter("faas.killed_containers");
+  h_.chaos_recoveries = registry_->ResolveCounter("faas.chaos_recoveries");
+  h_.peak_containers = registry_->ResolveGauge("faas.peak_containers");
+  h_.container_mb_us = registry_->ResolveGauge("faas.container_mb_us");
   h_.e2e_latency_us =
-      registry_->GetHistogram("faas.e2e_latency_us", double(kHour));
+      registry_->ResolveHistogram("faas.e2e_latency_us", double(kHour));
   h_.queue_latency_us =
-      registry_->GetHistogram("faas.queue_latency_us", double(kHour));
+      registry_->ResolveHistogram("faas.queue_latency_us", double(kHour));
   h_.startup_latency_us =
-      registry_->GetHistogram("faas.startup_latency_us", double(kHour));
+      registry_->ResolveHistogram("faas.startup_latency_us", double(kHour));
   h_.exec_latency_us =
-      registry_->GetHistogram("faas.exec_latency_us", double(kHour));
+      registry_->ResolveHistogram("faas.exec_latency_us", double(kHour));
 }
 
 void FaasPlatform::AttachObservability(obs::Observability* o) {
@@ -65,31 +65,31 @@ void FaasPlatform::AttachObservability(obs::Observability* o) {
 void FaasPlatform::AccumulateMemoryTime(const Container& c) {
   container_mb_us_ += static_cast<long double>(sim_->Now() - c.created_us) *
                       static_cast<long double>(c.memory_mb);
-  h_.container_mb_us->Set(static_cast<double>(container_mb_us_));
+  h_.container_mb_us.Set(static_cast<double>(container_mb_us_));
 }
 
 const PlatformMetrics& FaasPlatform::metrics() const {
   PlatformMetrics& m = metrics_view_;
-  m.invocations = h_.invocations->value();
-  m.completions = h_.completions->value();
-  m.cold_starts = h_.cold_starts->value();
-  m.warm_starts = h_.warm_starts->value();
-  m.throttled = h_.throttled->value();
-  m.timeouts = h_.timeouts->value();
-  m.failures = h_.failures->value();
-  m.exhausted = h_.exhausted->value();
-  m.killed_containers = h_.killed_containers->value();
-  m.chaos_recoveries = h_.chaos_recoveries->value();
-  m.peak_containers = static_cast<uint64_t>(h_.peak_containers->value());
+  m.invocations = h_.invocations.value();
+  m.completions = h_.completions.value();
+  m.cold_starts = h_.cold_starts.value();
+  m.warm_starts = h_.warm_starts.value();
+  m.throttled = h_.throttled.value();
+  m.timeouts = h_.timeouts.value();
+  m.failures = h_.failures.value();
+  m.exhausted = h_.exhausted.value();
+  m.killed_containers = h_.killed_containers.value();
+  m.chaos_recoveries = h_.chaos_recoveries.value();
+  m.peak_containers = static_cast<uint64_t>(h_.peak_containers.value());
   m.container_mb_us = container_mb_us_;
   m.e2e_latency_us.Reset();
-  m.e2e_latency_us.Merge(*h_.e2e_latency_us);
+  m.e2e_latency_us.Merge(*h_.e2e_latency_us.raw());
   m.queue_latency_us.Reset();
-  m.queue_latency_us.Merge(*h_.queue_latency_us);
+  m.queue_latency_us.Merge(*h_.queue_latency_us.raw());
   m.startup_latency_us.Reset();
-  m.startup_latency_us.Merge(*h_.startup_latency_us);
+  m.startup_latency_us.Merge(*h_.startup_latency_us.raw());
   m.exec_latency_us.Reset();
-  m.exec_latency_us.Merge(*h_.exec_latency_us);
+  m.exec_latency_us.Merge(*h_.exec_latency_us.raw());
   return m;
 }
 
@@ -158,7 +158,7 @@ Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
   inv->submit_us = sim_->Now();
   inv->attempt_start_us = sim_->Now();
   inv->deadline = deadline;
-  h_.invocations->Inc();
+  h_.invocations.Inc();
   if (obs_ != nullptr) {
     inv->root_ctx = obs_->tracer.StartSpan("invoke:" + function, "faas",
                                            parent);
@@ -229,7 +229,7 @@ void FaasPlatform::Dispatch(std::shared_ptr<Invocation> inv) {
     pending_.push_back(std::move(inv));
     return;
   }
-  h_.throttled->Inc();
+  h_.throttled.Inc();
   Complete(std::move(inv), /*cold=*/false, 0, 0,
            Status::ResourceExhausted("throttled: concurrency limit reached"),
            "");
@@ -286,7 +286,7 @@ bool FaasPlatform::TryPlace(std::shared_ptr<Invocation> inv) {
   Container* raw = c.get();
   containers_.emplace(raw->id, std::move(c));
   containers_per_function_[raw->function] += 1;
-  h_.peak_containers->SetMax(double(containers_.size()));
+  h_.peak_containers.SetMax(double(containers_.size()));
 
   const SimDuration startup =
       cluster::DefaultStartupModel(cluster::IsolationLevel::kLambda)
@@ -301,12 +301,12 @@ void FaasPlatform::StartOnContainer(std::shared_ptr<Invocation> inv,
                                     SimDuration startup_us) {
   const FunctionSpec& spec = functions_.at(inv->function);
   const SimDuration queue_us = sim_->Now() - inv->attempt_start_us;
-  h_.queue_latency_us->Add(double(queue_us));
-  h_.startup_latency_us->Add(double(startup_us));
+  h_.queue_latency_us.Add(double(queue_us));
+  h_.startup_latency_us.Add(double(startup_us));
   if (cold) {
-    h_.cold_starts->Inc();
+    h_.cold_starts.Inc();
   } else {
-    h_.warm_starts->Inc();
+    h_.warm_starts.Inc();
   }
 
   // Determine how this attempt ends, ahead of time (simulated outcome).
@@ -368,11 +368,11 @@ void FaasPlatform::FinishAttempt(std::shared_ptr<Invocation> inv,
   // timed-out attempts, as on production FaaS platforms.
   inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
                                      exec_us, spec.demand.memory_mb);
-  h_.exec_latency_us->Add(double(exec_us));
+  h_.exec_latency_us.Add(double(exec_us));
   admission_.RecordService(startup_us + exec_us);
 
-  if (attempt_status.IsTimeout()) h_.timeouts->Inc();
-  if (!attempt_status.ok()) h_.failures->Inc();
+  if (attempt_status.IsTimeout()) h_.timeouts.Inc();
+  if (!attempt_status.ok()) h_.failures.Inc();
 
   EmitAttemptSpans(*inv, sim_->Now(), startup_us, exec_us, cold,
                    attempt_status, /*killed=*/false);
@@ -423,7 +423,7 @@ void FaasPlatform::RetryOrComplete(std::shared_ptr<Invocation> inv, bool cold,
     return;
   }
 
-  if (!attempt_status.ok()) h_.exhausted->Inc();
+  if (!attempt_status.ok()) h_.exhausted.Inc();
   Complete(std::move(inv), cold, startup_us, exec_us, std::move(attempt_status),
            std::move(output));
 }
@@ -444,14 +444,14 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
   res.exec_us = exec_us;
   res.cost = inv->cost_so_far;
   live_.erase(inv->id);
-  h_.completions->Inc();
-  h_.e2e_latency_us->Add(double(res.EndToEnd()));
+  h_.completions.Inc();
+  h_.e2e_latency_us.Add(double(res.EndToEnd()));
   if (guard_ != nullptr && res.status.ok()) {
     guard_->retry_budget().RecordSuccess();
     guard_->hedge().Record(res.EndToEnd());
   }
   if (inv->chaos_killed && res.status.ok()) {
-    h_.chaos_recoveries->Inc();
+    h_.chaos_recoveries.Inc();
     if (chaos_ != nullptr) {
       chaos_->RecordRecovery("faas", chaos::FaultKind::kContainerKill, inv->id,
                              "invocation retried to success after kill");
@@ -574,7 +574,7 @@ Result<size_t> FaasPlatform::Prewarm(const std::string& function,
     const uint64_t cid = c->id;
     containers_.emplace(cid, std::move(c));
     containers_per_function_[function] += 1;
-    h_.peak_containers->SetMax(double(containers_.size()));
+    h_.peak_containers.SetMax(double(containers_.size()));
     const SimDuration startup =
         cluster::DefaultStartupModel(cluster::IsolationLevel::kLambda)
             .SampleStartup(&rng_) +
@@ -594,7 +594,7 @@ bool FaasPlatform::KillContainer(uint64_t container_id,
   auto it = containers_.find(container_id);
   if (it == containers_.end()) return false;
   Container* c = it->second.get();
-  h_.killed_containers->Inc();
+  h_.killed_containers.Inc();
 
   if (c->inflight != nullptr) {
     // A running attempt dies with its container: cancel the scheduled
@@ -615,8 +615,8 @@ bool FaasPlatform::KillContainer(uint64_t container_id,
                  std::max<SimDuration>(0, sim_->Now() - place_us));
     inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
                                        elapsed_exec, spec.demand.memory_mb);
-    h_.exec_latency_us->Add(double(elapsed_exec));
-    h_.failures->Inc();
+    h_.exec_latency_us.Add(double(elapsed_exec));
+    h_.failures.Inc();
     inv->chaos_killed = true;
     const bool cold = c->inflight_cold;
     const Status kill_status =
@@ -688,7 +688,7 @@ SimDuration FaasPlatform::CancelInvocationInternal(uint64_t id,
                  std::max<SimDuration>(0, sim_->Now() - place_us));
     inv->cost_so_far += ledger_.Charge(inv->id, inv->attempt, inv->function,
                                        elapsed_exec, spec.demand.memory_mb);
-    h_.exec_latency_us->Add(double(elapsed_exec));
+    h_.exec_latency_us.Add(double(elapsed_exec));
     const bool cold = c->inflight_cold;
     const Status cancel_status = Status::Cancelled(why);
     EmitAttemptSpans(*inv, sim_->Now(), startup_us, elapsed_exec, cold,

@@ -276,22 +276,22 @@ class FaasPlatform {
   /// Cached registry handles — the record path is a pointer deref, no map
   /// lookups. Rebound by BindMetrics() when the registry changes.
   struct MetricHandles {
-    obs::Counter* invocations = nullptr;
-    obs::Counter* completions = nullptr;
-    obs::Counter* cold_starts = nullptr;
-    obs::Counter* warm_starts = nullptr;
-    obs::Counter* throttled = nullptr;
-    obs::Counter* timeouts = nullptr;
-    obs::Counter* failures = nullptr;
-    obs::Counter* exhausted = nullptr;
-    obs::Counter* killed_containers = nullptr;
-    obs::Counter* chaos_recoveries = nullptr;
-    obs::Gauge* peak_containers = nullptr;
-    obs::Gauge* container_mb_us = nullptr;
-    Histogram* e2e_latency_us = nullptr;
-    Histogram* queue_latency_us = nullptr;
-    Histogram* startup_latency_us = nullptr;
-    Histogram* exec_latency_us = nullptr;
+    obs::CounterHandle invocations;
+    obs::CounterHandle completions;
+    obs::CounterHandle cold_starts;
+    obs::CounterHandle warm_starts;
+    obs::CounterHandle throttled;
+    obs::CounterHandle timeouts;
+    obs::CounterHandle failures;
+    obs::CounterHandle exhausted;
+    obs::CounterHandle killed_containers;
+    obs::CounterHandle chaos_recoveries;
+    obs::GaugeHandle peak_containers;
+    obs::GaugeHandle container_mb_us;
+    obs::HistogramHandle e2e_latency_us;
+    obs::HistogramHandle queue_latency_us;
+    obs::HistogramHandle startup_latency_us;
+    obs::HistogramHandle exec_latency_us;
   };
 
   /// Total attempts allowed: the retry policy when set, else the legacy

@@ -11,18 +11,18 @@ Guard::Guard(GuardConfig config)
 }
 
 void Guard::BindMetrics() {
-  h_.shed_queue_full = registry_->GetCounter("guard.shed_queue_full");
-  h_.shed_deadline = registry_->GetCounter("guard.shed_deadline");
-  h_.deadline_exceeded = registry_->GetCounter("guard.deadline_exceeded");
-  h_.retries_granted = registry_->GetCounter("guard.retries_granted");
-  h_.retries_denied = registry_->GetCounter("guard.retries_denied");
-  h_.hedges_launched = registry_->GetCounter("guard.hedges_launched");
-  h_.hedge_wins = registry_->GetCounter("guard.hedge_wins");
-  h_.hedge_cancelled = registry_->GetCounter("guard.hedge_cancelled");
-  h_.hedge_deduped = registry_->GetCounter("guard.hedge_deduped");
-  h_.retry_tokens = registry_->GetGauge("guard.retry_tokens");
-  h_.hedge_wasted = registry_->GetHistogram("guard.hedge_wasted_us");
-  h_.retry_tokens->Set(retry_budget_.tokens());
+  h_.shed_queue_full = registry_->ResolveCounter("guard.shed_queue_full");
+  h_.shed_deadline = registry_->ResolveCounter("guard.shed_deadline");
+  h_.deadline_exceeded = registry_->ResolveCounter("guard.deadline_exceeded");
+  h_.retries_granted = registry_->ResolveCounter("guard.retries_granted");
+  h_.retries_denied = registry_->ResolveCounter("guard.retries_denied");
+  h_.hedges_launched = registry_->ResolveCounter("guard.hedges_launched");
+  h_.hedge_wins = registry_->ResolveCounter("guard.hedge_wins");
+  h_.hedge_cancelled = registry_->ResolveCounter("guard.hedge_cancelled");
+  h_.hedge_deduped = registry_->ResolveCounter("guard.hedge_deduped");
+  h_.retry_tokens = registry_->ResolveGauge("guard.retry_tokens");
+  h_.hedge_wasted = registry_->ResolveHistogram("guard.hedge_wasted_us");
+  h_.retry_tokens.Set(retry_budget_.tokens());
 }
 
 void Guard::AttachObservability(obs::Observability* o) {
@@ -38,9 +38,9 @@ void Guard::RecordShed(const std::string& module, AdmissionDecision d,
                        obs::TraceContext parent, SimTime now) {
   if (d == AdmissionDecision::kAdmit) return;
   if (d == AdmissionDecision::kShedQueueFull) {
-    h_.shed_queue_full->Inc();
+    h_.shed_queue_full.Inc();
   } else {
-    h_.shed_deadline->Inc();
+    h_.shed_deadline.Inc();
   }
   EmitGuardSpan("shed", module, parent, now, now,
                 {{"reason", AdmissionDecisionName(d)}});
@@ -49,32 +49,32 @@ void Guard::RecordShed(const std::string& module, AdmissionDecision d,
 void Guard::RecordDeadlineExceeded(const std::string& module,
                                    obs::TraceContext parent, SimTime start_us,
                                    SimTime now) {
-  h_.deadline_exceeded->Inc();
+  h_.deadline_exceeded.Inc();
   EmitGuardSpan("deadline-exceeded", module, parent, start_us, now, {});
 }
 
 void Guard::RecordRetryDecision(const std::string& module, bool granted,
                                 obs::TraceContext parent, SimTime now) {
   if (granted) {
-    h_.retries_granted->Inc();
+    h_.retries_granted.Inc();
   } else {
-    h_.retries_denied->Inc();
+    h_.retries_denied.Inc();
     EmitGuardSpan("retry-budget-exhausted", module, parent, now, now, {});
   }
-  h_.retry_tokens->Set(retry_budget_.tokens());
+  h_.retry_tokens.Set(retry_budget_.tokens());
 }
 
-void Guard::RecordHedgeLaunched() { h_.hedges_launched->Inc(); }
+void Guard::RecordHedgeLaunched() { h_.hedges_launched.Inc(); }
 
-void Guard::RecordHedgeWin() { h_.hedge_wins->Inc(); }
+void Guard::RecordHedgeWin() { h_.hedge_wins.Inc(); }
 
 void Guard::RecordHedgeCancelled(SimDuration wasted_us) {
-  h_.hedge_cancelled->Inc();
-  h_.hedge_wasted->Add(double(wasted_us));
+  h_.hedge_cancelled.Inc();
+  h_.hedge_wasted.Add(double(wasted_us));
   hedge_wasted_us_ += wasted_us;
 }
 
-void Guard::RecordHedgeDeduped() { h_.hedge_deduped->Inc(); }
+void Guard::RecordHedgeDeduped() { h_.hedge_deduped.Inc(); }
 
 obs::TraceContext Guard::EmitGuardSpan(
     const std::string& name, const std::string& module,
@@ -88,15 +88,15 @@ obs::TraceContext Guard::EmitGuardSpan(
 
 GuardStats Guard::stats() const {
   GuardStats s;
-  s.shed_queue_full = h_.shed_queue_full->value();
-  s.shed_deadline = h_.shed_deadline->value();
-  s.deadline_exceeded = h_.deadline_exceeded->value();
-  s.retries_granted = h_.retries_granted->value();
-  s.retries_denied = h_.retries_denied->value();
-  s.hedges_launched = h_.hedges_launched->value();
-  s.hedge_wins = h_.hedge_wins->value();
-  s.hedge_cancelled = h_.hedge_cancelled->value();
-  s.hedge_deduped = h_.hedge_deduped->value();
+  s.shed_queue_full = h_.shed_queue_full.value();
+  s.shed_deadline = h_.shed_deadline.value();
+  s.deadline_exceeded = h_.deadline_exceeded.value();
+  s.retries_granted = h_.retries_granted.value();
+  s.retries_denied = h_.retries_denied.value();
+  s.hedges_launched = h_.hedges_launched.value();
+  s.hedge_wins = h_.hedge_wins.value();
+  s.hedge_cancelled = h_.hedge_cancelled.value();
+  s.hedge_deduped = h_.hedge_deduped.value();
   return s;
 }
 

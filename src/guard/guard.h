@@ -123,17 +123,17 @@ class Guard {
   SimDuration hedge_wasted_us_ = 0;
 
   struct MetricHandles {
-    obs::Counter* shed_queue_full = nullptr;
-    obs::Counter* shed_deadline = nullptr;
-    obs::Counter* deadline_exceeded = nullptr;
-    obs::Counter* retries_granted = nullptr;
-    obs::Counter* retries_denied = nullptr;
-    obs::Counter* hedges_launched = nullptr;
-    obs::Counter* hedge_wins = nullptr;
-    obs::Counter* hedge_cancelled = nullptr;
-    obs::Counter* hedge_deduped = nullptr;
-    obs::Gauge* retry_tokens = nullptr;
-    Histogram* hedge_wasted = nullptr;
+    obs::CounterHandle shed_queue_full;
+    obs::CounterHandle shed_deadline;
+    obs::CounterHandle deadline_exceeded;
+    obs::CounterHandle retries_granted;
+    obs::CounterHandle retries_denied;
+    obs::CounterHandle hedges_launched;
+    obs::CounterHandle hedge_wins;
+    obs::CounterHandle hedge_cancelled;
+    obs::CounterHandle hedge_deduped;
+    obs::GaugeHandle retry_tokens;
+    obs::HistogramHandle hedge_wasted;
   };
   MetricHandles h_;
 };

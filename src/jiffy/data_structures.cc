@@ -12,9 +12,9 @@ BlockBacked::BlockBacked(MemoryPool* pool, std::string owner)
 void BlockBacked::AttachObservability(obs::Observability* o) {
   obs_ = o;
   if (o != nullptr) {
-    ops_counter_ = o->registry.GetCounter("jiffy.ops");
+    ops_counter_ = o->registry.ResolveCounter("jiffy.ops");
     op_latency_ =
-        o->registry.GetHistogram("jiffy.op_latency_us", double(kMinute));
+        o->registry.ResolveHistogram("jiffy.op_latency_us", double(kMinute));
   }
 }
 
@@ -22,8 +22,8 @@ void BlockBacked::RecordOp(const char* name, obs::TraceContext parent,
                            SimDuration latency_us,
                            const Status& status) const {
   if (obs_ == nullptr) return;
-  ops_counter_->Inc();
-  op_latency_->Add(double(latency_us));
+  ops_counter_.Inc();
+  op_latency_.Add(double(latency_us));
   const SimTime now = obs_->tracer.sim()->Now();
   obs_->tracer.EmitSpan(
       name, "jiffy", parent, now, now + latency_us,

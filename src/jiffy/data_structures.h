@@ -79,8 +79,8 @@ class BlockBacked {
   uint64_t blocks_held_ = 0;
   std::vector<BlockId> block_ids_;
   obs::Observability* obs_ = nullptr;
-  obs::Counter* ops_counter_ = nullptr;
-  Histogram* op_latency_ = nullptr;
+  obs::CounterHandle ops_counter_;
+  obs::HistogramHandle op_latency_;
 };
 
 /// Hash table partitioned over blocks; partitions scale independently.

@@ -17,14 +17,14 @@ MemoryPool::MemoryPool(uint32_t num_nodes, uint32_t blocks_per_node,
 }
 
 void MemoryPool::BindMetrics() {
-  h_.allocations = registry_->GetCounter("jiffy.pool.allocations");
+  h_.allocations = registry_->ResolveCounter("jiffy.pool.allocations");
   h_.failed_allocations =
-      registry_->GetCounter("jiffy.pool.failed_allocations");
-  h_.node_failures = registry_->GetCounter("jiffy.pool.node_failures");
-  h_.used_blocks = registry_->GetGauge("jiffy.pool.used_blocks");
-  h_.peak_used_blocks = registry_->GetGauge("jiffy.pool.peak_used_blocks");
-  h_.total_blocks = registry_->GetGauge("jiffy.pool.total_blocks");
-  h_.total_blocks->Set(double(total_blocks_));
+      registry_->ResolveCounter("jiffy.pool.failed_allocations");
+  h_.node_failures = registry_->ResolveCounter("jiffy.pool.node_failures");
+  h_.used_blocks = registry_->ResolveGauge("jiffy.pool.used_blocks");
+  h_.peak_used_blocks = registry_->ResolveGauge("jiffy.pool.peak_used_blocks");
+  h_.total_blocks = registry_->ResolveGauge("jiffy.pool.total_blocks");
+  h_.total_blocks.Set(double(total_blocks_));
 }
 
 void MemoryPool::AttachObservability(obs::Observability* o) {
@@ -33,22 +33,22 @@ void MemoryPool::AttachObservability(obs::Observability* o) {
   if (registry_ == &own_registry_) own_registry_.Reset();
   registry_ = &o->registry;
   BindMetrics();
-  h_.used_blocks->Set(double(used_blocks_));  // level, not a delta to fold
+  h_.used_blocks.Set(double(used_blocks_));  // level, not a delta to fold
 }
 
 const PoolStats& MemoryPool::stats() const {
   PoolStats& s = stats_view_;
   s.total_blocks = total_blocks_;
   s.used_blocks = used_blocks_;
-  s.peak_used_blocks = static_cast<uint64_t>(h_.peak_used_blocks->value());
-  s.allocations = h_.allocations->value();
-  s.failed_allocations = h_.failed_allocations->value();
-  s.node_failures = h_.node_failures->value();
+  s.peak_used_blocks = static_cast<uint64_t>(h_.peak_used_blocks.value());
+  s.allocations = h_.allocations.value();
+  s.failed_allocations = h_.failed_allocations.value();
+  s.node_failures = h_.node_failures.value();
   return s;
 }
 
 Result<BlockId> MemoryPool::Allocate(const std::string& owner) {
-  h_.allocations->Inc();
+  h_.allocations.Inc();
   for (uint32_t probe = 0; probe < nodes_.size(); ++probe) {
     const uint32_t ni = (node_hint_ + probe) % nodes_.size();
     Node& node = nodes_[ni];
@@ -61,15 +61,15 @@ Result<BlockId> MemoryPool::Allocate(const std::string& owner) {
       node.scan_hint = slot + 1;
       node_hint_ = ni + 1;  // round-robin across nodes spreads load
       ++used_blocks_;
-      h_.used_blocks->Set(double(used_blocks_));
-      h_.peak_used_blocks->SetMax(double(used_blocks_));
+      h_.used_blocks.Set(double(used_blocks_));
+      h_.peak_used_blocks.SetMax(double(used_blocks_));
       BlockId id{ni, slot};
       owner_usage_[owner] += 1;
       block_owner_[KeyOf(id)] = owner;
       return id;
     }
   }
-  h_.failed_allocations->Inc();
+  h_.failed_allocations.Inc();
   return Status::ResourceExhausted("memory pool exhausted (" +
                                    std::to_string(total_blocks_) + " blocks)");
 }
@@ -85,7 +85,7 @@ Status MemoryPool::Free(BlockId id) {
   node.used[id.slot] = false;
   ++node.free_count;
   --used_blocks_;
-  h_.used_blocks->Set(double(used_blocks_));
+  h_.used_blocks.Set(double(used_blocks_));
   auto it = block_owner_.find(KeyOf(id));
   if (it != block_owner_.end()) {
     auto usage = owner_usage_.find(it->second);
@@ -101,7 +101,7 @@ Status MemoryPool::FailNode(uint32_t node) {
   }
   if (!nodes_[node].failed) {
     nodes_[node].failed = true;
-    h_.node_failures->Inc();
+    h_.node_failures.Inc();
   }
   return Status::OK();
 }

@@ -87,12 +87,12 @@ class MemoryPool {
 
   /// Cached registry handles; rebound by BindMetrics().
   struct MetricHandles {
-    obs::Counter* allocations = nullptr;
-    obs::Counter* failed_allocations = nullptr;
-    obs::Counter* node_failures = nullptr;
-    obs::Gauge* used_blocks = nullptr;
-    obs::Gauge* peak_used_blocks = nullptr;
-    obs::Gauge* total_blocks = nullptr;
+    obs::CounterHandle allocations;
+    obs::CounterHandle failed_allocations;
+    obs::CounterHandle node_failures;
+    obs::GaugeHandle used_blocks;
+    obs::GaugeHandle peak_used_blocks;
+    obs::GaugeHandle total_blocks;
   };
   void BindMetrics();
 

@@ -1,0 +1,17 @@
+#include "obs/interned.h"
+
+namespace taureau::obs {
+
+const std::string* InternGlobal(std::string_view s) {
+  static std::mutex mu;
+  static SymbolTable table;
+  std::lock_guard<std::mutex> lock(mu);
+  return table.Intern(s);
+}
+
+const std::string* Interned::Empty() {
+  static const std::string empty;
+  return &empty;
+}
+
+}  // namespace taureau::obs

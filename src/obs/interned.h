@@ -1,0 +1,114 @@
+// String interning for the tracer's hot path.
+//
+// Span names and modules come from a small, bounded vocabulary ("invoke",
+// "exec", "faas", "pubsub", ...), yet the pre-E24 tracer copied both
+// strings into every Span. Interning maps each distinct string to one
+// canonical std::string owned by a SymbolTable; a Span then stores an
+// 8-byte Interned reference and StartSpan on the streaming path performs
+// zero string copies. Rendering reads the canonical string, so exports are
+// byte-identical to the uninterned tracer.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace taureau::obs {
+
+/// Owns canonical strings; Intern() is idempotent per content. Not
+/// thread-safe — each Tracer owns one (the sweep runner gives every worker
+/// its own tracer). The canonical pointers are stable for the table's
+/// lifetime (deque storage).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  const std::string* Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const std::string& stored = strings_.emplace_back(s);
+    index_.emplace(stored, &stored);
+    return &stored;
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::deque<std::string> strings_;
+  // Keys view the deque-stored strings (stable), so lookup is copy-free.
+  std::unordered_map<std::string_view, const std::string*, Hash, Eq> index_;
+};
+
+/// Process-wide fallback table guarded by a mutex, used only by Interned's
+/// convenience constructors (hand-built Spans in tests). Tracer hot paths
+/// intern through their own lock-free table instead.
+const std::string* InternGlobal(std::string_view s);
+
+/// An interned string reference: 8 bytes, never null (defaults to the empty
+/// string), converts to const std::string& so existing readers — export
+/// renderers, tests comparing span.name — keep working unchanged.
+class Interned {
+ public:
+  Interned() : s_(Empty()) {}
+  /// From a canonical pointer (Tracer's per-instance table).
+  explicit Interned(const std::string* s) : s_(s) {}
+  /// Convenience path through the global table (test/span-literal use).
+  Interned& operator=(std::string_view s) {
+    s_ = InternGlobal(s);
+    return *this;
+  }
+
+  operator const std::string&() const { return *s_; }  // NOLINT: by design
+  const std::string& str() const { return *s_; }
+  const char* c_str() const { return s_->c_str(); }
+  size_t size() const { return s_->size(); }
+  bool empty() const { return s_->empty(); }
+
+  friend bool operator==(const Interned& a, const Interned& b) {
+    return a.s_ == b.s_ || *a.s_ == *b.s_;
+  }
+  friend bool operator==(const Interned& a, std::string_view b) {
+    return *a.s_ == b;
+  }
+  friend std::string operator+(const std::string& a, const Interned& b) {
+    return a + *b.s_;
+  }
+  friend std::string operator+(const Interned& a, const std::string& b) {
+    return *a.s_ + b;
+  }
+  friend std::string operator+(const char* a, const Interned& b) {
+    return a + *b.s_;
+  }
+  friend std::string operator+(const Interned& a, const char* b) {
+    return *a.s_ + b;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Interned& s) {
+    return os << *s.s_;
+  }
+
+ private:
+  static const std::string* Empty();
+
+  const std::string* s_;
+};
+
+}  // namespace taureau::obs

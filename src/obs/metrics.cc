@@ -6,20 +6,20 @@ namespace taureau::obs {
 
 Counter* Registry::GetCounter(const std::string& name) {
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return slot.get();
+  if (slot == nullptr) slot = &counter_slab_.emplace_back();
+  return slot;
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
   auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return slot.get();
+  if (slot == nullptr) slot = &gauge_slab_.emplace_back();
+  return slot;
 }
 
 Histogram* Registry::GetHistogram(const std::string& name, double max_value) {
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(max_value);
-  return slot.get();
+  if (slot == nullptr) slot = &histogram_slab_.emplace_back(max_value);
+  return slot;
 }
 
 bool Registry::Has(const std::string& name) const {

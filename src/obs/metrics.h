@@ -1,8 +1,16 @@
 // Metrics registry: named counters, gauges and log-bucketed histograms with
-// cheap record-path cost (callers cache the handle pointer once; recording
-// is a member increment) and a deterministic snapshot/export API.
+// a zero-lookup record path and a deterministic snapshot/export API.
 //
-// This replaces the ad-hoc per-module stat structs as the canonical store:
+// Fast path: modules resolve a CounterHandle / GaugeHandle / HistogramHandle
+// once at construction (Resolve*()); hot-path Inc/Observe then goes straight
+// to the metric's slab slot — no string hash, no map walk, no indirection
+// through the name table. Handles stay valid for the registry's lifetime
+// and across Registry::Reset() (slots are zeroed in place, never moved).
+//
+// Slow path: the string-keyed Get*() accessors remain for tests, views and
+// one-off reads; ExportText()/ExportJson() are unchanged byte-for-byte.
+//
+// This is the canonical store replacing the ad-hoc per-module stat structs:
 // FaasPlatform, PulsarCluster, MemoryPool and InjectorRegistry register
 // their metrics here and materialize their legacy metric structs from the
 // registry on demand, so one `Registry::ExportText()` covers the whole
@@ -10,8 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
-#include <memory>
 #include <string>
 
 #include "common/stats.h"
@@ -45,16 +53,105 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// The registry. Get*() returns a stable handle (pointers live as long as
-/// the registry); the same name always maps to the same handle. Names are
-/// "<module>.<metric>" by convention and exports are sorted by name, so
-/// serialization order is independent of registration order.
+/// Pre-resolved slab handles. A default-constructed handle is a safe no-op
+/// (records vanish, reads return zero), so modules whose observability is
+/// optional need no null checks on the hot path. Copyable; valid as long as
+/// the resolving Registry, including across Registry::Reset().
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  /// Record methods are const: they mutate the registry's slot, not the
+  /// handle — mirroring the `Counter* const` semantics they replaced.
+  void Inc(uint64_t n = 1) const {
+    if (c_ != nullptr) c_->Inc(n);
+  }
+  uint64_t value() const { return c_ != nullptr ? c_->value() : 0; }
+  bool valid() const { return c_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit CounterHandle(Counter* c) : c_(c) {}
+  Counter* c_ = nullptr;
+};
+
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  void Set(double v) const {
+    if (g_ != nullptr) g_->Set(v);
+  }
+  void Add(double d) const {
+    if (g_ != nullptr) g_->Add(d);
+  }
+  void SetMax(double v) const {
+    if (g_ != nullptr) g_->SetMax(v);
+  }
+  double value() const { return g_ != nullptr ? g_->value() : 0.0; }
+  bool valid() const { return g_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit GaugeHandle(Gauge* g) : g_(g) {}
+  Gauge* g_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  void Observe(double v) const {
+    if (h_ != nullptr) h_->Add(v);
+  }
+  /// Alias matching Histogram's API, so handle-migrated call sites keep
+  /// reading naturally.
+  void Add(double v) const { Observe(v); }
+  void AddN(double v, uint64_t count) const {
+    if (h_ != nullptr) h_->AddN(v, count);
+  }
+  uint64_t count() const { return h_ != nullptr ? h_->count() : 0; }
+  double mean() const { return h_ != nullptr ? h_->mean() : 0.0; }
+  double max() const { return h_ != nullptr ? h_->max() : 0.0; }
+  double Quantile(double q) const {
+    return h_ != nullptr ? h_->Quantile(q) : 0.0;
+  }
+  double P50() const { return Quantile(0.50); }
+  double P90() const { return Quantile(0.90); }
+  double P99() const { return Quantile(0.99); }
+  bool valid() const { return h_ != nullptr; }
+  /// Slow-path escape hatch (views that Merge whole histograms).
+  const Histogram* raw() const { return h_; }
+
+ private:
+  friend class Registry;
+  explicit HistogramHandle(Histogram* h) : h_(h) {}
+  Histogram* h_ = nullptr;
+};
+
+/// The registry. Metrics live in per-kind slabs (deques — slots never move);
+/// the name table maps each name to its slot once at resolution time. The
+/// same name always maps to the same slot. Names are "<module>.<metric>" by
+/// convention and exports are sorted by name, so serialization order is
+/// independent of registration order.
 class Registry {
  public:
   Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  /// Fast-path resolution: one name lookup now, zero lookups per record.
+  CounterHandle ResolveCounter(const std::string& name) {
+    return CounterHandle(GetCounter(name));
+  }
+  GaugeHandle ResolveGauge(const std::string& name) {
+    return GaugeHandle(GetGauge(name));
+  }
+  HistogramHandle ResolveHistogram(const std::string& name,
+                                   double max_value = 1e12) {
+    return HistogramHandle(GetHistogram(name, max_value));
+  }
+
+  /// Slow path: string-keyed access. Returns a stable pointer (slab slots
+  /// live as long as the registry); the same name always maps to the same
+  /// slot.
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   /// `max_value` bounds the log-bucketed range; only the first Get for a
@@ -77,15 +174,20 @@ class Registry {
   /// Deterministic JSON object keyed by metric name.
   std::string ExportJson() const;
 
-  /// Zeroes every metric *in place*: the Counter*/Gauge*/Histogram*
-  /// handles modules cached stay valid (the header's "pointers live as
-  /// long as the registry" promise), names stay registered, values reset.
+  /// Zeroes every metric *in place*: the slab slots (and therefore every
+  /// resolved handle and cached pointer) stay valid, names stay registered,
+  /// values reset.
   void Reset();
 
  private:
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Name tables point into the slabs; deques never relocate elements, so
+  // handles and Get*() pointers are stable for the registry's lifetime.
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
+  std::deque<Counter> counter_slab_;
+  std::deque<Gauge> gauge_slab_;
+  std::deque<Histogram> histogram_slab_;
 };
 
 }  // namespace taureau::obs

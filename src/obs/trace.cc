@@ -60,21 +60,23 @@ bool Tracer::SetStoreMode(StoreMode mode) {
   return true;
 }
 
-TraceContext Tracer::StartTrace(std::string name, std::string module) {
-  return StartSpan(std::move(name), std::move(module), TraceContext{});
+TraceContext Tracer::StartTrace(std::string_view name,
+                                std::string_view module) {
+  return StartSpan(name, module, TraceContext{});
 }
 
-TraceContext Tracer::StartSpan(std::string name, std::string module,
+TraceContext Tracer::StartSpan(std::string_view name, std::string_view module,
                                TraceContext parent) {
-  return StartSpanAt(std::move(name), std::move(module), parent, sim_->Now());
+  return StartSpanAt(name, module, parent, sim_->Now());
 }
 
-TraceContext Tracer::StartSpanAt(std::string name, std::string module,
-                                 TraceContext parent, SimTime start_us) {
+TraceContext Tracer::StartSpanAt(std::string_view name,
+                                 std::string_view module, TraceContext parent,
+                                 SimTime start_us) {
   Span span;
   span.id = next_span_++;
-  span.name = std::move(name);
-  span.module = std::move(module);
+  span.name = Interned(symbols_.Intern(name));
+  span.module = Interned(symbols_.Intern(module));
   span.start_us = start_us;
   if (parent.valid() && parent.span_id < span.id) {
     span.parent = parent.span_id;
@@ -121,11 +123,10 @@ void Tracer::EndSpanAt(TraceContext ctx, SimTime end_us) {
 }
 
 TraceContext Tracer::EmitSpan(
-    std::string name, std::string module, TraceContext parent,
+    std::string_view name, std::string_view module, TraceContext parent,
     SimTime start_us, SimTime end_us,
     std::vector<std::pair<std::string, std::string>> attrs) {
-  const TraceContext ctx =
-      StartSpanAt(std::move(name), std::move(module), parent, start_us);
+  const TraceContext ctx = StartSpanAt(name, module, parent, start_us);
   if (Span* s = FindMutable(ctx)) {
     for (auto& [k, v] : attrs) s->attrs[k] = std::move(v);
   }

@@ -11,12 +11,14 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/time_types.h"
+#include "obs/interned.h"
 #include "sim/simulation.h"
 
 namespace taureau::obs {
@@ -32,13 +34,15 @@ struct TraceContext {
   bool operator==(const TraceContext&) const = default;
 };
 
-/// One timed, attributed node of a trace tree.
+/// One timed, attributed node of a trace tree. Name and module are interned
+/// (see obs/interned.h): 8-byte references into the tracer's symbol table,
+/// reading exactly like the std::string fields they replaced.
 struct Span {
   uint64_t id = 0;      ///< Sequential from 1; index into Tracer::spans().
   uint64_t parent = 0;  ///< 0 for roots.
   uint64_t trace = 0;   ///< Shared by every span of one request tree.
-  std::string name;
-  std::string module;  ///< Emitting layer ("faas", "pubsub", "jiffy", ...).
+  Interned name;
+  Interned module;  ///< Emitting layer ("faas", "pubsub", "jiffy", ...).
   SimTime start_us = 0;
   SimTime end_us = -1;  ///< < start_us means still open.
   /// Sorted so serialization is deterministic. The "cat" attribute feeds
@@ -113,14 +117,16 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   /// Opens a root span of a fresh trace at Now().
-  TraceContext StartTrace(std::string name, std::string module);
+  TraceContext StartTrace(std::string_view name, std::string_view module);
 
   /// Opens a span at Now(). An invalid `parent` starts a fresh trace.
-  TraceContext StartSpan(std::string name, std::string module,
+  /// Name/module are interned: repeated names cost one hash lookup and no
+  /// string copy or allocation.
+  TraceContext StartSpan(std::string_view name, std::string_view module,
                          TraceContext parent);
 
   /// StartSpan with an explicit start time (retrospective emission).
-  TraceContext StartSpanAt(std::string name, std::string module,
+  TraceContext StartSpanAt(std::string_view name, std::string_view module,
                            TraceContext parent, SimTime start_us);
 
   /// Sets one attribute (overwriting) on an open or closed span.
@@ -135,7 +141,7 @@ class Tracer {
   /// the platform knows an attempt's queue/startup/exec intervals only once
   /// the attempt finishes).
   TraceContext EmitSpan(
-      std::string name, std::string module, TraceContext parent,
+      std::string_view name, std::string_view module, TraceContext parent,
       SimTime start_us, SimTime end_us,
       std::vector<std::pair<std::string, std::string>> attrs = {});
 
@@ -190,6 +196,7 @@ class Tracer {
   sim::Simulation* sim_;
   StoreMode mode_ = StoreMode::kRetainAll;
   SpanSink* sink_ = nullptr;
+  SymbolTable symbols_;  ///< Canonical span name/module strings.
   std::vector<Span> spans_;  ///< kRetainAll: spans_[id - 1] holds span `id`.
   std::unordered_map<uint64_t, Span> open_;  ///< kStream: open spans by id.
   uint64_t next_trace_ = 1;

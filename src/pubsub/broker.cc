@@ -33,17 +33,17 @@ PulsarCluster::PulsarCluster(sim::Simulation* sim, PulsarConfig config)
 }
 
 void PulsarCluster::BindMetrics() {
-  h_.published = registry_->GetCounter("pubsub.published");
-  h_.delivered = registry_->GetCounter("pubsub.delivered");
-  h_.redelivered = registry_->GetCounter("pubsub.redelivered");
-  h_.acked = registry_->GetCounter("pubsub.acked");
-  h_.dropped = registry_->GetCounter("pubsub.dropped");
-  h_.duplicated = registry_->GetCounter("pubsub.duplicated");
-  h_.shed = registry_->GetCounter("pubsub.shed");
+  h_.published = registry_->ResolveCounter("pubsub.published");
+  h_.delivered = registry_->ResolveCounter("pubsub.delivered");
+  h_.redelivered = registry_->ResolveCounter("pubsub.redelivered");
+  h_.acked = registry_->ResolveCounter("pubsub.acked");
+  h_.dropped = registry_->ResolveCounter("pubsub.dropped");
+  h_.duplicated = registry_->ResolveCounter("pubsub.duplicated");
+  h_.shed = registry_->ResolveCounter("pubsub.shed");
   h_.publish_latency_us =
-      registry_->GetHistogram("pubsub.publish_latency_us", double(kMinute));
+      registry_->ResolveHistogram("pubsub.publish_latency_us", double(kMinute));
   h_.delivery_latency_us =
-      registry_->GetHistogram("pubsub.delivery_latency_us", double(kMinute));
+      registry_->ResolveHistogram("pubsub.delivery_latency_us", double(kMinute));
 }
 
 void PulsarCluster::AttachObservability(obs::Observability* o) {
@@ -57,17 +57,17 @@ void PulsarCluster::AttachObservability(obs::Observability* o) {
 
 const PulsarMetrics& PulsarCluster::metrics() const {
   PulsarMetrics& m = metrics_view_;
-  m.published = h_.published->value();
-  m.delivered = h_.delivered->value();
-  m.redelivered = h_.redelivered->value();
-  m.acked = h_.acked->value();
-  m.dropped = h_.dropped->value();
-  m.duplicated = h_.duplicated->value();
-  m.shed = h_.shed->value();
+  m.published = h_.published.value();
+  m.delivered = h_.delivered.value();
+  m.redelivered = h_.redelivered.value();
+  m.acked = h_.acked.value();
+  m.dropped = h_.dropped.value();
+  m.duplicated = h_.duplicated.value();
+  m.shed = h_.shed.value();
   m.publish_latency_us.Reset();
-  m.publish_latency_us.Merge(*h_.publish_latency_us);
+  m.publish_latency_us.Merge(*h_.publish_latency_us.raw());
   m.delivery_latency_us.Reset();
-  m.delivery_latency_us.Merge(*h_.delivery_latency_us);
+  m.delivery_latency_us.Merge(*h_.delivery_latency_us.raw());
   m.last_ack_time_us = last_ack_time_us_;
   return m;
 }
@@ -172,13 +172,13 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   Topic& t = tit->second;
   if (armed_drops_ > 0) {
     --armed_drops_;
-    h_.dropped->Inc();
+    h_.dropped.Inc();
     return Status::Unavailable("message dropped (injected network fault)");
   }
   const bool duplicate = armed_duplicates_ > 0;
   if (duplicate) {
     --armed_duplicates_;
-    h_.duplicated->Inc();
+    h_.duplicated.Inc();
   }
   const uint32_t pidx =
       key.empty()
@@ -214,7 +214,7 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
         broker.next_free_us > now ? broker.next_free_us - now : 0;
     const auto decision = admission_.AdmitWithWait(wait, deadline, now);
     if (decision != guard::AdmissionDecision::kAdmit) {
-      h_.shed->Inc();
+      h_.shed.Inc();
       if (guard_ != nullptr) guard_->RecordShed("pubsub", decision, parent, now);
       if (decision == guard::AdmissionDecision::kShedDeadline) {
         return Status::DeadlineExceeded(
@@ -241,8 +241,8 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   // Feed the guard's service estimate: processing + durable-append time,
   // excluding queueing (the wait is measured separately at admission).
   admission_.RecordService(ack_time - start);
-  h_.published->Inc();
-  h_.publish_latency_us->Add(double(ack_time - now));
+  h_.published.Inc();
+  h_.publish_latency_us.Add(double(ack_time - now));
   last_ack_time_us_ = std::max(last_ack_time_us_, ack_time);
   if (obs_ != nullptr) {
     publish_spans_[id] = obs_->tracer.EmitSpan(
@@ -349,8 +349,8 @@ void PulsarCluster::DispatchFrom(Topic* topic, Subscription* sub,
                     /*redelivery=*/false);
     auto cb = consumer->cb;
     sim_->ScheduleAt(deliver_at, [this, cb, msg] {
-      h_.delivered->Inc();
-      h_.delivery_latency_us->Add(
+      h_.delivered.Inc();
+      h_.delivery_latency_us.Add(
           double(msg.deliver_time_us - msg.publish_time_us));
       cb(msg);
     });
@@ -409,7 +409,7 @@ Status PulsarCluster::Ack(ConsumerId consumer, const MessageId& id) {
     return Status::NotFound("message not pending on subscription");
   }
   sub.unacked.erase(uit);
-  h_.acked->Inc();
+  h_.acked.Inc();
   return Status::OK();
 }
 
@@ -430,8 +430,8 @@ void PulsarCluster::Redeliver(Topic* /*topic*/, Subscription* sub) {
                     /*redelivery=*/true);
     auto cb = consumer->cb;
     sim_->ScheduleAt(deliver_at, [this, cb, msg] {
-      h_.delivered->Inc();
-      h_.redelivered->Inc();
+      h_.delivered.Inc();
+      h_.redelivered.Inc();
       cb(msg);
     });
   }

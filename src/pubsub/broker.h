@@ -230,15 +230,15 @@ class PulsarCluster {
 
   /// Cached registry handles (see obs::Registry); rebound by BindMetrics().
   struct MetricHandles {
-    obs::Counter* published = nullptr;
-    obs::Counter* delivered = nullptr;
-    obs::Counter* redelivered = nullptr;
-    obs::Counter* acked = nullptr;
-    obs::Counter* dropped = nullptr;
-    obs::Counter* duplicated = nullptr;
-    obs::Counter* shed = nullptr;
-    Histogram* publish_latency_us = nullptr;
-    Histogram* delivery_latency_us = nullptr;
+    obs::CounterHandle published;
+    obs::CounterHandle delivered;
+    obs::CounterHandle redelivered;
+    obs::CounterHandle acked;
+    obs::CounterHandle dropped;
+    obs::CounterHandle duplicated;
+    obs::CounterHandle shed;
+    obs::HistogramHandle publish_latency_us;
+    obs::HistogramHandle delivery_latency_us;
   };
   void BindMetrics();
   /// Emits one async "deliver" span under the message's publish span.

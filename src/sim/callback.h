@@ -1,0 +1,132 @@
+// Move-only callable with small-buffer optimisation for the event loop.
+//
+// `std::function` keeps only ~16 bytes of inline storage in common ABIs, so
+// the "capture this + a shared_ptr + a timestamp" closures the platform
+// schedules per request heap-allocate on every event. Callback inlines
+// captures up to kInlineCapacity bytes (48 — sized to the largest hot-path
+// closure in faas/pubsub/guard) directly in the event slab, so the
+// steady-state schedule/fire cycle performs zero allocations. Larger or
+// over-aligned callables fall back to a single heap allocation, preserving
+// `std::function` semantics for cold paths.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace taureau::sim {
+
+class Callback {
+ public:
+  /// Captures up to this many bytes are stored inline (no allocation).
+  static constexpr size_t kInlineCapacity = 48;
+
+  Callback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Callback(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (kInlinable<Fn>) {
+      ::new (static_cast<void*>(storage_.inline_buf))
+          Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      storage_.heap = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(&storage_, &other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { Reset(); }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (test/bench hook for
+  /// the zero-allocation contract).
+  bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+  /// Destroys the held callable (no-op when empty).
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  union Storage {
+    alignas(std::max_align_t) unsigned char inline_buf[kInlineCapacity];
+    void* heap;
+  };
+
+  struct Ops {
+    void (*invoke)(Storage*);
+    void (*relocate)(Storage* dst, Storage* src) noexcept;
+    void (*destroy)(Storage*) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr bool kInlinable =
+      sizeof(Fn) <= kInlineCapacity &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static Fn* Inline(Storage* s) {
+    return std::launder(reinterpret_cast<Fn*>(s->inline_buf));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](Storage* s) { (*Inline<Fn>(s))(); },
+      [](Storage* dst, Storage* src) noexcept {
+        ::new (static_cast<void*>(dst->inline_buf))
+            Fn(std::move(*Inline<Fn>(src)));
+        Inline<Fn>(src)->~Fn();
+      },
+      [](Storage* s) noexcept { Inline<Fn>(s)->~Fn(); },
+      /*inline_stored=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](Storage* s) { (*static_cast<Fn*>(s->heap))(); },
+      [](Storage* dst, Storage* src) noexcept { dst->heap = src->heap; },
+      [](Storage* s) noexcept { delete static_cast<Fn*>(s->heap); },
+      /*inline_stored=*/false,
+  };
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace taureau::sim

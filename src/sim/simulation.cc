@@ -4,37 +4,141 @@
 
 namespace taureau::sim {
 
-EventId Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
+uint32_t Simulation::AcquireSlot() {
+  if (!free_.empty()) {
+    const uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  // free_ and heap_ can never hold more entries than the slab has slots, so
+  // reserving the slab's capacity here means steady-state fire/cancel churn
+  // (which only pushes into free_ and heap_) never reallocates — the
+  // zero-allocs-per-event property bench_e24_kernel asserts.
+  free_.reserve(slab_.capacity());
+  heap_.reserve(slab_.capacity());
+  return static_cast<uint32_t>(slab_.size() - 1);
+}
+
+void Simulation::ReleaseSlot(uint32_t slot) {
+  Node& n = slab_[slot];
+  n.fn.Reset();
+  ++n.gen;  // invalidates every outstanding id for this slot
+  n.heap_pos = kNoPos;
+  free_.push_back(slot);
+}
+
+void Simulation::SiftUp(size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!Earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    slab_[heap_[i].slot].heap_pos = static_cast<uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = e;
+  slab_[e.slot].heap_pos = static_cast<uint32_t>(i);
+}
+
+void Simulation::SiftDown(size_t i) {
+  const HeapEntry e = heap_[i];
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t first = 4 * i + 1;
+    if (first >= n) break;
+    size_t best = first;
+    const size_t last = std::min(first + 4, n);
+    for (size_t c = first + 1; c < last; ++c) {
+      if (Earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!Earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    slab_[heap_[i].slot].heap_pos = static_cast<uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = e;
+  slab_[e.slot].heap_pos = static_cast<uint32_t>(i);
+}
+
+void Simulation::RemoveHeapAt(size_t pos) {
+  const size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_[last];
+  heap_.pop_back();
+  slab_[heap_[pos].slot].heap_pos = static_cast<uint32_t>(pos);
+  // The moved entry may belong above or below `pos`.
+  SiftUp(pos);
+  if (slab_[heap_[pos].slot].heap_pos == pos) SiftDown(pos);
+}
+
+EventId Simulation::Schedule(SimDuration delay, Callback fn) {
   return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
 }
 
-EventId Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
-  return id;
+EventId Simulation::ScheduleAt(SimTime when, Callback fn) {
+  const uint32_t slot = AcquireSlot();
+  Node& n = slab_[slot];
+  n.time = std::max(when, now_);
+  n.seq = next_seq_++;
+  n.fn = std::move(fn);
+  n.heap_pos = static_cast<uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{n.time, n.seq, slot});
+  SiftUp(heap_.size() - 1);
+  return MakeId(n.gen, slot);
+}
+
+void Simulation::ScheduleBulkAt(
+    std::vector<std::pair<SimTime, Callback>> events) {
+  const size_t before = heap_.size();
+  heap_.reserve(before + events.size());
+  for (auto& [when, fn] : events) {
+    const uint32_t slot = AcquireSlot();
+    Node& n = slab_[slot];
+    n.time = std::max(when, now_);
+    n.seq = next_seq_++;
+    n.fn = std::move(fn);
+    n.heap_pos = static_cast<uint32_t>(heap_.size());
+    heap_.push_back(HeapEntry{n.time, n.seq, slot});
+  }
+  if (heap_.size() - before > before) {
+    // Batch dominates: Floyd rebuild, O(n + k).
+    for (size_t i = heap_.size() / 4 + 1; i-- > 0;) SiftDown(i);
+  } else {
+    for (size_t i = before; i < heap_.size(); ++i) SiftUp(i);
+  }
 }
 
 bool Simulation::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy deletion: mark and skip at pop time.
-  return cancelled_.insert(id).second;
+  const uint32_t slot = static_cast<uint32_t>(id);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slab_.size()) return false;
+  Node& n = slab_[slot];
+  // A stale generation means the event already fired or was cancelled (the
+  // slot may since have been reused for an unrelated event).
+  if (n.gen != gen || n.heap_pos == kNoPos) return false;
+  RemoveHeapAt(n.heap_pos);
+  ReleaseSlot(slot);
+  return true;
 }
 
 bool Simulation::Step() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.time;
-    ++events_fired_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_[0];
+  RemoveHeapAt(0);
+  Node& n = slab_[top.slot];
+  now_ = top.time;
+  ++events_fired_;
+  // Move the callback out and free the slot *before* invoking: the callback
+  // may schedule (growing the slab) or cancel, and freed-first means a
+  // periodic rearm reuses this very slot.
+  Callback fn = std::move(n.fn);
+  ReleaseSlot(top.slot);
+  fn();
+  return true;
 }
 
 uint64_t Simulation::Run() {
@@ -45,15 +149,7 @@ uint64_t Simulation::Run() {
 
 uint64_t Simulation::RunUntil(SimTime deadline) {
   uint64_t fired = 0;
-  while (!queue_.empty()) {
-    // Peek through cancelled events.
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.time > deadline) break;
+  while (!heap_.empty() && heap_[0].time <= deadline) {
     Step();
     ++fired;
   }

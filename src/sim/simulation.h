@@ -4,21 +4,33 @@
 // runs on top of this kernel: components schedule callbacks at future
 // simulated times; the kernel executes them in deterministic (time, sequence)
 // order. The kernel is single-threaded — determinism and reproducibility are
-// what the experiments need, not wall-clock parallelism.
+// what the experiments need, not wall-clock parallelism. (Wall-clock
+// parallelism across *independent* Simulation instances is the sweep
+// runner's job — see bench/bench_util.h.)
+//
+// Internals are built for the hot loop (see DESIGN.md "performance model"):
+//  - events live in a slab; a 4-ary heap of (time, seq, slot) entries orders
+//    them, and each slab node tracks its heap position so Cancel() removes
+//    the event in place in O(log n) — no tombstone set, no lazy sweep;
+//  - callbacks are sim::Callback (48-byte small-buffer storage), so the
+//    steady-state schedule/fire cycle allocates nothing;
+//  - EventIds are generation-tagged slot handles: a fired or cancelled id
+//    can never alias a live event, and Cancel() on it returns false.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/time_types.h"
+#include "sim/callback.h"
 
 namespace taureau::sim {
 
-/// Opaque handle used to cancel a scheduled event.
+/// Opaque handle used to cancel a scheduled event. 0 is never issued.
+/// Internally (generation << 32) | slot — see Simulation::Cancel.
 using EventId = uint64_t;
 
 /// The simulation clock and event loop.
@@ -33,13 +45,21 @@ class Simulation {
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to 0
   /// (i.e. "as soon as possible", after already-queued events at Now()).
-  EventId Schedule(SimDuration delay, std::function<void()> fn);
+  EventId Schedule(SimDuration delay, Callback fn);
 
   /// Schedules `fn` at absolute time `when` (clamped to >= Now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, Callback fn);
 
-  /// Cancels a pending event. Returns true if the event existed and had not
-  /// yet fired.
+  /// Bulk insert: schedules every (when, fn) pair, restoring the heap
+  /// invariant once at the end. When the batch dominates the pending set
+  /// (open-loop arrival plans, timer wheels) this rebuilds the heap in
+  /// O(n + k) instead of k sift-ups. Order among equal times follows the
+  /// pairs' order, exactly as k individual ScheduleAt calls would.
+  void ScheduleBulkAt(std::vector<std::pair<SimTime, Callback>> events);
+
+  /// Cancels a pending event in place. Returns true iff the event existed
+  /// and had not yet fired; already-fired, already-cancelled, and
+  /// never-issued ids all return false (and leave pending_events() exact).
   bool Cancel(EventId id);
 
   /// Runs until the event queue drains. Returns the number of events fired.
@@ -52,32 +72,50 @@ class Simulation {
   bool Step();
 
   uint64_t events_fired() const { return events_fired_; }
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  size_t pending_events() const { return heap_.size(); }
 
  private:
-  struct Event {
+  static constexpr uint32_t kNoPos = UINT32_MAX;
+
+  struct Node {
+    SimTime time = 0;
+    uint64_t seq = 0;
+    uint32_t gen = 1;           // bumped on fire/cancel; part of the id
+    uint32_t heap_pos = kNoPos;  // kNoPos when the slot is free
+    Callback fn;
+  };
+  /// Heap entries carry the ordering key so comparisons never touch the
+  /// slab; `slot` points back at the node (slab_[slot].heap_pos inverts).
+  struct HeapEntry {
     SimTime time;
-    uint64_t seq;  // tie-break for determinism
-    EventId id;
-    std::function<void()> fn;
+    uint64_t seq;
+    uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  static EventId MakeId(uint32_t gen, uint32_t slot) {
+    return (uint64_t(gen) << 32) | slot;
+  }
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void RemoveHeapAt(size_t pos);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   uint64_t events_fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Node> slab_;
+  std::vector<uint32_t> free_;     // free slab slots, LIFO for cache reuse
+  std::vector<HeapEntry> heap_;    // 4-ary min-heap over (time, seq)
 };
 
 /// Repeats a callback at a fixed simulated period until stopped. Used for
-/// autoscaler control loops, lease scans, etc.
+/// autoscaler control loops, lease scans, etc. Rearming reuses the kernel's
+/// freed slab slot, so steady-state ticking allocates nothing.
 class PeriodicProcess {
  public:
   /// The callback returns false to stop the process.

@@ -295,6 +295,63 @@ TEST(RegistryTest, PreResetHandlesStayLiveAndRecord) {
   EXPECT_DOUBLE_EQ(registry.GetHistogram("m.lat")->max(), 7.0);
 }
 
+TEST(RegistryTest, ResolvedHandlesSurviveResetAndReadZero) {
+  // The E24 fast-path contract, extending the PR 3 zero-in-place
+  // guarantee: handles resolved at component construction stay valid
+  // across Reset(), read zero immediately after it, and keep recording
+  // into the same slot — with no re-resolution.
+  Registry registry;
+  CounterHandle c = registry.ResolveCounter("m.ops");
+  GaugeHandle g = registry.ResolveGauge("m.level");
+  HistogramHandle h = registry.ResolveHistogram("m.lat");
+  c.Inc(9);
+  g.Set(2.0);
+  h.Observe(5.0);
+  registry.Reset();
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  c.Inc(4);
+  g.Add(1.5);
+  h.Observe(7.0);
+  // Handle and string paths hit the same slab slot.
+  EXPECT_EQ(registry.GetCounter("m.ops")->value(), 4u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("m.level")->value(), 1.5);
+  EXPECT_EQ(registry.GetHistogram("m.lat")->count(), 1u);
+  // Resolving again after Reset yields the same slot, not a clone.
+  registry.ResolveCounter("m.ops").Inc();
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(RegistryTest, DefaultHandlesAreSafeNoOps) {
+  CounterHandle c;
+  GaugeHandle g;
+  HistogramHandle h;
+  c.Inc();
+  g.Set(3.0);
+  h.Observe(1.0);
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(RegistryTest, HandlesStayValidAsSlabGrows) {
+  // Slab storage must never relocate live slots: resolve one handle, then
+  // register enough metrics to force repeated slab growth, and record
+  // through the original handle.
+  Registry registry;
+  CounterHandle first = registry.ResolveCounter("first");
+  for (int i = 0; i < 2000; ++i) {
+    registry.ResolveCounter("c" + std::to_string(i)).Inc();
+  }
+  first.Inc(3);
+  EXPECT_EQ(registry.GetCounter("first")->value(), 3u);
+  EXPECT_EQ(registry.size(), 2001u);
+}
+
 // ------------------------------------------------- Histogram properties
 
 TEST(HistogramPropertyTest, BucketsMonotoneAndCountsConserved) {
