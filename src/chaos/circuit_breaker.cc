@@ -16,6 +16,8 @@ void CircuitBreaker::BindMetrics(obs::Registry* registry,
   m_.shed = registry->ResolveCounter(prefix + ".breaker_shed");
   m_.state = registry->ResolveGauge(prefix + ".breaker_state");
   m_.state.Set(static_cast<double>(state_));
+  m_.epoch = registry->ResolveGauge(prefix + ".breaker_epoch");
+  if (epoch_provider_) m_.epoch.Set(double(epoch_provider_()));
 }
 
 void CircuitBreaker::SetState(State next) {
@@ -36,6 +38,7 @@ void CircuitBreaker::SetState(State next) {
       break;
   }
   m_.state.Set(static_cast<double>(state_));
+  if (epoch_provider_) m_.epoch.Set(double(epoch_provider_()));
 }
 
 void CircuitBreaker::Advance(SimTime now) {

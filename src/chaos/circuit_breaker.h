@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/time_types.h"
@@ -43,6 +44,13 @@ class CircuitBreaker {
   /// Registers transition counters and a live-state gauge under
   /// "<prefix>.breaker_*". Pass nullptr to detach.
   void BindMetrics(obs::Registry* registry, const std::string& prefix);
+
+  /// Tags breaker state with the cluster's membership epoch: on every
+  /// transition the provider is sampled into "<prefix>.breaker_epoch", so
+  /// dashboards can correlate trips with membership churn (E25).
+  void SetEpochProvider(std::function<uint64_t()> provider) {
+    epoch_provider_ = std::move(provider);
+  }
 
   /// True when the request may proceed at `now`; false = shed it.
   bool AllowRequest(SimTime now);
@@ -79,8 +87,10 @@ class CircuitBreaker {
     obs::CounterHandle closes;
     obs::CounterHandle shed;
     obs::GaugeHandle state;
+    obs::GaugeHandle epoch;
   };
   Metrics m_;
+  std::function<uint64_t()> epoch_provider_;
 };
 
 }  // namespace taureau::chaos

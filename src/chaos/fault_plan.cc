@@ -33,6 +33,14 @@ std::string_view FaultKindName(FaultKind kind) {
       return "message-duplicate";
     case FaultKind::kStepRedeliver:
       return "step-redeliver";
+    case FaultKind::kGroupPartition:
+      return "group-partition";
+    case FaultKind::kGroupHeal:
+      return "group-heal";
+    case FaultKind::kLinkLoss:
+      return "link-loss";
+    case FaultKind::kLinkRestore:
+      return "link-restore";
   }
   return "unknown";
 }
@@ -105,6 +113,62 @@ FaultPlan FaultPlan::Generate(const FaultPlanConfig& config, Rng* rng) {
             false);
   EmitClass(out, rng, h, config.step_redeliver_per_s,
             FaultKind::kStepRedeliver, 0, 0, FaultKind::kStepRedeliver, false);
+  // Group partitions: the victim is a seeded minority *set*, encoded as a
+  // bitmask so the whole split is one plannable event.
+  if (config.group_partition_per_s > 0.0 && config.num_cluster_nodes >= 2 &&
+      config.num_cluster_nodes <= 64 && h > 0) {
+    const size_t n = config.num_cluster_nodes;
+    double t_us = 0.0;
+    while (true) {
+      t_us += rng->NextExponential(config.group_partition_per_s /
+                                   double(kSecond));
+      if (t_us >= double(h)) break;
+      // Draw a minority of 1..n/2 distinct nodes without replacement.
+      const size_t size = 1 + size_t(rng->NextBounded(n / 2));
+      uint64_t mask = 0;
+      size_t picked = 0;
+      while (picked < size) {
+        const uint64_t bit = uint64_t(1) << rng->NextBounded(n);
+        if (mask & bit) continue;
+        mask |= bit;
+        ++picked;
+      }
+      FaultEvent ev;
+      ev.at_us = static_cast<SimTime>(t_us);
+      ev.kind = FaultKind::kGroupPartition;
+      ev.target = mask;
+      ev.param = static_cast<uint64_t>(config.group_partition_heal_after_us);
+      out->push_back(ev);
+      FaultEvent heal;
+      heal.at_us = ev.at_us + config.group_partition_heal_after_us;
+      heal.kind = FaultKind::kGroupHeal;
+      heal.target = mask;
+      out->push_back(heal);
+    }
+  }
+  // Asymmetric link faults: a seeded ordered (from, to) pair.
+  if (config.link_loss_per_s > 0.0 && config.num_cluster_nodes >= 2 && h > 0) {
+    const uint64_t n = config.num_cluster_nodes;
+    double t_us = 0.0;
+    while (true) {
+      t_us += rng->NextExponential(config.link_loss_per_s / double(kSecond));
+      if (t_us >= double(h)) break;
+      const uint32_t from = static_cast<uint32_t>(rng->NextBounded(n));
+      const uint32_t to = static_cast<uint32_t>(
+          (from + 1 + rng->NextBounded(n - 1)) % n);
+      FaultEvent ev;
+      ev.at_us = static_cast<SimTime>(t_us);
+      ev.kind = FaultKind::kLinkLoss;
+      ev.target = PackLink(from, to);
+      ev.param = static_cast<uint64_t>(config.link_restore_after_us);
+      out->push_back(ev);
+      FaultEvent restore;
+      restore.at_us = ev.at_us + config.link_restore_after_us;
+      restore.kind = FaultKind::kLinkRestore;
+      restore.target = ev.target;
+      out->push_back(restore);
+    }
+  }
   // Network-delay events carry the spike size, not a recovery delay.
   for (auto& ev : *out) {
     if (ev.kind == FaultKind::kNetworkDelay) {

@@ -35,7 +35,24 @@ enum class FaultKind {
   kMessageDuplicate,   ///< arm: duplicate the next published message.
   kStepRedeliver,      ///< orchestrator: re-deliver a completed step
                        ///< (at-least-once duplicate; idempotency must dedupe).
+  kGroupPartition,     ///< target = minority-node bitmask; param = heal
+                       ///< delay (us). Symmetric split at the transport.
+  kGroupHeal,          ///< target = the bitmask of the matching partition.
+  kLinkLoss,           ///< target = (from << 32) | to; param = restore
+                       ///< delay (us). Asymmetric: only from -> to drops.
+  kLinkRestore,        ///< target = (from << 32) | to.
 };
+
+/// Packs a directed link fault target for kLinkLoss / kLinkRestore.
+constexpr uint64_t PackLink(uint32_t from, uint32_t to) {
+  return (uint64_t(from) << 32) | to;
+}
+constexpr uint32_t LinkFrom(uint64_t target) {
+  return static_cast<uint32_t>(target >> 32);
+}
+constexpr uint32_t LinkTo(uint64_t target) {
+  return static_cast<uint32_t>(target);
+}
 
 std::string_view FaultKindName(FaultKind kind);
 
@@ -82,6 +99,21 @@ struct FaultPlanConfig {
   double message_duplicate_per_s = 0.0;
 
   double step_redeliver_per_s = 0.0;
+
+  /// Symmetric network partitions at the cluster transport (E25). Each
+  /// event splits `num_cluster_nodes` into a seeded minority group of
+  /// 1..num_cluster_nodes/2 nodes (encoded as the event's target bitmask)
+  /// and the rest; a paired kGroupHeal lands `group_partition_heal_after_us`
+  /// later. Requires num_cluster_nodes in [2, 64].
+  double group_partition_per_s = 0.0;
+  SimDuration group_partition_heal_after_us = 2 * kSecond;
+  size_t num_cluster_nodes = 0;
+
+  /// Asymmetric link faults: a seeded ordered pair (from, to) of distinct
+  /// cluster nodes loses from -> to traffic until the paired kLinkRestore
+  /// `link_restore_after_us` later.
+  double link_loss_per_s = 0.0;
+  SimDuration link_restore_after_us = 1 * kSecond;
 };
 
 /// A materialized, time-sorted fault schedule.

@@ -5,6 +5,15 @@
 
 namespace taureau::chaos {
 
+void FaultLog::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ == 0) return;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+}
+
 size_t FaultLog::injected_count() const {
   return static_cast<size_t>(
       std::count_if(records_.begin(), records_.end(),
@@ -103,12 +112,15 @@ void InjectorRegistry::Inject(const FaultEvent& event) {
       case FaultKind::kBookieCrash:
       case FaultKind::kMemoryNodeFail:
       case FaultKind::kNetworkPartition:
+      case FaultKind::kGroupPartition:
         sev = "error";
         break;
       case FaultKind::kMachineRestart:
       case FaultKind::kPartitionHeal:
       case FaultKind::kBookieRecover:
       case FaultKind::kMemoryNodeRecover:
+      case FaultKind::kGroupHeal:
+      case FaultKind::kLinkRestore:
         sev = "info";
         break;
       default:

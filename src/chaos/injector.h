@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -37,13 +38,31 @@ struct FaultRecord {
   bool operator==(const FaultRecord&) const = default;
 };
 
-/// Append-only record of everything chaos did and everything the platform
-/// did about it. Two runs with the same seed must produce equal logs.
+/// Record of everything chaos did and everything the platform did about
+/// it. Two runs with the same seed must produce equal logs.
+///
+/// Unbounded by default (tests assert full ledgers); long churn runs
+/// (E25's membership sweeps) call set_capacity() to turn it into a ring
+/// buffer that keeps the newest `capacity` records and counts what it
+/// dropped, so chaos bookkeeping cannot grow memory without bound.
 class FaultLog {
  public:
-  void Record(FaultRecord record) { records_.push_back(std::move(record)); }
+  void Record(FaultRecord record) {
+    if (capacity_ > 0 && records_.size() == capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+    records_.push_back(std::move(record));
+  }
 
-  const std::vector<FaultRecord>& records() const { return records_; }
+  /// 0 (the default) = unbounded. Shrinking below the current size drops
+  /// the oldest surplus records immediately.
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+  /// Records evicted by the ring bound since construction.
+  uint64_t dropped() const { return dropped_; }
+
+  const std::deque<FaultRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }
 
   size_t injected_count() const;
@@ -57,7 +76,9 @@ class FaultLog {
   bool operator==(const FaultLog&) const = default;
 
  private:
-  std::vector<FaultRecord> records_;
+  std::deque<FaultRecord> records_;
+  size_t capacity_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 /// Hook + dispatch registry. One per experiment; modules attach to it.

@@ -282,6 +282,38 @@ void Cluster::AttachChaos(chaos::InjectorRegistry* registry) {
       });
 }
 
+void Cluster::AttachMembership(membership::ControlPlane* cp,
+                               std::vector<membership::NodeId> node_of_machine) {
+  node_of_machine_ = std::move(node_of_machine);
+  cp->OnNodeDead("cluster",
+                 [this](membership::NodeId dead, uint64_t) {
+                   membership::RehomeAction action;
+                   for (MachineId m = 0; m < machines_.size() &&
+                                         m < node_of_machine_.size();
+                        ++m) {
+                     if (node_of_machine_[m] != dead) continue;
+                     if (PartitionMachine(m).ok()) ++action.moved;
+                   }
+                   action.detail = "partitioned " +
+                                   std::to_string(action.moved) + " machines";
+                   return action;
+                 });
+  cp->OnNodeRejoin("cluster",
+                   [this](membership::NodeId rejoined, uint64_t) {
+                     membership::RehomeAction action;
+                     for (MachineId m = 0; m < machines_.size() &&
+                                           m < node_of_machine_.size();
+                          ++m) {
+                       if (node_of_machine_[m] != rejoined) continue;
+                       if (HealPartition(m).ok()) ++action.moved;
+                     }
+                     action.detail = "healed " +
+                                     std::to_string(action.moved) +
+                                     " machines";
+                     return action;
+                   });
+}
+
 Money Cluster::ReservedCost(size_t n, SimDuration duration) const {
   // Round to integer machine-microseconds to stay exact: price/hour * usec.
   const int64_t nano_per_hour = machine_hour_price_.nano_dollars();

@@ -14,6 +14,7 @@
 
 #include "chaos/injector.h"
 #include "cluster/machine.h"
+#include "membership/control_plane.h"
 #include "common/money.h"
 #include "common/status.h"
 #include "common/time_types.h"
@@ -113,6 +114,13 @@ class Cluster {
   /// "cluster" module. Restart and heal actions are logged as recoveries.
   void AttachChaos(chaos::InjectorRegistry* registry);
 
+  /// Drives machine reachability from cluster membership (E25): a machine
+  /// whose cluster node the membership service declares dead is
+  /// partitioned (keeps its units, takes no placements) and healed on
+  /// rejoin. `node_of_machine[i]` is machine i's cluster node.
+  void AttachMembership(membership::ControlPlane* cp,
+                        std::vector<membership::NodeId> node_of_machine);
+
  private:
   /// Returns the chosen machine index or -1. When `sole_tenant` is
   /// non-null, only machines empty or fully owned by *sole_tenant qualify.
@@ -127,6 +135,7 @@ class Cluster {
   std::unordered_map<UnitId, MachineId> unit_to_machine_;
   Money machine_hour_price_;
   UnitId next_unit_id_ = 1;
+  std::vector<membership::NodeId> node_of_machine_;
 };
 
 }  // namespace taureau::cluster

@@ -21,8 +21,15 @@ void Guard::BindMetrics() {
   h_.hedge_cancelled = registry_->ResolveCounter("guard.hedge_cancelled");
   h_.hedge_deduped = registry_->ResolveCounter("guard.hedge_deduped");
   h_.retry_tokens = registry_->ResolveGauge("guard.retry_tokens");
+  h_.epoch = registry_->ResolveGauge("guard.epoch");
   h_.hedge_wasted = registry_->ResolveHistogram("guard.hedge_wasted_us");
   h_.retry_tokens.Set(retry_budget_.tokens());
+  if (epoch_provider_) h_.epoch.Set(double(epoch_provider_()));
+}
+
+void Guard::SetEpochProvider(std::function<uint64_t()> provider) {
+  epoch_provider_ = std::move(provider);
+  if (epoch_provider_) h_.epoch.Set(double(epoch_provider_()));
 }
 
 void Guard::AttachObservability(obs::Observability* o) {
@@ -55,13 +62,18 @@ void Guard::RecordDeadlineExceeded(const std::string& module,
 
 void Guard::RecordRetryDecision(const std::string& module, bool granted,
                                 obs::TraceContext parent, SimTime now) {
+  const uint64_t epoch = epoch_provider_ ? epoch_provider_() : 0;
   if (granted) {
     h_.retries_granted.Inc();
   } else {
     h_.retries_denied.Inc();
-    EmitGuardSpan("retry-budget-exhausted", module, parent, now, now, {});
+    std::vector<std::pair<std::string, std::string>> attrs;
+    if (epoch_provider_) attrs.emplace_back("epoch", std::to_string(epoch));
+    EmitGuardSpan("retry-budget-exhausted", module, parent, now, now,
+                  std::move(attrs));
   }
   h_.retry_tokens.Set(retry_budget_.tokens());
+  if (epoch_provider_) h_.epoch.Set(double(epoch));
 }
 
 void Guard::RecordHedgeLaunched() { h_.hedges_launched.Inc(); }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,6 +69,12 @@ class Guard {
   void AttachObservability(obs::Observability* o);
   obs::Observability* observability() const { return obs_; }
   obs::Registry& registry() { return *registry_; }
+
+  /// Tags retry-budget state with the cluster's membership epoch (E25):
+  /// every retry decision samples the provider into "guard.epoch" and adds
+  /// an "epoch" attr to denial spans, so budget exhaustion can be
+  /// correlated with membership churn.
+  void SetEpochProvider(std::function<uint64_t()> provider);
 
   // ---- decision recording -------------------------------------------------
   // Each Record* bumps the matching counter and, when tracing is attached
@@ -133,9 +140,11 @@ class Guard {
     obs::CounterHandle hedge_cancelled;
     obs::CounterHandle hedge_deduped;
     obs::GaugeHandle retry_tokens;
+    obs::GaugeHandle epoch;
     obs::HistogramHandle hedge_wasted;
   };
   MetricHandles h_;
+  std::function<uint64_t()> epoch_provider_;
 };
 
 }  // namespace taureau::guard

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace taureau::jiffy {
 
 JiffyController::JiffyController(sim::Simulation* sim, JiffyConfig config)
@@ -102,6 +104,7 @@ Status JiffyController::CreateNamespace(const std::string& raw_path,
       ns.lease_expiry_us = lease < 0 ? 0 : sim_->Now() + lease;
       namespaces_.emplace(prefix, std::move(ns));
       ++stats_.namespaces_created;
+      RegisterNamespaceLease(prefix);
     }
     if (next == std::string::npos) break;
     pos = next + 1;
@@ -150,6 +153,9 @@ Status JiffyController::RemoveSubtree(const std::string& path,
       ++stats_.notifications_sent;
     }
     ++stats_.namespaces_removed;
+    for (auto& [cp, actuate] : planes_) {
+      cp->RemoveLease(NamespaceKey(it->first));
+    }
     it = namespaces_.erase(it);
   }
   return Status::OK();
@@ -317,22 +323,8 @@ void JiffyController::AttachChaos(chaos::InjectorRegistry* registry) {
         const uint32_t node =
             static_cast<uint32_t>(e.target % pool_.node_count());
         if (!pool_.FailNode(node).ok()) return;
-        // Re-home every structure's blocks off the failed node; namespaces
-        // and structures iterate in sorted order so the repair sequence is
-        // deterministic.
-        size_t moved = 0;
         bool exhausted = false;
-        for (auto& [path, ns] : namespaces_) {
-          for (auto& [name, structure] : ns.structures) {
-            auto r = structure->RepairBlocks();
-            if (r.ok()) {
-              moved += *r;
-            } else {
-              exhausted = true;
-            }
-          }
-        }
-        stats_.blocks_rehomed += moved;
+        const size_t moved = RehomeAllBlocks(&exhausted);
         if (!exhausted) {
           registry->RecordRecovery("jiffy", FaultKind::kMemoryNodeFail, node,
                                    "re-homed " + std::to_string(moved) +
@@ -345,6 +337,108 @@ void JiffyController::AttachChaos(chaos::InjectorRegistry* registry) {
         if (pool_.node_count() == 0) return;
         pool_.RecoverNode(static_cast<uint32_t>(e.target % pool_.node_count()));
       });
+}
+
+size_t JiffyController::RehomeAllBlocks(bool* exhausted) {
+  // Namespaces and structures iterate in sorted order so the repair
+  // sequence is deterministic.
+  size_t moved = 0;
+  for (auto& [path, ns] : namespaces_) {
+    for (auto& [name, structure] : ns.structures) {
+      auto r = structure->RepairBlocks();
+      if (r.ok()) {
+        moved += *r;
+      } else if (exhausted != nullptr) {
+        *exhausted = true;
+      }
+    }
+  }
+  stats_.blocks_rehomed += moved;
+  return moved;
+}
+
+uint64_t JiffyController::NamespaceKey(const std::string& path) {
+  return membership::MakeOwnershipKey(
+      membership::OwnershipDomain::kJiffyNamespace, Fnv1a64(path));
+}
+
+membership::NodeId JiffyController::PrimaryNodeOf(
+    const std::string& path) const {
+  if (node_map_.node_of_memory_node.empty()) return node_map_.controller_node;
+  const size_t mn = Fnv1a64(path) % node_map_.node_of_memory_node.size();
+  return node_map_.node_of_memory_node[mn];
+}
+
+void JiffyController::RegisterNamespaceLease(const std::string& path) {
+  for (auto& [cp, actuate] : planes_) {
+    cp->RegisterLease("jiffy", NamespaceKey(path), PrimaryNodeOf(path));
+  }
+}
+
+void JiffyController::AttachMembership(membership::ControlPlane* cp,
+                                       JiffyNodeMap map, bool actuate) {
+  node_map_ = std::move(map);
+  planes_.emplace_back(cp, actuate);
+  for (const auto& [path, ns] : namespaces_) {
+    cp->RegisterLease("jiffy", NamespaceKey(path), PrimaryNodeOf(path));
+  }
+  cp->SetReassign(
+      "jiffy", [this, cp](uint64_t /*key*/, membership::NodeId dead) {
+        // New primary: first memory node on a reachable, non-dead cluster
+        // node (deterministic scan order).
+        membership::ClusterTransport* t = cp->membership()->transport();
+        for (const membership::NodeId node : node_map_.node_of_memory_node) {
+          if (node == dead) continue;
+          if (t != nullptr && !t->Reachable(cp->self(), node)) continue;
+          return node;
+        }
+        return membership::kNoNode;
+      });
+  cp->OnNodeDead("jiffy",
+                 [this, cp, actuate](membership::NodeId dead, uint64_t) {
+                   return MembershipDead(cp, actuate, dead);
+                 });
+  cp->OnNodeRejoin("jiffy",
+                   [this, actuate](membership::NodeId node, uint64_t) {
+                     return MembershipRejoin(actuate, node);
+                   });
+}
+
+membership::RehomeAction JiffyController::MembershipDead(
+    membership::ControlPlane* /*cp*/, bool actuate, membership::NodeId dead) {
+  membership::RehomeAction action;
+  if (!actuate) {
+    action.detail = "metadata-only replica";
+    return action;
+  }
+  bool failed_any = false;
+  for (uint32_t mn = 0; mn < node_map_.node_of_memory_node.size() &&
+                        mn < pool_.node_count();
+       ++mn) {
+    if (node_map_.node_of_memory_node[mn] != dead) continue;
+    if (pool_.FailNode(mn).ok()) failed_any = true;
+  }
+  if (failed_any) action.moved = RehomeAllBlocks(nullptr);
+  action.detail = "re-homed " + std::to_string(action.moved) + " blocks";
+  return action;
+}
+
+membership::RehomeAction JiffyController::MembershipRejoin(
+    bool actuate, membership::NodeId rejoined) {
+  membership::RehomeAction action;
+  if (!actuate) {
+    action.detail = "metadata-only replica";
+    return action;
+  }
+  for (uint32_t mn = 0; mn < node_map_.node_of_memory_node.size() &&
+                        mn < pool_.node_count();
+       ++mn) {
+    if (node_map_.node_of_memory_node[mn] != rejoined) continue;
+    if (pool_.RecoverNode(mn).ok()) ++action.moved;
+  }
+  action.detail =
+      "recovered " + std::to_string(action.moved) + " memory nodes";
+  return action;
 }
 
 }  // namespace taureau::jiffy

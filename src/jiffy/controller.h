@@ -23,6 +23,7 @@
 #include "guard/guard.h"
 #include "jiffy/data_structures.h"
 #include "jiffy/memory_pool.h"
+#include "membership/control_plane.h"
 #include "sim/simulation.h"
 
 namespace taureau::jiffy {
@@ -48,6 +49,12 @@ struct JiffyConfig {
 /// Notification callback: (event, namespace path).
 using NotificationCallback =
     std::function<void(const std::string& event, const std::string& path)>;
+
+/// Placement of Jiffy memory nodes on cluster nodes (E25).
+struct JiffyNodeMap {
+  std::vector<membership::NodeId> node_of_memory_node;
+  membership::NodeId controller_node = 0;
+};
 
 struct ControllerStats {
   uint64_t namespaces_created = 0;
@@ -127,6 +134,19 @@ class JiffyController {
   void AttachGuard(guard::Guard* g) { guard_ = g; }
   const guard::AdmissionController& admission() const { return admission_; }
 
+  /// Drives block placement from cluster membership (E25): a node the
+  /// membership service declares dead has its memory nodes failed and
+  /// every structure's blocks re-homed; namespace primaries become
+  /// control-plane leases (hash-placed on memory nodes) that re-assign on
+  /// death and reconcile after heal. Only a replica attached with
+  /// `actuate` touches the pool; a metadata-only replica claims ownership
+  /// without moving blocks.
+  void AttachMembership(membership::ControlPlane* cp, JiffyNodeMap map,
+                        bool actuate = true);
+
+  /// Namespace-primary ownership key (exposed for tests/bench asserts).
+  static uint64_t NamespaceKey(const std::string& path);
+
   MemoryPool& pool() { return pool_; }
   const ControllerStats& stats() const { return stats_; }
   size_t namespace_count() const { return namespaces_.size(); }
@@ -153,6 +173,18 @@ class JiffyController {
   Status RemoveSubtree(const std::string& path, const std::string& event);
   bool LeaseScanTick();
 
+  /// Re-homes every structure's blocks off failed nodes; returns blocks
+  /// moved (shared by the chaos hook and the membership dead handler).
+  size_t RehomeAllBlocks(bool* exhausted);
+  /// Cluster node hosting the namespace's primary memory node.
+  membership::NodeId PrimaryNodeOf(const std::string& path) const;
+  void RegisterNamespaceLease(const std::string& path);
+  membership::RehomeAction MembershipDead(membership::ControlPlane* cp,
+                                          bool actuate,
+                                          membership::NodeId dead);
+  membership::RehomeAction MembershipRejoin(bool actuate,
+                                            membership::NodeId rejoined);
+
   template <typename T>
   Result<T*> GetTyped(const std::string& path, const std::string& name);
 
@@ -166,6 +198,9 @@ class JiffyController {
   obs::Observability* obs_ = nullptr;
   guard::AdmissionController admission_;
   guard::Guard* guard_ = nullptr;
+  JiffyNodeMap node_map_;
+  /// Control-plane replicas attached via AttachMembership.
+  std::vector<std::pair<membership::ControlPlane*, bool>> planes_;
 };
 
 }  // namespace taureau::jiffy

@@ -1,0 +1,104 @@
+#include "membership/transport.h"
+
+namespace taureau::membership {
+
+ClusterTransport::ClusterTransport(size_t num_nodes)
+    : side_(num_nodes, 0) {}
+
+void ClusterTransport::PartitionGroups(uint64_t minority_mask) {
+  size_t minority = 0;
+  for (size_t i = 0; i < side_.size(); ++i) {
+    const bool cut = i < 64 && ((minority_mask >> i) & 1) != 0;
+    side_[i] = cut ? 1 : 0;
+    if (cut) ++minority;
+  }
+  partitioned_ = minority > 0 && minority < side_.size();
+  if (!partitioned_) {
+    for (auto& s : side_) s = 0;
+    return;
+  }
+  ++stats_.partitions;
+}
+
+void ClusterTransport::Heal() {
+  if (!partitioned_) return;
+  partitioned_ = false;
+  for (auto& s : side_) s = 0;
+  ++stats_.heals;
+  for (const auto& fn : heal_listeners_) fn();
+}
+
+void ClusterTransport::AddHealListener(std::function<void()> fn) {
+  heal_listeners_.push_back(std::move(fn));
+}
+
+void ClusterTransport::CutLink(NodeId from, NodeId to) {
+  if (from == to || from >= side_.size() || to >= side_.size()) return;
+  if (cut_links_.insert({from, to}).second) ++stats_.links_cut;
+}
+
+void ClusterTransport::RestoreLink(NodeId from, NodeId to) {
+  if (cut_links_.erase({from, to}) > 0) ++stats_.links_restored;
+}
+
+void ClusterTransport::RestoreAllLinks() {
+  stats_.links_restored += cut_links_.size();
+  cut_links_.clear();
+}
+
+bool ClusterTransport::Reachable(NodeId from, NodeId to) const {
+  if (from >= side_.size() || to >= side_.size()) return false;
+  if (from == to) return true;
+  if (partitioned_ && side_[from] != side_[to]) {
+    ++stats_.blocked_queries;
+    return false;
+  }
+  if (!cut_links_.empty() && cut_links_.count({from, to}) > 0) {
+    ++stats_.blocked_queries;
+    return false;
+  }
+  return true;
+}
+
+size_t ClusterTransport::SideSize(NodeId node) const {
+  if (node >= side_.size()) return 0;
+  if (!partitioned_) return side_.size();
+  size_t n = 0;
+  for (uint8_t s : side_) {
+    if (s == side_[node]) ++n;
+  }
+  return n;
+}
+
+void ClusterTransport::AttachChaos(chaos::InjectorRegistry* registry) {
+  using chaos::FaultKind;
+  registry->RegisterHook("transport", FaultKind::kGroupPartition,
+                         [this](const chaos::FaultEvent& e) {
+                           PartitionGroups(e.target);
+                         });
+  registry->RegisterHook("transport", FaultKind::kGroupHeal,
+                         [this, registry](const chaos::FaultEvent& e) {
+                           if (!partitioned_) return;
+                           Heal();
+                           registry->RecordRecovery(
+                               "transport", FaultKind::kGroupHeal, e.target,
+                               "partition healed; metadata merge pending");
+                         });
+  registry->RegisterHook("transport", FaultKind::kLinkLoss,
+                         [this](const chaos::FaultEvent& e) {
+                           CutLink(chaos::LinkFrom(e.target),
+                                   chaos::LinkTo(e.target));
+                         });
+  registry->RegisterHook("transport", FaultKind::kLinkRestore,
+                         [this, registry](const chaos::FaultEvent& e) {
+                           const NodeId from = chaos::LinkFrom(e.target);
+                           const NodeId to = chaos::LinkTo(e.target);
+                           if (cut_links_.count({from, to}) == 0) return;
+                           RestoreLink(from, to);
+                           registry->RecordRecovery(
+                               "transport", FaultKind::kLinkRestore, e.target,
+                               "asymmetric link restored");
+                         });
+}
+
+}  // namespace taureau::membership

@@ -1,0 +1,92 @@
+// The cluster transport: one shared reachability model every layer
+// consults before a cross-node interaction.
+//
+// Chaos (E20) could kill machines but never *partition the network* —
+// faults landed directly in each module, so a machine was either up
+// everywhere or down everywhere. The transport makes connectivity a
+// first-class, independently-faultable layer: membership heartbeats,
+// pubsub publishes and bookie appends, and Jiffy block placement all ask
+// `Reachable(from, to)` and see the *same* injected partition.
+//
+// Two fault classes (both plannable via chaos::FaultPlan, see
+// AttachChaos):
+//  - symmetric partitions: the node set splits into two groups; traffic
+//    crosses the cut in neither direction until Heal();
+//  - asymmetric link faults: messages from -> to are lost while to -> from
+//    still flows — the half-open links that make failure detection hard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "chaos/injector.h"
+#include "membership/vclock.h"
+
+namespace taureau::membership {
+
+struct TransportStats {
+  uint64_t partitions = 0;       ///< Symmetric partitions injected.
+  uint64_t heals = 0;            ///< Symmetric partitions healed.
+  uint64_t links_cut = 0;        ///< Asymmetric link faults injected.
+  uint64_t links_restored = 0;   ///< Asymmetric link faults repaired.
+  uint64_t blocked_queries = 0;  ///< Reachable() calls answered "no".
+};
+
+class ClusterTransport {
+ public:
+  explicit ClusterTransport(size_t num_nodes);
+
+  size_t node_count() const { return side_.size(); }
+
+  /// Splits the cluster symmetrically: nodes whose bit is set in
+  /// `minority_mask` land on side 1, the rest stay on side 0. Bits beyond
+  /// node_count() are ignored; an empty or all-node mask is a no-op (no
+  /// cut exists). Calling while already partitioned replaces the split.
+  void PartitionGroups(uint64_t minority_mask);
+
+  /// Removes the symmetric partition (asymmetric link faults persist).
+  void Heal();
+
+  /// Registers a callback invoked the moment Heal() removes a symmetric
+  /// partition. Anti-entropy layers hook this to exchange state as soon
+  /// as connectivity returns — before either side's gossip rumors (a
+  /// minority still believing the majority dead, and vice versa) can
+  /// repaint the divergent metadata the heal is supposed to expose.
+  void AddHealListener(std::function<void()> fn);
+
+  /// Cuts the directed link from -> to. Self-links are ignored.
+  void CutLink(NodeId from, NodeId to);
+  void RestoreLink(NodeId from, NodeId to);
+  void RestoreAllLinks();
+
+  /// True when a message from -> to would arrive right now. Counted, so
+  /// experiments can report how much traffic the partition refused.
+  bool Reachable(NodeId from, NodeId to) const;
+
+  bool partitioned() const { return partitioned_; }
+  /// Side assignment of each node (all zero when healed).
+  const std::vector<uint8_t>& sides() const { return side_; }
+  /// Nodes on the same side as `node` (including itself).
+  size_t SideSize(NodeId node) const;
+  size_t cut_link_count() const { return cut_links_.size(); }
+
+  const TransportStats& stats() const { return stats_; }
+
+  /// Registers kGroupPartition / kGroupHeal / kLinkLoss / kLinkRestore
+  /// hooks under the "transport" module, making partitions plannable
+  /// exactly like crashes. Heal and restore actions are logged as
+  /// recoveries.
+  void AttachChaos(chaos::InjectorRegistry* registry);
+
+ private:
+  bool partitioned_ = false;
+  std::vector<uint8_t> side_;  ///< 0 or 1 per node; all 0 when healed.
+  std::vector<std::function<void()>> heal_listeners_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
+  mutable TransportStats stats_;
+};
+
+}  // namespace taureau::membership

@@ -51,6 +51,15 @@ Status Bookie::Erase(LedgerId ledger) {
   return Status::OK();
 }
 
+uint64_t Bookie::CountLedger(LedgerId ledger) const {
+  uint64_t n = 0;
+  for (auto it = entries_.lower_bound({ledger, 0});
+       it != entries_.end() && it->first.first == ledger; ++it) {
+    ++n;
+  }
+  return n;
+}
+
 Ledger::Ledger(LedgerId id, std::vector<BookieId> ensemble,
                uint32_t write_quorum, uint32_t ack_quorum)
     : id_(id),
@@ -63,6 +72,53 @@ BookKeeper::BookKeeper(size_t num_bookies, uint64_t seed) : rng_(seed) {
   for (size_t i = 0; i < num_bookies; ++i) {
     bookies_.push_back(std::make_unique<Bookie>(static_cast<BookieId>(i)));
   }
+}
+
+bool BookKeeper::Usable(BookieId id) const {
+  if (id >= bookies_.size() || !bookies_[id]->alive()) return false;
+  if (quarantined_.count(id) > 0) return false;
+  return usable_ == nullptr || usable_(id);
+}
+
+void BookKeeper::SetUsable(std::function<bool(BookieId)> usable) {
+  usable_ = std::move(usable);
+}
+
+Status BookKeeper::UnquarantineBookie(BookieId id) {
+  if (id >= bookies_.size()) {
+    return Status::NotFound("bookie " + std::to_string(id));
+  }
+  quarantined_.erase(id);
+  return Status::OK();
+}
+
+Result<size_t> BookKeeper::RepairLedgersFor(BookieId target, SimTime now) {
+  if (target >= bookies_.size()) {
+    return Status::NotFound("bookie " + std::to_string(target));
+  }
+  QuarantineBookie(target);
+  size_t copied = 0;
+  for (auto& [lid, ledger] : ledgers_) {
+    auto r = RepairLedger(&ledger, now);
+    if (r.ok()) copied += *r;
+  }
+  return copied;
+}
+
+size_t BookKeeper::DropStaleReplicas(BookieId id) {
+  if (id >= bookies_.size()) return 0;
+  size_t dropped = 0;
+  for (const auto& [lid, ledger] : ledgers_) {
+    if (std::find(ledger.ensemble().begin(), ledger.ensemble().end(), id) !=
+        ledger.ensemble().end()) {
+      continue;
+    }
+    const uint64_t stale = bookies_[id]->CountLedger(lid);
+    if (stale == 0) continue;
+    bookies_[id]->Erase(lid);
+    dropped += stale;
+  }
+  return dropped;
 }
 
 size_t BookKeeper::live_bookie_count() const {
@@ -81,7 +137,7 @@ Result<LedgerId> BookKeeper::CreateLedger(uint32_t ensemble_size,
   }
   std::vector<BookieId> live;
   for (const auto& b : bookies_) {
-    if (b->alive()) live.push_back(b->id());
+    if (Usable(b->id())) live.push_back(b->id());
   }
   if (live.size() < ensemble_size) {
     return Status::ResourceExhausted("only " + std::to_string(live.size()) +
@@ -98,11 +154,11 @@ Result<LedgerId> BookKeeper::CreateLedger(uint32_t ensemble_size,
 
 Status BookKeeper::HealEnsemble(Ledger* ledger) {
   for (BookieId& member : ledger->ensemble_) {
-    if (bookies_[member]->alive()) continue;
-    // Find a live replacement not already in the ensemble.
+    if (Usable(member)) continue;
+    // Find a usable replacement not already in the ensemble.
     bool replaced = false;
     for (const auto& b : bookies_) {
-      if (!b->alive()) continue;
+      if (!Usable(b->id())) continue;
       if (std::find(ledger->ensemble_.begin(), ledger->ensemble_.end(),
                     b->id()) != ledger->ensemble_.end()) {
         continue;
@@ -122,7 +178,7 @@ Result<size_t> BookKeeper::RepairLedger(Ledger* ledger, SimTime now) {
   if (ledger->offload_store_ != nullptr) return size_t{0};
   std::vector<size_t> dead_slots;
   for (size_t s = 0; s < ledger->ensemble_.size(); ++s) {
-    if (!bookies_[ledger->ensemble_[s]]->alive()) dead_slots.push_back(s);
+    if (!Usable(ledger->ensemble_[s])) dead_slots.push_back(s);
   }
   if (dead_slots.empty()) return size_t{0};
   TAU_RETURN_IF_ERROR(HealEnsemble(ledger));
@@ -224,13 +280,22 @@ Result<std::string> BookKeeper::Read(LedgerId ledger_id,
     if (!op.status.ok()) return op.status;
     return value;
   }
+  bool any_usable = false;
   for (uint32_t r = 0; r < ledger.write_quorum_; ++r) {
     const BookieId b =
         ledger.ensemble_[(entry + r) % ledger.ensemble_.size()];
+    if (!Usable(b)) continue;
     auto res = bookies_[b]->Read(ledger_id, entry);
     if (res.ok()) return res;
+    if (res.status().IsNotFound()) any_usable = true;
   }
-  return Status::Unavailable("no live replica of entry " +
+  if (any_usable) {
+    // A reachable replica answered: the entry is genuinely gone (trimmed
+    // or never written), not temporarily unreachable.
+    return Status::NotFound("entry " + std::to_string(entry) + " of ledger " +
+                            std::to_string(ledger_id));
+  }
+  return Status::Unavailable("no reachable replica of entry " +
                              std::to_string(entry) + " in ledger " +
                              std::to_string(ledger_id));
 }

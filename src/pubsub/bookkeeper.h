@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,9 @@ class Bookie {
 
   uint64_t entries_stored() const { return entries_.size(); }
   uint64_t bytes_stored() const { return bytes_; }
+
+  /// Entry replicas this bookie holds for one ledger.
+  uint64_t CountLedger(LedgerId ledger) const;
 
  private:
   BookieId id_;
@@ -147,12 +152,37 @@ class BookKeeper {
   /// replaced it keep their healed ensembles).
   Status RecoverBookie(BookieId id);
 
+  // ---- membership-driven operation (E25) --------------------------------
+  /// Extra usability gate consulted on top of liveness everywhere a bookie
+  /// is picked, written or read — e.g. "reachable over the
+  /// ClusterTransport from the current writer". nullptr clears the gate.
+  void SetUsable(std::function<bool(BookieId)> usable);
+
+  /// Excludes a bookie from ensembles/reads without touching its data —
+  /// how a partitioned (not crashed) bookie is treated until it rejoins.
+  void QuarantineBookie(BookieId id) { quarantined_.insert(id); }
+  Status UnquarantineBookie(BookieId id);
+  bool Quarantined(BookieId id) const { return quarantined_.count(id) > 0; }
+
+  /// Re-replicates every ledger away from `target`, quarantining it but
+  /// preserving its data (partition repair, unlike CrashBookie). Returns
+  /// entry replicas copied onto replacements.
+  Result<size_t> RepairLedgersFor(BookieId target, SimTime now);
+
+  /// Heal-time reconciliation: drops the replicas `id` still holds for
+  /// ledgers whose healed ensembles no longer include it. Returns entries
+  /// dropped (the stale-replica cleanup traffic).
+  size_t DropStaleReplicas(BookieId id);
+
   Bookie& bookie(BookieId id) { return *bookies_[id]; }
   size_t bookie_count() const { return bookies_.size(); }
   size_t live_bookie_count() const;
   size_t ledger_count() const { return ledgers_.size(); }
 
  private:
+  /// Alive, not quarantined, and passes the SetUsable gate.
+  bool Usable(BookieId id) const;
+
   /// Replaces crashed members of the ledger's ensemble with live bookies.
   Status HealEnsemble(Ledger* ledger);
 
@@ -164,6 +194,8 @@ class BookKeeper {
   std::map<LedgerId, Ledger> ledgers_;
   LedgerId next_ledger_ = 1;
   Rng rng_;
+  std::function<bool(BookieId)> usable_;
+  std::set<BookieId> quarantined_;
 };
 
 }  // namespace taureau::pubsub

@@ -117,7 +117,10 @@ Status PulsarCluster::CreateTopic(const std::string& topic,
     part.owner = static_cast<BrokerId>((topics_.size() + p) % brokers_.size());
     t.partitions.push_back(part);
   }
-  topics_.emplace(topic, std::move(t));
+  auto [it, _] = topics_.emplace(topic, std::move(t));
+  for (auto& [cp, actuate] : planes_) {
+    RegisterPartitionLeases(cp, &it->second);
+  }
   return Status::OK();
 }
 
@@ -186,18 +189,19 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
           : static_cast<uint32_t>(Fnv1a64(key) % t.partitions.size());
   Partition& part = t.partitions[pidx];
 
-  // Lazy broker failover: a crashed owner hands the partition to the next
-  // live broker (the "stateless broker" property — no data moves).
-  if (!brokers_[part.owner].alive) {
+  // Lazy broker failover: a crashed (or unreachable, with membership
+  // attached) owner hands the partition to the next usable broker (the
+  // "stateless broker" property — no data moves).
+  if (!BrokerUsable(part.owner)) {
     bool moved = false;
     for (const Broker& b : brokers_) {
-      if (b.alive) {
+      if (BrokerUsable(b.id)) {
         part.owner = b.id;
         moved = true;
         break;
       }
     }
-    if (!moved) return Status::Unavailable("no live broker");
+    if (!moved) return Status::Unavailable("no reachable live broker");
   }
 
   // Broker is a serial service device: queue + per-message processing.
@@ -231,9 +235,15 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   const SimTime start = std::max(now, broker.next_free_us);
   broker.next_free_us = start + proc;
 
+  // The append originates at the owning broker's node: the usability gate
+  // must see bookie reachability from there, not from the client.
+  if (transport_ != nullptr && part.owner < node_map_.broker_node.size()) {
+    origin_node_ = node_map_.broker_node[part.owner];
+  }
   auto appended = bookkeeper_.Append(
       part.ledger, EncodeEntry(key, replicated_from, payload),
       broker.next_free_us);
+  origin_node_ = node_map_.client_node;
   TAU_RETURN_IF_ERROR(appended.status());
 
   const MessageId id{pidx, part.ledger, appended->entry_id};
@@ -330,13 +340,27 @@ void PulsarCluster::DispatchFrom(Topic* topic, Subscription* sub,
                                  uint32_t partition, SimTime not_before) {
   Partition& part = topic->partitions[partition];
   while (sub->cursor[partition] < part.durable_upto) {
-    const uint64_t entry = sub->cursor[partition]++;
+    const uint64_t entry = sub->cursor[partition];
     ConsumerInfo* consumer = PickConsumer(sub);
     const MessageId id{partition, part.ledger, entry};
-    sub->unacked.emplace(id, true);
-    if (consumer == nullptr) continue;  // redelivered when one connects
+    if (consumer == nullptr) {
+      ++sub->cursor[partition];
+      sub->unacked.emplace(id, true);  // redelivered when one connects
+      continue;
+    }
     auto raw = bookkeeper_.Read(part.ledger, entry);
-    if (!raw.ok()) continue;
+    if (!raw.ok()) {
+      // Unavailable means every replica is temporarily unreachable (a
+      // partition, not data loss): hold the cursor so the acked entry is
+      // dispatched after repair/heal instead of silently skipped.
+      // Anything else (trimmed, deleted) is permanent: skip it.
+      if (raw.status().IsUnavailable()) break;
+      ++sub->cursor[partition];
+      sub->unacked.emplace(id, true);
+      continue;
+    }
+    ++sub->cursor[partition];
+    sub->unacked.emplace(id, true);
     Message msg;
     msg.id = id;
     DecodeEntry(*raw, &msg.key, &msg.replicated_from, &msg.payload);
@@ -522,6 +546,137 @@ Status PulsarCluster::RecoverBroker(BrokerId id) {
   brokers_[id].alive = true;
   brokers_[id].next_free_us = sim_->Now();
   return Status::OK();
+}
+
+bool PulsarCluster::BrokerUsable(BrokerId id) const {
+  const Broker& b = brokers_[id];
+  if (!b.alive) return false;
+  if (transport_ == nullptr || id >= node_map_.broker_node.size()) return true;
+  return transport_->Reachable(node_map_.client_node,
+                               node_map_.broker_node[id]);
+}
+
+void PulsarCluster::AttachMembership(membership::ClusterTransport* transport,
+                                     membership::ControlPlane* cp,
+                                     PulsarNodeMap map, bool actuate) {
+  transport_ = transport;
+  node_map_ = std::move(map);
+  origin_node_ = node_map_.client_node;
+  bookkeeper_.SetUsable([this](BookieId b) {
+    if (transport_ == nullptr || b >= node_map_.bookie_node.size()) return true;
+    return transport_->Reachable(origin_node_, node_map_.bookie_node[b]);
+  });
+  planes_.emplace_back(cp, actuate);
+  for (auto& [name, t] : topics_) RegisterPartitionLeases(cp, &t);
+  cp->SetReassign("pubsub",
+                  [this, cp, actuate](uint64_t key, membership::NodeId dead) {
+                    return ReassignPartition(cp, actuate, key, dead);
+                  });
+  cp->OnNodeDead("pubsub",
+                 [this, cp, actuate](membership::NodeId dead, uint64_t) {
+                   return HandleNodeDead(cp, actuate, dead);
+                 });
+  cp->OnNodeRejoin("pubsub",
+                   [this, cp, actuate](membership::NodeId node, uint64_t) {
+                     return HandleNodeRejoin(cp, actuate, node);
+                   });
+}
+
+void PulsarCluster::RegisterPartitionLeases(membership::ControlPlane* cp,
+                                            Topic* t) {
+  for (const Partition& p : t->partitions) {
+    const uint64_t key = membership::MakeOwnershipKey(
+        membership::OwnershipDomain::kPubsubPartition,
+        Fnv1a64(t->name + "#" + std::to_string(p.index)));
+    partition_keys_[key] = {t->name, p.index};
+    const membership::NodeId owner = p.owner < node_map_.broker_node.size()
+                                         ? node_map_.broker_node[p.owner]
+                                         : node_map_.client_node;
+    cp->RegisterLease("pubsub", key, owner);
+  }
+}
+
+membership::NodeId PulsarCluster::ReassignPartition(
+    membership::ControlPlane* cp, bool actuate, uint64_t key,
+    membership::NodeId dead) {
+  auto kit = partition_keys_.find(key);
+  if (kit == partition_keys_.end()) return membership::kNoNode;
+  auto tit = topics_.find(kit->second.first);
+  if (tit == topics_.end()) return membership::kNoNode;
+  Partition& part = tit->second.partitions[kit->second.second];
+  for (const Broker& b : brokers_) {
+    if (!b.alive) continue;
+    const membership::NodeId node = b.id < node_map_.broker_node.size()
+                                        ? node_map_.broker_node[b.id]
+                                        : node_map_.client_node;
+    if (node == dead) continue;
+    if (transport_ != nullptr && !transport_->Reachable(cp->self(), node)) {
+      continue;
+    }
+    if (actuate) part.owner = b.id;
+    return node;
+  }
+  return membership::kNoNode;
+}
+
+membership::RehomeAction PulsarCluster::HandleNodeDead(
+    membership::ControlPlane* cp, bool actuate, membership::NodeId dead) {
+  membership::RehomeAction action;
+  if (!actuate) {
+    action.detail = "metadata-only replica";
+    return action;
+  }
+  // Repairs copy over links reachable from the control plane's side; a
+  // partitioned bookie keeps its data (quarantine, not crash).
+  const membership::NodeId saved = origin_node_;
+  origin_node_ = cp->self();
+  for (BookieId b = 0;
+       b < node_map_.bookie_node.size() && b < bookkeeper_.bookie_count();
+       ++b) {
+    if (node_map_.bookie_node[b] != dead) continue;
+    auto copied = bookkeeper_.RepairLedgersFor(b, sim_->Now());
+    if (copied.ok()) action.moved += *copied;
+  }
+  origin_node_ = saved;
+  RedrivePending();
+  action.detail =
+      "re-replicated " + std::to_string(action.moved) + " entry replicas";
+  return action;
+}
+
+membership::RehomeAction PulsarCluster::HandleNodeRejoin(
+    membership::ControlPlane* /*cp*/, bool actuate,
+    membership::NodeId rejoined) {
+  membership::RehomeAction action;
+  if (!actuate) {
+    action.detail = "metadata-only replica";
+    return action;
+  }
+  for (BookieId b = 0;
+       b < node_map_.bookie_node.size() && b < bookkeeper_.bookie_count();
+       ++b) {
+    if (node_map_.bookie_node[b] != rejoined) continue;
+    bookkeeper_.UnquarantineBookie(b);
+    action.moved += bookkeeper_.DropStaleReplicas(b);
+  }
+  RedrivePending();
+  action.detail =
+      "dropped " + std::to_string(action.moved) + " stale replicas";
+  return action;
+}
+
+size_t PulsarCluster::RedrivePending() {
+  size_t advanced = 0;
+  for (auto& [name, t] : topics_) {
+    for (auto& [sname, sub] : t.subscriptions) {
+      for (uint32_t p = 0; p < t.partitions.size(); ++p) {
+        const uint64_t before = sub.cursor[p];
+        DispatchFrom(&t, &sub, p, sim_->Now());
+        if (sub.cursor[p] > before) ++advanced;
+      }
+    }
+  }
+  return advanced;
 }
 
 std::vector<size_t> PulsarCluster::BrokerLoad() const {

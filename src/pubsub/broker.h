@@ -24,6 +24,8 @@
 #include "guard/admission.h"
 #include "guard/deadline.h"
 #include "guard/guard.h"
+#include "membership/control_plane.h"
+#include "membership/transport.h"
 #include "obs/observability.h"
 #include "pubsub/bookkeeper.h"
 #include "pubsub/message.h"
@@ -83,6 +85,16 @@ struct PulsarMetrics {
 };
 
 using ConsumerCallback = std::function<void(const Message&)>;
+
+/// Placement of pubsub components on cluster nodes, for membership-driven
+/// operation (E25).
+struct PulsarNodeMap {
+  std::vector<membership::NodeId> broker_node;  ///< Per broker id.
+  std::vector<membership::NodeId> bookie_node;  ///< Per bookie id.
+  /// Node producers/consumers talk from; publishes must reach the owning
+  /// broker from here.
+  membership::NodeId client_node = 0;
+};
 
 /// The cluster facade: topic management, producers, consumers, functions
 /// workers all talk to this.
@@ -167,6 +179,25 @@ class PulsarCluster {
   /// Wires shed decisions into the guard's metrics and span stream.
   void AttachGuard(guard::Guard* g) { guard_ = g; }
   const guard::AdmissionController& admission() const { return admission_; }
+
+  // -------------------------------------------------------- membership
+  /// Drives the cluster from membership instead of the harness: publishes
+  /// only reach brokers/bookies the transport says are reachable from the
+  /// client's node, partition ownership becomes control-plane leases, and
+  /// dead/rejoin transitions trigger ledger re-replication away from
+  /// partitioned bookies (data preserved) and stale-replica cleanup after
+  /// heal. May be called once per control-plane replica; only a replica
+  /// attached with `actuate` moves physical state — a metadata-only
+  /// replica claims ownership without touching brokers or bookies (how
+  /// bench_e25 reproduces split-brain with quorum gating off).
+  void AttachMembership(membership::ClusterTransport* transport,
+                        membership::ControlPlane* cp, PulsarNodeMap map,
+                        bool actuate = true);
+
+  /// Re-drives dispatch stalled on unreachable replicas (called by the
+  /// control plane after repair/heal; harmless any time). Returns the
+  /// number of (subscription, partition) streams advanced.
+  size_t RedrivePending();
 
  private:
   struct Broker {
@@ -268,6 +299,31 @@ class PulsarCluster {
   uint32_t armed_duplicates_ = 0;  ///< Pending injected publish duplicates.
   guard::AdmissionController admission_;
   guard::Guard* guard_ = nullptr;
+
+  // ---- membership wiring (E25) ----
+  /// True when the broker is up AND reachable from the client's node.
+  bool BrokerUsable(BrokerId id) const;
+  void RegisterPartitionLeases(membership::ControlPlane* cp, Topic* t);
+  membership::NodeId ReassignPartition(membership::ControlPlane* cp,
+                                       bool actuate, uint64_t key,
+                                       membership::NodeId dead);
+  membership::RehomeAction HandleNodeDead(membership::ControlPlane* cp,
+                                          bool actuate,
+                                          membership::NodeId dead);
+  membership::RehomeAction HandleNodeRejoin(membership::ControlPlane* cp,
+                                            bool actuate,
+                                            membership::NodeId rejoined);
+
+  membership::ClusterTransport* transport_ = nullptr;
+  PulsarNodeMap node_map_;
+  /// Node the current bookie write/read originates from (the appending
+  /// broker during Publish, the control plane during repair); consulted by
+  /// the BookKeeper usability gate.
+  membership::NodeId origin_node_ = 0;
+  /// Control-plane replicas attached via AttachMembership.
+  std::vector<std::pair<membership::ControlPlane*, bool>> planes_;
+  /// Ownership-table key -> (topic, partition index).
+  std::map<uint64_t, std::pair<std::string, uint32_t>> partition_keys_;
 };
 
 std::string_view SubscriptionTypeName(SubscriptionType type);
