@@ -1,0 +1,27 @@
+#include "obs/shard_merge.h"
+
+#include "common/hash.h"
+
+namespace taureau::obs {
+
+std::string MergeShardExports(const std::vector<const Registry*>& shards,
+                              const std::vector<std::string>& span_exports) {
+  Registry aggregate;
+  for (const Registry* reg : shards) {
+    if (reg != nullptr) aggregate.MergeFrom(*reg);
+  }
+  std::string out = "== aggregate ==\n" + aggregate.ExportText();
+  for (size_t s = 0; s < shards.size(); ++s) {
+    out += "== shard " + std::to_string(s) + " ==\n";
+    if (shards[s] != nullptr) out += shards[s]->ExportText();
+    if (s < span_exports.size()) out += span_exports[s];
+  }
+  return out;
+}
+
+uint64_t ShardExportDigest(const std::vector<const Registry*>& shards,
+                           const std::vector<std::string>& span_exports) {
+  return Fnv1a64(MergeShardExports(shards, span_exports));
+}
+
+}  // namespace taureau::obs

@@ -1,0 +1,34 @@
+// Deterministic merge of per-shard telemetry (src/psim worlds).
+//
+// A sharded world keeps one obs::Registry (and optionally one Tracer) per
+// logical process so the record path stays single-threaded and allocation-
+// free. At the end of a run the shards' exports are folded into one
+// document in shard-index order: an aggregate section (counters summed,
+// gauges summed, histograms merged — Registry::MergeFrom semantics)
+// followed by one section per shard. Because every shard's export is
+// deterministic and the merge order is the shard index — never the thread
+// that happened to run the shard — the merged document is byte-identical
+// at 1 worker thread and at N. bench_e26_psim digests exactly this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace taureau::obs {
+
+/// Merged per-shard metric export: "== aggregate ==" (MergeFrom over all
+/// shards in index order) then "== shard <i> ==" sections. `span_exports`,
+/// when non-empty, must have one entry per registry and is appended to the
+/// matching shard section (tracer ExportText or any per-shard digest text).
+std::string MergeShardExports(const std::vector<const Registry*>& shards,
+                              const std::vector<std::string>& span_exports = {});
+
+/// FNV-1a digest of MergeShardExports — the value the differential harness
+/// compares between serial and parallel runs.
+uint64_t ShardExportDigest(const std::vector<const Registry*>& shards,
+                           const std::vector<std::string>& span_exports = {});
+
+}  // namespace taureau::obs

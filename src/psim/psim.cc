@@ -1,0 +1,224 @@
+#include "psim/psim.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace taureau::psim {
+
+bool ParallelSimulation::PostLater::operator()(const PostRecord& a,
+                                               const PostRecord& b) const {
+  // Min-heap over the global (time, source shard, post seq) rule.
+  if (a.when != b.when) return a.when > b.when;
+  if (a.src != b.src) return a.src > b.src;
+  return a.seq > b.seq;
+}
+
+ParallelSimulation::ParallelSimulation(const PsimConfig& config)
+    : lookahead_(std::max<SimDuration>(config.lookahead_us, 1)) {
+  const uint32_t shards = std::max<uint32_t>(config.shards, 1);
+  shards_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->outbox.resize(shards);
+    shards_.push_back(std::move(shard));
+  }
+  unsigned threads = config.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw != 0 ? hw : 1;
+  }
+  threads_ = std::min<unsigned>(std::max(threads, 1u), shards);
+  if (threads_ > 1) {
+    // The coordinator (the thread calling Run) doubles as worker 0, so the
+    // pool holds threads_ - 1 standing workers.
+    pool_.reserve(threads_ - 1);
+    for (unsigned t = 0; t + 1 < threads_; ++t) {
+      pool_.emplace_back([this] { WorkerMain(); });
+    }
+  }
+}
+
+ParallelSimulation::~ParallelSimulation() {
+  if (!pool_.empty()) {
+    stop_.store(true, std::memory_order_release);
+    epoch_ticket_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : pool_) t.join();
+  }
+}
+
+void ParallelSimulation::Post(ShardId src, ShardId dst, SimDuration delay,
+                              sim::Callback fn) {
+  Shard& from = *shards_[src];
+  if (delay < lookahead_) {
+    // Cross-shard communication cannot beat the minimum network latency
+    // the lookahead was mined from: clamp, and let the property tests see
+    // how often a workload tried.
+    delay = lookahead_;
+    ++from.posts_clamped;
+  }
+  const SimTime when = from.sim.Now() + delay;
+  from.outbox[dst].push_back(
+      PostRecord{when, src, from.post_seq++, std::move(fn)});
+}
+
+SimTime ParallelSimulation::NextEventTime() const {
+  SimTime t = sim::Simulation::kNoEventTime;
+  for (const auto& shard : shards_) {
+    t = std::min(t, shard->sim.next_event_time());
+    if (!shard->calendar.empty()) t = std::min(t, shard->calendar.front().when);
+  }
+  return t;
+}
+
+bool ParallelSimulation::OutboxesEmpty() const {
+  for (const auto& shard : shards_) {
+    if (!shard->calendar.empty()) return false;
+    for (const auto& box : shard->outbox) {
+      if (!box.empty()) return false;
+    }
+  }
+  return true;
+}
+
+bool ParallelSimulation::Drained() const {
+  return NextEventTime() == sim::Simulation::kNoEventTime && OutboxesEmpty();
+}
+
+uint64_t ParallelSimulation::events_fired() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.events_fired();
+  return total;
+}
+
+ParallelSimulation::Stats ParallelSimulation::stats() const {
+  Stats s;
+  s.epochs = epochs_;
+  s.cross_posts = cross_posts_;
+  for (const auto& shard : shards_) s.clamped_posts += shard->posts_clamped;
+  return s;
+}
+
+void ParallelSimulation::CollectOutboxes() {
+  // Move every source's fresh posts into the destination calendars. The
+  // calendar is a min-heap over the global (time, shard, seq) rule, so
+  // posts exchanged at *different* barriers still release in rule order —
+  // delivery order never encodes which epoch carried the message.
+  const uint32_t shards = num_shards();
+  for (uint32_t src = 0; src < shards; ++src) {
+    for (uint32_t dst = 0; dst < shards; ++dst) {
+      auto& box = shards_[src]->outbox[dst];
+      if (box.empty()) continue;
+      auto& calendar = shards_[dst]->calendar;
+      for (PostRecord& rec : box) {
+        calendar.push_back(std::move(rec));
+        std::push_heap(calendar.begin(), calendar.end(), PostLater{});
+      }
+      box.clear();
+    }
+  }
+}
+
+void ParallelSimulation::ReleaseCalendars(SimTime horizon) {
+  // Feed each shard every cross-shard event stamped inside the upcoming
+  // epoch window. Heap pops surface records in ascending (time, shard,
+  // seq) order; ScheduleBulkAt preserves that order among equal times, so
+  // the arrivals fire exactly in global rule order — after local events
+  // already queued at the same timestamp, before local events the epoch
+  // itself schedules there.
+  for (auto& shard : shards_) {
+    auto& calendar = shard->calendar;
+    if (calendar.empty() || calendar.front().when > horizon) continue;
+    std::vector<std::pair<SimTime, sim::Callback>> batch;
+    while (!calendar.empty() && calendar.front().when <= horizon) {
+      std::pop_heap(calendar.begin(), calendar.end(), PostLater{});
+      PostRecord rec = std::move(calendar.back());
+      calendar.pop_back();
+      batch.emplace_back(rec.when, std::move(rec.fn));
+    }
+    cross_posts_ += batch.size();
+    shard->sim.ScheduleBulkAt(std::move(batch));
+  }
+}
+
+void ParallelSimulation::DrainShardsForEpoch() {
+  const uint32_t shards = num_shards();
+  for (;;) {
+    const uint32_t s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (s >= shards) return;
+    shards_[s]->sim.RunUntil(horizon_);
+  }
+}
+
+void ParallelSimulation::WorkerMain() {
+  uint64_t seen = 0;
+  for (;;) {
+    // Spin briefly, then yield: epochs are microseconds apart in the hot
+    // phase and the pool must not oversleep the barrier cadence.
+    int spins = 0;
+    while (epoch_ticket_.load(std::memory_order_acquire) == seen) {
+      if (++spins > 4096) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    ++seen;
+    if (stop_.load(std::memory_order_acquire)) return;
+    DrainShardsForEpoch();
+    done_count_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ParallelSimulation::ExecuteEpoch(SimTime horizon) {
+  if (pool_.empty()) {
+    for (auto& shard : shards_) shard->sim.RunUntil(horizon);
+    return;
+  }
+  horizon_ = horizon;
+  next_shard_.store(0, std::memory_order_relaxed);
+  done_count_.store(0, std::memory_order_relaxed);
+  epoch_ticket_.fetch_add(1, std::memory_order_release);
+  DrainShardsForEpoch();  // The coordinator is worker 0.
+  const unsigned workers = unsigned(pool_.size());
+  int spins = 0;
+  while (done_count_.load(std::memory_order_acquire) < workers) {
+    if (++spins > 4096) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+uint64_t ParallelSimulation::RunEpochs(SimTime deadline) {
+  const uint64_t before = events_fired();
+  for (;;) {
+    // Barrier: gather the previous epoch's posts (and any setup-time
+    // posts) into the calendars, find the new global lower bound, then
+    // release every cross-shard event stamped inside the next window.
+    CollectOutboxes();
+    const SimTime t = NextEventTime();
+    if (t == sim::Simulation::kNoEventTime || t > deadline) break;
+    // Inclusive horizon T + L - 1: an event firing at any t' <= H can only
+    // post cross-shard work at t' + lookahead >= T + L > H, so every
+    // arrival gathered at the next barrier is still in every shard's
+    // future — no shard ever receives an event in its past.
+    const SimTime horizon = std::min(deadline, t + lookahead_ - 1);
+    ReleaseCalendars(horizon);
+    ExecuteEpoch(horizon);
+    ++epochs_;
+  }
+  return events_fired() - before;
+}
+
+uint64_t ParallelSimulation::Run() {
+  return RunEpochs(sim::Simulation::kNoEventTime - 1);
+}
+
+uint64_t ParallelSimulation::RunUntil(SimTime deadline) {
+  const uint64_t fired = RunEpochs(deadline);
+  // Match sim::Simulation::RunUntil: idle shards still observe the passage
+  // of time up to the deadline.
+  for (auto& shard : shards_) shard->sim.RunUntil(deadline);
+  return fired;
+}
+
+}  // namespace taureau::psim

@@ -4,9 +4,12 @@
 // runs on top of this kernel: components schedule callbacks at future
 // simulated times; the kernel executes them in deterministic (time, sequence)
 // order. The kernel is single-threaded — determinism and reproducibility are
-// what the experiments need, not wall-clock parallelism. (Wall-clock
+// what the experiments need, not wall-clock parallelism. Wall-clock
 // parallelism across *independent* Simulation instances is the sweep
-// runner's job — see bench/bench_util.h.)
+// runner's job (bench/bench_util.h); parallelism *within one world* is
+// src/psim's: a ParallelSimulation shards the world into logical processes,
+// each owning a private Simulation, and exchanges cross-shard event batches
+// at conservative-lookahead barrier epochs.
 //
 // Internals are built for the hot loop (see DESIGN.md "performance model"):
 //  - events live in a slab; a 4-ary heap of (time, seq, slot) entries orders
@@ -73,6 +76,16 @@ class Simulation {
 
   uint64_t events_fired() const { return events_fired_; }
   size_t pending_events() const { return heap_.size(); }
+
+  /// Returned by next_event_time() when the queue is empty.
+  static constexpr SimTime kNoEventTime = INT64_MAX;
+
+  /// Timestamp of the earliest pending event, or kNoEventTime when the
+  /// queue is empty. The epoch scheduler in src/psim uses this to compute
+  /// the global lower-bound T each barrier round.
+  SimTime next_event_time() const {
+    return heap_.empty() ? kNoEventTime : heap_[0].time;
+  }
 
  private:
   static constexpr uint32_t kNoPos = UINT32_MAX;

@@ -354,6 +354,41 @@ TEST(PeriodicProcessTest, StopRestartChurnReusesSlots) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST(SimulationTest, ScheduleBulkAtEmptyBatchIsANoOp) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.ScheduleBulkAt({});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.ScheduleBulkAt(std::vector<std::pair<SimTime, Callback>>{});
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 10);
+}
+
+TEST(SimulationTest, CancelWithIdFromDestroyedWorldIsSafeOnFreshWorld) {
+  // EventIds are world-local slot handles; an id minted by a world that no
+  // longer exists must never cancel (or corrupt) anything in a new world.
+  // The defined-safe case is a fresh world whose slab has not yet grown to
+  // cover the old id's slot: Cancel sees the out-of-range slot and returns
+  // false.
+  EventId stale = 0;
+  {
+    Simulation old_world;
+    for (int i = 0; i < 8; ++i) old_world.Schedule(i, [] {});
+    stale = old_world.Schedule(99, [] {});
+    old_world.Run();
+  }
+  Simulation fresh;
+  EXPECT_FALSE(fresh.Cancel(stale));
+  int fired = 0;
+  sim::EventId live = fresh.Schedule(5, [&] { ++fired; });
+  EXPECT_FALSE(fresh.Cancel(stale));  // Still stale with a live slab.
+  fresh.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(fresh.Cancel(live));  // Fired ids stay dead, as ever.
+}
+
 TEST(PeriodicProcessTest, StartIsIdempotent) {
   Simulation sim;
   int ticks = 0;
