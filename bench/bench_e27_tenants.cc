@@ -1,0 +1,433 @@
+// E27 — per-tenant dimensional telemetry: labeled metric series, tenant-
+// scoped SLO burn rates behind a bounded-cardinality guard, and heavy-
+// hitter attribution that stays byte-deterministic across psim shards.
+//
+// The workload is a 4-cell sharded world serving thousands of tenants with
+// Zipf popularity. Every request increments a per-tenant labeled counter
+// ("app.requests{shard=...,tenant=...}", handles pre-resolved at setup)
+// and scores a per-tenant SLO objective (top-K exact tracks, long tail in
+// __other__ via the SpaceSaving popularity sketch). 20% of requests are
+// cross-cell calls that record on the destination shard after the mined
+// lookahead. Midway through the day, ONE tenant launches a retry storm
+// (bursts of failing calls, a third of them cross-shard).
+//
+// In-binary assertions (all must hold for `acceptance: PASS`):
+//   - per_tenant_identical: the merged labeled exports + per-shard SLO
+//     exports are byte-identical between threads=1 and threads=4.
+//   - storm_isolated: on every shard, the storm tenant's burn-rate alert
+//     fires and NO other tenant's does (aggregate alerts, which carry no
+//     tenant, are exempt; __other__ must stay silent).
+//   - bounds_ok: per shard, (a) materialized totals + __other__ conserve
+//     the aggregate event count exactly, (b) each materialized tenant's
+//     true count is within [total, total + attribution_bound], (c) the
+//     bound's slack and every sketch entry's error are <= total/K (the
+//     SpaceSaving guarantee the exported error bound promises).
+//
+// `--smoke` (CI): sets TAUREAU_BENCH_SMALL, shrinks the day and skips the
+// microbenchmarks — every correctness assertion still runs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "obs/metrics.h"
+#include "obs/shard_merge.h"
+#include "obs/slo.h"
+#include "psim/lookahead.h"
+#include "psim/psim.h"
+#include "sim/simulation.h"
+#include "sketch/spacesaving.h"
+
+namespace taureau {
+namespace {
+
+using psim::ParallelSimulation;
+using psim::PsimConfig;
+using psim::ShardId;
+
+constexpr uint64_t kSeed = 27;
+constexpr uint32_t kShards = 4;
+constexpr size_t kMaxTenantSeries = 64;  ///< Cardinality guard K.
+constexpr uint64_t kStormRank = 2;       ///< Zipf rank of the storming tenant.
+constexpr double kCrossShare = 0.2;
+constexpr char kObjective[] = "app-availability";
+
+bool Small() { return std::getenv("TAUREAU_BENCH_SMALL") != nullptr; }
+uint64_t Tenants() { return Small() ? 600 : 2000; }
+int MessagesPerShard() { return Small() ? 4000 : 20000; }
+constexpr SimDuration kGapUs = 250;
+
+/// Set false by any failed in-binary assertion; main() exits nonzero.
+bool g_ok = true;
+
+void Check(bool cond, const std::string& what) {
+  if (cond) return;
+  g_ok = false;
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+}
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+std::string TenantName(uint64_t rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "tenant-%04llu",
+                static_cast<unsigned long long>(rank));
+  return buf;
+}
+
+struct RunResult {
+  std::string blob;  ///< Merged labeled exports + per-shard SLO text.
+  bool storm_isolated = true;
+  bool bounds_ok = true;
+  uint64_t events = 0;
+  uint64_t cross_posts = 0;
+  std::vector<uint64_t> recorded, materialized, demotions, storm_bad, edges;
+};
+
+struct Cell {
+  obs::Registry registry;
+  obs::SloEngine slo;
+  std::string shard_label;
+  /// Pre-resolved "app.requests{shard=...,tenant=...}" handles, one per
+  /// tenant rank — the record path is one pointer deref, exactly like an
+  /// unlabeled series (the E24 hot-path contract).
+  std::vector<obs::CounterHandle> requests;
+  /// Exact per-tenant event counts recorded at this shard (the ground
+  /// truth the attribution-bound assertions compare against).
+  std::vector<uint64_t> truth;
+  Rng rng{0};
+  uint64_t storm_bad = 0;
+};
+
+struct Driver {
+  ParallelSimulation* world;
+  std::vector<Cell>* cells;
+  const std::vector<std::string>* names;
+  const ZipfGenerator* zipf;
+  SimDuration storm_start = 0;
+  SimDuration storm_end = 0;
+
+  void RecordAt(ShardId s, uint64_t rank, bool ok) {
+    Cell& cell = (*cells)[s];
+    cell.requests[rank].Inc();
+    ++cell.truth[rank];
+    if (!ok && rank == kStormRank) ++cell.storm_bad;
+    cell.slo.Record("app", (*names)[rank], world->shard(s).Now(),
+                    /*latency_us=*/200, ok);
+  }
+
+  void Arrive(ShardId s, int i) {
+    Cell& cell = (*cells)[s];
+    const uint64_t rank = zipf->Next(&cell.rng);
+    if (cell.rng.NextBool(kCrossShare)) {
+      // Cross-cell call: the request records on the destination shard
+      // after one lookahead hop — per-tenant attribution must survive
+      // the shard boundary.
+      const ShardId dst =
+          ShardId((s + 1 + cell.rng.NextBounded(kShards - 1)) % kShards);
+      world->Post(s, dst, world->lookahead(),
+                  [this, dst, rank] { RecordAt(dst, rank, /*ok=*/true); });
+    } else {
+      RecordAt(s, rank, /*ok=*/true);
+    }
+    // The retry storm: tenant kStormRank, originating on shard 0, bursts
+    // failing retries during [storm_start, storm_end) — two stay local,
+    // one lands on a rotating remote shard.
+    const SimTime now = world->shard(s).Now();
+    if (s == 0 && now >= storm_start && now < storm_end) {
+      RecordAt(s, kStormRank, /*ok=*/false);
+      RecordAt(s, kStormRank, /*ok=*/false);
+      const ShardId dst = ShardId(1 + (uint32_t(i) % (kShards - 1)));
+      world->Post(s, dst, world->lookahead(),
+                  [this, dst] { RecordAt(dst, kStormRank, /*ok=*/false); });
+    }
+  }
+};
+
+RunResult RunWorld(unsigned threads) {
+  const uint64_t n_tenants = Tenants();
+  const int messages = MessagesPerShard();
+  const SimDuration horizon = SimDuration(messages) * kGapUs;
+  const SimDuration long_window = horizon / 10;
+  const SimDuration short_window = horizon / 100;
+
+  PsimConfig cfg;
+  cfg.shards = kShards;
+  cfg.threads = threads;
+  cfg.lookahead_us = psim::MineLookahead({kGapUs});
+  ParallelSimulation world(cfg);
+
+  std::vector<std::string> names;
+  names.reserve(n_tenants);
+  for (uint64_t r = 0; r < n_tenants; ++r) names.push_back(TenantName(r));
+  const std::string& storm = names[kStormRank];
+  const ZipfGenerator zipf(n_tenants, 0.99);
+
+  std::vector<Cell> cells(kShards);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    Cell& cell = cells[s];
+    cell.shard_label = std::to_string(s);
+    cell.rng = Rng(HashCombine(kSeed, s));
+    cell.truth.assign(n_tenants, 0);
+    cell.requests.reserve(n_tenants);
+    for (uint64_t r = 0; r < n_tenants; ++r) {
+      cell.requests.push_back(cell.registry.ResolveCounter(
+          "app.requests",
+          obs::LabelSet{.tenant = names[r], .shard = cell.shard_label}));
+    }
+    obs::SloObjective obj;
+    obj.name = kObjective;
+    obj.module = "app";
+    obj.target = 0.999;
+    obj.latency_budget_us = -1;  // availability-only
+    obj.per_tenant = true;
+    obj.max_tenant_series = kMaxTenantSeries;
+    obj.policies.push_back({"page", long_window, short_window, 50.0});
+    cell.slo.AddObjective(obj);
+  }
+
+  auto driver = std::make_unique<Driver>(
+      Driver{&world, &cells, &names, &zipf, horizon * 3 / 10, horizon * 5 / 10});
+  for (uint32_t s = 0; s < kShards; ++s) {
+    bench::PaceArrivals(&world.shard(s), messages, kGapUs,
+                        [d = driver.get(), s](int i) {
+                          d->Arrive(ShardId(s), i);
+                        });
+  }
+  world.Run();
+
+  RunResult out;
+  out.events = world.events_fired();
+  out.cross_posts = world.stats().cross_posts;
+
+  // The differential blob: merged labeled metric exports (index-ordered)
+  // plus every shard's SLO export — tenant tracks, guard stats and the
+  // alert edge log all must be byte-identical at any thread count.
+  std::vector<const obs::Registry*> regs;
+  for (uint32_t s = 0; s < kShards; ++s) regs.push_back(&cells[s].registry);
+  out.blob = obs::MergeShardExports(regs);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    out.blob += "== slo shard " + U64(s) + " ==\n";
+    out.blob += cells[s].slo.ExportText();
+  }
+
+  for (uint32_t s = 0; s < kShards; ++s) {
+    Cell& cell = cells[s];
+    const obs::SloEngine& slo = cell.slo;
+    const std::string tag = "shard " + U64(s);
+
+    // --- storm isolation: some firing edge for the storm tenant, none
+    // for any other tenant (aggregate edges carry an empty tenant).
+    bool storm_fired = false;
+    uint64_t edges = 0;
+    for (const obs::AlertEvent& e : slo.alerts()) {
+      ++edges;
+      if (!e.firing || e.tenant.empty()) continue;
+      if (e.tenant == storm) {
+        storm_fired = true;
+      } else {
+        Check(false, tag + ": tenant '" + e.tenant +
+                         "' fired — only the storm tenant may");
+        out.storm_isolated = false;
+      }
+    }
+    if (!storm_fired) {
+      Check(false, tag + ": storm tenant '" + storm + "' never fired");
+      out.storm_isolated = false;
+    }
+
+    // --- conservation + attribution bounds + sketch error bounds.
+    const sketch::SpaceSaving* sketch = slo.TenantSketch(kObjective);
+    Check(sketch != nullptr, tag + ": missing popularity sketch");
+    const uint64_t sketch_bound =
+        sketch != nullptr ? sketch->total() / kMaxTenantSeries : 0;
+    uint64_t sum = 0;
+    for (const std::string& t : slo.MaterializedTenants(kObjective)) {
+      const uint64_t total = slo.TenantTotalEvents(kObjective, t);
+      sum += total;
+      if (t == obs::kOtherTenant) continue;
+      uint64_t rank = n_tenants;
+      for (uint64_t r = 0; r < n_tenants; ++r) {
+        if (names[r] == t) {
+          rank = r;
+          break;
+        }
+      }
+      Check(rank < n_tenants, tag + ": unknown materialized tenant " + t);
+      if (rank >= n_tenants) {
+        out.bounds_ok = false;
+        continue;
+      }
+      const uint64_t truth = cell.truth[rank];
+      const uint64_t bound = slo.TenantAttributionBound(kObjective, t);
+      const bool within =
+          truth >= total && truth - total <= bound &&
+          bound - (truth - total) <= sketch_bound;
+      if (!within) {
+        Check(false, tag + ": " + t + " attribution out of bounds (truth=" +
+                         U64(truth) + " total=" + U64(total) +
+                         " bound=" + U64(bound) +
+                         " sketch_bound=" + U64(sketch_bound) + ")");
+        out.bounds_ok = false;
+      }
+    }
+    const uint64_t agg_total = slo.TotalEvents(kObjective);
+    if (sum != agg_total) {
+      Check(false, tag + ": conservation broken (tenant sum " + U64(sum) +
+                       " != aggregate " + U64(agg_total) + ")");
+      out.bounds_ok = false;
+    }
+    if (sketch != nullptr) {
+      for (const auto& entry : sketch->HeavyHitters()) {
+        if (entry.error > sketch_bound) {
+          Check(false, tag + ": sketch entry " + entry.item + " error " +
+                           U64(entry.error) + " > bound " + U64(sketch_bound));
+          out.bounds_ok = false;
+        }
+      }
+    }
+
+    out.recorded.push_back(agg_total);
+    out.materialized.push_back(slo.MaterializedTenants(kObjective).size());
+    out.demotions.push_back(slo.TenantDemotions(kObjective));
+    out.storm_bad.push_back(cell.storm_bad);
+    out.edges.push_back(edges);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- driver
+
+void RunExperiment() {
+  std::printf("E27: per-tenant dimensional telemetry — %llu Zipf tenants, "
+              "K=%zu guard, 4 shards%s\n",
+              static_cast<unsigned long long>(Tenants()), kMaxTenantSeries,
+              Small() ? " [small]" : "");
+
+  const RunResult serial = RunWorld(1);
+  const RunResult parallel = RunWorld(4);
+
+  const bool identical = serial.blob == parallel.blob;
+  if (identical) {
+    std::printf("  [ok] labeled exports: serial == 4-thread (%zu bytes)\n",
+                serial.blob.size());
+  } else {
+    size_t i = 0;
+    while (i < serial.blob.size() && i < parallel.blob.size() &&
+           serial.blob[i] == parallel.blob[i]) {
+      ++i;
+    }
+    Check(false, "serial/parallel labeled exports differ at byte " +
+                     U64(i) + ": serial '" + serial.blob.substr(i, 60) +
+                     "' parallel '" + parallel.blob.substr(i, 60) + "'");
+  }
+  const bool storm_isolated = serial.storm_isolated && parallel.storm_isolated;
+  const bool bounds_ok = serial.bounds_ok && parallel.bounds_ok;
+
+  bench::Table table({"shard", "events", "storm bad", "materialized",
+                      "demotions", "alert edges"});
+  for (uint32_t s = 0; s < kShards; ++s) {
+    table.AddRow({U64(s), U64(serial.recorded[s]), U64(serial.storm_bad[s]),
+                  U64(serial.materialized[s]), U64(serial.demotions[s]),
+                  U64(serial.edges[s])});
+  }
+  table.Print("E27: per-tenant SLO tracks under the cardinality guard "
+              "(serial run; 4-thread run byte-identical: " +
+              std::string(identical ? "yes" : "NO") + ")");
+
+  auto& report = bench::JsonReport::Instance();
+  report.Note("per_tenant_identical", identical ? "true" : "false");
+  report.Note("storm_isolated", storm_isolated ? "true" : "false");
+  report.Note("bounds_ok", bounds_ok ? "true" : "false");
+  report.Note("tenants", U64(Tenants()));
+  report.Note("events", U64(serial.events));
+  report.Note("cross_posts", U64(serial.cross_posts));
+  report.Note("acceptance",
+              g_ok ? "PASS (identical labeled exports; storm isolated; "
+                     "attribution within sketch bounds)"
+                   : "FAIL (see stderr)");
+}
+
+// -------------------------------------------------------- microbenchmarks
+
+/// The E24 hot-path contract: recording into a tenant-labeled series costs
+/// the same pointer deref as an unlabeled one.
+void BM_UnlabeledCounterInc(benchmark::State& state) {
+  obs::Registry registry;
+  obs::CounterHandle h = registry.ResolveCounter("bench.requests");
+  for (auto _ : state) {
+    h.Inc();
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_UnlabeledCounterInc);
+
+void BM_LabeledCounterInc(benchmark::State& state) {
+  obs::Registry registry;
+  obs::CounterHandle h = registry.ResolveCounter(
+      "bench.requests", obs::LabelSet{.tenant = "acme", .shard = "3"});
+  for (auto _ : state) {
+    h.Inc();
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_LabeledCounterInc);
+
+/// Per-tenant SLO record with the guard saturated (worst case: every event
+/// consults the popularity sketch).
+void BM_TenantSloRecord(benchmark::State& state) {
+  obs::SloEngine slo;
+  obs::SloObjective obj;
+  obj.name = "bench";
+  obj.module = "app";
+  obj.per_tenant = true;
+  obj.max_tenant_series = 64;
+  obj.policies.push_back({"page", 1000000, 100000, 10.0});
+  slo.AddObjective(obj);
+  std::vector<std::string> names;
+  for (uint64_t r = 0; r < 256; ++r) names.push_back(TenantName(r));
+  Rng rng(kSeed);
+  ZipfGenerator zipf(256, 0.99);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 50;
+    slo.Record("app", names[zipf.Next(&rng)], now, 200, true);
+  }
+}
+BENCHMARK(BM_TenantSloRecord);
+
+}  // namespace
+}  // namespace taureau
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (argv[i] != nullptr && std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (smoke) setenv("TAUREAU_BENCH_SMALL", "1", 1);
+  argc = int(args.size());
+  taureau::RunExperiment();
+  taureau::bench::JsonReport::Instance().WriteForBinary(args[0]);
+  if (!taureau::g_ok) {
+    std::fprintf(stderr, "E27: in-binary assertions FAILED\n");
+    return 1;
+  }
+  if (smoke) return 0;  // CI smoke: skip the microbenchmarks.
+  ::benchmark::Initialize(&argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(argc, args.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

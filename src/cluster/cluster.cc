@@ -168,6 +168,19 @@ Result<MachineId> Cluster::MachineOf(UnitId id) const {
   return it->second;
 }
 
+Result<std::string> Cluster::OwnerOf(UnitId id) const {
+  auto it = unit_to_machine_.find(id);
+  if (it == unit_to_machine_.end()) {
+    return Status::NotFound("unit " + std::to_string(id));
+  }
+  const auto& units = machines_[it->second]->units();
+  const auto uit = units.find(id);
+  if (uit == units.end()) {
+    return Status::NotFound("unit " + std::to_string(id));
+  }
+  return uit->second.owner;
+}
+
 ClusterStats Cluster::Stats() const {
   ClusterStats s;
   s.machines_total = machines_.size();

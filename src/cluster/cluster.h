@@ -78,6 +78,10 @@ class Cluster {
   /// Looks up the machine hosting a unit.
   Result<MachineId> MachineOf(UnitId id) const;
 
+  /// The owner tag a unit was allocated under (ExecutionUnit::owner) —
+  /// the tenant identity span attributes and labeled metrics report.
+  Result<std::string> OwnerOf(UnitId id) const;
+
   ClusterStats Stats() const;
 
   size_t machine_count() const { return machines_.size(); }

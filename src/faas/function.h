@@ -57,6 +57,11 @@ struct ExecTimeModel {
 /// Registered function metadata.
 struct FunctionSpec {
   std::string name;
+  /// Owning tenant (account). Threaded onto every invocation's root span
+  /// (obs::kTenantAttr), the tenant-labeled platform metrics, and the
+  /// cluster allocation's owner tag; empty means single-tenant/untagged
+  /// and falls back to the function name as the owner.
+  std::string tenant;
   cluster::ResourceVector demand{200, 128};
   ExecTimeModel exec;
   /// Extra initialization on a cold start (framework/deps load), added on

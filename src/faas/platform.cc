@@ -51,6 +51,34 @@ void FaasPlatform::BindMetrics() {
       registry_->ResolveHistogram("faas.startup_latency_us", double(kHour));
   h_.exec_latency_us =
       registry_->ResolveHistogram("faas.exec_latency_us", double(kHour));
+  // Re-resolve known tenants into the (possibly re-homed) registry.
+  for (auto& [tenant, th] : tenant_handles_) {
+    const obs::LabelSet labels{.tenant = tenant};
+    th.invocations = registry_->ResolveCounter("faas.invocations", labels);
+    th.completions = registry_->ResolveCounter("faas.completions", labels);
+    th.errors = registry_->ResolveCounter("faas.errors", labels);
+    th.e2e_latency_us =
+        registry_->ResolveHistogram("faas.e2e_latency_us", labels,
+                                    double(kHour));
+  }
+}
+
+FaasPlatform::TenantHandles* FaasPlatform::TenantMetrics(
+    const std::string& tenant) {
+  if (tenant.empty()) return nullptr;
+  auto [it, inserted] = tenant_handles_.try_emplace(tenant);
+  if (inserted) {
+    const obs::LabelSet labels{.tenant = tenant};
+    it->second.invocations =
+        registry_->ResolveCounter("faas.invocations", labels);
+    it->second.completions =
+        registry_->ResolveCounter("faas.completions", labels);
+    it->second.errors = registry_->ResolveCounter("faas.errors", labels);
+    it->second.e2e_latency_us =
+        registry_->ResolveHistogram("faas.e2e_latency_us", labels,
+                                    double(kHour));
+  }
+  return &it->second;
 }
 
 void FaasPlatform::AttachObservability(obs::Observability* o) {
@@ -115,6 +143,11 @@ void FaasPlatform::EmitAttemptSpans(const Invocation& inv,
       {obs::kCategoryAttr, "exec"},
       {"attempt", attempt},
       {"status", std::string(StatusCodeName(attempt_status.code()))}};
+  if (!inv.unit_owner.empty()) {
+    // ExecutionUnit::owner of the hosting container — the tenant tag the
+    // scheduler actually placed under (flame profiles group by it).
+    exec_attrs.emplace_back("owner", inv.unit_owner);
+  }
   if (killed) exec_attrs.emplace_back("killed", "1");
   obs_->tracer.EmitSpan("exec", "faas", inv.root_ctx, exec_start,
                         attempt_end_us, std::move(exec_attrs));
@@ -132,6 +165,9 @@ Status FaasPlatform::RegisterFunction(FunctionSpec spec) {
     return Status::AlreadyExists("function '" + it->first +
                                  "' already registered");
   }
+  // Pre-resolve the tenant's labeled series now so the invoke hot path
+  // never pays a registration lookup.
+  TenantMetrics(it->second.tenant);
   return Status::OK();
 }
 
@@ -147,21 +183,27 @@ Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
                                       std::string payload, InvokeCallback cb,
                                       obs::TraceContext parent,
                                       guard::Deadline deadline) {
-  if (!functions_.count(function)) {
+  auto fn_it = functions_.find(function);
+  if (fn_it == functions_.end()) {
     return Status::NotFound("function '" + function + "' not registered");
   }
   auto inv = std::make_shared<Invocation>();
   inv->id = next_invocation_id_++;
   inv->function = function;
+  inv->tenant = fn_it->second.tenant;
   inv->payload = std::move(payload);
   inv->cb = std::move(cb);
   inv->submit_us = sim_->Now();
   inv->attempt_start_us = sim_->Now();
   inv->deadline = deadline;
   h_.invocations.Inc();
+  if (TenantHandles* th = TenantMetrics(inv->tenant)) th->invocations.Inc();
   if (obs_ != nullptr) {
     inv->root_ctx = obs_->tracer.StartSpan("invoke:" + function, "faas",
                                            parent);
+    if (!inv->tenant.empty()) {
+      obs_->tracer.SetAttr(inv->root_ctx, obs::kTenantAttr, inv->tenant);
+    }
   }
   live_[inv->id] = inv;
 
@@ -172,7 +214,8 @@ Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
     const auto decision = admission_.Admit(
         pending_.size(), AdmissionParallelism(), deadline, sim_->Now());
     if (decision != guard::AdmissionDecision::kAdmit) {
-      guard_->RecordShed("faas", decision, inv->root_ctx, sim_->Now());
+      guard_->RecordShed("faas", decision, inv->root_ctx, sim_->Now(),
+                         inv->tenant);
       Status shed_status =
           decision == guard::AdmissionDecision::kShedDeadline
               ? Status::DeadlineExceeded(
@@ -219,7 +262,8 @@ void FaasPlatform::Dispatch(std::shared_ptr<Invocation> inv) {
   }
   if (GuardActive() && inv->deadline.Expired(sim_->Now())) {
     guard_->RecordDeadlineExceeded("faas", inv->root_ctx,
-                                   inv->attempt_start_us, sim_->Now());
+                                   inv->attempt_start_us, sim_->Now(),
+                                   inv->tenant);
     Complete(std::move(inv), /*cold=*/false, 0, 0,
              Status::DeadlineExceeded("deadline expired before dispatch"), "");
     return;
@@ -264,8 +308,9 @@ bool FaasPlatform::TryPlace(std::shared_ptr<Invocation> inv) {
     return false;  // per-function reserved-concurrency cap
   }
 
-  auto unit = cluster_->Allocate(cluster::IsolationLevel::kLambda, spec.demand,
-                                 config_.placement, inv->function);
+  auto unit = cluster_->Allocate(
+      cluster::IsolationLevel::kLambda, spec.demand, config_.placement,
+      spec.tenant.empty() ? inv->function : spec.tenant);
   if (!unit.ok()) {
     if (unit.status().IsResourceExhausted()) return false;
     Complete(std::move(inv), false, 0, 0, unit.status(), "");
@@ -277,6 +322,7 @@ bool FaasPlatform::TryPlace(std::shared_ptr<Invocation> inv) {
   c->function = inv->function;
   c->unit = *unit;
   c->machine = cluster_->MachineOf(*unit).value_or(0);
+  c->owner = cluster_->OwnerOf(*unit).value_or("");
   c->created_us = sim_->Now();
   c->memory_mb =
       spec.demand.memory_mb +
@@ -300,6 +346,7 @@ void FaasPlatform::StartOnContainer(std::shared_ptr<Invocation> inv,
                                     Container* container, bool cold,
                                     SimDuration startup_us) {
   const FunctionSpec& spec = functions_.at(inv->function);
+  inv->unit_owner = container->owner;
   const SimDuration queue_us = sim_->Now() - inv->attempt_start_us;
   h_.queue_latency_us.Add(double(queue_us));
   h_.startup_latency_us.Add(double(startup_us));
@@ -390,7 +437,7 @@ void FaasPlatform::RetryOrComplete(std::shared_ptr<Invocation> inv, bool cold,
   if (want_retry && GuardActive() &&
       inv->deadline.Expired(sim_->Now())) {
     guard_->RecordDeadlineExceeded("faas", inv->root_ctx, sim_->Now(),
-                                   sim_->Now());
+                                   sim_->Now(), inv->tenant);
     attempt_status = Status::DeadlineExceeded(
         "deadline expired; not retrying: " + attempt_status.ToString());
     want_retry = false;
@@ -400,7 +447,8 @@ void FaasPlatform::RetryOrComplete(std::shared_ptr<Invocation> inv, bool cold,
     // retry traffic cannot exceed a fixed fraction of the offered load no
     // matter how hard the backends fail (the anti-retry-storm valve).
     const bool granted = guard_->retry_budget().TryAcquire();
-    guard_->RecordRetryDecision("faas", granted, inv->root_ctx, sim_->Now());
+    guard_->RecordRetryDecision("faas", granted, inv->root_ctx, sim_->Now(),
+                                inv->tenant);
     want_retry = granted;
   }
   if (want_retry) {
@@ -446,6 +494,11 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
   live_.erase(inv->id);
   h_.completions.Inc();
   h_.e2e_latency_us.Add(double(res.EndToEnd()));
+  if (TenantHandles* th = TenantMetrics(inv->tenant)) {
+    th->completions.Inc();
+    th->e2e_latency_us.Add(double(res.EndToEnd()));
+    if (!res.status.ok()) th->errors.Inc();
+  }
   if (guard_ != nullptr && res.status.ok()) {
     guard_->retry_budget().RecordSuccess();
     guard_->hedge().Record(res.EndToEnd());
@@ -526,7 +579,8 @@ void FaasPlatform::DrainPending() {
     if (GuardActive() && inv->deadline.Expired(sim_->Now())) {
       pending_.pop_front();
       guard_->RecordDeadlineExceeded("faas", inv->root_ctx,
-                                     inv->attempt_start_us, sim_->Now());
+                                     inv->attempt_start_us, sim_->Now(),
+                                     inv->tenant);
       Complete(std::move(inv), /*cold=*/false, 0, 0,
                Status::DeadlineExceeded("deadline expired while queued"), "");
       continue;
@@ -557,14 +611,16 @@ Result<size_t> FaasPlatform::Prewarm(const std::string& function,
         containers_per_function_[function] >= spec.max_concurrency) {
       break;
     }
-    auto unit = cluster_->Allocate(cluster::IsolationLevel::kLambda,
-                                   spec.demand, config_.placement, function);
+    auto unit = cluster_->Allocate(
+        cluster::IsolationLevel::kLambda, spec.demand, config_.placement,
+        spec.tenant.empty() ? function : spec.tenant);
     if (!unit.ok()) break;
     auto c = std::make_unique<Container>();
     c->id = next_container_id_++;
     c->function = function;
     c->unit = *unit;
     c->machine = cluster_->MachineOf(*unit).value_or(0);
+    c->owner = cluster_->OwnerOf(*unit).value_or("");
     c->created_us = sim_->Now();
     c->memory_mb =
         spec.demand.memory_mb +
@@ -730,6 +786,11 @@ Result<uint64_t> FaasPlatform::InvokeHedged(const std::string& function,
   if (obs_ != nullptr) {
     hs->root_ctx =
         obs_->tracer.StartSpan("hedged:" + function, "faas", parent);
+    const auto fn_it = functions_.find(function);
+    if (fn_it != functions_.end() && !fn_it->second.tenant.empty()) {
+      obs_->tracer.SetAttr(hs->root_ctx, obs::kTenantAttr,
+                           fn_it->second.tenant);
+    }
   }
   auto primary = Invoke(
       function, payload,

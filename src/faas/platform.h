@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -236,6 +237,10 @@ class FaasPlatform {
     SimTime created_us = 0;
     int64_t memory_mb = 0;
     bool busy = false;
+    /// ExecutionUnit::owner of the backing cluster unit (the function's
+    /// tenant, or the function name when untagged) — read back from the
+    /// cluster so exec spans report the owner the scheduler actually used.
+    std::string owner;
     sim::EventId keep_alive_event = 0;
     std::unordered_map<std::string, std::string> cache;
     /// In-flight attempt state, so a chaos kill can cancel and fail it.
@@ -249,6 +254,8 @@ class FaasPlatform {
   struct Invocation {
     uint64_t id = 0;
     std::string function;
+    std::string tenant;      ///< FunctionSpec::tenant (may be empty).
+    std::string unit_owner;  ///< Owner tag of the last container's unit.
     std::string payload;
     InvokeCallback cb;
     int attempt = 0;
@@ -292,6 +299,17 @@ class FaasPlatform {
     obs::HistogramHandle queue_latency_us;
     obs::HistogramHandle startup_latency_us;
     obs::HistogramHandle exec_latency_us;
+  };
+
+  /// Pre-resolved tenant-labeled series ("faas.*{tenant=...}"), resolved
+  /// once per tenant at function registration and cached on each
+  /// Invocation, so the per-tenant record path costs the same pointer
+  /// deref as the aggregate one. Map storage: pointers stay stable.
+  struct TenantHandles {
+    obs::CounterHandle invocations;
+    obs::CounterHandle completions;
+    obs::CounterHandle errors;
+    obs::HistogramHandle e2e_latency_us;
   };
 
   /// Total attempts allowed: the retry policy when set, else the legacy
@@ -340,6 +358,8 @@ class FaasPlatform {
   }
 
   void BindMetrics();
+  /// Resolves (or returns the cached) labeled handles for `tenant`.
+  TenantHandles* TenantMetrics(const std::string& tenant);
   /// Adds memory-time to the native integral and mirrors it to the gauge.
   void AccumulateMemoryTime(const Container& c);
   /// Emits the queue/cold/exec spans of one finished (or killed) attempt,
@@ -358,6 +378,7 @@ class FaasPlatform {
   obs::Registry own_registry_;
   obs::Registry* registry_ = &own_registry_;
   MetricHandles h_;
+  std::map<std::string, TenantHandles> tenant_handles_;
   obs::Observability* obs_ = nullptr;
   long double container_mb_us_ = 0;
   mutable PlatformMetrics metrics_view_;

@@ -25,6 +25,32 @@ void Guard::BindMetrics() {
   h_.hedge_wasted = registry_->ResolveHistogram("guard.hedge_wasted_us");
   h_.retry_tokens.Set(retry_budget_.tokens());
   if (epoch_provider_) h_.epoch.Set(double(epoch_provider_()));
+  // Re-resolve known tenants into the (possibly re-homed) registry.
+  for (auto& [tenant, th] : tenant_handles_) {
+    const obs::LabelSet labels{.tenant = tenant};
+    th.sheds = registry_->ResolveCounter("guard.sheds", labels);
+    th.deadline_exceeded =
+        registry_->ResolveCounter("guard.deadline_exceeded", labels);
+    th.retries_granted =
+        registry_->ResolveCounter("guard.retries_granted", labels);
+    th.retries_denied =
+        registry_->ResolveCounter("guard.retries_denied", labels);
+  }
+}
+
+Guard::TenantHandles& Guard::TenantMetrics(const std::string& tenant) {
+  auto [it, inserted] = tenant_handles_.try_emplace(tenant);
+  if (inserted) {
+    const obs::LabelSet labels{.tenant = tenant};
+    it->second.sheds = registry_->ResolveCounter("guard.sheds", labels);
+    it->second.deadline_exceeded =
+        registry_->ResolveCounter("guard.deadline_exceeded", labels);
+    it->second.retries_granted =
+        registry_->ResolveCounter("guard.retries_granted", labels);
+    it->second.retries_denied =
+        registry_->ResolveCounter("guard.retries_denied", labels);
+  }
+  return it->second;
 }
 
 void Guard::SetEpochProvider(std::function<uint64_t()> provider) {
@@ -42,33 +68,51 @@ void Guard::AttachObservability(obs::Observability* o) {
 }
 
 void Guard::RecordShed(const std::string& module, AdmissionDecision d,
-                       obs::TraceContext parent, SimTime now) {
+                       obs::TraceContext parent, SimTime now,
+                       const std::string& tenant) {
   if (d == AdmissionDecision::kAdmit) return;
   if (d == AdmissionDecision::kShedQueueFull) {
     h_.shed_queue_full.Inc();
   } else {
     h_.shed_deadline.Inc();
   }
-  EmitGuardSpan("shed", module, parent, now, now,
-                {{"reason", AdmissionDecisionName(d)}});
+  std::vector<std::pair<std::string, std::string>> attrs{
+      {"reason", std::string(AdmissionDecisionName(d))}};
+  if (!tenant.empty()) {
+    TenantMetrics(tenant).sheds.Inc();
+    attrs.emplace_back(obs::kTenantAttr, tenant);
+  }
+  EmitGuardSpan("shed", module, parent, now, now, std::move(attrs));
 }
 
 void Guard::RecordDeadlineExceeded(const std::string& module,
                                    obs::TraceContext parent, SimTime start_us,
-                                   SimTime now) {
+                                   SimTime now, const std::string& tenant) {
   h_.deadline_exceeded.Inc();
-  EmitGuardSpan("deadline-exceeded", module, parent, start_us, now, {});
+  std::vector<std::pair<std::string, std::string>> attrs;
+  if (!tenant.empty()) {
+    TenantMetrics(tenant).deadline_exceeded.Inc();
+    attrs.emplace_back(obs::kTenantAttr, tenant);
+  }
+  EmitGuardSpan("deadline-exceeded", module, parent, start_us, now,
+                std::move(attrs));
 }
 
 void Guard::RecordRetryDecision(const std::string& module, bool granted,
-                                obs::TraceContext parent, SimTime now) {
+                                obs::TraceContext parent, SimTime now,
+                                const std::string& tenant) {
   const uint64_t epoch = epoch_provider_ ? epoch_provider_() : 0;
   if (granted) {
     h_.retries_granted.Inc();
+    if (!tenant.empty()) TenantMetrics(tenant).retries_granted.Inc();
   } else {
     h_.retries_denied.Inc();
     std::vector<std::pair<std::string, std::string>> attrs;
     if (epoch_provider_) attrs.emplace_back("epoch", std::to_string(epoch));
+    if (!tenant.empty()) {
+      TenantMetrics(tenant).retries_denied.Inc();
+      attrs.emplace_back(obs::kTenantAttr, tenant);
+    }
     EmitGuardSpan("retry-budget-exhausted", module, parent, now, now,
                   std::move(attrs));
   }

@@ -83,20 +83,25 @@ class Guard {
 
   /// A shed decision from any module's AdmissionController ("faas",
   /// "pubsub", "jiffy", "pool"). Admits are not recorded here — the
-  /// controller counts them.
+  /// controller counts them. A non-empty `tenant` additionally bumps the
+  /// tenant-labeled series (guard.sheds{tenant=...}) and tags the span,
+  /// so storms are attributable to who caused them.
   void RecordShed(const std::string& module, AdmissionDecision d,
-                  obs::TraceContext parent, SimTime now);
+                  obs::TraceContext parent, SimTime now,
+                  const std::string& tenant = std::string());
 
   /// In-flight work cancelled because its deadline expired. The span
   /// covers [start_us, now] — the time the doomed work held resources —
   /// charged to the guard category.
   void RecordDeadlineExceeded(const std::string& module,
                               obs::TraceContext parent, SimTime start_us,
-                              SimTime now);
+                              SimTime now,
+                              const std::string& tenant = std::string());
 
   /// A retry-budget decision (granted or denied).
   void RecordRetryDecision(const std::string& module, bool granted,
-                           obs::TraceContext parent, SimTime now);
+                           obs::TraceContext parent, SimTime now,
+                           const std::string& tenant = std::string());
 
   void RecordHedgeLaunched();
   void RecordHedgeWin();
@@ -116,7 +121,19 @@ class Guard {
   SimDuration hedge_wasted_us() const { return hedge_wasted_us_; }
 
  private:
+  /// Pre-resolved per-tenant labeled series, materialized on the first
+  /// decision a tenant triggers and re-resolved on re-homing. Bounded by
+  /// the tenants the workload actually names — resolution is off the hot
+  /// path, the per-decision cost is one map lookup.
+  struct TenantHandles {
+    obs::CounterHandle sheds;
+    obs::CounterHandle deadline_exceeded;
+    obs::CounterHandle retries_granted;
+    obs::CounterHandle retries_denied;
+  };
+
   void BindMetrics();
+  TenantHandles& TenantMetrics(const std::string& tenant);
 
   GuardConfig config_;
   RetryBudget retry_budget_;
@@ -144,6 +161,7 @@ class Guard {
     obs::HistogramHandle hedge_wasted;
   };
   MetricHandles h_;
+  std::map<std::string, TenantHandles> tenant_handles_;
   std::function<uint64_t()> epoch_provider_;
 };
 

@@ -15,6 +15,10 @@ void BlockBacked::AttachObservability(obs::Observability* o) {
     ops_counter_ = o->registry.ResolveCounter("jiffy.ops");
     op_latency_ =
         o->registry.ResolveHistogram("jiffy.op_latency_us", double(kMinute));
+    if (!owner_.empty()) {
+      tenant_ops_counter_ = o->registry.ResolveCounter(
+          "jiffy.ops", obs::LabelSet{.tenant = owner_});
+    }
   }
 }
 
@@ -23,16 +27,18 @@ void BlockBacked::RecordOp(const char* name, obs::TraceContext parent,
                            const Status& status) const {
   if (obs_ == nullptr) return;
   ops_counter_.Inc();
+  tenant_ops_counter_.Inc();  // no-op for anonymous structures
   op_latency_.Add(double(latency_us));
   const SimTime now = obs_->tracer.sim()->Now();
-  obs_->tracer.EmitSpan(
-      name, "jiffy", parent, now, now + latency_us,
-      {{obs::kCategoryAttr, "shuffle"},
-       {obs::kAsyncAttr, "1"},
-       {"status", std::string(StatusCodeName(status.code()))},
-       {obs::kOutcomeAttr,
-        status.ok() ? obs::kOutcomeOk : obs::kOutcomeError},
-       {obs::kSeverityAttr, status.ok() ? "info" : "error"}});
+  std::vector<std::pair<std::string, std::string>> attrs = {
+      {obs::kCategoryAttr, "shuffle"},
+      {obs::kAsyncAttr, "1"},
+      {"status", std::string(StatusCodeName(status.code()))},
+      {obs::kOutcomeAttr, status.ok() ? obs::kOutcomeOk : obs::kOutcomeError},
+      {obs::kSeverityAttr, status.ok() ? "info" : "error"}};
+  if (!owner_.empty()) attrs.emplace_back(obs::kTenantAttr, owner_);
+  obs_->tracer.EmitSpan(name, "jiffy", parent, now, now + latency_us,
+                        std::move(attrs));
 }
 
 JiffyOp BlockBacked::Done(JiffyOp op, const char* name,

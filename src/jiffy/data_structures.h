@@ -80,6 +80,8 @@ class BlockBacked {
   std::vector<BlockId> block_ids_;
   obs::Observability* obs_ = nullptr;
   obs::CounterHandle ops_counter_;
+  /// "jiffy.ops{tenant=<owner>}" — invalid (no-op) when owner_ is empty.
+  obs::CounterHandle tenant_ops_counter_;
   obs::HistogramHandle op_latency_;
 };
 

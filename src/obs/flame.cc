@@ -48,6 +48,12 @@ void FlameProfile::FoldTrace(const std::vector<Span>& spans) {
     RootAggregate& agg = by_root_[root->name];
     ++agg.count;
     agg.breakdown.Accumulate(attributed->breakdown);
+    const auto tenant = root->attrs.find(kTenantAttr);
+    if (tenant != root->attrs.end()) {
+      RootAggregate& tagg = by_tenant_[tenant->second];
+      ++tagg.count;
+      tagg.breakdown.Accumulate(attributed->breakdown);
+    }
   }
 
   for (size_t i = 0; i < spans.size(); ++i) {
@@ -88,9 +94,14 @@ std::string FlameProfile::ExportText() const {
   return out;
 }
 
+std::string FlameProfile::ExportTenantsText() const {
+  return FormatRootAggregates(by_tenant_);
+}
+
 void FlameProfile::Clear() {
   paths_.clear();
   by_root_.clear();
+  by_tenant_.clear();
   folded_spans_ = 0;
   folded_traces_ = 0;
 }

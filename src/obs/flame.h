@@ -51,6 +51,12 @@ class FlameProfile {
   const std::map<std::string, RootAggregate>& by_root() const {
     return by_root_;
   }
+  /// Per-tenant request/latency breakdown, keyed by the kTenantAttr of
+  /// each subtree root (roots without the attribute are not counted here).
+  /// Exact under any sampling rate, like by_root().
+  const std::map<std::string, RootAggregate>& by_tenant() const {
+    return by_tenant_;
+  }
   uint64_t folded_spans() const { return folded_spans_; }
   uint64_t folded_traces() const { return folded_traces_; }
 
@@ -61,11 +67,16 @@ class FlameProfile {
   /// Deterministic one-line-per-path rendering, sorted by path.
   std::string ExportText() const;
 
+  /// Deterministic per-tenant breakdown lines (FormatRootAggregates over
+  /// by_tenant()); empty when no root carried a tenant attribute.
+  std::string ExportTenantsText() const;
+
   void Clear();
 
  private:
   std::map<std::string, PathStat> paths_;
   std::map<std::string, RootAggregate> by_root_;
+  std::map<std::string, RootAggregate> by_tenant_;
   uint64_t folded_spans_ = 0;
   uint64_t folded_traces_ = 0;
 };

@@ -22,6 +22,89 @@ Histogram* Registry::GetHistogram(const std::string& name, double max_value) {
   return slot;
 }
 
+std::string Registry::SeriesName(std::string_view base, const LabelSet& labels) {
+  if (labels.empty()) return std::string(base);
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  auto add = [&](const char* key, std::string_view value) {
+    if (value.empty()) return;
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  };
+  // Fixed alphabetical key order: the canonical rendering is independent of
+  // how the caller filled the LabelSet.
+  add("cell", labels.cell);
+  add("module", labels.module);
+  add("shard", labels.shard);
+  add("tenant", labels.tenant);
+  out += '}';
+  return out;
+}
+
+void Registry::RegisterSeries(const std::string& key, std::string_view base,
+                              const LabelSet& labels) {
+  auto [it, inserted] = series_meta_.try_emplace(key);
+  if (!inserted) return;
+  SeriesMeta& meta = it->second;
+  meta.base = label_values_.Intern(base);
+  auto record = [&](const char* label, std::string_view value,
+                    const std::string** slot) {
+    if (value.empty()) return;
+    *slot = label_values_.Intern(value);
+    label_index_[label].insert(std::string_view(**slot));
+  };
+  record("cell", labels.cell, &meta.cell);
+  record("module", labels.module, &meta.module);
+  record("shard", labels.shard, &meta.shard);
+  record("tenant", labels.tenant, &meta.tenant);
+}
+
+Counter* Registry::GetCounter(const std::string& name, const LabelSet& labels) {
+  const std::string key = SeriesName(name, labels);
+  Counter* c = GetCounter(key);
+  if (!labels.empty()) RegisterSeries(key, name, labels);
+  return c;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const LabelSet& labels) {
+  const std::string key = SeriesName(name, labels);
+  Gauge* g = GetGauge(key);
+  if (!labels.empty()) RegisterSeries(key, name, labels);
+  return g;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const LabelSet& labels, double max_value) {
+  const std::string key = SeriesName(name, labels);
+  Histogram* h = GetHistogram(key, max_value);
+  if (!labels.empty()) RegisterSeries(key, name, labels);
+  return h;
+}
+
+std::vector<std::string_view> Registry::LabelValues(
+    std::string_view label) const {
+  const auto it = label_index_.find(label);
+  if (it == label_index_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::map<std::string, std::map<std::string, uint64_t>>
+Registry::TenantCounterRollup() const {
+  std::map<std::string, std::map<std::string, uint64_t>> rollup;
+  for (const auto& [key, meta] : series_meta_) {
+    if (meta.tenant == nullptr) continue;
+    const auto cit = counters_.find(key);
+    if (cit == counters_.end()) continue;
+    rollup[*meta.tenant][*meta.base] += cit->second->value();
+  }
+  return rollup;
+}
+
 bool Registry::Has(const std::string& name) const {
   return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
          histograms_.count(name) > 0;
@@ -36,6 +119,17 @@ void Registry::MergeFrom(const Registry& other) {
   }
   for (const auto& [name, h] : other.histograms_) {
     GetHistogram(name)->Merge(*h);
+  }
+  // Labeled series arrive through the name tables above (their canonical
+  // keys collide exactly when the labels match); re-intern the metadata so
+  // rollups over the merged registry see every tenant.
+  for (const auto& [key, meta] : other.series_meta_) {
+    LabelSet labels;
+    if (meta.tenant != nullptr) labels.tenant = *meta.tenant;
+    if (meta.cell != nullptr) labels.cell = *meta.cell;
+    if (meta.shard != nullptr) labels.shard = *meta.shard;
+    if (meta.module != nullptr) labels.module = *meta.module;
+    RegisterSeries(key, *meta.base, labels);
   }
 }
 

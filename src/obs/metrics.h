@@ -20,11 +20,36 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/stats.h"
+#include "obs/interned.h"
 
 namespace taureau::obs {
+
+/// Dimensional labels for a metric series. Every field is optional; an empty
+/// field is simply absent from the series key. The fixed vocabulary keeps
+/// the fast path trivial (no generic key/value vectors to sort or hash) and
+/// matches what the simulated landscape actually varies over: which tenant,
+/// which cell, which psim shard, which module.
+///
+/// A labeled series is resolved once (slow path: builds the canonical key,
+/// interns the label values) into the same pre-resolved handles as unlabeled
+/// metrics, so recording into `faas.invocations{tenant="acme"}` costs exactly
+/// what recording into `faas.invocations` costs — the E24 hot-path contract.
+struct LabelSet {
+  std::string_view tenant = {};
+  std::string_view cell = {};
+  std::string_view shard = {};
+  std::string_view module = {};
+
+  bool empty() const {
+    return tenant.empty() && cell.empty() && shard.empty() && module.empty();
+  }
+};
 
 /// Monotonic event count.
 class Counter {
@@ -149,6 +174,29 @@ class Registry {
     return HistogramHandle(GetHistogram(name, max_value));
   }
 
+  /// Labeled-series resolution. The series key is the canonical rendering
+  /// `name{cell="..",module="..",shard="..",tenant=".."}` (label keys in
+  /// fixed alphabetical order, empty labels omitted), stored in the same
+  /// name tables as unlabeled metrics — so ExportText/MergeFrom/Reset and
+  /// the shard merge rule apply to labeled series with zero special cases,
+  /// and the record path through the returned handle is identical.
+  CounterHandle ResolveCounter(const std::string& name, const LabelSet& labels) {
+    return CounterHandle(GetCounter(name, labels));
+  }
+  GaugeHandle ResolveGauge(const std::string& name, const LabelSet& labels) {
+    return GaugeHandle(GetGauge(name, labels));
+  }
+  HistogramHandle ResolveHistogram(const std::string& name,
+                                   const LabelSet& labels,
+                                   double max_value = 1e12) {
+    return HistogramHandle(GetHistogram(name, labels, max_value));
+  }
+
+  /// Canonical series key for `base` under `labels` (what the labeled
+  /// Resolve*/Get* overloads register). Stable across processes and PRs:
+  /// the digest of a labeled export depends on it.
+  static std::string SeriesName(std::string_view base, const LabelSet& labels);
+
   /// Slow path: string-keyed access. Returns a stable pointer (slab slots
   /// live as long as the registry); the same name always maps to the same
   /// slot.
@@ -158,10 +206,34 @@ class Registry {
   /// name applies it.
   Histogram* GetHistogram(const std::string& name, double max_value = 1e12);
 
+  /// Labeled slow-path accessors: register the canonical series key and the
+  /// label metadata (interned values) on first touch.
+  Counter* GetCounter(const std::string& name, const LabelSet& labels);
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels);
+  Histogram* GetHistogram(const std::string& name, const LabelSet& labels,
+                          double max_value = 1e12);
+
   size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
   bool Has(const std::string& name) const;
+
+  /// Distinct values ever registered for one label key ("tenant", "cell",
+  /// "shard", "module"), sorted. Views into the registry's intern table —
+  /// valid for the registry's lifetime. The cardinality a guard inspects.
+  std::vector<std::string_view> LabelValues(std::string_view label) const;
+
+  /// Number of labeled series registered (series carrying at least one
+  /// label), and distinct interned label values across all keys.
+  size_t labeled_series() const { return series_meta_.size(); }
+  size_t interned_label_values() const { return label_values_.size(); }
+
+  /// Per-tenant rollup of labeled *counter* series:
+  /// tenant -> (base name -> sum over all series of that base labeled with
+  /// the tenant, regardless of the other labels). Deterministic (sorted
+  /// maps); the heavy-hitter attribution table MergeShardExports renders.
+  std::map<std::string, std::map<std::string, uint64_t>> TenantCounterRollup()
+      const;
 
   /// Folds another registry's current values into this one (used when a
   /// module's private registry is re-homed onto a shared one).
@@ -180,6 +252,21 @@ class Registry {
   void Reset();
 
  private:
+  /// Interned label metadata for one labeled series, keyed by the canonical
+  /// series name. Pointers are into `label_values_` (stable).
+  struct SeriesMeta {
+    const std::string* base = nullptr;
+    const std::string* tenant = nullptr;
+    const std::string* cell = nullptr;
+    const std::string* shard = nullptr;
+    const std::string* module = nullptr;
+  };
+
+  /// Interns the labels of `key` (the canonical series name) and records
+  /// the per-label value index. Idempotent per key.
+  void RegisterSeries(const std::string& key, std::string_view base,
+                      const LabelSet& labels);
+
   // Name tables point into the slabs; deques never relocate elements, so
   // handles and Get*() pointers are stable for the registry's lifetime.
   std::map<std::string, Counter*> counters_;
@@ -188,6 +275,14 @@ class Registry {
   std::deque<Counter> counter_slab_;
   std::deque<Gauge> gauge_slab_;
   std::deque<Histogram> histogram_slab_;
+
+  // Dimensional metadata. Label values (and base names) are interned once
+  // per registry; series_meta_ carries enough structure to roll labeled
+  // series up by tenant without re-parsing keys; label_index_ answers
+  // "which tenants exist" for cardinality accounting.
+  SymbolTable label_values_;
+  std::map<std::string, SeriesMeta> series_meta_;
+  std::map<std::string, std::set<std::string_view>, std::less<>> label_index_;
 };
 
 }  // namespace taureau::obs

@@ -50,6 +50,11 @@ std::string Observability::ExportAll() const {
   }
   if (flame_) {
     out += "== flame ==\n" + flame_->ExportText();
+    // Per-tenant breakdown, present only when root spans carried tenant
+    // attributes — tenant-free worlds keep the pre-dimensional layout.
+    if (!flame_->by_tenant().empty()) {
+      out += "== tenants ==\n" + flame_->ExportTenantsText();
+    }
   }
   if (slo_) {
     out += "== slo ==\n" + slo_->ExportText();

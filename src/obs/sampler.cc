@@ -71,6 +71,8 @@ void SamplingPipeline::OnSpanEnd(const Span& span) {
     group.root_name = span.name;
     group.root_end_us = span.end_us;
     group.root_duration_us = span.duration_us();
+    const auto tenant = span.attrs.find(kTenantAttr);
+    if (tenant != span.attrs.end()) group.root_tenant = tenant->second;
   }
   group.spans.push_back(span);
   if (group.open > 0) --group.open;
@@ -118,7 +120,7 @@ void SamplingPipeline::Finalize(uint64_t trace_id, Pending&& group,
     if (budget < 0) budget = config_.slow_threshold_us;
     slow = budget >= 0 && group.root_duration_us > budget;
     if (slo_ != nullptr) {
-      slo_->Record(group.root_module, group.root_end_us,
+      slo_->Record(group.root_module, group.root_tenant, group.root_end_us,
                    group.root_duration_us, !group.saw_error);
     }
   }

@@ -117,6 +117,7 @@ class SamplingPipeline : public SpanSink {
     bool late = false;  ///< Group arrived after the trace's decision.
     std::string root_module;
     std::string root_name;
+    std::string root_tenant;  ///< kTenantAttr of the root span, if set.
     SimTime root_end_us = 0;
     SimDuration root_duration_us = 0;
   };

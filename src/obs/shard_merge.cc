@@ -11,6 +11,24 @@ std::string MergeShardExports(const std::vector<const Registry*>& shards,
     if (reg != nullptr) aggregate.MergeFrom(*reg);
   }
   std::string out = "== aggregate ==\n" + aggregate.ExportText();
+  // Per-tenant rollup of labeled counters across every shard. Computed on
+  // the index-order aggregate and rendered from sorted maps, so the section
+  // — like everything else here — is a pure function of the per-shard
+  // registries, never of the thread that ran a shard. Absent entirely when
+  // no shard registered a tenant-labeled series, keeping label-free worlds'
+  // exports byte-identical to the pre-dimensional format.
+  const auto rollup = aggregate.TenantCounterRollup();
+  if (!rollup.empty()) {
+    out += "== tenants ==\n";
+    for (const auto& [tenant, series] : rollup) {
+      uint64_t total = 0;
+      for (const auto& [base, value] : series) total += value;
+      out += "tenant " + tenant + " total " + std::to_string(total) + "\n";
+      for (const auto& [base, value] : series) {
+        out += "  " + base + " " + std::to_string(value) + "\n";
+      }
+    }
+  }
   for (size_t s = 0; s < shards.size(); ++s) {
     out += "== shard " + std::to_string(s) + " ==\n";
     if (shards[s] != nullptr) out += shards[s]->ExportText();

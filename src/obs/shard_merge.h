@@ -20,9 +20,15 @@
 namespace taureau::obs {
 
 /// Merged per-shard metric export: "== aggregate ==" (MergeFrom over all
-/// shards in index order) then "== shard <i> ==" sections. `span_exports`,
-/// when non-empty, must have one entry per registry and is appended to the
-/// matching shard section (tracer ExportText or any per-shard digest text).
+/// shards in index order), a "== tenants ==" heavy-hitter rollup of
+/// tenant-labeled counter series (present only when such series exist),
+/// then "== shard <i> ==" sections. `span_exports`, when non-empty, must
+/// have one entry per registry and is appended to the matching shard
+/// section (tracer ExportText or any per-shard digest text). Labeled
+/// series merge through the same index-ordered MergeFrom as unlabeled
+/// ones — their canonical keys collide exactly when their labels match —
+/// so the E26 differential invariant (1 thread == N, byte-identical)
+/// covers every per-tenant series.
 std::string MergeShardExports(const std::vector<const Registry*>& shards,
                               const std::vector<std::string>& span_exports = {});
 

@@ -1,6 +1,7 @@
 #include "obs/slo.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 
 namespace taureau::obs {
@@ -11,32 +12,120 @@ void SloEngine::AddObjective(SloObjective objective) {
   for (const BurnRatePolicy& p : objective.policies) {
     st.max_window_us = std::max(
         st.max_window_us, std::max(p.long_window_us, p.short_window_us));
-    st.firing[p.name] = false;
+    st.agg.firing[p.name] = false;
+  }
+  if (objective.per_tenant) {
+    objective.max_tenant_series = std::max<size_t>(objective.max_tenant_series, 1);
+    st.popularity =
+        std::make_unique<sketch::SpaceSaving>(objective.max_tenant_series);
   }
   st.spec = std::move(objective);
   objectives_.insert_or_assign(st.spec.name, std::move(st));
 }
 
-void SloEngine::Record(const std::string& module, SimTime at_us,
-                       SimDuration latency_us, bool ok) {
+void SloEngine::Record(const std::string& module, const std::string& tenant,
+                       SimTime at_us, SimDuration latency_us, bool ok) {
+  if (at_us < last_at_us_) {
+    // Documented precondition: events arrive in simulation order. Loud in
+    // debug; clamp to the last timestamp (and count) in release so window
+    // aging never walks backwards.
+    assert(allow_clock_regression_ &&
+           "SloEngine::Record: timestamps must be non-decreasing");
+    ++clamped_events_;
+    at_us = last_at_us_;
+  } else {
+    last_at_us_ = at_us;
+  }
   for (auto& [name, st] : objectives_) {
     if (st.spec.module != module) continue;
     const bool good =
         ok && (st.spec.latency_budget_us < 0 ||
                latency_us <= st.spec.latency_budget_us);
-    ++st.total;
-    if (!good) ++st.bad;
-    if (st.max_window_us > 0) {
-      st.window.push_back({at_us, good});
-      // Window semantics are (now - W, now]: an event exactly W old has
-      // aged out.
-      while (!st.window.empty() &&
-             st.window.front().at_us <= at_us - st.max_window_us) {
-        st.window.pop_front();
-      }
+    Score(&st, &st.agg, std::string(), at_us, good);
+    if (st.spec.per_tenant) {
+      auto it = ResolveTenant(&st, tenant, at_us);
+      Score(&st, &it->second, it->first, at_us, good);
     }
-    Evaluate(&st, at_us);
   }
+}
+
+SloEngine::TenantIter SloEngine::ResolveTenant(State* st,
+                                               const std::string& tenant,
+                                               SimTime at_us) {
+  if (tenant.empty() || tenant == kOtherTenant) {
+    return st->tenants.try_emplace(kOtherTenant).first;
+  }
+  st->popularity->Add(tenant);
+  auto it = st->tenants.find(tenant);
+  if (it != st->tenants.end()) return it;
+
+  const size_t exact =
+      st->tenants.size() - st->tenants.count(kOtherTenant);
+  const uint64_t estimate = st->popularity->EstimateCount(tenant);
+  auto materialize = [&] {
+    auto ins = st->tenants.try_emplace(tenant).first;
+    // Events this tenant may already have pushed into kOtherTenant (only
+    // possible after demotions emptied a slot): never more than its sketch
+    // estimate minus the event being recorded now.
+    ins->second.attribution_bound = estimate > 0 ? estimate - 1 : 0;
+    return ins;
+  };
+  if (exact < st->spec.max_tenant_series) return materialize();
+  // Guard full: materialize only if the sketch says this tenant has
+  // overtaken the weakest materialized one; otherwise it stays long-tail.
+  bool found = false;
+  std::string weakest_name;
+  uint64_t weakest_estimate = 0;
+  for (const auto& [name, track] : st->tenants) {
+    if (name == kOtherTenant) continue;
+    const uint64_t est = st->popularity->EstimateCount(name);
+    if (!found || est < weakest_estimate) {
+      found = true;
+      weakest_name = name;
+      weakest_estimate = est;
+    }
+  }
+  if (found && estimate > weakest_estimate) {
+    Demote(st, weakest_name, at_us);
+    return materialize();
+  }
+  return st->tenants.try_emplace(kOtherTenant).first;
+}
+
+void SloEngine::Demote(State* st, const std::string& tenant, SimTime at_us) {
+  auto it = st->tenants.find(tenant);
+  if (it == st->tenants.end()) return;
+  Track& victim = it->second;
+  // Clear any firing alerts so IsTenantFiring never reports a ghost.
+  for (auto& [policy, firing] : victim.firing) {
+    if (!firing) continue;
+    firing = false;
+    alerts_.push_back({at_us, st->spec.name, policy, tenant, false, 0.0, 0.0});
+  }
+  Track& other = st->tenants[kOtherTenant];
+  other.total += victim.total;
+  other.bad += victim.bad;
+  // The folded lifetime counts are no longer tenant-exact; widen the
+  // long-tail bound by what was folded in.
+  other.attribution_bound += victim.total;
+  ++st->demotions;
+  st->tenants.erase(st->tenants.find(tenant));
+}
+
+void SloEngine::Score(State* st, Track* tr, const std::string& tenant,
+                      SimTime at_us, bool good) {
+  ++tr->total;
+  if (!good) ++tr->bad;
+  if (st->max_window_us > 0) {
+    tr->window.push_back({at_us, good});
+    // Window semantics are (now - W, now]: an event exactly W old has
+    // aged out.
+    while (!tr->window.empty() &&
+           tr->window.front().at_us <= at_us - st->max_window_us) {
+      tr->window.pop_front();
+    }
+  }
+  Evaluate(st, tr, tenant, at_us);
 }
 
 SimDuration SloEngine::SlowBudgetFor(const std::string& module) const {
@@ -50,87 +139,192 @@ SimDuration SloEngine::SlowBudgetFor(const std::string& module) const {
   return best;
 }
 
-double SloEngine::WindowBurn(const State& st, SimDuration window_us,
-                             SimTime now_us) const {
+double SloEngine::WindowBurn(const Track& tr, double target,
+                             SimDuration window_us, SimTime now_us) const {
   uint64_t total = 0;
   uint64_t bad = 0;
-  for (auto it = st.window.rbegin(); it != st.window.rend(); ++it) {
+  for (auto it = tr.window.rbegin(); it != tr.window.rend(); ++it) {
     if (it->at_us <= now_us - window_us) break;
     ++total;
     if (!it->good) ++bad;
   }
   if (total == 0) return 0.0;
   const double bad_fraction = double(bad) / double(total);
-  const double budget = 1.0 - st.spec.target;
+  const double budget = 1.0 - target;
   return budget > 0 ? bad_fraction / budget : (bad > 0 ? 1e18 : 0.0);
 }
 
-void SloEngine::Evaluate(State* st, SimTime now_us) {
+void SloEngine::Evaluate(State* st, Track* tr, const std::string& tenant,
+                         SimTime now_us) {
   for (const BurnRatePolicy& p : st->spec.policies) {
-    const double burn_long = WindowBurn(*st, p.long_window_us, now_us);
-    const double burn_short = WindowBurn(*st, p.short_window_us, now_us);
+    const double burn_long =
+        WindowBurn(*tr, st->spec.target, p.long_window_us, now_us);
+    const double burn_short =
+        WindowBurn(*tr, st->spec.target, p.short_window_us, now_us);
     const bool fire =
         burn_long >= p.burn_threshold && burn_short >= p.burn_threshold;
-    bool& firing = st->firing[p.name];
+    bool& firing = tr->firing[p.name];
     if (fire == firing) continue;
     firing = fire;
     alerts_.push_back(
-        {now_us, st->spec.name, p.name, fire, burn_long, burn_short});
+        {now_us, st->spec.name, p.name, tenant, fire, burn_long, burn_short});
   }
 }
 
 double SloEngine::BurnRate(const std::string& objective,
                            SimDuration window_us, SimTime now_us) const {
   const auto it = objectives_.find(objective);
-  return it != objectives_.end() ? WindowBurn(it->second, window_us, now_us)
-                                 : 0.0;
+  return it != objectives_.end()
+             ? WindowBurn(it->second.agg, it->second.spec.target, window_us,
+                          now_us)
+             : 0.0;
 }
 
 double SloEngine::BudgetRemaining(const std::string& objective) const {
   const auto it = objectives_.find(objective);
-  if (it == objectives_.end() || it->second.total == 0) return 1.0;
+  if (it == objectives_.end() || it->second.agg.total == 0) return 1.0;
   const State& st = it->second;
-  const double allowed = double(st.total) * (1.0 - st.spec.target);
-  if (allowed <= 0) return st.bad == 0 ? 1.0 : 0.0;
-  return std::max(0.0, 1.0 - double(st.bad) / allowed);
+  const double allowed = double(st.agg.total) * (1.0 - st.spec.target);
+  if (allowed <= 0) return st.agg.bad == 0 ? 1.0 : 0.0;
+  return std::max(0.0, 1.0 - double(st.agg.bad) / allowed);
 }
 
 uint64_t SloEngine::TotalEvents(const std::string& objective) const {
   const auto it = objectives_.find(objective);
-  return it != objectives_.end() ? it->second.total : 0;
+  return it != objectives_.end() ? it->second.agg.total : 0;
 }
 
 uint64_t SloEngine::BadEvents(const std::string& objective) const {
   const auto it = objectives_.find(objective);
-  return it != objectives_.end() ? it->second.bad : 0;
+  return it != objectives_.end() ? it->second.agg.bad : 0;
 }
 
 bool SloEngine::IsFiring(const std::string& objective,
                          const std::string& policy) const {
   const auto it = objectives_.find(objective);
   if (it == objectives_.end()) return false;
-  const auto pit = it->second.firing.find(policy);
-  return pit != it->second.firing.end() && pit->second;
+  const auto pit = it->second.agg.firing.find(policy);
+  return pit != it->second.agg.firing.end() && pit->second;
+}
+
+const SloEngine::Track* SloEngine::FindTenant(const std::string& objective,
+                                              const std::string& tenant) const {
+  const auto it = objectives_.find(objective);
+  if (it == objectives_.end()) return nullptr;
+  const auto tit = it->second.tenants.find(tenant);
+  return tit != it->second.tenants.end() ? &tit->second : nullptr;
+}
+
+double SloEngine::TenantBurnRate(const std::string& objective,
+                                 const std::string& tenant,
+                                 SimDuration window_us, SimTime now_us) const {
+  const Track* tr = FindTenant(objective, tenant);
+  if (tr == nullptr) return 0.0;
+  return WindowBurn(*tr, objectives_.at(objective).spec.target, window_us,
+                    now_us);
+}
+
+uint64_t SloEngine::TenantTotalEvents(const std::string& objective,
+                                      const std::string& tenant) const {
+  const Track* tr = FindTenant(objective, tenant);
+  return tr != nullptr ? tr->total : 0;
+}
+
+uint64_t SloEngine::TenantBadEvents(const std::string& objective,
+                                    const std::string& tenant) const {
+  const Track* tr = FindTenant(objective, tenant);
+  return tr != nullptr ? tr->bad : 0;
+}
+
+bool SloEngine::IsTenantFiring(const std::string& objective,
+                               const std::string& tenant,
+                               const std::string& policy) const {
+  const Track* tr = FindTenant(objective, tenant);
+  if (tr == nullptr) return false;
+  const auto pit = tr->firing.find(policy);
+  return pit != tr->firing.end() && pit->second;
+}
+
+std::vector<std::string> SloEngine::MaterializedTenants(
+    const std::string& objective) const {
+  std::vector<std::string> out;
+  const auto it = objectives_.find(objective);
+  if (it == objectives_.end()) return out;
+  for (const auto& [tenant, track] : it->second.tenants) out.push_back(tenant);
+  return out;
+}
+
+uint64_t SloEngine::TenantAttributionBound(const std::string& objective,
+                                           const std::string& tenant) const {
+  const Track* tr = FindTenant(objective, tenant);
+  return tr != nullptr ? tr->attribution_bound : 0;
+}
+
+uint64_t SloEngine::TenantDemotions(const std::string& objective) const {
+  const auto it = objectives_.find(objective);
+  return it != objectives_.end() ? it->second.demotions : 0;
+}
+
+const sketch::SpaceSaving* SloEngine::TenantSketch(
+    const std::string& objective) const {
+  const auto it = objectives_.find(objective);
+  return it != objectives_.end() ? it->second.popularity.get() : nullptr;
 }
 
 std::string SloEngine::ExportText() const {
   std::string out;
-  char buf[192];
+  char buf[256];
   for (const auto& [name, st] : objectives_) {
     std::snprintf(
         buf, sizeof(buf),
         "%s module=%s target=%.6g total=%llu bad=%llu budget_remaining=%.6g\n",
         name.c_str(), st.spec.module.c_str(), st.spec.target,
-        static_cast<unsigned long long>(st.total),
-        static_cast<unsigned long long>(st.bad), BudgetRemaining(name));
+        static_cast<unsigned long long>(st.agg.total),
+        static_cast<unsigned long long>(st.agg.bad), BudgetRemaining(name));
+    out += buf;
+    if (!st.spec.per_tenant) continue;
+    for (const auto& [tenant, tr] : st.tenants) {
+      std::snprintf(buf, sizeof(buf),
+                    "  tenant=%s total=%llu bad=%llu attribution_bound=%llu\n",
+                    tenant.c_str(), static_cast<unsigned long long>(tr.total),
+                    static_cast<unsigned long long>(tr.bad),
+                    static_cast<unsigned long long>(tr.attribution_bound));
+      out += buf;
+    }
+    const uint64_t sketch_total =
+        st.popularity != nullptr ? st.popularity->total() : 0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  tenant_guard k=%llu materialized=%llu demotions=%llu "
+        "sketch_total=%llu sketch_error_bound=%llu\n",
+        static_cast<unsigned long long>(st.spec.max_tenant_series),
+        static_cast<unsigned long long>(st.tenants.size()),
+        static_cast<unsigned long long>(st.demotions),
+        static_cast<unsigned long long>(sketch_total),
+        static_cast<unsigned long long>(sketch_total /
+                                        st.spec.max_tenant_series));
     out += buf;
   }
   for (const AlertEvent& a : alerts_) {
-    std::snprintf(buf, sizeof(buf),
-                  "alert %s/%s %s at=%lld burn_long=%.6g burn_short=%.6g\n",
-                  a.objective.c_str(), a.policy.c_str(),
-                  a.firing ? "FIRING" : "clear",
-                  static_cast<long long>(a.at_us), a.burn_long, a.burn_short);
+    if (a.tenant.empty()) {
+      std::snprintf(buf, sizeof(buf),
+                    "alert %s/%s %s at=%lld burn_long=%.6g burn_short=%.6g\n",
+                    a.objective.c_str(), a.policy.c_str(),
+                    a.firing ? "FIRING" : "clear",
+                    static_cast<long long>(a.at_us), a.burn_long, a.burn_short);
+    } else {
+      std::snprintf(
+          buf, sizeof(buf),
+          "alert %s/%s tenant=%s %s at=%lld burn_long=%.6g burn_short=%.6g\n",
+          a.objective.c_str(), a.policy.c_str(), a.tenant.c_str(),
+          a.firing ? "FIRING" : "clear", static_cast<long long>(a.at_us),
+          a.burn_long, a.burn_short);
+    }
+    out += buf;
+  }
+  if (clamped_events_ > 0) {
+    std::snprintf(buf, sizeof(buf), "clock_regressions %llu\n",
+                  static_cast<unsigned long long>(clamped_events_));
     out += buf;
   }
   return out;

@@ -10,19 +10,42 @@
 // significance, the short one confirms the problem is still happening
 // (and clears the alert quickly once it stops).
 //
+// Tenant scoping: an objective with `per_tenant = true` additionally keeps
+// one burn-rate track per tenant, lazily materialized and bounded by a
+// cardinality guard. At most `max_tenant_series` tenants hold exact
+// windowed state at a time; a SpaceSaving sketch over tenant popularity
+// decides who deserves a slot (top-K by estimated frequency), everyone
+// else aggregates into the kOtherTenant track. When a sketch-tracked
+// newcomer overtakes the weakest materialized tenant, the weakest is
+// demoted (its lifetime totals fold into kOtherTenant, its firing alerts
+// clear) — so the exact set converges to the true heavy hitters under any
+// popularity drift, and per-tenant counts are exact up to an exported
+// attribution bound (events the tenant contributed to kOtherTenant before
+// it was materialized; never more than its sketch estimate at promotion).
+//
 // Everything is driven by event timestamps the caller passes in, so two
-// same-seed simulations produce byte-identical alert logs.
+// same-seed simulations produce byte-identical alert logs. Record()
+// requires non-decreasing timestamps: a regression trips an assert in
+// debug builds (unless AllowClockRegression(true)) and is clamped to the
+// previous timestamp — and counted — in release builds.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/time_types.h"
+#include "sketch/spacesaving.h"
 
 namespace taureau::obs {
+
+/// The aggregation track long-tail tenants share under the cardinality
+/// guard. Also where events with an empty tenant land on per-tenant
+/// objectives.
+inline constexpr const char kOtherTenant[] = "__other__";
 
 /// One alerting rule attached to an objective.
 struct BurnRatePolicy {
@@ -41,13 +64,21 @@ struct SloObjective {
   double target = 0.999;  ///< Required good fraction.
   SimDuration latency_budget_us = -1;
   std::vector<BurnRatePolicy> policies;
+
+  /// Keep per-tenant burn-rate tracks in addition to the module aggregate.
+  bool per_tenant = false;
+  /// Cardinality guard: at most this many tenants with exact windowed
+  /// state (kOtherTenant excluded); also the SpaceSaving sketch capacity.
+  size_t max_tenant_series = 64;
 };
 
-/// One rising or falling edge of an alert.
+/// One rising or falling edge of an alert. `tenant` is empty for the
+/// module-level aggregate track.
 struct AlertEvent {
   SimTime at_us = 0;
   std::string objective;
   std::string policy;
+  std::string tenant;
   bool firing = false;
   double burn_long = 0;
   double burn_short = 0;
@@ -63,9 +94,18 @@ class SloEngine {
 
   /// Scores one finished request against every objective matching
   /// `module`, then re-evaluates that objective's alert rules at `at_us`.
-  /// Events must arrive in non-decreasing time order (simulation order).
+  /// Events must arrive in non-decreasing time order (simulation order);
+  /// see the regression policy in the header comment.
   void Record(const std::string& module, SimTime at_us,
-              SimDuration latency_us, bool ok);
+              SimDuration latency_us, bool ok) {
+    Record(module, std::string(), at_us, latency_us, ok);
+  }
+
+  /// Tenant-attributed variant: additionally scores the tenant's track on
+  /// every matching per-tenant objective. An empty tenant (or a tenant the
+  /// cardinality guard declines to materialize) lands on kOtherTenant.
+  void Record(const std::string& module, const std::string& tenant,
+              SimTime at_us, SimDuration latency_us, bool ok);
 
   /// Smallest latency budget among latency objectives for `module`
   /// (the "p99 budget" tail sampling treats as the slow threshold);
@@ -87,10 +127,45 @@ class SloEngine {
   uint64_t BadEvents(const std::string& objective) const;
   bool IsFiring(const std::string& objective, const std::string& policy) const;
 
+  // -- Per-tenant reads (objectives with per_tenant = true). Unknown
+  //    objective/tenant reads as zero/false, mirroring the aggregate API.
+
+  /// Burn rate of one tenant's track (kOtherTenant reads the long tail).
+  double TenantBurnRate(const std::string& objective, const std::string& tenant,
+                        SimDuration window_us, SimTime now_us) const;
+  uint64_t TenantTotalEvents(const std::string& objective,
+                             const std::string& tenant) const;
+  uint64_t TenantBadEvents(const std::string& objective,
+                           const std::string& tenant) const;
+  bool IsTenantFiring(const std::string& objective, const std::string& tenant,
+                      const std::string& policy) const;
+  /// Materialized tenants (sorted, kOtherTenant included once present).
+  std::vector<std::string> MaterializedTenants(
+      const std::string& objective) const;
+  /// Upper bound on events this tenant contributed to kOtherTenant before
+  /// materialization: exact_count(tenant) - TenantTotalEvents(tenant) is
+  /// always within [0, this]. 0 for tenants materialized on first sight.
+  uint64_t TenantAttributionBound(const std::string& objective,
+                                  const std::string& tenant) const;
+  /// Cardinality-guard demotions performed for `objective`.
+  uint64_t TenantDemotions(const std::string& objective) const;
+  /// The popularity sketch backing the guard (nullptr when the objective is
+  /// unknown or not per-tenant). Error bounds: every entry's error, and the
+  /// sketch minimum, are <= total()/capacity (SpaceSaving guarantee).
+  const sketch::SpaceSaving* TenantSketch(const std::string& objective) const;
+
   /// Every alert edge so far, in the order they happened.
   const std::vector<AlertEvent>& alerts() const { return alerts_; }
 
-  /// Deterministic objective summaries + the alert edge log.
+  /// Events whose timestamp regressed and was clamped (release-mode
+  /// fallback for the non-decreasing-time precondition).
+  uint64_t clamped_events() const { return clamped_events_; }
+  /// Debug builds assert on a clock regression unless this is set (tests
+  /// exercising the clamp path set it; release builds always clamp+count).
+  void AllowClockRegression(bool allow) { allow_clock_regression_ = allow; }
+
+  /// Deterministic objective summaries (+ per-tenant lines and guard
+  /// stats for per-tenant objectives) + the alert edge log.
   std::string ExportText() const;
 
  private:
@@ -98,21 +173,45 @@ class SloEngine {
     SimTime at_us;
     bool good;
   };
-  struct State {
-    SloObjective spec;
+  /// One burn-rate accounting unit: the module aggregate, or one tenant.
+  struct Track {
     uint64_t total = 0;
     uint64_t bad = 0;
     std::deque<Event> window;      ///< Events within the longest window.
-    SimDuration max_window_us = 0;
     std::map<std::string, bool> firing;  ///< By policy name.
+    uint64_t attribution_bound = 0;      ///< See TenantAttributionBound.
+  };
+  struct State {
+    SloObjective spec;
+    SimDuration max_window_us = 0;
+    Track agg;
+    std::map<std::string, Track> tenants;  ///< Materialized + kOtherTenant.
+    std::unique_ptr<sketch::SpaceSaving> popularity;  ///< per_tenant only.
+    uint64_t demotions = 0;
   };
 
-  double WindowBurn(const State& st, SimDuration window_us,
+  using TenantIter = std::map<std::string, Track>::iterator;
+
+  double WindowBurn(const Track& tr, double target, SimDuration window_us,
                     SimTime now_us) const;
-  void Evaluate(State* st, SimTime now_us);
+  /// Pushes the event into `tr`, ages the window, evaluates policies.
+  void Score(State* st, Track* tr, const std::string& tenant, SimTime at_us,
+             bool good);
+  void Evaluate(State* st, Track* tr, const std::string& tenant,
+                SimTime now_us);
+  /// The track `tenant` scores into under the cardinality guard; may
+  /// demote the weakest materialized tenant to make room.
+  TenantIter ResolveTenant(State* st, const std::string& tenant,
+                           SimTime at_us);
+  void Demote(State* st, const std::string& tenant, SimTime at_us);
+  const Track* FindTenant(const std::string& objective,
+                          const std::string& tenant) const;
 
   std::map<std::string, State> objectives_;
   std::vector<AlertEvent> alerts_;
+  SimTime last_at_us_ = 0;
+  uint64_t clamped_events_ = 0;
+  bool allow_clock_regression_ = false;
 };
 
 }  // namespace taureau::obs

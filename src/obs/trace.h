@@ -83,6 +83,13 @@ inline constexpr const char* kOutcomeFault = "fault";
 /// marks masked trouble such as a chaos kill retried to success.
 inline constexpr const char* kSeverityAttr = "sev";
 
+/// Which tenant the request belongs to, set on the root span by the owning
+/// module (FunctionSpec::tenant, TopicConfig::tenant, a Jiffy path's owner
+/// segment, or the cluster allocation's ExecutionUnit::owner tag). Drives
+/// tenant-scoped SLO scoring (obs/slo.h) and the flame profile's per-tenant
+/// breakdowns; absent spans score the module aggregate only.
+inline constexpr const char* kTenantAttr = "tenant";
+
 /// Receives every span as it is emitted; the hook the sampling pipeline
 /// (obs/sampler.h) attaches to make tracing stream instead of accumulate.
 /// OnSpanStart fires before any attributes exist; OnSpanEnd fires exactly

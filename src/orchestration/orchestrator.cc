@@ -34,6 +34,13 @@ void Orchestrator::RunKeyed(const std::string& run_key, const Composition& comp,
   if (obs_ != nullptr) {
     root = obs_->tracer.StartSpan(
         run_key.empty() ? "run" : "run:" + run_key, "orchestration", {});
+    // Tenant identity: a run belongs to the tenant owning its functions.
+    // The first task leaf's FunctionSpec decides (compositions mixing
+    // tenants are out of the model — one workflow, one account).
+    const std::string tenant = FirstTaskTenant(comp.root());
+    if (root.valid() && !tenant.empty()) {
+      obs_->tracer.SetAttr(root, obs::kTenantAttr, tenant);
+    }
   }
   if (obs_ != nullptr && root.valid() && deadline.has_deadline()) {
     obs_->tracer.SetAttr(root, "deadline_us", std::to_string(deadline.at_us));
@@ -65,6 +72,24 @@ void Orchestrator::RunKeyed(const std::string& run_key, const Composition& comp,
          }
          if (cb) cb(res);
        });
+}
+
+std::string Orchestrator::FirstTaskTenant(
+    const std::shared_ptr<const Composition::Node>& node) const {
+  if (node == nullptr) return "";
+  if (node->kind == Composition::Kind::kTask) {
+    auto spec = platform_->GetFunction(node->name);
+    return spec.ok() ? spec->tenant : "";
+  }
+  if (node->kind == Composition::Kind::kNamed) {
+    auto it = compositions_.find(node->name);
+    return it != compositions_.end() ? FirstTaskTenant(it->second.root()) : "";
+  }
+  for (const auto& child : node->children) {
+    std::string tenant = FirstTaskTenant(child);
+    if (!tenant.empty()) return tenant;
+  }
+  return "";
 }
 
 Result<ExecutionResult> Orchestrator::RunKeyedSync(const std::string& run_key,

@@ -122,6 +122,11 @@ class Orchestrator {
             std::string key, obs::TraceContext ctx, guard::Deadline deadline,
             NodeDone done);
 
+  /// Tenant of the first task leaf's registered FunctionSpec (depth-first;
+  /// follows Named references), or "" when none is tagged.
+  std::string FirstTaskTenant(
+      const std::shared_ptr<const Composition::Node>& node) const;
+
   sim::Simulation* sim_;
   faas::FaasPlatform* platform_;
   std::map<std::string, Composition> compositions_;

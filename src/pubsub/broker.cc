@@ -44,6 +44,12 @@ void PulsarCluster::BindMetrics() {
       registry_->ResolveHistogram("pubsub.publish_latency_us", double(kMinute));
   h_.delivery_latency_us =
       registry_->ResolveHistogram("pubsub.delivery_latency_us", double(kMinute));
+  // Re-resolve per-topic tenant series into the (possibly re-homed) registry.
+  for (auto& [name, t] : topics_) {
+    if (t.config.tenant.empty()) continue;
+    t.tenant_published = registry_->ResolveCounter(
+        "pubsub.published", obs::LabelSet{.tenant = t.config.tenant});
+  }
 }
 
 void PulsarCluster::AttachObservability(obs::Observability* o) {
@@ -105,6 +111,10 @@ Status PulsarCluster::CreateTopic(const std::string& topic,
   Topic t;
   t.name = topic;
   t.config = config;
+  if (!t.config.tenant.empty()) {
+    t.tenant_published = registry_->ResolveCounter(
+        "pubsub.published", obs::LabelSet{.tenant = t.config.tenant});
+  }
   t.partitions.reserve(config.partitions);
   for (uint32_t p = 0; p < config.partitions; ++p) {
     TAU_ASSIGN_OR_RETURN(
@@ -219,7 +229,9 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
     const auto decision = admission_.AdmitWithWait(wait, deadline, now);
     if (decision != guard::AdmissionDecision::kAdmit) {
       h_.shed.Inc();
-      if (guard_ != nullptr) guard_->RecordShed("pubsub", decision, parent, now);
+      if (guard_ != nullptr) {
+        guard_->RecordShed("pubsub", decision, parent, now, t.config.tenant);
+      }
       if (decision == guard::AdmissionDecision::kShedDeadline) {
         return Status::DeadlineExceeded(
             "publish shed: deadline cannot be met by broker backlog");
@@ -252,14 +264,19 @@ Result<MessageId> PulsarCluster::Publish(const std::string& topic,
   // excluding queueing (the wait is measured separately at admission).
   admission_.RecordService(ack_time - start);
   h_.published.Inc();
+  t.tenant_published.Inc();  // no-op when the topic is untagged
   h_.publish_latency_us.Add(double(ack_time - now));
   last_ack_time_us_ = std::max(last_ack_time_us_, ack_time);
   if (obs_ != nullptr) {
+    std::vector<std::pair<std::string, std::string>> attrs = {
+        {"partition", std::to_string(pidx)},
+        {obs::kOutcomeAttr, obs::kOutcomeOk},
+        {obs::kSeverityAttr, "info"}};
+    if (!t.config.tenant.empty()) {
+      attrs.emplace_back(obs::kTenantAttr, t.config.tenant);
+    }
     publish_spans_[id] = obs_->tracer.EmitSpan(
-        "publish:" + topic, "pubsub", parent, now, ack_time,
-        {{"partition", std::to_string(pidx)},
-         {obs::kOutcomeAttr, obs::kOutcomeOk},
-         {obs::kSeverityAttr, "info"}});
+        "publish:" + topic, "pubsub", parent, now, ack_time, std::move(attrs));
   }
 
   // Once durable, the entry becomes dispatchable to every subscription.

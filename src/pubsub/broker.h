@@ -44,6 +44,10 @@ enum class SubscriptionType {
 };
 
 struct TopicConfig {
+  /// Owning tenant (account). Threaded onto every publish span
+  /// (obs::kTenantAttr) and the tenant-labeled publish counter
+  /// ("pubsub.published{tenant=...}"); empty means untagged.
+  std::string tenant;
   uint32_t partitions = 1;
   uint32_t ensemble_size = 3;
   uint32_t write_quorum = 2;
@@ -238,6 +242,8 @@ class PulsarCluster {
     std::vector<Partition> partitions;
     std::map<std::string, Subscription> subscriptions;
     uint64_t publish_rr = 0;
+    /// Pre-resolved "pubsub.published{tenant=...}" (invalid when untagged).
+    obs::CounterHandle tenant_published;
   };
 
   struct ConsumerInfo {
