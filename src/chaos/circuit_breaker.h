@@ -52,6 +52,15 @@ class CircuitBreaker {
     epoch_provider_ = std::move(provider);
   }
 
+  /// Live re-configuration (a ctrl subscription in the embedder lands
+  /// here); the current state machine position is untouched, the new
+  /// bounds govern from the next decision on.
+  void SetHalfOpenProbes(int probes) { config_.half_open_probes = probes; }
+  void SetFailureThreshold(int threshold) {
+    config_.failure_threshold = threshold;
+  }
+  const Config& config() const { return config_; }
+
   /// True when the request may proceed at `now`; false = shed it.
   bool AllowRequest(SimTime now);
 

@@ -41,6 +41,10 @@ std::string_view FaultKindName(FaultKind kind) {
       return "link-loss";
     case FaultKind::kLinkRestore:
       return "link-restore";
+    case FaultKind::kConfigPushDelay:
+      return "config-push-delay";
+    case FaultKind::kConfigCorrupt:
+      return "config-corrupt";
   }
   return "unknown";
 }
@@ -169,10 +173,18 @@ FaultPlan FaultPlan::Generate(const FaultPlanConfig& config, Rng* rng) {
       out->push_back(restore);
     }
   }
-  // Network-delay events carry the spike size, not a recovery delay.
+  EmitClass(out, rng, h, config.config_push_delay_per_s,
+            FaultKind::kConfigPushDelay, 0, 0, FaultKind::kConfigPushDelay,
+            false);
+  EmitClass(out, rng, h, config.config_corrupt_per_s,
+            FaultKind::kConfigCorrupt, 0, 0, FaultKind::kConfigCorrupt, false);
+  // Network-delay and config-push-delay events carry the delay size, not a
+  // recovery schedule.
   for (auto& ev : *out) {
     if (ev.kind == FaultKind::kNetworkDelay) {
       ev.param = static_cast<uint64_t>(config.network_delay_us);
+    } else if (ev.kind == FaultKind::kConfigPushDelay) {
+      ev.param = static_cast<uint64_t>(config.config_push_delay_us);
     }
   }
   std::sort(out->begin(), out->end(), EventOrder);

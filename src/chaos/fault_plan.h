@@ -41,6 +41,9 @@ enum class FaultKind {
   kLinkLoss,           ///< target = (from << 32) | to; param = restore
                        ///< delay (us). Asymmetric: only from -> to drops.
   kLinkRestore,        ///< target = (from << 32) | to.
+  kConfigPushDelay,    ///< arm: delay the next config push by param (us).
+  kConfigCorrupt,      ///< arm: corrupt the next config push's payload
+                       ///< (the typed store must reject it).
 };
 
 /// Packs a directed link fault target for kLinkLoss / kLinkRestore.
@@ -114,6 +117,14 @@ struct FaultPlanConfig {
   /// `link_restore_after_us` later.
   double link_loss_per_s = 0.0;
   SimDuration link_restore_after_us = 1 * kSecond;
+
+  /// Control-plane faults (E28): each kConfigPushDelay event arms an extra
+  /// `config_push_delay_us` of propagation delay for the next config push;
+  /// each kConfigCorrupt event arms a payload corruption for the next push
+  /// (the ctrl store's type/range validation must reject it).
+  double config_push_delay_per_s = 0.0;
+  SimDuration config_push_delay_us = 500 * kMillisecond;
+  double config_corrupt_per_s = 0.0;
 };
 
 /// A materialized, time-sorted fault schedule.

@@ -1,0 +1,165 @@
+// SLO-gated staged rollouts with automatic rollback (E28).
+//
+// A RolloutController takes one config change and walks it across the
+// fleet in stages (default 1% -> 10% -> 100% of machines) instead of
+// pushing it everywhere at once:
+//
+//   - Stage membership is deterministic: machines are ranked by
+//     Fnv1a64(name # seed) and each stage covers a prefix of that
+//     ranking, so stage k's canaries are a superset-free subset of stage
+//     k+1's and the selection is a pure function of (names, seed) —
+//     byte-identical under psim at any thread count, and shard-affinity
+//     friendly (the ranking never depends on shard placement or
+//     iteration order).
+//   - While a stage bakes, the controller samples a HealthSource on a
+//     fixed period: multi-window SLO burn-rate (long + short window, the
+//     E22 alerting shape). Both windows burning >= the policy threshold
+//     means the change is hurting *now* and the budget is draining —
+//     the controller retracts every covered machine and the rollout ends
+//     kRolledBack. A healthy bake advances to the next stage; after the
+//     final stage bakes clean, the change is promoted to the base config
+//     and the rollout ends kCompleted.
+//   - Every begin/advance/rollback/complete decision lands in a
+//     deterministic DecisionLog() (the psim differential test
+//     byte-compares it across thread counts), in "ctrl.rollout.*"
+//     metrics, and as a cat=ctrl span.
+//
+// The stage apply path defaults to ConfigService::PushScoped /
+// RetractScoped on the controller's own service; sharded worlds override
+// it with a StageApplier that routes each target's override to its home
+// shard as a psim::Post edge.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time_types.h"
+#include "ctrl/config.h"
+#include "obs/slo.h"
+
+namespace taureau::ctrl {
+
+/// One multi-window burn-rate sample (the E22 page-alert shape).
+struct BurnSample {
+  double long_burn = 0.0;
+  double short_burn = 0.0;
+};
+
+/// Samples fleet health at a simulation time. Must be deterministic.
+using HealthSource = std::function<BurnSample(SimTime)>;
+
+/// Adapts an SloEngine objective into a HealthSource.
+HealthSource HealthFromSlo(const obs::SloEngine* engine, std::string objective,
+                           SimDuration long_window_us,
+                           SimDuration short_window_us);
+
+/// Applies (or retracts) the staged override for `targets`. `apply` true
+/// = cover the targets with the candidate value, false = retract them.
+using StageApplier =
+    std::function<void(const std::vector<std::string>& targets, bool apply)>;
+
+struct RolloutPolicy {
+  /// Cumulative fleet fractions per stage; each stage covers the first
+  /// ceil(fraction * N) machines of the deterministic ranking.
+  std::vector<double> stage_fractions = {0.01, 0.10, 1.0};
+  /// How long a stage must stay healthy before advancing.
+  SimDuration bake_us = 5 * kSecond;
+  /// Health sampling period while a stage bakes.
+  SimDuration check_period_us = 500 * kMillisecond;
+  /// Rollback when both burn windows reach this (E22 policy threshold).
+  double burn_threshold = 10.0;
+  /// Ranking seed: varies which machines canary first across rollouts.
+  uint64_t seed = 1;
+};
+
+enum class RolloutState { kIdle, kRunning, kCompleted, kRolledBack };
+
+std::string_view RolloutStateName(RolloutState s);
+
+/// One logged decision.
+struct RolloutEvent {
+  SimTime at_us = 0;
+  enum class Kind { kBegin, kAdvance, kRollback, kComplete } kind;
+  int stage = 0;        ///< Stage index the decision concerns.
+  size_t covered = 0;   ///< Machines covered after the decision.
+  double long_burn = 0.0;
+  double short_burn = 0.0;
+};
+
+class RolloutController {
+ public:
+  /// `service` may be nullptr when a custom StageApplier (plus
+  /// SetFinalizer) handles every apply — the sharded-world arrangement.
+  RolloutController(sim::Simulation* sim, ConfigService* service,
+                    RolloutPolicy policy);
+  RolloutController(const RolloutController&) = delete;
+  RolloutController& operator=(const RolloutController&) = delete;
+
+  void SetHealthSource(HealthSource source) { health_ = std::move(source); }
+  void SetStageApplier(StageApplier applier) { applier_ = std::move(applier); }
+  /// Runs at kComplete instead of the default base-promotion push.
+  void SetFinalizer(std::function<void()> finalizer) {
+    finalizer_ = std::move(finalizer);
+  }
+
+  /// Starts rolling `value` for `key` across `machines`. FailedPrecondition
+  /// if a rollout is already running; InvalidArgument on empty inputs.
+  Status Begin(const std::string& key, ConfigValue value,
+               std::vector<std::string> machines);
+
+  RolloutState state() const { return state_; }
+  int current_stage() const { return stage_; }
+  /// Machines covered by the candidate value right now (ranking order).
+  const std::vector<std::string>& covered() const { return covered_; }
+  const std::vector<RolloutEvent>& events() const { return events_; }
+
+  /// Deterministic one-line-per-decision rendering; the psim differential
+  /// test byte-compares this across thread counts.
+  std::string DecisionLog() const;
+
+  /// Re-homes "ctrl.rollout.*" metrics + enables cat=ctrl decision spans.
+  void AttachObservability(obs::Observability* o);
+
+ private:
+  void ApplyStage(int stage);
+  void Tick();
+  void Rollback(const BurnSample& sample);
+  void Complete(const BurnSample& sample);
+  size_t StageCover(int stage) const;
+  void Record(RolloutEvent::Kind kind, const BurnSample& sample);
+  void BindMetrics();
+
+  sim::Simulation* sim_;
+  ConfigService* service_;
+  RolloutPolicy policy_;
+  HealthSource health_;
+  StageApplier applier_;
+  std::function<void()> finalizer_;
+
+  RolloutState state_ = RolloutState::kIdle;
+  std::string key_;
+  ConfigValue value_;
+  std::vector<std::string> ranked_;   ///< All machines, canary-first.
+  std::vector<std::string> covered_;  ///< Prefix of ranked_ on the candidate.
+  int stage_ = -1;
+  SimTime stage_started_us_ = 0;
+  std::vector<RolloutEvent> events_;
+
+  obs::Registry own_registry_;
+  obs::Registry* registry_ = &own_registry_;
+  obs::Observability* obs_ = nullptr;
+  struct MetricHandles {
+    obs::CounterHandle begun;
+    obs::CounterHandle advanced;
+    obs::CounterHandle rolled_back;
+    obs::CounterHandle completed;
+    obs::GaugeHandle stage;
+    obs::GaugeHandle covered;
+  };
+  MetricHandles h_;
+};
+
+}  // namespace taureau::ctrl

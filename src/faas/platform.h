@@ -18,6 +18,7 @@
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "ctrl/config.h"
 #include "faas/billing.h"
 #include "faas/function.h"
 #include "guard/admission.h"
@@ -202,6 +203,18 @@ class FaasPlatform {
   void AttachGuard(guard::Guard* g) { guard_ = g; }
   guard::Guard* guard() { return guard_; }
   const guard::AdmissionController& admission() const { return admission_; }
+
+  // ------------------------------------------------------------- ctrl
+  /// Wires the platform's policy knobs to live config: defines
+  /// "faas.keep_alive_us", "faas.max_concurrency",
+  /// "faas.admission.max_queue_depth" and "faas.admission.max_wait_us"
+  /// (defaults = the constructed config) and subscribes setters that
+  /// apply at the service's push safe points. A non-empty `scope`
+  /// subscribes target-scoped, so a staged rollout can canary this
+  /// platform alone. Raising max_concurrency drains the throttle queue
+  /// into the new headroom immediately.
+  void AttachControl(ctrl::ConfigService* service,
+                     const std::string& scope = std::string());
 
   // ------------------------------------------------------------- chaos
   /// Registers container-kill, machine-crash and network-delay hooks under

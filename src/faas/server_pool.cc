@@ -8,6 +8,42 @@ ServerPool::ServerPool(sim::Simulation* sim, ServerPoolConfig config)
       breaker_(config.breaker),
       admission_(config.admission) {}
 
+void ServerPool::AttachControl(ctrl::ConfigService* service,
+                               const std::string& scope) {
+  (void)service->EnsureDefined(
+      {.key = "pool.breaker.half_open_probes",
+       .default_value =
+           ctrl::ConfigValue::Int(config_.breaker.half_open_probes),
+       .min_value = 1.0,
+       .max_value = 1e6,
+       .description = "breaker probes admitted while half-open"});
+  (void)service->EnsureDefined(
+      {.key = "pool.breaker.failure_threshold",
+       .default_value =
+           ctrl::ConfigValue::Int(config_.breaker.failure_threshold),
+       .min_value = 1.0,
+       .max_value = 1e6,
+       .description = "consecutive failures that trip the breaker"});
+  auto subscribe = [service, &scope](const std::string& key,
+                                     ctrl::Watcher watcher) {
+    if (scope.empty()) {
+      service->Subscribe(key, std::move(watcher));
+    } else {
+      service->SubscribeScoped(key, scope, std::move(watcher));
+    }
+  };
+  subscribe("pool.breaker.half_open_probes",
+            [this](const ctrl::ConfigUpdate& u) {
+              config_.breaker.half_open_probes = int(u.value.as_int());
+              breaker_.SetHalfOpenProbes(int(u.value.as_int()));
+            });
+  subscribe("pool.breaker.failure_threshold",
+            [this](const ctrl::ConfigUpdate& u) {
+              config_.breaker.failure_threshold = int(u.value.as_int());
+              breaker_.SetFailureThreshold(int(u.value.as_int()));
+            });
+}
+
 void ServerPool::AttachObservability(obs::Observability* o) {
   if (o == nullptr) return;
   breaker_.BindMetrics(&o->registry, "pool");

@@ -12,6 +12,7 @@
 #include "common/money.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "ctrl/config.h"
 #include "guard/admission.h"
 #include "guard/deadline.h"
 #include "guard/guard.h"
@@ -64,6 +65,14 @@ class ServerPool {
   void AttachGuard(guard::Guard* g) { guard_ = g; }
   /// Surfaces breaker state transitions as "pool.breaker_*" metrics.
   void AttachObservability(obs::Observability* o);
+
+  /// Wires the breaker's probe knobs to live config: defines
+  /// "pool.breaker.half_open_probes" / "pool.breaker.failure_threshold"
+  /// (defaults = the constructed config) and subscribes setters. The
+  /// breaker is the ctrl<->chaos boundary: chaos stays ctrl-free, its
+  /// embedders wire the subscription (see DESIGN.md src/ctrl).
+  void AttachControl(ctrl::ConfigService* service,
+                     const std::string& scope = std::string());
 
   const chaos::CircuitBreaker& breaker() const { return breaker_; }
   const guard::AdmissionController& admission() const { return admission_; }

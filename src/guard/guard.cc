@@ -53,6 +53,39 @@ Guard::TenantHandles& Guard::TenantMetrics(const std::string& tenant) {
   return it->second;
 }
 
+void Guard::AttachControl(ctrl::ConfigService* service) {
+  (void)service->EnsureDefined(
+      {.key = "guard.retry.refill_ratio",
+       .default_value = ctrl::ConfigValue::Double(config_.retry_budget.refill_ratio),
+       .min_value = 0.0,
+       .max_value = 10.0,
+       .description = "retry-budget tokens refilled per success"});
+  (void)service->EnsureDefined(
+      {.key = "guard.retry.max_tokens",
+       .default_value = ctrl::ConfigValue::Double(config_.retry_budget.max_tokens),
+       .min_value = 0.0,
+       .max_value = 1e6,
+       .description = "retry-budget bucket capacity, whole tokens"});
+  (void)service->EnsureDefined(
+      {.key = "guard.hedge.delay_quantile",
+       .default_value = ctrl::ConfigValue::Double(config_.hedge.delay_quantile),
+       .min_value = 0.5,
+       .max_value = 0.9999,
+       .description = "latency quantile after which a hedge launches"});
+  service->Subscribe("guard.retry.refill_ratio",
+                     [this](const ctrl::ConfigUpdate& u) {
+                       retry_budget_.SetRefillRatio(u.value.as_double());
+                     });
+  service->Subscribe("guard.retry.max_tokens",
+                     [this](const ctrl::ConfigUpdate& u) {
+                       retry_budget_.SetMaxTokens(u.value.as_double());
+                     });
+  service->Subscribe("guard.hedge.delay_quantile",
+                     [this](const ctrl::ConfigUpdate& u) {
+                       hedge_.SetDelayQuantile(u.value.as_double());
+                     });
+}
+
 void Guard::SetEpochProvider(std::function<uint64_t()> provider) {
   epoch_provider_ = std::move(provider);
   if (epoch_provider_) h_.epoch.Set(double(epoch_provider_()));

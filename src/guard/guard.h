@@ -25,6 +25,7 @@
 
 #include "chaos/idempotency.h"
 #include "common/time_types.h"
+#include "ctrl/config.h"
 #include "guard/admission.h"
 #include "guard/hedging.h"
 #include "guard/retry_budget.h"
@@ -69,6 +70,13 @@ class Guard {
   void AttachObservability(obs::Observability* o);
   obs::Observability* observability() const { return obs_; }
   obs::Registry& registry() { return *registry_; }
+
+  /// Wires the retry budget (refill ratio, capacity) and hedge delay
+  /// quantile to live config: defines "guard.retry.refill_ratio",
+  /// "guard.retry.max_tokens" and "guard.hedge.delay_quantile" (defaults =
+  /// the constructed config) and subscribes setters that apply at the
+  /// service's push safe points.
+  void AttachControl(ctrl::ConfigService* service);
 
   /// Tags retry-budget state with the cluster's membership epoch (E25):
   /// every retry decision samples the provider into "guard.epoch" and adds

@@ -44,6 +44,10 @@ class HedgeDelayTracker {
   uint64_t samples() const { return latencies_.count(); }
   const HedgeConfig& config() const { return config_; }
 
+  /// Live re-configuration (ctrl subscriptions land here); the recorded
+  /// latency histogram is kept, so the new quantile applies immediately.
+  void SetDelayQuantile(double quantile) { config_.delay_quantile = quantile; }
+
  private:
   HedgeConfig config_;
   Histogram latencies_;

@@ -5,21 +5,44 @@
 
 namespace taureau::guard {
 
+namespace {
+
+constexpr int64_t kMicroPerToken =
+    RetryBudget::kMilliPerToken * RetryBudget::kMicroPerMilli;
+
+int64_t RatioToMicro(double ratio) {
+  return static_cast<int64_t>(std::llround(ratio * kMicroPerToken));
+}
+
+int64_t TokensToMilli(double tokens) {
+  return static_cast<int64_t>(
+      std::llround(tokens * RetryBudget::kMilliPerToken));
+}
+
+}  // namespace
+
 RetryBudget::RetryBudget(RetryBudgetConfig config)
     : config_(config),
-      refill_milli_(static_cast<int64_t>(
-          std::llround(config.refill_ratio * kMilliPerToken))),
-      max_milli_(static_cast<int64_t>(
-          std::llround(config.max_tokens * kMilliPerToken))),
-      tokens_milli_(std::min(
-          static_cast<int64_t>(
-              std::llround(config.initial_tokens * kMilliPerToken)),
-          static_cast<int64_t>(
-              std::llround(config.max_tokens * kMilliPerToken)))) {}
+      refill_micro_(RatioToMicro(config.refill_ratio)),
+      max_milli_(TokensToMilli(config.max_tokens)),
+      tokens_milli_(std::min(TokensToMilli(config.initial_tokens),
+                             TokensToMilli(config.max_tokens))) {}
 
 void RetryBudget::RecordSuccess() {
   ++successes_;
-  tokens_milli_ = std::min(tokens_milli_ + refill_milli_, max_milli_);
+  if (tokens_milli_ >= max_milli_) {
+    // Saturated: the refill (and any pending carry) is discarded, exactly
+    // as whole-milli overflow past the cap always was.
+    carry_micro_ = 0;
+    return;
+  }
+  carry_micro_ += refill_micro_;
+  tokens_milli_ += carry_micro_ / kMicroPerMilli;
+  carry_micro_ %= kMicroPerMilli;
+  if (tokens_milli_ >= max_milli_) {
+    tokens_milli_ = max_milli_;
+    carry_micro_ = 0;
+  }
 }
 
 bool RetryBudget::TryAcquire() {
@@ -30,6 +53,17 @@ bool RetryBudget::TryAcquire() {
   }
   ++denied_;
   return false;
+}
+
+void RetryBudget::SetRefillRatio(double ratio) {
+  config_.refill_ratio = ratio;
+  refill_micro_ = RatioToMicro(ratio);
+}
+
+void RetryBudget::SetMaxTokens(double max_tokens) {
+  config_.max_tokens = max_tokens;
+  max_milli_ = TokensToMilli(max_tokens);
+  tokens_milli_ = std::min(tokens_milli_, max_milli_);
 }
 
 }  // namespace taureau::guard

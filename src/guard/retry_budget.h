@@ -6,10 +6,17 @@
 // ~`refill_ratio` of the goodput instead of letting each failure multiply
 // into `max_attempts` more requests.
 //
-// Accounting is exact integer arithmetic in milli-tokens (1 token = 1000
-// milli-tokens) so the property tests can mirror it without floating-point
-// drift: successes add round(refill_ratio * 1000) milli-tokens capped at
-// `max_tokens`, a retry needs and spends exactly 1000.
+// Accounting is exact integer arithmetic: the per-success refill is held
+// in micro-tokens (1 token = 1e6 micro-tokens) and credited to the bucket
+// in milli-tokens (1 token = 1000 milli-tokens), with the sub-milli
+// remainder carried across successes — a refill_ratio like 1/3 credits
+// 333333 micro per success and loses nothing at refill boundaries (the
+// conservation property test mirrors this arithmetic exactly). A retry
+// needs and spends exactly 1000 milli.
+//
+// The refill ratio and capacity are live: SetRefillRatio / SetMaxTokens
+// re-derive the integer rates mid-run (a ctrl config subscription points
+// here), preserving the current fill and carry.
 #pragma once
 
 #include <cstdint>
@@ -29,16 +36,24 @@ struct RetryBudgetConfig {
 class RetryBudget {
  public:
   static constexpr int64_t kMilliPerToken = 1000;
+  static constexpr int64_t kMicroPerMilli = 1000;
 
   RetryBudget() : RetryBudget(RetryBudgetConfig{}) {}
   explicit RetryBudget(RetryBudgetConfig config);
 
-  /// Refills `refill_ratio` tokens, saturating at `max_tokens`.
+  /// Refills `refill_ratio` tokens, saturating at `max_tokens`. Sub-milli
+  /// remainders are carried to the next success, never dropped.
   void RecordSuccess();
 
   /// Spends one token if available. False = budget exhausted, do not
   /// retry. Counts the decision either way.
   bool TryAcquire();
+
+  /// Live re-configuration (ctrl subscriptions land here). The current
+  /// fill is preserved (clamped to a lowered capacity); the sub-milli
+  /// carry is kept, so credit earned under the old ratio is not lost.
+  void SetRefillRatio(double ratio);
+  void SetMaxTokens(double max_tokens);
 
   int64_t tokens_milli() const { return tokens_milli_; }
   double tokens() const { return double(tokens_milli_) / kMilliPerToken; }
@@ -49,16 +64,21 @@ class RetryBudget {
 
   const RetryBudgetConfig& config() const { return config_; }
 
-  /// The exact per-success refill in milli-tokens (exposed so tests can
-  /// mirror the arithmetic).
-  int64_t refill_milli() const { return refill_milli_; }
+  /// The whole-milli part of the per-success refill (exposed so tests can
+  /// mirror the arithmetic; the sub-milli part is refill_micro() % 1000).
+  int64_t refill_milli() const { return refill_micro_ / kMicroPerMilli; }
+  /// The exact per-success refill in micro-tokens.
+  int64_t refill_micro() const { return refill_micro_; }
   int64_t max_milli() const { return max_milli_; }
+  /// Sub-milli credit carried toward the next whole milli-token.
+  int64_t carry_micro() const { return carry_micro_; }
 
  private:
   RetryBudgetConfig config_;
-  int64_t refill_milli_ = 0;
+  int64_t refill_micro_ = 0;
   int64_t max_milli_ = 0;
   int64_t tokens_milli_ = 0;
+  int64_t carry_micro_ = 0;
   uint64_t granted_ = 0;
   uint64_t denied_ = 0;
   uint64_t successes_ = 0;

@@ -207,6 +207,69 @@ TEST(RetryBudgetTest, RefillsCapRetryFractionOfSuccesses) {
   EXPECT_EQ(grants, 5);  // retries bounded at ~refill_ratio of goodput
 }
 
+TEST(RetryBudgetTest, FractionalRefillConservesSubTokenRemainders) {
+  // Ratios whose per-success refill is not a whole number of milli-tokens.
+  // The old arithmetic truncated the refill to milli once at construction
+  // and leaked the sub-milli remainder on every success; with the micro
+  // carry the budget must track earned credit exactly (below the cap):
+  //   tokens_milli == (N * refill_micro) / 1000, carry == the remainder.
+  struct Case {
+    double ratio;
+    int64_t refill_micro;
+  };
+  for (const Case c : {Case{1.0 / 3.0, 333333}, Case{0.0007, 700},
+                       Case{0.0499, 49900}}) {
+    RetryBudgetConfig cfg;
+    cfg.refill_ratio = c.ratio;
+    cfg.max_tokens = 1e6;  // never saturates: conservation must be exact
+    cfg.initial_tokens = 0.0;
+    RetryBudget budget(cfg);
+    ASSERT_EQ(budget.refill_micro(), c.refill_micro);
+    const int kN = 12345;
+    for (int i = 0; i < kN; ++i) budget.RecordSuccess();
+    const int64_t earned_micro = int64_t(kN) * c.refill_micro;
+    EXPECT_EQ(budget.tokens_milli(), earned_micro / 1000) << c.ratio;
+    EXPECT_EQ(budget.carry_micro(), earned_micro % 1000) << c.ratio;
+  }
+}
+
+TEST(RetryBudgetTest, TinyRatioEventuallyGrantsARetry) {
+  // ratio 0.0007 truncated to refill_milli == 0 under the old arithmetic:
+  // the budget never refilled, so a low-retry-rate tenant starved forever.
+  // With the carry, 700 micro per success earns the first whole token
+  // after ceil(1e6 / 700) = 1429 successes.
+  RetryBudgetConfig cfg;
+  cfg.refill_ratio = 0.0007;
+  cfg.max_tokens = 10.0;
+  cfg.initial_tokens = 0.0;
+  RetryBudget budget(cfg);
+  int successes = 0;
+  while (!budget.TryAcquire()) {
+    budget.RecordSuccess();
+    ++successes;
+    ASSERT_LT(successes, 2000);  // the old code never exits this loop
+  }
+  EXPECT_EQ(successes, 1429);
+}
+
+TEST(RetryBudgetTest, LiveRatioChangeKeepsEarnedCarry) {
+  // A mid-stream SetRefillRatio (the ctrl live-config path) changes the
+  // rate but must not drop credit already earned.
+  RetryBudgetConfig cfg;
+  cfg.refill_ratio = 1.0 / 3.0;
+  cfg.max_tokens = 100.0;
+  cfg.initial_tokens = 0.0;
+  RetryBudget budget(cfg);
+  budget.RecordSuccess();  // +333 milli, 333 micro carried
+  EXPECT_EQ(budget.tokens_milli(), 333);
+  EXPECT_EQ(budget.carry_micro(), 333);
+  budget.SetRefillRatio(0.0007);
+  EXPECT_EQ(budget.refill_micro(), 700);
+  budget.RecordSuccess();  // carry 333 + 700 = 1033 -> +1 milli, 33 carried
+  EXPECT_EQ(budget.tokens_milli(), 334);
+  EXPECT_EQ(budget.carry_micro(), 33);
+}
+
 // ------------------------------------------------------------- Hedging
 
 TEST(HedgeTrackerTest, DefaultDelayUntilMinSamples) {

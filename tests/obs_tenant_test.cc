@@ -4,6 +4,7 @@
 // and jiffy.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -104,6 +105,40 @@ TEST(LabeledRegistryTest, ResetKeepsLabeledHandlesValid) {
   EXPECT_EQ(h.value(), 0u);
   h.Inc(1);
   EXPECT_EQ(r.GetCounter("m.c{tenant=\"t\"}")->value(), 1u);
+}
+
+// Regression (E28): the AttachObservability idiom — merge the module's own
+// registry into the shared one, Reset the own registry, re-resolve handles
+// on the shared registry — must keep every handle generation valid. A
+// module attached after it already counted (the ctrl service does exactly
+// this) must neither lose the merged counts nor crash through the old
+// handles.
+TEST(LabeledRegistryTest, HandlesSurviveMergeResetReRegistration) {
+  Registry own, shared;
+  CounterHandle early = own.ResolveCounter("ctrl.pushes", {.tenant = "t"});
+  early.Inc(3);
+  shared.MergeFrom(own);
+  own.Reset();
+  EXPECT_EQ(shared.GetCounter("ctrl.pushes{tenant=\"t\"}")->value(), 3u);
+  // The pre-merge handle stays valid: it writes into the reset own
+  // registry (now detached scratch), never into freed memory.
+  early.Inc(1);
+  EXPECT_EQ(own.GetCounter("ctrl.pushes{tenant=\"t\"}")->value(), 1u);
+  EXPECT_EQ(shared.GetCounter("ctrl.pushes{tenant=\"t\"}")->value(), 3u);
+  // Re-registration on the shared registry aliases the merged slot.
+  CounterHandle late = shared.ResolveCounter("ctrl.pushes", {.tenant = "t"});
+  late.Inc(2);
+  EXPECT_EQ(shared.GetCounter("ctrl.pushes{tenant=\"t\"}")->value(), 5u);
+  // Same story for gauges and histograms.
+  GaugeHandle g_early = own.ResolveGauge("ctrl.version", {.tenant = "t"});
+  g_early.Set(4.0);
+  shared.MergeFrom(own);
+  own.Reset();
+  GaugeHandle g_late = shared.ResolveGauge("ctrl.version", {.tenant = "t"});
+  g_late.Set(9.0);
+  EXPECT_EQ(shared.GetGauge("ctrl.version{tenant=\"t\"}")->value(), 9.0);
+  g_early.Set(1.0);  // detached scratch write, shared value untouched
+  EXPECT_EQ(shared.GetGauge("ctrl.version{tenant=\"t\"}")->value(), 9.0);
 }
 
 // ----------------------------------------------------------- shard merge
@@ -253,6 +288,33 @@ TEST(TenantSloTest, EmptyTenantLandsOnOtherTrack) {
   EXPECT_EQ(slo.TenantBadEvents("avail", kOtherTenant), 1u);
   EXPECT_EQ(slo.MaterializedTenants("avail"),
             std::vector<std::string>{kOtherTenant});
+}
+
+// Regression (E28): a live config change re-registers an objective
+// (AddObjective with the same name replaces the state). The engine must
+// rebuild cleanly — per-tenant queries keep answering, new events
+// re-materialize the tenant tracks, and firing state starts from the new
+// spec rather than carrying a stale edge.
+TEST(TenantSloTest, ReRegisteredObjectiveRebuildsPerTenantTracks) {
+  SloEngine slo;
+  slo.AddObjective(PerTenantObjective("avail", 0.99, 8));
+  SimTime t = 0;
+  for (int i = 0; i < 50; ++i) slo.Record("app", "a", ++t, 10, false);
+  EXPECT_TRUE(slo.IsTenantFiring("avail", "a", "page"));
+  EXPECT_GT(slo.TenantBurnRate("avail", "a", 10000, t), 0.0);
+
+  // Config push: tighter target, same name. State is replaced wholesale.
+  slo.AddObjective(PerTenantObjective("avail", 0.999, 8));
+  EXPECT_FALSE(slo.IsTenantFiring("avail", "a", "page"));
+  EXPECT_EQ(slo.TenantTotalEvents("avail", "a"), 0u);
+  EXPECT_DOUBLE_EQ(slo.TenantBurnRate("avail", "a", 10000, t), 0.0);
+
+  // New events score against the new spec and re-materialize the track.
+  for (int i = 0; i < 50; ++i) slo.Record("app", "a", ++t, 10, false);
+  EXPECT_TRUE(slo.IsTenantFiring("avail", "a", "page"));
+  EXPECT_EQ(slo.TenantTotalEvents("avail", "a"), 50u);
+  const auto tenants = slo.MaterializedTenants("avail");
+  EXPECT_NE(std::find(tenants.begin(), tenants.end(), "a"), tenants.end());
 }
 
 TEST(TenantSloTest, CardinalityGuardDemotesWeakestAndConserves) {
