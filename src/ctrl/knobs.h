@@ -1,0 +1,26 @@
+// Live-knob adapters for modules that cannot depend on ctrl themselves.
+//
+// obs is below ctrl in the dependency graph (ctrl emits spans and metrics
+// through obs), so the observability pipeline cannot define its own config
+// keys the way faas/guard/reuse do via AttachControl. These free functions
+// close the E28 follow-up gap from the other side: they live in ctrl, take
+// the obs object as a plain pointer, and wire the subscription setters.
+#pragma once
+
+#include <string>
+
+#include "ctrl/config.h"
+#include "obs/sampler.h"
+
+namespace taureau::ctrl {
+
+/// Defines "obs.sampler.head_rate" (default = the pipeline's current rate)
+/// and subscribes a setter so a push retunes head sampling live. Safe by
+/// construction: flame/SLO aggregates are fed before the retention
+/// decision, so a mid-run rate change only resizes the retained trace
+/// store — profiles and burn rates stay exact. A non-empty `scope`
+/// subscribes target-scoped for canaried rollouts.
+void AttachSamplerControl(ConfigService* service, obs::SamplingPipeline* pipe,
+                          const std::string& scope = std::string());
+
+}  // namespace taureau::ctrl

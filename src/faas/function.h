@@ -76,6 +76,11 @@ struct FunctionSpec {
   /// containers, so one runaway function cannot monopolize the account's
   /// concurrency (Lambda's reserved concurrency).
   uint32_t max_concurrency = 0;
+  /// The function is a pure function of its payload: same payload, same
+  /// result, no side effects. Only idempotent functions are eligible for
+  /// the computation-reuse layer (result cache, singleflight coalescing,
+  /// approximation) when one is attached.
+  bool idempotent = false;
   /// Optional real computation.
   Handler handler;
   /// Shard affinity: which logical process of a sharded world (src/psim)

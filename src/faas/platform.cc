@@ -183,6 +183,14 @@ Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
                                       std::string payload, InvokeCallback cb,
                                       obs::TraceContext parent,
                                       guard::Deadline deadline) {
+  return InvokeShared(function,
+                      std::make_shared<const std::string>(std::move(payload)),
+                      std::move(cb), parent, deadline);
+}
+
+Result<uint64_t> FaasPlatform::InvokeShared(
+    const std::string& function, std::shared_ptr<const std::string> payload,
+    InvokeCallback cb, obs::TraceContext parent, guard::Deadline deadline) {
   auto fn_it = functions_.find(function);
   if (fn_it == functions_.end()) {
     return Status::NotFound("function '" + function + "' not registered");
@@ -206,6 +214,15 @@ Result<uint64_t> FaasPlatform::Invoke(const std::string& function,
     }
   }
   live_[inv->id] = inv;
+
+  // Computation reuse (E29): idempotent invocations may be answered from
+  // the result cache, a degraded-mode approximation, or an identical
+  // in-flight execution — all before admission, because a reused answer
+  // consumes no capacity and relieves the very pressure admission sheds.
+  if (reuse_ != nullptr && reuse_->enabled() && fn_it->second.idempotent &&
+      TryServeReuse(inv)) {
+    return inv->id;
+  }
 
   // Reject-on-arrival: when the pending backlog is over its bound or the
   // remaining deadline cannot cover the expected wait + service, finishing
@@ -238,6 +255,70 @@ SimDuration FaasPlatform::SampleDispatchDelay() {
   return static_cast<SimDuration>(
              rng_.NextLogNormal(mu, config_.dispatch_sigma)) +
          extra_dispatch_delay_us_;
+}
+
+bool FaasPlatform::TryServeReuse(const std::shared_ptr<Invocation>& inv) {
+  inv->reuse_key = reuse::ReuseLayer::Key(inv->function, *inv->payload);
+  reuse_->NoteRequest(inv->reuse_key);
+
+  // 1. Memoized result: answer now (zero-delay event — the callback never
+  //    fires inside the caller's Invoke), zero cost, no container touched.
+  if (const reuse::CachedResult* hit =
+          reuse_->Lookup(inv->reuse_key, sim_->Now())) {
+    reuse_->RecordHit(inv->tenant, hit->exec_us);
+    inv->served_via = ServedVia::kCacheHit;
+    sim_->Schedule(0, [this, inv, status = hit->status,
+                       output = hit->output]() mutable {
+      CompleteFromReuse(inv, status, std::move(output));
+    });
+    return true;
+  }
+  reuse_->RecordMiss(inv->tenant);
+
+  // 2. Approximation: while the SLO burn gate fires, a registered provider
+  //    answers from sketch state instead of queueing exact work on a fleet
+  //    that is already missing its objective. The error bound is exported
+  //    on the result and the span.
+  if (reuse_->HasApprox(inv->function) &&
+      reuse_->ShouldApproximate(inv->tenant, sim_->Now())) {
+    reuse_->RecordApprox(inv->tenant);
+    inv->served_via = ServedVia::kApproximation;
+    auto ans = reuse_->Approximate(inv->function, *inv->payload);
+    inv->approx_error_bound = ans.error_bound;
+    sim_->Schedule(0, [this, inv, output = std::move(ans.output)]() mutable {
+      CompleteFromReuse(inv, Status::OK(), std::move(output));
+    });
+    return true;
+  }
+
+  // 3. Singleflight: attach to an identical in-flight execution, or become
+  //    the leader whose completion fans out to every follower.
+  if (reuse_->flights().InFlight(inv->reuse_key)) {
+    reuse::Follower f;
+    f.id = inv->id;
+    f.submit_us = inv->submit_us;
+    f.deliver = [this, inv](const reuse::CachedResult& r) {
+      inv->served_via = ServedVia::kCoalesced;
+      reuse_->RecordCoalesce(inv->tenant, r.exec_us);
+      CompleteFromReuse(inv, r.status, r.output);
+    };
+    reuse_->flights().Attach(inv->reuse_key, std::move(f));
+    return true;
+  }
+  reuse_->flights().Lead(inv->reuse_key, inv->id);
+  return false;
+}
+
+void FaasPlatform::CompleteFromReuse(std::shared_ptr<Invocation> inv,
+                                     const Status& status,
+                                     std::string output) {
+  if (inv->abandoned) {
+    Complete(std::move(inv), /*cold=*/false, 0, 0,
+             Status::Cancelled("cancelled while awaiting reuse"), "");
+    return;
+  }
+  Complete(std::move(inv), /*cold=*/false, /*startup_us=*/0, /*exec_us=*/0,
+           status, std::move(output));
 }
 
 Result<InvocationResult> FaasPlatform::InvokeSync(const std::string& function,
@@ -357,7 +438,7 @@ void FaasPlatform::StartOnContainer(std::shared_ptr<Invocation> inv,
   }
 
   // Determine how this attempt ends, ahead of time (simulated outcome).
-  SimDuration exec = spec.exec.Sample(&rng_, inv->payload.size());
+  SimDuration exec = spec.exec.Sample(&rng_, inv->payload->size());
   Status attempt_status = Status::OK();
   if (spec.failure_prob > 0 && rng_.NextBool(spec.failure_prob)) {
     // Crash partway through the run.
@@ -403,7 +484,7 @@ void FaasPlatform::FinishAttempt(std::shared_ptr<Invocation> inv,
     ctx.attempt = inv->attempt;
     ctx.cold_start = cold;
     ctx.container_cache = &container->cache;
-    auto r = spec.handler(inv->payload, ctx);
+    auto r = spec.handler(*inv->payload, ctx);
     if (r.ok()) {
       output = std::move(r).value();
     } else {
@@ -491,6 +572,8 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
   res.startup_us = startup_us;
   res.exec_us = exec_us;
   res.cost = inv->cost_so_far;
+  res.served_via = inv->served_via;
+  res.approx_error_bound = inv->approx_error_bound;
   live_.erase(inv->id);
   h_.completions.Inc();
   h_.e2e_latency_us.Add(double(res.EndToEnd()));
@@ -499,7 +582,11 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
     th->e2e_latency_us.Add(double(res.EndToEnd()));
     if (!res.status.ok()) th->errors.Inc();
   }
-  if (guard_ != nullptr && res.status.ok()) {
+  const bool executed = inv->served_via == ServedVia::kExecution;
+  if (guard_ != nullptr && res.status.ok() && executed) {
+    // Reuse-served answers cost no execution; letting them refill the
+    // retry budget or drag the hedge-delay quantile down would misstate
+    // what the backends can actually absorb.
     guard_->retry_budget().RecordSuccess();
     guard_->hedge().Record(res.EndToEnd());
   }
@@ -509,6 +596,23 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
       chaos_->RecordRecovery("faas", chaos::FaultKind::kContainerKill, inv->id,
                              "invocation retried to success after kill");
     }
+  }
+  if (obs_ != nullptr && inv->root_ctx.valid() && !executed) {
+    // The whole request window was spent in the reuse layer; the child
+    // span puts it on the critical path under its own category.
+    const char* path = inv->served_via == ServedVia::kCacheHit ? "cache-hit"
+                       : inv->served_via == ServedVia::kCoalesced
+                           ? "coalesced"
+                           : "approximation";
+    std::vector<std::pair<std::string, std::string>> attrs = {
+        {obs::kCategoryAttr, "reuse"}, {"path", path}};
+    if (inv->served_via == ServedVia::kApproximation) {
+      attrs.emplace_back("error_bound",
+                         std::to_string(inv->approx_error_bound));
+    }
+    obs_->tracer.EmitSpan(std::string("reuse-") + path, "faas", inv->root_ctx,
+                          inv->submit_us, sim_->Now(), std::move(attrs));
+    obs_->tracer.SetAttr(inv->root_ctx, "reuse", path);
   }
   if (obs_ != nullptr && inv->root_ctx.valid()) {
     obs_->tracer.SetAttr(inv->root_ctx, "cold", res.cold_start ? "1" : "0");
@@ -530,6 +634,22 @@ void FaasPlatform::Complete(std::shared_ptr<Invocation> inv, bool cold,
     obs_->tracer.EndSpan(inv->root_ctx);
   }
   if (inv->cb) inv->cb(res);
+
+  // Singleflight leader: offer the (successful, executed) result to the
+  // cache under cost-aware admission, then fan it out to every coalesced
+  // follower in attach order — one execution, one bill, N callbacks.
+  if (reuse_ != nullptr && executed && !inv->reuse_key.empty()) {
+    if (res.status.ok()) {
+      reuse_->Offer(inv->reuse_key,
+                    reuse::CachedResult{res.status, res.output, res.exec_us},
+                    sim_->Now());
+    }
+    auto followers = reuse_->flights().Complete(inv->reuse_key);
+    if (!followers.empty()) {
+      const reuse::CachedResult shared{res.status, res.output, res.exec_us};
+      for (auto& f : followers) f.deliver(shared);
+    }
+  }
 }
 
 void FaasPlatform::ReleaseToWarmPool(Container* container) {
@@ -772,9 +892,13 @@ Result<uint64_t> FaasPlatform::InvokeHedged(const std::string& function,
                                             obs::TraceContext parent,
                                             guard::Deadline deadline,
                                             std::string hedge_key) {
+  // One immutable allocation serves the primary, the hedge duplicate and
+  // every retry of either — the payload bytes are never copied again.
+  auto shared_payload =
+      std::make_shared<const std::string>(std::move(payload));
   if (guard_ == nullptr) {
-    return Invoke(function, std::move(payload), std::move(cb), parent,
-                  deadline);
+    return InvokeShared(function, std::move(shared_payload), std::move(cb),
+                        parent, deadline);
   }
   if (!functions_.count(function)) {
     return Status::NotFound("function '" + function + "' not registered");
@@ -792,8 +916,8 @@ Result<uint64_t> FaasPlatform::InvokeHedged(const std::string& function,
                            fn_it->second.tenant);
     }
   }
-  auto primary = Invoke(
-      function, payload,
+  auto primary = InvokeShared(
+      function, shared_payload,
       [this, hs](const InvocationResult& res) {
         OnHedgeResult(hs, res, /*from_hedge=*/false);
       },
@@ -810,7 +934,8 @@ Result<uint64_t> FaasPlatform::InvokeHedged(const std::string& function,
   }
   const SimDuration delay = guard_->hedge().Delay();
   hs->hedge_timer = sim_->Schedule(
-      delay, [this, hs, function, payload = std::move(payload), deadline] {
+      delay,
+      [this, hs, function, payload = std::move(shared_payload), deadline] {
         hs->hedge_timer = 0;
         if (hs->done) return;
         guard_->RecordHedgeLaunched();
@@ -818,7 +943,7 @@ Result<uint64_t> FaasPlatform::InvokeHedged(const std::string& function,
         // it to the guard category wherever no deeper span covers it.
         guard_->EmitGuardSpan("hedge-wait", "faas", hs->root_ctx,
                               hs->submit_us, sim_->Now(), {});
-        auto hedge = Invoke(
+        auto hedge = InvokeShared(
             function, payload,
             [this, hs](const InvocationResult& res) {
               OnHedgeResult(hs, res, /*from_hedge=*/true);

@@ -25,6 +25,7 @@
 #include "guard/deadline.h"
 #include "guard/guard.h"
 #include "obs/observability.h"
+#include "reuse/reuse.h"
 #include "sim/simulation.h"
 
 namespace taureau::faas {
@@ -65,6 +66,15 @@ struct FaasConfig {
   guard::AdmissionConfig admission;
 };
 
+/// How an invocation's result was produced (the computation-reuse layer
+/// can answer without running the function).
+enum class ServedVia : uint8_t {
+  kExecution = 0,   ///< Ran on a container (the only path without reuse).
+  kCacheHit,        ///< Memoized result from the content-addressed cache.
+  kCoalesced,       ///< Attached to an identical in-flight execution.
+  kApproximation,   ///< Sketch-backed degraded-mode answer under SLO burn.
+};
+
 /// Outcome of one invocation, delivered to the caller's callback.
 struct InvocationResult {
   uint64_t id = 0;
@@ -78,6 +88,10 @@ struct InvocationResult {
   SimDuration startup_us = 0;  ///< Container + runtime init (final attempt).
   SimDuration exec_us = 0;     ///< Pure execution (final attempt).
   Money cost;                  ///< Total billed across all attempts.
+  ServedVia served_via = ServedVia::kExecution;
+  /// Exported error bound of an approximate answer (the freshness/exactness
+  /// contract the client sees); 0 for exact results.
+  double approx_error_bound = 0.0;
 
   SimDuration EndToEnd() const { return end_us - submit_us; }
 };
@@ -142,6 +156,16 @@ class FaasPlatform {
                           InvokeCallback cb, obs::TraceContext parent = {},
                           guard::Deadline deadline = {});
 
+  /// Invoke with a caller-shared immutable payload. The platform never
+  /// copies the payload bytes again: retries, hedges and the reuse layer
+  /// all reference the same allocation. Invoke()/InvokeHedged() wrap their
+  /// string argument once and delegate here.
+  Result<uint64_t> InvokeShared(const std::string& function,
+                                std::shared_ptr<const std::string> payload,
+                                InvokeCallback cb,
+                                obs::TraceContext parent = {},
+                                guard::Deadline deadline = {});
+
   /// Invoke with a deterministic hedge (taureau::guard, "The Tail at
   /// Scale"): if the primary attempt is still running after the tracked
   /// hedge delay (~p95 of observed latencies), a duplicate launches; the
@@ -203,6 +227,18 @@ class FaasPlatform {
   void AttachGuard(guard::Guard* g) { guard_ = g; }
   guard::Guard* guard() { return guard_; }
   const guard::AdmissionController& admission() const { return admission_; }
+
+  // ------------------------------------------------------------- reuse
+  /// Wires in the computation-reuse layer (E29). Invocations of functions
+  /// registered `idempotent` consult it before dispatch, in order: result
+  /// cache (memoized answer, zero cost), approximation (degraded-mode
+  /// answer while the SLO burn gate fires), singleflight (attach to an
+  /// identical in-flight execution — single-billed). Completed idempotent
+  /// executions are offered to the cache under cost-aware admission and
+  /// fanned out to any coalesced followers. Attach observability to get
+  /// "cat=reuse" spans itemized on the critical path.
+  void AttachReuse(reuse::ReuseLayer* r) { reuse_ = r; }
+  reuse::ReuseLayer* reuse() { return reuse_; }
 
   // ------------------------------------------------------------- ctrl
   /// Wires the platform's policy knobs to live config: defines
@@ -269,7 +305,9 @@ class FaasPlatform {
     std::string function;
     std::string tenant;      ///< FunctionSpec::tenant (may be empty).
     std::string unit_owner;  ///< Owner tag of the last container's unit.
-    std::string payload;
+    /// Immutable payload shared across attempts, hedges and the reuse
+    /// layer — one allocation per request no matter how often it re-runs.
+    std::shared_ptr<const std::string> payload;
     InvokeCallback cb;
     int attempt = 0;
     SimTime submit_us = 0;
@@ -279,6 +317,13 @@ class FaasPlatform {
     obs::TraceContext root_ctx;  ///< "invoke:<fn>" span (invalid: untraced).
     guard::Deadline deadline;    ///< Client deadline (absolute; may be none).
     bool abandoned = false;      ///< Cancelled while between events.
+    /// Content-addressed reuse key; non-empty only for idempotent
+    /// invocations tracked by an attached reuse layer. An invocation with
+    /// a key and served_via == kExecution is a singleflight *leader*: its
+    /// completion offers the result to the cache and fans out to followers.
+    std::string reuse_key;
+    ServedVia served_via = ServedVia::kExecution;
+    double approx_error_bound = 0.0;
   };
 
   /// Shared state of one hedged request (primary + optional duplicate).
@@ -331,6 +376,17 @@ class FaasPlatform {
     return config_.retry.max_attempts > 0 ? config_.retry.max_attempts
                                           : config_.max_retries + 1;
   }
+
+  /// Consults the reuse layer for an idempotent invocation. True when the
+  /// request was fully handled (cache hit / approximation scheduled, or
+  /// attached as a singleflight follower) — the caller must not dispatch.
+  /// False proceeds to dispatch; when reuse is active the invocation has
+  /// become its key's singleflight leader.
+  bool TryServeReuse(const std::shared_ptr<Invocation>& inv);
+  /// Terminal delivery of a reuse-served result (hit / coalesced /
+  /// approximation) through the normal Complete path.
+  void CompleteFromReuse(std::shared_ptr<Invocation> inv,
+                         const Status& status, std::string output);
 
   void Dispatch(std::shared_ptr<Invocation> inv);
   /// Attempts to start the invocation now; false means no capacity and the
@@ -408,6 +464,7 @@ class FaasPlatform {
   std::unordered_map<uint64_t, std::weak_ptr<Invocation>> live_;
   guard::Guard* guard_ = nullptr;
   guard::AdmissionController admission_;
+  reuse::ReuseLayer* reuse_ = nullptr;
   uint64_t next_invocation_id_ = 1;
   uint64_t next_container_id_ = 1;
   chaos::InjectorRegistry* chaos_ = nullptr;

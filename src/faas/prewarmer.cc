@@ -32,6 +32,38 @@ Result<uint64_t> Prewarmer::Invoke(std::string payload, InvokeCallback cb) {
   return platform_->Invoke(function_, std::move(payload), std::move(cb));
 }
 
+void Prewarmer::AttachControl(ctrl::ConfigService* service,
+                              const std::string& scope) {
+  if (service == nullptr) return;
+  (void)service->EnsureDefined(
+      {.key = "faas.prewarm.max_prewarmed",
+       .default_value = ctrl::ConfigValue::Int(config_.max_prewarmed),
+       .min_value = 0.0,
+       .max_value = 1e6,
+       .description = "cap on pre-warmed (idle) containers per function"});
+  (void)service->EnsureDefined(
+      {.key = "faas.prewarm.headroom",
+       .default_value = ctrl::ConfigValue::Double(config_.headroom),
+       .min_value = 0.0,
+       .max_value = 100.0,
+       .description =
+           "warm-pool target multiplier over the forecast arrival rate"});
+  auto subscribe = [service, &scope](const std::string& key,
+                                     ctrl::Watcher watcher) {
+    if (scope.empty()) {
+      service->Subscribe(key, std::move(watcher));
+    } else {
+      service->SubscribeScoped(key, scope, std::move(watcher));
+    }
+  };
+  subscribe("faas.prewarm.max_prewarmed", [this](const ctrl::ConfigUpdate& u) {
+    config_.max_prewarmed = uint32_t(u.value.as_int());
+  });
+  subscribe("faas.prewarm.headroom", [this](const ctrl::ConfigUpdate& u) {
+    config_.headroom = u.value.AsNumber();
+  });
+}
+
 bool Prewarmer::Tick() {
   ++stats_.ticks;
   const double observed_rps =

@@ -58,6 +58,15 @@ class Prewarmer {
 
   const PrewarmerStats& stats() const { return stats_; }
   double ForecastRps() const { return forecast_rps_; }
+  const PrewarmerConfig& config() const { return config_; }
+
+  /// Wires the keep-alive target knobs to live config (E28 follow-up):
+  /// "faas.prewarm.max_prewarmed" (cap on idle pre-warmed containers) and
+  /// "faas.prewarm.headroom" (forecast multiplier). Pushes apply at the
+  /// service's safe points and take effect on the next control-loop tick.
+  /// A non-empty `scope` subscribes target-scoped for canaried rollouts.
+  void AttachControl(ctrl::ConfigService* service,
+                     const std::string& scope = std::string());
 
  private:
   bool Tick();

@@ -21,6 +21,8 @@ std::string_view CategoryName(Category c) {
       return "retry";
     case Category::kGuard:
       return "guard";
+    case Category::kReuse:
+      return "reuse";
     case Category::kOther:
       return "other";
   }

@@ -31,9 +31,11 @@ enum class Category {
   kRetry,       ///< Retry backoff + re-dispatch after failures ("cat=retry").
   kGuard,       ///< Overload-protection decisions: admission shed, deadline
                 ///< cancellation, hedge wait ("cat=guard").
+  kReuse,       ///< Served by the computation-reuse layer: cache hit,
+                ///< singleflight coalescing, approximation ("cat=reuse").
   kOther,       ///< Root time covered by no categorized span.
 };
-inline constexpr size_t kCategoryCount = 7;
+inline constexpr size_t kCategoryCount = 8;
 
 std::string_view CategoryName(Category c);
 std::optional<Category> ParseCategory(std::string_view name);

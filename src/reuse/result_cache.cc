@@ -1,0 +1,113 @@
+#include "reuse/result_cache.h"
+
+namespace taureau::reuse {
+
+const CachedResult* ResultCache::Lookup(const std::string& key,
+                                        SimTime now_us) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (Expired(it->second, now_us)) {
+    ++expirations_;
+    ++misses_;
+    Erase(it);
+    return nullptr;
+  }
+  ++hits_;
+  Touch(it->second);
+  return &it->second.entry;
+}
+
+ResultCache::PutOutcome ResultCache::Put(const std::string& key,
+                                         CachedResult value, SimTime now_us) {
+  value.stored_at_us = now_us;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (!Expired(it->second, now_us)) {
+      // First writer wins: keep the original, refresh recency.
+      ++duplicate_puts_;
+      Touch(it->second);
+      return PutOutcome::kDuplicate;
+    }
+    ++expirations_;
+    Erase(it);
+  }
+  const size_t incoming = EntryBytes(key, value);
+  SweepExpiredTail(now_us);
+  if (config_.cost_aware) {
+    // Evict LRU victims only while they are worth no more than the
+    // incoming entry; a more valuable victim rejects the insert instead.
+    const double score = value.Score();
+    while (OverBudget(incoming) && !lru_.empty()) {
+      auto victim = entries_.find(lru_.back());
+      if (victim->second.entry.Score() > score) {
+        ++rejected_admissions_;
+        return PutOutcome::kRejected;
+      }
+      ++evictions_;
+      Erase(victim);
+    }
+  } else {
+    while (OverBudget(incoming) && !lru_.empty()) {
+      ++evictions_;
+      Erase(entries_.find(lru_.back()));
+    }
+  }
+  if (OverBudget(incoming)) {
+    // The entry alone exceeds the budget (or entries are capped at 0).
+    ++rejected_admissions_;
+    return PutOutcome::kRejected;
+  }
+  lru_.push_front(key);
+  bytes_ += incoming;
+  entries_.emplace(key, Slot{std::move(value), incoming, lru_.begin()});
+  return PutOutcome::kInserted;
+}
+
+void ResultCache::SetLimits(size_t max_bytes, size_t max_entries) {
+  config_.max_bytes = max_bytes;
+  config_.max_entries = max_entries;
+  while (OverBudget(0) && !lru_.empty()) {
+    ++evictions_;
+    Erase(entries_.find(lru_.back()));
+  }
+}
+
+bool ResultCache::OverBudget(size_t incoming_bytes) const {
+  if (config_.max_entries > 0 &&
+      entries_.size() + (incoming_bytes > 0 ? 1 : 0) > config_.max_entries) {
+    return true;
+  }
+  return config_.max_bytes > 0 && bytes_ + incoming_bytes > config_.max_bytes;
+}
+
+void ResultCache::SweepExpiredTail(SimTime now_us) {
+  while (!lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    if (!Expired(it->second, now_us)) return;
+    ++expirations_;
+    Erase(it);
+  }
+}
+
+void ResultCache::Erase(Map::iterator it) {
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void ResultCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+  duplicate_puts_ = 0;
+  evictions_ = 0;
+  expirations_ = 0;
+  rejected_admissions_ = 0;
+}
+
+}  // namespace taureau::reuse

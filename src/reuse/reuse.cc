@@ -1,0 +1,248 @@
+#include "reuse/reuse.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace taureau::reuse {
+
+namespace {
+constexpr char kKeySeparator = '\x1f';  // ASCII unit separator.
+
+std::string Hex16(uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[size_t(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+}  // namespace
+
+ReuseLayer::ReuseLayer(ReuseConfig config)
+    : config_(config),
+      enabled_(config.enabled),
+      approx_burn_threshold_(config.approx_burn_threshold),
+      cache_(config.cache),
+      popularity_(config.countmin_depth, config.countmin_width,
+                  config.countmin_seed),
+      hot_keys_(config.hot_key_capacity) {
+  BindMetrics();
+}
+
+std::string ReuseLayer::Key(const std::string& function,
+                            const std::string& payload) {
+  std::string key;
+  key.reserve(function.size() + 17);
+  key += function;
+  key += kKeySeparator;
+  key += Hex16(Fnv1a64(payload));
+  return key;
+}
+
+void ReuseLayer::NoteRequest(const std::string& key) {
+  popularity_.Add(key);
+  hot_keys_.Add(key);
+}
+
+ResultCache::PutOutcome ReuseLayer::Offer(const std::string& key,
+                                          CachedResult result,
+                                          SimTime now_us) {
+  result.recurrence = std::max<uint64_t>(1, Recurrence(key));
+  const ResultCache::PutOutcome outcome =
+      cache_.Put(key, std::move(result), now_us);
+  switch (outcome) {
+    case ResultCache::PutOutcome::kInserted:
+      h_.cache_admitted.Inc();
+      break;
+    case ResultCache::PutOutcome::kRejected:
+      h_.cache_rejected.Inc();
+      break;
+    case ResultCache::PutOutcome::kDuplicate:
+      break;
+  }
+  SyncCacheGauges();
+  return outcome;
+}
+
+void ReuseLayer::RegisterApprox(const std::string& function,
+                                ApproxProvider provider) {
+  approx_[function] = std::move(provider);
+}
+
+ReuseLayer::ApproxAnswer ReuseLayer::Approximate(
+    const std::string& function, const std::string& payload) const {
+  auto it = approx_.find(function);
+  if (it == approx_.end()) return {};
+  return it->second(payload);
+}
+
+void ReuseLayer::SetSloSource(const obs::SloEngine* slo,
+                              std::string objective) {
+  slo_ = slo;
+  objective_ = std::move(objective);
+}
+
+bool ReuseLayer::ShouldApproximate(const std::string& tenant,
+                                   SimTime now_us) const {
+  if (!enabled_ || approx_burn_threshold_ <= 0.0 || slo_ == nullptr ||
+      objective_.empty()) {
+    return false;
+  }
+  double burn =
+      slo_->BurnRate(objective_, config_.approx_burn_window_us, now_us);
+  if (!tenant.empty()) {
+    burn = std::max(burn, slo_->TenantBurnRate(objective_, tenant,
+                                               config_.approx_burn_window_us,
+                                               now_us));
+  }
+  return burn >= approx_burn_threshold_;
+}
+
+void ReuseLayer::RecordHit(const std::string& tenant,
+                           SimDuration saved_exec_us) {
+  h_.hits.Inc();
+  h_.saved_exec_us.Inc(uint64_t(std::max<SimDuration>(0, saved_exec_us)));
+  if (!tenant.empty()) TenantMetrics(tenant).hits.Inc();
+  // Expirations are discovered lazily inside Lookup; fold them in here so
+  // the counter tracks the cache without a sweeper.
+  SyncCacheGauges();
+}
+
+void ReuseLayer::RecordMiss(const std::string& tenant) {
+  h_.misses.Inc();
+  if (!tenant.empty()) TenantMetrics(tenant).misses.Inc();
+  SyncCacheGauges();
+}
+
+void ReuseLayer::RecordCoalesce(const std::string& tenant,
+                                SimDuration saved_exec_us) {
+  h_.coalesced.Inc();
+  h_.saved_exec_us.Inc(uint64_t(std::max<SimDuration>(0, saved_exec_us)));
+  if (!tenant.empty()) TenantMetrics(tenant).coalesced.Inc();
+}
+
+void ReuseLayer::RecordApprox(const std::string& tenant) {
+  h_.approx_served.Inc();
+  if (!tenant.empty()) TenantMetrics(tenant).approx_served.Inc();
+}
+
+void ReuseLayer::AttachObservability(obs::Observability* o) {
+  if (o == nullptr || registry_ == &o->registry) return;
+  o->registry.MergeFrom(*registry_);
+  if (registry_ == &own_registry_) own_registry_.Reset();
+  registry_ = &o->registry;
+  BindMetrics();
+}
+
+void ReuseLayer::AttachControl(ctrl::ConfigService* service,
+                               const std::string& scope) {
+  if (service == nullptr) return;
+  service->EnsureDefined(
+      {.key = "reuse.enabled",
+       .default_value = ctrl::ConfigValue::Bool(config_.enabled),
+       .description = "master switch for the computation-reuse layer"});
+  service->EnsureDefined(
+      {.key = "reuse.approx.burn_threshold",
+       .default_value = ctrl::ConfigValue::Double(config_.approx_burn_threshold),
+       .min_value = 0.0,
+       .max_value = 1e6,
+       .description =
+           "serve sketch-backed approximations while the SLO burn rate is "
+           ">= this (0 disables degraded mode)"});
+  service->EnsureDefined(
+      {.key = "reuse.cache.max_bytes",
+       .default_value =
+           ctrl::ConfigValue::Int(int64_t(config_.cache.max_bytes)),
+       .min_value = 0,
+       .max_value = 1e15,
+       .description = "result-cache byte budget (0 = unbounded)"});
+
+  auto subscribe = [&](const std::string& key, ctrl::Watcher watcher) {
+    if (scope.empty()) {
+      service->Subscribe(key, std::move(watcher));
+    } else {
+      service->SubscribeScoped(key, scope, std::move(watcher));
+    }
+  };
+  subscribe("reuse.enabled", [this](const ctrl::ConfigUpdate& u) {
+    enabled_ = u.value.as_bool();
+  });
+  subscribe("reuse.approx.burn_threshold",
+            [this](const ctrl::ConfigUpdate& u) {
+              approx_burn_threshold_ = u.value.AsNumber();
+            });
+  subscribe("reuse.cache.max_bytes", [this](const ctrl::ConfigUpdate& u) {
+    cache_.SetLimits(size_t(std::max<int64_t>(0, u.value.as_int())),
+                     cache_.config().max_entries);
+    SyncCacheGauges();
+  });
+}
+
+ReuseStats ReuseLayer::stats() const {
+  ReuseStats s;
+  s.hits = h_.hits.value();
+  s.misses = h_.misses.value();
+  s.coalesced = h_.coalesced.value();
+  s.approx_served = h_.approx_served.value();
+  s.cache_admitted = h_.cache_admitted.value();
+  s.cache_rejected = h_.cache_rejected.value();
+  s.cache_evictions = cache_.evictions();
+  s.cache_expired = cache_.expirations();
+  s.saved_exec_us = SimDuration(h_.saved_exec_us.value());
+  return s;
+}
+
+void ReuseLayer::BindMetrics() {
+  h_.hits = registry_->ResolveCounter("reuse.hits");
+  h_.misses = registry_->ResolveCounter("reuse.misses");
+  h_.coalesced = registry_->ResolveCounter("reuse.coalesced");
+  h_.approx_served = registry_->ResolveCounter("reuse.approx_served");
+  h_.cache_admitted = registry_->ResolveCounter("reuse.cache_admitted");
+  h_.cache_rejected = registry_->ResolveCounter("reuse.cache_rejected");
+  h_.cache_evictions = registry_->ResolveCounter("reuse.cache_evictions");
+  h_.cache_expired = registry_->ResolveCounter("reuse.cache_expired");
+  h_.saved_exec_us = registry_->ResolveCounter("reuse.saved_exec_us");
+  h_.cache_bytes = registry_->ResolveGauge("reuse.cache_bytes");
+  h_.cache_entries = registry_->ResolveGauge("reuse.cache_entries");
+  for (auto& [tenant, th] : tenant_handles_) {
+    const obs::LabelSet labels{.tenant = tenant};
+    th.hits = registry_->ResolveCounter("reuse.hits", labels);
+    th.misses = registry_->ResolveCounter("reuse.misses", labels);
+    th.coalesced = registry_->ResolveCounter("reuse.coalesced", labels);
+    th.approx_served =
+        registry_->ResolveCounter("reuse.approx_served", labels);
+  }
+  SyncCacheGauges();
+}
+
+ReuseLayer::TenantHandles& ReuseLayer::TenantMetrics(
+    const std::string& tenant) {
+  auto [it, inserted] = tenant_handles_.try_emplace(tenant);
+  if (inserted) {
+    const obs::LabelSet labels{.tenant = tenant};
+    it->second.hits = registry_->ResolveCounter("reuse.hits", labels);
+    it->second.misses = registry_->ResolveCounter("reuse.misses", labels);
+    it->second.coalesced =
+        registry_->ResolveCounter("reuse.coalesced", labels);
+    it->second.approx_served =
+        registry_->ResolveCounter("reuse.approx_served", labels);
+  }
+  return it->second;
+}
+
+void ReuseLayer::SyncCacheGauges() {
+  h_.cache_bytes.Set(double(cache_.bytes()));
+  h_.cache_entries.Set(double(cache_.size()));
+  // Evictions/expirations are counted inside ResultCache; mirror them so
+  // the registry export carries them (Set, not Inc — idempotent).
+  const uint64_t ev = cache_.evictions();
+  const uint64_t ex = cache_.expirations();
+  if (ev > h_.cache_evictions.value())
+    h_.cache_evictions.Inc(ev - h_.cache_evictions.value());
+  if (ex > h_.cache_expired.value())
+    h_.cache_expired.Inc(ex - h_.cache_expired.value());
+}
+
+}  // namespace taureau::reuse

@@ -1,0 +1,71 @@
+// Singleflight request coalescing (the Go x/sync/singleflight shape, in
+// simulated time): concurrent identical idempotent requests attach to the
+// one execution already in flight and fan its result out on completion —
+// one execution, one bill, N callbacks.
+//
+// The group is key-addressed with the same content-addressed keys as the
+// result cache. The platform registers the first request for a key as the
+// *leader* and attaches later arrivals as *followers*; when the leader
+// completes, Complete() returns the followers in attach order so the
+// caller can deliver deterministically. The group itself never invokes
+// callbacks — delivery stays with the module that owns the request
+// lifecycle (spans, metrics, billing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time_types.h"
+#include "reuse/result_cache.h"
+
+namespace taureau::reuse {
+
+/// One request waiting on another's execution. `deliver` is built by the
+/// owning module and carries everything delivery needs (callback, span
+/// context, per-tenant metric handles).
+struct Follower {
+  uint64_t id = 0;
+  SimTime submit_us = 0;
+  std::function<void(const CachedResult&)> deliver;
+};
+
+class Singleflight {
+ public:
+  /// Registers `leader_id` as the in-flight execution for `key`. False
+  /// (and no change) when the key already has a leader.
+  bool Lead(const std::string& key, uint64_t leader_id);
+
+  /// Attaches a follower to `key`'s in-flight execution. False when no
+  /// execution is in flight (the caller should become the leader).
+  bool Attach(const std::string& key, Follower follower);
+
+  /// True when `key` has an in-flight leader.
+  bool InFlight(const std::string& key) const {
+    return flights_.count(key) != 0;
+  }
+
+  /// Closes the flight and returns its followers in attach order (empty
+  /// when the key was not led). The caller delivers to each.
+  std::vector<Follower> Complete(const std::string& key);
+
+  size_t inflight() const { return flights_.size(); }
+  uint64_t leaders() const { return leaders_; }
+  uint64_t followers_attached() const { return followers_attached_; }
+  uint64_t max_fanout() const { return max_fanout_; }
+
+ private:
+  struct Flight {
+    uint64_t leader_id = 0;
+    std::vector<Follower> followers;
+  };
+
+  std::unordered_map<std::string, Flight> flights_;
+  uint64_t leaders_ = 0;
+  uint64_t followers_attached_ = 0;
+  uint64_t max_fanout_ = 0;  ///< Largest follower count of any one flight.
+};
+
+}  // namespace taureau::reuse

@@ -1,0 +1,695 @@
+// Tests for the computation-reuse layer (E29): the shared result cache
+// (LRU/TTL/byte-budget/cost-aware admission), singleflight coalescing,
+// the ReuseLayer policy bundle (recurrence sketches, approximation gate,
+// live knobs), the FaaS platform integration (cache hits, coalesced
+// fan-out, single billing, approximation under SLO burn), the chaos
+// idempotency cache's first-writer-wins regression, the E28 knob wiring
+// (sampler head rate, prewarmer targets), and the serial-vs-psim
+// differential determinism of the whole reuse path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/idempotency.h"
+#include "cluster/cluster.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "ctrl/config.h"
+#include "ctrl/knobs.h"
+#include "faas/platform.h"
+#include "faas/prewarmer.h"
+#include "obs/observability.h"
+#include "obs/shard_merge.h"
+#include "obs/slo.h"
+#include "psim/psim.h"
+#include "reuse/result_cache.h"
+#include "reuse/reuse.h"
+#include "reuse/singleflight.h"
+#include "sim/simulation.h"
+#include "sketch/countmin.h"
+
+namespace taureau {
+namespace {
+
+using reuse::CachedResult;
+using reuse::ResultCache;
+using reuse::ResultCacheConfig;
+using reuse::ReuseConfig;
+using reuse::ReuseLayer;
+using reuse::Singleflight;
+
+// ------------------------------------------------------------ ResultCache
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache;
+  EXPECT_EQ(cache.Lookup("k", 0), nullptr);
+  EXPECT_EQ(cache.Put("k", {Status::OK(), "v"}, 0),
+            ResultCache::PutOutcome::kInserted);
+  const CachedResult* e = cache.Lookup("k", 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->output, "v");
+  EXPECT_TRUE(e->status.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, FirstWriterWins) {
+  ResultCache cache;
+  EXPECT_EQ(cache.Put("k", {Status::OK(), "first"}, 0),
+            ResultCache::PutOutcome::kInserted);
+  EXPECT_EQ(cache.Put("k", {Status::Internal("late"), "second"}, 1),
+            ResultCache::PutOutcome::kDuplicate);
+  const CachedResult* e = cache.Lookup("k", 2);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->output, "first");
+  EXPECT_TRUE(e->status.ok());
+  EXPECT_EQ(cache.duplicate_puts(), 1u);
+}
+
+TEST(ResultCacheTest, TtlExpiresEntries) {
+  ResultCache cache({/*max_bytes=*/0, /*max_entries=*/0, /*ttl_us=*/10,
+                     /*cost_aware=*/false});
+  cache.Put("k", {Status::OK(), "v"}, 0);
+  EXPECT_NE(cache.Lookup("k", 9), nullptr);
+  EXPECT_EQ(cache.Lookup("k", 10), nullptr);  // Dead exactly at the TTL.
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // A fresh Put after expiry is an insert, not a duplicate.
+  EXPECT_EQ(cache.Put("k", {Status::OK(), "v2"}, 11),
+            ResultCache::PutOutcome::kInserted);
+}
+
+TEST(ResultCacheTest, PlainLruEvictsOldest) {
+  ResultCache cache({0, /*max_entries=*/2, 0, false});
+  cache.Put("a", {Status::OK(), "1"}, 0);
+  cache.Put("b", {Status::OK(), "2"}, 1);
+  cache.Lookup("a", 2);  // Refresh "a"; "b" is now the LRU tail.
+  cache.Put("c", {Status::OK(), "3"}, 3);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup("a", 4), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 4), nullptr);
+  EXPECT_NE(cache.Lookup("c", 4), nullptr);
+}
+
+TEST(ResultCacheTest, CostAwareRejectsOneHitWonders) {
+  // Two entries fit; every output is 36 bytes so an entry costs exactly
+  // 1 (key) + 36 + 64 = 101 bytes.
+  ResultCache cache({/*max_bytes=*/202, 0, 0, /*cost_aware=*/true});
+  const std::string out(36, 'x');
+  cache.Put("a", {Status::OK(), out, /*exec_us=*/1000, /*recurrence=*/10}, 0);
+  cache.Put("b", {Status::OK(), out, /*exec_us=*/1000, /*recurrence=*/10}, 1);
+  // A cheap one-hit wonder must not displace the hot expensive entries.
+  EXPECT_EQ(cache.Put("c", {Status::OK(), out, /*exec_us=*/1, /*recurrence=*/1},
+                      2),
+            ResultCache::PutOutcome::kRejected);
+  EXPECT_EQ(cache.rejected_admissions(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_NE(cache.Lookup("a", 3), nullptr);
+  EXPECT_NE(cache.Lookup("b", 3), nullptr);
+  // A more valuable newcomer does evict the (cheaper-scored) LRU victim.
+  EXPECT_EQ(cache.Put("d", {Status::OK(), out, /*exec_us=*/5000,
+                            /*recurrence=*/10},
+                      4),
+            ResultCache::PutOutcome::kInserted);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup("d", 5), nullptr);
+}
+
+TEST(ResultCacheTest, SetLimitsShrinksLive) {
+  ResultCache cache({0, 0, 0, false});
+  for (int i = 0; i < 8; ++i)
+    cache.Put("k" + std::to_string(i), {Status::OK(), "v"}, i);
+  EXPECT_EQ(cache.size(), 8u);
+  cache.SetLimits(/*max_bytes=*/0, /*max_entries=*/3);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 5u);
+  // The survivors are the most recently used.
+  EXPECT_NE(cache.Lookup("k7", 9), nullptr);
+  EXPECT_EQ(cache.Lookup("k0", 9), nullptr);
+}
+
+/// The cache's hit/miss/eviction sequence is a pure function of the call
+/// sequence: replaying the same seeded op stream yields the same trace.
+std::string ReplayTrace(uint64_t seed) {
+  ResultCache cache({/*max_bytes=*/4096, 0, /*ttl_us=*/5000,
+                     /*cost_aware=*/true});
+  Rng rng(seed);
+  std::string trace;
+  SimTime now = 0;
+  for (int op = 0; op < 600; ++op) {
+    now += SimDuration(rng.NextInt(0, 50));
+    const std::string key = "k" + std::to_string(rng.NextBounded(24));
+    if (cache.Lookup(key, now) != nullptr) {
+      trace += 'H';
+    } else {
+      trace += 'M';
+      const CachedResult value{Status::OK(),
+                               std::string(size_t(rng.NextBounded(120)), 'v'),
+                               SimDuration(rng.NextInt(1, 2000)),
+                               uint64_t(rng.NextInt(1, 8))};
+      switch (cache.Put(key, value, now)) {
+        case ResultCache::PutOutcome::kInserted: trace += 'I'; break;
+        case ResultCache::PutOutcome::kDuplicate: trace += 'D'; break;
+        case ResultCache::PutOutcome::kRejected: trace += 'R'; break;
+      }
+    }
+  }
+  trace += " h=" + std::to_string(cache.hits());
+  trace += " m=" + std::to_string(cache.misses());
+  trace += " ev=" + std::to_string(cache.evictions());
+  trace += " ex=" + std::to_string(cache.expirations());
+  trace += " rj=" + std::to_string(cache.rejected_admissions());
+  return trace;
+}
+
+TEST(ResultCacheTest, ReplayIsDeterministic) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ASSERT_EQ(ReplayTrace(seed), ReplayTrace(seed)) << "seed=" << seed;
+  }
+  EXPECT_NE(ReplayTrace(1), ReplayTrace(2));
+}
+
+// ------------------------------------------------------------ Singleflight
+
+TEST(SingleflightTest, LeadAttachCompleteInOrder) {
+  Singleflight sf;
+  EXPECT_TRUE(sf.Lead("k", 1));
+  EXPECT_FALSE(sf.Lead("k", 2));  // One leader per key.
+  EXPECT_TRUE(sf.InFlight("k"));
+  std::vector<uint64_t> delivered;
+  for (uint64_t id = 10; id < 13; ++id) {
+    EXPECT_TRUE(sf.Attach(
+        "k", {id, SimTime(id), [&delivered, id](const CachedResult&) {
+                delivered.push_back(id);
+              }}));
+  }
+  auto followers = sf.Complete("k");
+  ASSERT_EQ(followers.size(), 3u);
+  const CachedResult result{Status::OK(), "out"};
+  for (auto& f : followers) f.deliver(result);
+  EXPECT_EQ(delivered, (std::vector<uint64_t>{10, 11, 12}));
+  EXPECT_FALSE(sf.InFlight("k"));
+  EXPECT_TRUE(sf.Complete("k").empty());   // Closed flights stay closed.
+  EXPECT_FALSE(sf.Attach("k", {99, 0, nullptr}));  // No leader, no attach.
+  EXPECT_EQ(sf.leaders(), 1u);
+  EXPECT_EQ(sf.followers_attached(), 3u);
+  EXPECT_EQ(sf.max_fanout(), 3u);
+}
+
+// -------------------------------------------------------------- ReuseLayer
+
+TEST(ReuseLayerTest, KeyIsContentAddressedAndBounded) {
+  const std::string small = ReuseLayer::Key("fn", "p");
+  const std::string large = ReuseLayer::Key("fn", std::string(1 << 20, 'p'));
+  EXPECT_EQ(ReuseLayer::Key("fn", "p"), small);       // Same content, same key.
+  EXPECT_NE(ReuseLayer::Key("fn", "q"), small);       // Content-addressed.
+  EXPECT_NE(ReuseLayer::Key("fn2", "p"), small);      // Function-scoped.
+  EXPECT_EQ(small.size(), large.size());              // Hash, not payload.
+}
+
+TEST(ReuseLayerTest, RecurrenceNeverUndercounts) {
+  ReuseLayer layer;
+  const std::string key = ReuseLayer::Key("fn", "hot");
+  for (int i = 0; i < 7; ++i) layer.NoteRequest(key);
+  EXPECT_GE(layer.Recurrence(key), 7u);  // CountMin one-sided error.
+  // Offer stamps the sketch's recurrence estimate onto the entry.
+  layer.Offer(key, {Status::OK(), "v", /*exec_us=*/100}, 0);
+  const CachedResult* e = layer.Lookup(key, 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_GE(e->recurrence, 7u);
+  auto hot = layer.HotKeys();
+  ASSERT_FALSE(hot.empty());
+  EXPECT_EQ(hot[0].item, key);
+}
+
+TEST(ReuseLayerTest, ApproxGateFollowsBurnRate) {
+  obs::SloEngine slo;
+  obs::SloObjective objective;
+  objective.name = "obj";
+  objective.module = "svc";
+  objective.target = 0.9;
+  // The engine only retains windowed events up to its longest policy
+  // window — the gate needs a policy at least as wide as its own window.
+  objective.policies.push_back({"page", 1 * kSecond, 1 * kSecond, 10.0});
+  slo.AddObjective(objective);
+
+  ReuseConfig cfg;
+  cfg.approx_burn_threshold = 5.0;
+  cfg.approx_burn_window_us = 1 * kSecond;
+  ReuseLayer layer(cfg);
+  layer.SetSloSource(&slo, "obj");
+
+  // No events yet: burn 0, gate closed.
+  EXPECT_FALSE(layer.ShouldApproximate("t", 0));
+  // All-bad traffic burns at 1 / (1 - 0.9) = 10 >= 5: gate open.
+  for (int i = 0; i < 20; ++i) slo.Record("svc", SimTime(i), 100, false);
+  EXPECT_TRUE(layer.ShouldApproximate("t", 20));
+  // Once the window has drained the gate closes again.
+  EXPECT_FALSE(layer.ShouldApproximate("t", 20 + 2 * kSecond));
+}
+
+TEST(ReuseLayerTest, ApproxErrorNeverExceedsExportedBound) {
+  // A CountMin-backed approximation provider: the answer is the estimated
+  // frequency of the queried key, the exported bound is the sketch's
+  // additive guarantee. Property: |estimate - truth| <= bound, always.
+  sketch::CountMinSketch counts(4, 64, 7);
+  std::map<std::string, uint64_t> truth;
+  Rng rng(99);
+  ZipfGenerator zipf(200, 1.1);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string item = "item" + std::to_string(zipf.Next(&rng));
+    counts.Add(item);
+    ++truth[item];
+  }
+  ReuseLayer layer;
+  layer.RegisterApprox("top", [&counts](const std::string& payload) {
+    return ReuseLayer::ApproxAnswer{
+        std::to_string(counts.EstimateCount(payload)), counts.ErrorBound()};
+  });
+  ASSERT_TRUE(layer.HasApprox("top"));
+  for (const auto& [item, exact] : truth) {
+    const auto ans = layer.Approximate("top", item);
+    const uint64_t estimate = std::stoull(ans.output);
+    ASSERT_GE(estimate, exact);  // CountMin never undercounts...
+    ASSERT_LE(double(estimate - exact), ans.error_bound)
+        << item;               // ...and overshoot stays within the bound.
+  }
+}
+
+TEST(ReuseLayerTest, LiveKnobsApplyThroughCtrl) {
+  sim::Simulation sim;
+  ctrl::ConfigService svc(&sim);
+  ReuseLayer layer;
+  layer.AttachControl(&svc);
+  // Fill the cache, then shrink the byte budget live: entries evict.
+  for (int i = 0; i < 64; ++i) {
+    layer.Offer(ReuseLayer::Key("fn", std::to_string(i)),
+                {Status::OK(), std::string(1024, 'v'), 100}, 0);
+  }
+  ASSERT_EQ(layer.cache().size(), 64u);
+  svc.Push("reuse.enabled", ctrl::ConfigValue::Bool(false));
+  svc.Push("reuse.approx.burn_threshold", ctrl::ConfigValue::Double(3.5));
+  svc.Push("reuse.cache.max_bytes", ctrl::ConfigValue::Int(4096));
+  sim.Run();  // Pushes apply at the service's (zero-delay) safe point.
+  EXPECT_FALSE(layer.enabled());
+  EXPECT_DOUBLE_EQ(layer.approx_burn_threshold(), 3.5);
+  EXPECT_LE(layer.cache().bytes(), 4096u);
+  EXPECT_LT(layer.cache().size(), 64u);
+  EXPECT_GT(layer.cache().evictions(), 0u);
+}
+
+// ----------------------------------------------- platform integration
+
+struct ReuseFixture {
+  sim::Simulation sim;
+  cluster::Cluster cluster{8, {32000, 65536}};
+  std::unique_ptr<faas::FaasPlatform> platform;
+  ReuseLayer layer;
+
+  explicit ReuseFixture(faas::FaasConfig cfg = {}, ReuseConfig rcfg = {})
+      : layer(rcfg) {
+    platform = std::make_unique<faas::FaasPlatform>(&sim, &cluster, cfg);
+    platform->AttachReuse(&layer);
+  }
+
+  faas::FunctionSpec IdempotentSpec(const std::string& name,
+                                    SimDuration exec = 50 * kMillisecond) {
+    faas::FunctionSpec spec;
+    spec.name = name;
+    spec.exec = {faas::ExecTimeModel::Kind::kFixed, exec, 0, 0};
+    spec.init_us = 100 * kMillisecond;
+    spec.idempotent = true;
+    spec.handler = [](const std::string& payload, faas::InvocationContext&) {
+      return Result<std::string>("out:" + payload);
+    };
+    return spec;
+  }
+};
+
+TEST(ReusePlatformTest, CacheHitServesRepeatWithoutBilling) {
+  ReuseFixture f;
+  ASSERT_TRUE(f.platform->RegisterFunction(f.IdempotentSpec("fn")).ok());
+  auto first = f.platform->InvokeSync("fn", "payload");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->served_via, faas::ServedVia::kExecution);
+  EXPECT_EQ(f.platform->ledger().record_count(), 1u);
+
+  auto second = f.platform->InvokeSync("fn", "payload");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->served_via, faas::ServedVia::kCacheHit);
+  EXPECT_EQ(second->output, first->output);
+  EXPECT_TRUE(second->status.ok());
+  EXPECT_EQ(second->exec_us, 0);  // No re-execution...
+  EXPECT_EQ(f.platform->ledger().record_count(), 1u);  // ...and no new bill.
+  EXPECT_EQ(f.layer.stats().hits, 1u);
+  EXPECT_GE(f.layer.stats().saved_exec_us, 50 * kMillisecond);
+
+  // A different payload is a different content address: it executes.
+  auto third = f.platform->InvokeSync("fn", "other");
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->served_via, faas::ServedVia::kExecution);
+  EXPECT_EQ(f.platform->ledger().record_count(), 2u);
+}
+
+TEST(ReusePlatformTest, NonIdempotentFunctionsBypassReuse) {
+  ReuseFixture f;
+  auto spec = f.IdempotentSpec("fn");
+  spec.idempotent = false;
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  ASSERT_TRUE(f.platform->InvokeSync("fn", "p").ok());
+  auto second = f.platform->InvokeSync("fn", "p");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->served_via, faas::ServedVia::kExecution);
+  EXPECT_EQ(f.platform->ledger().record_count(), 2u);
+  EXPECT_EQ(f.layer.stats().hits, 0u);
+  EXPECT_EQ(f.layer.stats().misses, 0u);
+}
+
+/// Singleflight conservation: N concurrent identical requests = exactly
+/// 1 execution, N callbacks, 1 billing record.
+TEST(ReusePlatformTest, SingleflightConservation) {
+  // sim.Run() drains the container keep-alive timers (~10 simulated
+  // minutes), so the freshness window must outlive them for the late
+  // arrival below to hit.
+  ReuseConfig rcfg;
+  rcfg.cache.ttl_us = 2 * kHour;
+  ReuseFixture f({}, rcfg);
+  ASSERT_TRUE(f.platform->RegisterFunction(f.IdempotentSpec("fn")).ok());
+  constexpr int kN = 16;
+  std::vector<faas::InvocationResult> results;
+  for (int i = 0; i < kN; ++i) {
+    auto id = f.platform->Invoke(
+        "fn", "same", [&results](const faas::InvocationResult& r) {
+          results.push_back(r);
+        });
+    ASSERT_TRUE(id.ok());
+  }
+  f.sim.Run();
+  ASSERT_EQ(results.size(), size_t(kN));              // N callbacks.
+  EXPECT_EQ(f.platform->ledger().record_count(), 1u);  // 1 bill.
+  int executed = 0, coalesced = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_EQ(r.output, "out:same");
+    if (r.served_via == faas::ServedVia::kExecution) ++executed;
+    if (r.served_via == faas::ServedVia::kCoalesced) ++coalesced;
+  }
+  EXPECT_EQ(executed, 1);       // 1 execution (the leader)...
+  EXPECT_EQ(coalesced, kN - 1);  // ...everyone else attached to it.
+  EXPECT_EQ(f.layer.stats().coalesced, uint64_t(kN - 1));
+  EXPECT_EQ(f.layer.flights().max_fanout(), uint64_t(kN - 1));
+  EXPECT_EQ(f.layer.flights().inflight(), 0u);  // Flight closed.
+
+  // The leader's result was offered to the cache: a late arrival hits.
+  auto late = f.platform->InvokeSync("fn", "same");
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->served_via, faas::ServedVia::kCacheHit);
+  EXPECT_EQ(f.platform->ledger().record_count(), 1u);
+}
+
+TEST(ReusePlatformTest, FailedLeaderFansOutFailureAndSkipsCache) {
+  faas::FaasConfig cfg;
+  cfg.max_retries = 0;  // One attempt, so conservation stays 1 execution.
+  ReuseFixture f(cfg);
+  auto spec = f.IdempotentSpec("fn");
+  spec.handler = [](const std::string&, faas::InvocationContext&) {
+    return Result<std::string>(Status::Internal("boom"));
+  };
+  ASSERT_TRUE(f.platform->RegisterFunction(spec).ok());
+  std::vector<Status> statuses;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(f.platform
+                    ->Invoke("fn", "p",
+                             [&statuses](const faas::InvocationResult& r) {
+                               statuses.push_back(r.status);
+                             })
+                    .ok());
+  }
+  f.sim.Run();
+  ASSERT_EQ(statuses.size(), 4u);  // Followers see the failure too.
+  for (const auto& s : statuses) EXPECT_FALSE(s.ok());
+  EXPECT_EQ(f.platform->ledger().record_count(), 1u);
+  // Failures are never memoized: the next request re-executes.
+  auto retry = f.platform->InvokeSync("fn", "p");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->served_via, faas::ServedVia::kExecution);
+}
+
+TEST(ReusePlatformTest, ApproximationServedOnlyWhileBurning) {
+  ReuseConfig rcfg;
+  rcfg.approx_burn_threshold = 5.0;
+  rcfg.approx_burn_window_us = 1 * kSecond;
+  ReuseFixture f({}, rcfg);
+  ASSERT_TRUE(f.platform->RegisterFunction(f.IdempotentSpec("fn")).ok());
+
+  obs::SloEngine slo;
+  obs::SloObjective objective;
+  objective.name = "obj";
+  objective.module = "faas";
+  objective.target = 0.9;
+  objective.policies.push_back({"page", 1 * kSecond, 1 * kSecond, 10.0});
+  slo.AddObjective(objective);
+  f.layer.SetSloSource(&slo, "obj");
+  f.layer.RegisterApprox("fn", [](const std::string&) {
+    return ReuseLayer::ApproxAnswer{"approx", 0.25};
+  });
+
+  // Burn the budget: all-bad traffic at t=0 burns 10x >= the 5x gate.
+  for (int i = 0; i < 20; ++i) slo.Record("faas", 0, 100, false);
+  auto degraded = f.platform->InvokeSync("fn", "q");
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->served_via, faas::ServedVia::kApproximation);
+  EXPECT_EQ(degraded->output, "approx");
+  EXPECT_DOUBLE_EQ(degraded->approx_error_bound, 0.25);
+  EXPECT_TRUE(degraded->status.ok());
+  EXPECT_EQ(f.platform->ledger().record_count(), 0u);  // Not billed.
+  EXPECT_EQ(f.layer.stats().approx_served, 1u);
+
+  // Approximations are never cached: once the burn window drains, the
+  // same payload executes exactly.
+  f.sim.RunUntil(f.sim.Now() + 2 * kSecond);
+  auto exact = f.platform->InvokeSync("fn", "q");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->served_via, faas::ServedVia::kExecution);
+  EXPECT_EQ(exact->output, "out:q");
+  EXPECT_EQ(exact->approx_error_bound, 0.0);
+}
+
+TEST(ReusePlatformTest, DisabledLayerExecutesEverything) {
+  ReuseConfig rcfg;
+  rcfg.enabled = false;
+  ReuseFixture f({}, rcfg);
+  ASSERT_TRUE(f.platform->RegisterFunction(f.IdempotentSpec("fn")).ok());
+  ASSERT_TRUE(f.platform->InvokeSync("fn", "p").ok());
+  auto second = f.platform->InvokeSync("fn", "p");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->served_via, faas::ServedVia::kExecution);
+  EXPECT_EQ(f.platform->ledger().record_count(), 2u);
+}
+
+// --------------------------------------------- idempotency regression
+//
+// chaos::IdempotencyCache is a thin policy over reuse::ResultCache since
+// E29; these pin the semantics the E20 replay tests rely on.
+
+TEST(IdempotencyRegressionTest, FirstWriterWinsUnchanged) {
+  chaos::IdempotencyCache cache;
+  EXPECT_EQ(cache.Lookup("op"), nullptr);
+  EXPECT_TRUE(cache.Record("op", Status::OK(), "applied-once"));
+  EXPECT_FALSE(cache.Record("op", Status::Internal("replay"), "applied-twice"));
+  const auto* e = cache.Lookup("op");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->output, "applied-once");
+  EXPECT_TRUE(e->status.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.duplicate_records(), 1u);
+}
+
+TEST(IdempotencyRegressionTest, CapacityEvictsLruNotNewest) {
+  chaos::IdempotencyCache cache(/*capacity=*/2);
+  EXPECT_TRUE(cache.Record("a", Status::OK(), "1"));
+  EXPECT_TRUE(cache.Record("b", Status::OK(), "2"));
+  EXPECT_TRUE(cache.Record("c", Status::OK(), "3"));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+}
+
+// --------------------------------------------------- E28 knob wiring
+
+TEST(SamplerKnobTest, MidRunHeadRatePushKeepsFlameExact) {
+  // Two identical trace streams; run B retunes head sampling to 5% at the
+  // halfway point through the live knob. The retained store shrinks, but
+  // the flame profile — fed before the retention decision — must stay
+  // byte-identical to run A's.
+  auto run = [](bool push_mid_run, obs::SamplingPipeline::Stats* stats,
+                double* final_rate) {
+    sim::Simulation sim;
+    obs::Observability o(&sim);
+    obs::ScaleConfig cfg;
+    cfg.sampler.head_rate = 1.0;
+    cfg.sampler.seed = 7;
+    EXPECT_TRUE(o.EnableScale(cfg));
+    ctrl::ConfigService svc(&sim);
+    ctrl::AttachSamplerControl(&svc, o.pipeline());
+    for (int i = 0; i < 100; ++i) {
+      sim.ScheduleAt(SimTime(i) * kMillisecond, [&o, &sim, i] {
+        auto root = o.tracer.StartSpan("req", "svc", {});
+        o.tracer.EmitSpan("exec", "svc", root, sim.Now(),
+                          sim.Now() + SimDuration(100 + i),
+                          {{obs::kCategoryAttr, "exec"}});
+        o.tracer.EndSpanAt(root, sim.Now() + SimDuration(100 + i));
+      });
+    }
+    if (push_mid_run) {
+      sim.ScheduleAt(50 * kMillisecond, [&svc] {
+        svc.Push("obs.sampler.head_rate", ctrl::ConfigValue::Double(0.05));
+      });
+    }
+    sim.Run();
+    o.Flush();
+    *stats = o.pipeline()->stats();
+    *final_rate = o.pipeline()->head_rate();
+    return o.flame()->ExportText();
+  };
+
+  obs::SamplingPipeline::Stats full{}, tuned{};
+  double full_rate = 0, tuned_rate = 0;
+  const std::string flame_full = run(false, &full, &full_rate);
+  const std::string flame_tuned = run(true, &tuned, &tuned_rate);
+  EXPECT_DOUBLE_EQ(full_rate, 1.0);
+  EXPECT_DOUBLE_EQ(tuned_rate, 0.05);          // The push landed...
+  EXPECT_EQ(full.traces_finalized, 100u);
+  EXPECT_EQ(tuned.traces_finalized, 100u);
+  EXPECT_LT(tuned.traces_retained, full.traces_retained);  // ...and bit.
+  EXPECT_EQ(flame_tuned, flame_full);  // Profiles exact at any rate.
+}
+
+TEST(PrewarmerKnobTest, KeepAliveTargetsRetuneLive) {
+  sim::Simulation sim;
+  cluster::Cluster cluster{8, {32000, 65536}};
+  faas::FaasPlatform platform(&sim, &cluster, {});
+  faas::FunctionSpec spec;
+  spec.name = "fn";
+  spec.exec = {faas::ExecTimeModel::Kind::kFixed, 10 * kMillisecond, 0, 0};
+  ASSERT_TRUE(platform.RegisterFunction(spec).ok());
+  faas::Prewarmer prewarmer(&sim, &platform, "fn", {});
+  ctrl::ConfigService svc(&sim);
+  prewarmer.AttachControl(&svc);
+  svc.Push("faas.prewarm.max_prewarmed", ctrl::ConfigValue::Int(3));
+  svc.Push("faas.prewarm.headroom", ctrl::ConfigValue::Double(2.5));
+  sim.Run();
+  EXPECT_EQ(prewarmer.config().max_prewarmed, 3u);
+  EXPECT_DOUBLE_EQ(prewarmer.config().headroom, 2.5);
+}
+
+// ------------------------------------------------ psim differential
+//
+// The reuse layer inside a sharded world: every shard runs a seeded
+// hit/miss/offer storm with cross-shard chain handoff. The merged metric
+// export (aggregate + per-tenant labeled series + per-shard sections) and
+// the per-shard cache counters must be byte-identical at 1 worker thread
+// and at 4 — the E26 invariant extended to the reuse path.
+
+struct ReuseShard {
+  std::unique_ptr<obs::Observability> obs;
+  std::unique_ptr<ReuseLayer> layer;
+  Rng rng{0};
+};
+
+struct ReuseWorld {
+  psim::ParallelSimulation world;
+  std::vector<ReuseShard> state;
+
+  explicit ReuseWorld(const psim::PsimConfig& cfg) : world(cfg) {}
+};
+
+void ReuseHop(ReuseWorld* w, psim::ShardId s, int remaining) {
+  ReuseShard& st = w->state[s];
+  ReuseLayer& layer = *st.layer;
+  const std::string key =
+      ReuseLayer::Key("fn", "p" + std::to_string(st.rng.NextBounded(12)));
+  const std::string tenant = "t" + std::to_string(st.rng.NextBounded(3));
+  const SimTime now = w->world.shard(s).Now();
+  layer.NoteRequest(key);
+  if (const CachedResult* e = layer.Lookup(key, now)) {
+    layer.RecordHit(tenant, e->exec_us);
+  } else {
+    layer.RecordMiss(tenant);
+    layer.Offer(key,
+                {Status::OK(), std::string(size_t(st.rng.NextBounded(180)), 'x'),
+                 SimDuration(st.rng.NextInt(100, 5000)),
+                 /*recurrence=*/1},
+                now);
+  }
+  if (remaining <= 0) return;
+  const SimDuration delay = SimDuration(st.rng.NextInt(0, 1500));
+  if (st.rng.NextBool(0.3)) {
+    const psim::ShardId dst =
+        psim::ShardId(st.rng.NextBounded(w->world.num_shards()));
+    w->world.Post(s, dst, delay,
+                  [w, dst, remaining] { ReuseHop(w, dst, remaining - 1); });
+  } else {
+    w->world.shard(s).Schedule(
+        delay, [w, s, remaining] { ReuseHop(w, s, remaining - 1); });
+  }
+}
+
+std::string RunReuseStorm(uint64_t seed, uint32_t shards, unsigned threads) {
+  psim::PsimConfig cfg;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.lookahead_us = 500;
+  ReuseWorld w(cfg);
+  w.state = std::vector<ReuseShard>(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    ReuseShard& st = w.state[s];
+    st.obs = std::make_unique<obs::Observability>(&w.world.shard(s));
+    ReuseConfig rcfg;
+    rcfg.cache = {/*max_bytes=*/4096, 0, /*ttl_us=*/5000, /*cost_aware=*/true};
+    st.layer = std::make_unique<ReuseLayer>(rcfg);
+    st.layer->AttachObservability(st.obs.get());
+    st.rng = Rng(HashCombine(seed, s));
+    for (int c = 0; c < 10; ++c) {
+      w.world.shard(s).ScheduleAt(SimTime(c) * 97,
+                                  [wp = &w, s] { ReuseHop(wp, s, 12); });
+    }
+  }
+  w.world.Run();
+  EXPECT_TRUE(w.world.Drained());
+
+  std::vector<const obs::Registry*> regs;
+  std::string counters;
+  for (uint32_t s = 0; s < shards; ++s) {
+    regs.push_back(&w.state[s].obs->registry);
+    const ResultCache& c = w.state[s].layer->cache();
+    counters += "shard " + std::to_string(s) + ": h=" +
+                std::to_string(c.hits()) + " m=" + std::to_string(c.misses()) +
+                " ev=" + std::to_string(c.evictions()) + " ex=" +
+                std::to_string(c.expirations()) + " rj=" +
+                std::to_string(c.rejected_admissions()) + "\n";
+  }
+  return obs::MergeShardExports(regs) + counters;
+}
+
+TEST(ReusePsimTest, SerialAndParallelAreByteIdentical) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (uint32_t shards : {1u, 4u}) {
+      const std::string serial = RunReuseStorm(seed, shards, /*threads=*/1);
+      const std::string parallel = RunReuseStorm(seed, shards, /*threads=*/4);
+      ASSERT_EQ(serial, parallel) << "seed=" << seed << " shards=" << shards;
+      // Rerun stability: same workload, same bytes.
+      ASSERT_EQ(serial, RunReuseStorm(seed, shards, /*threads=*/4))
+          << "seed=" << seed << " shards=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taureau
